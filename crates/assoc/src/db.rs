@@ -1,0 +1,178 @@
+//! Transaction databases and itemsets (§2.2.2).
+//!
+//! `L = {i1, …, im}` is a set of items; `D` a set of variable-length
+//! transactions over `L`. Itemsets are kept sorted and deduplicated so
+//! subset tests are merges and lexicographic generation is canonical.
+
+/// An item (literal).
+pub type Item = u32;
+
+/// A sorted, deduplicated set of items.
+pub type Itemset = Vec<Item>;
+
+/// A market-basket transaction database.
+#[derive(Debug, Clone)]
+pub struct TransactionDb {
+    transactions: Vec<Itemset>,
+    items: Vec<Item>,
+}
+
+impl TransactionDb {
+    /// Build from raw transactions (normalised: sorted, deduped; empty
+    /// transactions dropped).
+    pub fn new(raw: Vec<Vec<Item>>) -> Self {
+        let mut transactions: Vec<Itemset> = raw
+            .into_iter()
+            .map(|mut t| {
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .filter(|t| !t.is_empty())
+            .collect();
+        transactions.shrink_to_fit();
+        let mut items: Vec<Item> = transactions
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        items.sort_unstable();
+        TransactionDb {
+            transactions,
+            items,
+        }
+    }
+
+    /// The transactions.
+    pub fn transactions(&self) -> &[Itemset] {
+        &self.transactions
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// Is the database empty?
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// All distinct items, ascending.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Absolute support count of `itemset` (one full scan).
+    pub fn support(&self, itemset: &[Item]) -> usize {
+        self.transactions
+            .iter()
+            .filter(|t| is_subset(itemset, t))
+            .count()
+    }
+
+    /// A horizontal slice `[from, to)` of the database (used by Partition
+    /// and by the count-distribution parallel miner).
+    pub fn slice(&self, from: usize, to: usize) -> TransactionDb {
+        TransactionDb::new(self.transactions[from..to].to_vec())
+    }
+
+    /// Split into `p` near-equal horizontal partitions.
+    pub fn partitions(&self, p: usize) -> Vec<TransactionDb> {
+        assert!(p >= 1);
+        let n = self.len();
+        (0..p)
+            .map(|i| self.slice(i * n / p, (i + 1) * n / p))
+            .collect()
+    }
+}
+
+/// Is sorted `a` a subset of sorted `b`? (Linear merge.)
+pub fn is_subset(a: &[Item], b: &[Item]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The K-mart example of Table 2.2.
+    pub fn kmart() -> TransactionDb {
+        // pamper=1, soap=2, lipstick=3, soda=4, candy=5, beer=6.
+        TransactionDb::new(vec![
+            vec![1, 2, 3],
+            vec![4, 1, 3, 5],
+            vec![6, 4],
+            vec![6, 5, 1],
+        ])
+    }
+
+    #[test]
+    fn kmart_supports() {
+        let db = kmart();
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.support(&[1]), 3); // pampers in 75% of transactions
+        assert_eq!(db.support(&[1, 3]), 2); // pamper & lipstick
+        assert_eq!(db.support(&[6]), 2);
+        assert_eq!(db.support(&[2, 6]), 0);
+        assert_eq!(db.support(&[]), 4);
+    }
+
+    #[test]
+    fn normalisation() {
+        let db = TransactionDb::new(vec![vec![3, 1, 3, 2], vec![], vec![5]]);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.transactions()[0], vec![1, 2, 3]);
+        assert_eq!(db.items(), &[1, 2, 3, 5]);
+    }
+
+    #[test]
+    fn subset_merge() {
+        assert!(is_subset(&[], &[1, 2]));
+        assert!(is_subset(&[2], &[1, 2, 3]));
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[0], &[1]));
+        assert!(!is_subset(&[1], &[]));
+    }
+
+    #[test]
+    fn partitions_cover_everything() {
+        let db = TransactionDb::new((0..10).map(|i| vec![i, i + 1]).collect());
+        let parts = db.partitions(3);
+        assert_eq!(parts.iter().map(TransactionDb::len).sum::<usize>(), 10);
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn subset_support_dominance() {
+        // Property 1 of §2.2.3: A ⊆ B implies supp(A) >= supp(B).
+        let db = kmart();
+        let sets: Vec<Vec<Item>> = vec![
+            vec![1],
+            vec![1, 3],
+            vec![1, 3, 5],
+            vec![4],
+            vec![4, 5],
+        ];
+        for b in &sets {
+            for a in &sets {
+                if is_subset(a, b) {
+                    assert!(db.support(a) >= db.support(b), "{a:?} vs {b:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! PEAR-style count-distribution parallel Apriori on the PLinda runtime
+//! (§2.2.6).
+//!
+//! The scheme of Mueller's PEAR, which "can be effectively implemented on
+//! networks of workstations": each worker owns a horizontal partition of
+//! the database; at every level the master generates candidates
+//! sequentially (apriori-gen), broadcasts them, and the workers count
+//! local supports in parallel; the master sums the partial counts to
+//! decide the frequent sets and generate the next level.
+
+use crate::apriori::{apriori_gen, FrequentItemsets};
+use crate::db::{Item, Itemset, TransactionDb};
+use plinda::{field, tup, Runtime, Template};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn encode_candidates(cands: &[Itemset]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend((cands.len() as u32).to_le_bytes());
+    for c in cands {
+        out.extend((c.len() as u32).to_le_bytes());
+        for &i in c {
+            out.extend(i.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn decode_candidates(mut bytes: &[u8]) -> Vec<Itemset> {
+    let take_u32 = |b: &mut &[u8]| {
+        let (head, rest) = b.split_at(4);
+        *b = rest;
+        u32::from_le_bytes(head.try_into().unwrap())
+    };
+    let n = take_u32(&mut bytes) as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = take_u32(&mut bytes) as usize;
+        out.push((0..len).map(|_| take_u32(&mut bytes)).collect());
+    }
+    out
+}
+
+fn encode_counts(counts: &[u32]) -> Vec<u8> {
+    counts.iter().flat_map(|c| c.to_le_bytes()).collect()
+}
+
+fn decode_counts(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn t_cands(worker: i64) -> Template {
+    Template::new(vec![
+        field::val("cands"),
+        field::val(worker),
+        field::int(),
+        field::bytes(),
+    ])
+}
+
+fn t_counts(level: i64) -> Template {
+    Template::new(vec![
+        field::val("counts"),
+        field::int(),
+        field::val(level),
+        field::bytes(),
+    ])
+}
+
+/// Parallel Apriori with count distribution over `workers` PLinda worker
+/// processes. Produces exactly [`crate::apriori::apriori`]'s result.
+pub fn parallel_apriori(
+    db: Arc<TransactionDb>,
+    min_support: usize,
+    workers: usize,
+) -> FrequentItemsets {
+    assert!(workers >= 1);
+    let rt = Runtime::new();
+    let space = rt.space();
+    let n = db.len();
+
+    // Workers: count local supports for broadcast candidate sets.
+    for w in 0..workers {
+        let db = Arc::clone(&db);
+        let (from, to) = (w * n / workers, (w + 1) * n / workers);
+        rt.spawn("pear", move |proc| loop {
+            proc.xstart();
+            let t = proc.in_(t_cands(w as i64))?;
+            let level = t.int(2);
+            if level < 0 {
+                proc.xcommit(None)?;
+                return Ok(());
+            }
+            let cands = decode_candidates(t.bytes(3));
+            let mut counts = vec![0u32; cands.len()];
+            for txn in &db.transactions()[from..to] {
+                for (ci, c) in cands.iter().enumerate() {
+                    if crate::db::is_subset(c, txn) {
+                        counts[ci] += 1;
+                    }
+                }
+            }
+            proc.out(tup!["counts", w as i64, level, encode_counts(&counts)]);
+            proc.xcommit(None)?;
+        });
+    }
+
+    // Master: sequential candidate generation, parallel counting.
+    let mut result = FrequentItemsets::new();
+    let mut frequent_k: Vec<Itemset> = Vec::new();
+    let mut level: i64 = 1;
+    let mut candidates: Vec<Itemset> = db.items().iter().map(|&i| vec![i as Item]).collect();
+
+    while !candidates.is_empty() {
+        let blob = encode_candidates(&candidates);
+        for w in 0..workers {
+            space.out(tup!["cands", w as i64, level, blob.clone()]);
+        }
+        let mut totals: BTreeMap<usize, usize> = BTreeMap::new();
+        for _ in 0..workers {
+            let t = space.in_blocking(t_counts(level));
+            for (ci, c) in decode_counts(t.bytes(3)).iter().enumerate() {
+                *totals.entry(ci).or_default() += *c as usize;
+            }
+        }
+        frequent_k.clear();
+        for (ci, count) in totals {
+            if count >= min_support {
+                result.insert(candidates[ci].clone(), count);
+                frequent_k.push(candidates[ci].clone());
+            }
+        }
+        candidates = apriori_gen(&frequent_k);
+        level += 1;
+    }
+
+    for w in 0..workers {
+        space.out(tup!["cands", w as i64, -1i64, Vec::<u8>::new()]);
+    }
+    rt.join();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+
+    fn db() -> TransactionDb {
+        TransactionDb::new(vec![
+            vec![1, 2, 3],
+            vec![4, 1, 3, 5],
+            vec![6, 4],
+            vec![6, 5, 1],
+            vec![1, 3, 5],
+            vec![2, 3, 4],
+            vec![1, 2, 3, 4],
+        ])
+    }
+
+    #[test]
+    fn candidate_codec_roundtrip() {
+        let cands = vec![vec![1, 2, 3], vec![7], vec![]];
+        assert_eq!(decode_candidates(&encode_candidates(&cands)), cands);
+        let counts = vec![0u32, 5, 1 << 20];
+        assert_eq!(decode_counts(&encode_counts(&counts)), counts);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let base = db();
+        for workers in [1, 2, 4] {
+            for min_support in [2, 3] {
+                assert_eq!(
+                    parallel_apriori(Arc::new(base.clone()), min_support, workers),
+                    apriori(&base, min_support),
+                    "workers={workers} min_support={min_support}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_transactions() {
+        let base = TransactionDb::new(vec![vec![1, 2], vec![1, 2]]);
+        assert_eq!(
+            parallel_apriori(Arc::new(base.clone()), 2, 8),
+            apriori(&base, 2)
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Phase II of association rule mining: rule construction (§2.2.4).
+//!
+//! From every frequent itemset `X` and every `Y ⊂ X`, the rule
+//! `Y → X − Y` holds if `conf = supp(X)/supp(Y) ≥ cmin`. Property 4 of
+//! §2.2.3 prunes the search: if `(L − C) → C` fails confidence, so does
+//! `(L − D) → D` for every `D ⊇ C` — equivalently, consequents grow
+//! apriori-style and a failing consequent's extensions are skipped.
+
+use crate::apriori::{apriori_gen, FrequentItemsets};
+use crate::db::Itemset;
+
+/// An association rule `antecedent → consequent` with its statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// The antecedent `X`.
+    pub antecedent: Itemset,
+    /// The consequent `Y` (disjoint from the antecedent).
+    pub consequent: Itemset,
+    /// Absolute support of `X ∪ Y`.
+    pub support: usize,
+    /// `supp(X ∪ Y) / supp(X)`.
+    pub confidence: f64,
+}
+
+impl AssociationRule {
+    /// Lift over independence: `conf(X → Y) / P(Y)`, given the
+    /// consequent's absolute support and the database size. Greater than
+    /// 1 means the antecedent genuinely raises the consequent's odds —
+    /// the interest measure that separates "(pamper) → (lipstick)" from
+    /// rules that merely restate a popular item.
+    pub fn lift(&self, consequent_support: usize, db_size: usize) -> f64 {
+        if consequent_support == 0 || db_size == 0 {
+            return 0.0;
+        }
+        self.confidence / (consequent_support as f64 / db_size as f64)
+    }
+
+    /// Leverage: `P(X ∪ Y) − P(X)·P(Y)`, the absolute co-occurrence
+    /// surplus over independence.
+    pub fn leverage(
+        &self,
+        antecedent_support: usize,
+        consequent_support: usize,
+        db_size: usize,
+    ) -> f64 {
+        if db_size == 0 {
+            return 0.0;
+        }
+        let n = db_size as f64;
+        self.support as f64 / n
+            - (antecedent_support as f64 / n) * (consequent_support as f64 / n)
+    }
+}
+
+impl std::fmt::Display for AssociationRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} -> {:?} (supp {}, conf {:.0}%)",
+            self.antecedent,
+            self.consequent,
+            self.support,
+            self.confidence * 100.0
+        )
+    }
+}
+
+fn difference(a: &[u32], b: &[u32]) -> Itemset {
+    a.iter().filter(|x| !b.contains(x)).copied().collect()
+}
+
+/// Construct all rules meeting `min_confidence` from the frequent
+/// itemsets (which must include supports for every subset — as produced
+/// by the phase-I miners in this crate).
+pub fn generate_rules(frequent: &FrequentItemsets, min_confidence: f64) -> Vec<AssociationRule> {
+    let mut rules = Vec::new();
+    for (itemset, &support) in frequent {
+        if itemset.len() < 2 {
+            continue;
+        }
+        // Consequents grow from single items; a consequent failing the
+        // confidence bound is not extended (Property 4).
+        let mut consequents: Vec<Itemset> = itemset.iter().map(|&i| vec![i]).collect();
+        while !consequents.is_empty() {
+            let mut surviving = Vec::new();
+            for c in consequents {
+                if c.len() >= itemset.len() {
+                    continue; // antecedent would be empty
+                }
+                let antecedent = difference(itemset, &c);
+                let supp_ante = *frequent
+                    .get(&antecedent)
+                    .expect("subsets of frequent sets are frequent (Property 3)");
+                let confidence = support as f64 / supp_ante as f64;
+                if confidence >= min_confidence {
+                    rules.push(AssociationRule {
+                        antecedent,
+                        consequent: c.clone(),
+                        support,
+                        confidence,
+                    });
+                    surviving.push(c);
+                }
+            }
+            consequents = apriori_gen(&surviving)
+                .into_iter()
+                .filter(|c| c.iter().all(|i| itemset.contains(i)))
+                .collect();
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then(b.support.cmp(&a.support))
+            .then(a.antecedent.cmp(&b.antecedent))
+            .then(a.consequent.cmp(&b.consequent))
+    });
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use crate::db::TransactionDb;
+
+    fn kmart() -> TransactionDb {
+        // pamper=1, soap=2, lipstick=3, soda=4, candy=5, beer=6.
+        TransactionDb::new(vec![
+            vec![1, 2, 3],
+            vec![4, 1, 3, 5],
+            vec![6, 4],
+            vec![6, 5, 1],
+        ])
+    }
+
+    #[test]
+    fn kmart_pamper_implies_lipstick() {
+        // The §2.2.1 example: (pamper) -> (lipstick) with supp 50% of
+        // transactions and conf 67%.
+        let db = kmart();
+        let freq = apriori(&db, 2);
+        let rules = generate_rules(&freq, 0.6);
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec![1] && r.consequent == vec![3])
+            .expect("pamper -> lipstick");
+        assert_eq!(rule.support, 2);
+        assert!((rule.confidence - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rules_match_brute_force() {
+        let db = kmart();
+        let freq = apriori(&db, 1);
+        let min_conf = 0.5;
+        let rules = generate_rules(&freq, min_conf);
+        // Brute force: every frequent itemset, every proper subset split.
+        let mut brute = Vec::new();
+        for (x, &supp) in &freq {
+            if x.len() < 2 {
+                continue;
+            }
+            let n = x.len();
+            for mask in 1u32..(1 << n) - 1 {
+                let cons: Itemset = (0..n)
+                    .filter(|&b| mask & (1 << b) != 0)
+                    .map(|b| x[b])
+                    .collect();
+                let ante = difference(x, &cons);
+                let conf = supp as f64 / freq[&ante] as f64;
+                if conf >= min_conf {
+                    brute.push((ante, cons));
+                }
+            }
+        }
+        let got: std::collections::BTreeSet<(Itemset, Itemset)> = rules
+            .into_iter()
+            .map(|r| (r.antecedent, r.consequent))
+            .collect();
+        let want: std::collections::BTreeSet<(Itemset, Itemset)> = brute.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rules_are_sorted_by_confidence() {
+        let db = kmart();
+        let rules = generate_rules(&apriori(&db, 1), 0.3);
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn lift_and_leverage() {
+        let db = kmart();
+        let freq = apriori(&db, 2);
+        let rules = generate_rules(&freq, 0.6);
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec![1] && r.consequent == vec![3])
+            .unwrap();
+        // P(lipstick) = 2/4; conf = 2/3; lift = (2/3)/(1/2) = 4/3.
+        let lift = rule.lift(db.support(&[3]), db.len());
+        assert!((lift - 4.0 / 3.0).abs() < 1e-9, "lift {lift}");
+        // P(X∪Y) - P(X)P(Y) = 2/4 - (3/4)(2/4) = 1/8.
+        let lev = rule.leverage(db.support(&[1]), db.support(&[3]), db.len());
+        assert!((lev - 0.125).abs() < 1e-9, "leverage {lev}");
+        // Independence check: a rule at exactly independent co-occurrence
+        // has lift 1 and leverage 0 (constructed database).
+        // Empty transactions are dropped by normalisation, so pad with a
+        // fresh item to keep |D| = 8: P(1) = P(2) = 1/2, P(1,2) = 1/4.
+        let ind = TransactionDb::new(vec![
+            vec![1, 2],
+            vec![1],
+            vec![2],
+            vec![4],
+            vec![1, 2],
+            vec![1],
+            vec![2],
+            vec![3],
+        ]);
+        let f = apriori(&ind, 1);
+        let rs = generate_rules(&f, 0.1);
+        let r = rs
+            .iter()
+            .find(|r| r.antecedent == vec![1] && r.consequent == vec![2])
+            .unwrap();
+        let lift = r.lift(ind.support(&[2]), ind.len());
+        assert!((lift - 1.0).abs() < 1e-9, "lift {lift}");
+        assert!(
+            r.leverage(ind.support(&[1]), ind.support(&[2]), ind.len()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn high_threshold_yields_nothing() {
+        let db = TransactionDb::new(vec![vec![1, 2], vec![1], vec![2]]);
+        let rules = generate_rules(&apriori(&db, 1), 0.99);
+        assert!(rules.is_empty());
+    }
+}

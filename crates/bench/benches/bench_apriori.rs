@@ -1,0 +1,43 @@
+//! Association-mining counting structures (the DESIGN.md ablation):
+//! hash-tree vs flat-map candidate counting, Apriori vs Partition vs the
+//! E-dag traversal.
+
+use assoc::{apriori_with, partition_mine, CountingMethod, ItemsetMiningProblem};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{basket_db, BasketSpec};
+use fpdm_core::sequential_edt;
+
+fn bench_apriori(c: &mut Criterion) {
+    let db = basket_db(
+        &BasketSpec {
+            transactions: 2000,
+            items: 150,
+            avg_txn_len: 10,
+            ..BasketSpec::default()
+        },
+        3,
+    );
+    let min_support = db.len() / 40;
+
+    let mut g = c.benchmark_group("apriori");
+    g.sample_size(10);
+    g.bench_function("hash_tree", |b| {
+        b.iter(|| {
+            std::hint::black_box(apriori_with(&db, min_support, CountingMethod::HashTree))
+        })
+    });
+    g.bench_function("flat_map", |b| {
+        b.iter(|| std::hint::black_box(apriori_with(&db, min_support, CountingMethod::FlatMap)))
+    });
+    g.bench_function("partition_4", |b| {
+        b.iter(|| std::hint::black_box(partition_mine(&db, min_support, 4)))
+    });
+    g.bench_function("edag_traversal", |b| {
+        let problem = ItemsetMiningProblem::new(db.clone(), min_support);
+        b.iter(|| std::hint::black_box(sequential_edt(&problem)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_apriori);
+criterion_main!(benches);

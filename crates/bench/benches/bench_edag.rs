@@ -1,0 +1,47 @@
+//! E-dag vs E-tree traversal cost (the pruning-vs-synchronisation
+//! ablation of DESIGN.md): the EDT tests fewer patterns, the ETT visits
+//! without level bookkeeping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{basket_db, BasketSpec};
+use fpdm_core::prelude::*;
+
+fn problem() -> ToyItemsets {
+    let db = basket_db(
+        &BasketSpec {
+            transactions: 400,
+            items: 40,
+            avg_txn_len: 8,
+            ..BasketSpec::default()
+        },
+        11,
+    );
+    ToyItemsets::new(db.transactions().to_vec(), 20)
+}
+
+fn bench_traversals(c: &mut Criterion) {
+    let p = problem();
+    let mut g = c.benchmark_group("edag");
+    g.sample_size(20);
+    g.bench_function("sequential_edt", |b| {
+        b.iter(|| std::hint::black_box(sequential_edt(&p)))
+    });
+    g.bench_function("sequential_ett", |b| {
+        b.iter(|| std::hint::black_box(sequential_ett(&p)))
+    });
+    g.finish();
+}
+
+fn bench_episode_kernel(c: &mut Criterion) {
+    use datagen::event_stream;
+    use episodes::EventSequence;
+    let stream = EventSequence::new(event_stream(3, 3000, 5, 0.4, &[(b"xyz", 15)]));
+    let mut g = c.benchmark_group("episodes");
+    g.bench_function("window_count_len3_w8", |b| {
+        b.iter(|| std::hint::black_box(stream.window_count(8, b"xyz")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traversals, bench_episode_kernel);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Sequence-mining kernels: generalised-suffix-tree construction, exact
+//! occurrence counting via the GST vs the DP matcher, and the
+//! approximate-matching DP itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::cyclins_substitute;
+use seqmine::{min_mutations, occurrence_number, Gst, Motif};
+
+fn bench_seqmine(c: &mut Criterion) {
+    let seqs = cyclins_substitute(1998);
+    let mut g = c.benchmark_group("seqmine");
+    g.sample_size(20);
+
+    g.bench_function("gst_build_47x400", |b| {
+        b.iter(|| std::hint::black_box(Gst::build(&seqs)))
+    });
+
+    let gst = Gst::build(&seqs);
+    let pattern = b"MRAILVDWLVEV";
+    g.bench_function("gst_exact_occurrence", |b| {
+        b.iter(|| std::hint::black_box(gst.occurrence(pattern)))
+    });
+
+    let motif = Motif::single(pattern);
+    g.bench_function("dp_occurrence_mut0", |b| {
+        b.iter(|| std::hint::black_box(occurrence_number(&motif, &seqs, 0)))
+    });
+    g.bench_function("dp_occurrence_mut4", |b| {
+        b.iter(|| std::hint::black_box(occurrence_number(&motif, &seqs, 4)))
+    });
+    g.bench_function("dp_single_match", |b| {
+        b.iter(|| std::hint::black_box(min_mutations(&motif, &seqs[0])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_seqmine);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Split-search kernels (the optimal-split ablation of DESIGN.md): the
+//! sub-K-ary DP at several K, CART's binary case, and C4.5's gain-ratio
+//! scan, all on the same node data.
+
+use classify::split::{
+    best_split, boundary_collapse, c45_split, optimal_interval_split, value_baskets,
+};
+use classify::{Entropy, Gini};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::benchmark;
+
+fn bench_splits(c: &mut Criterion) {
+    let data = benchmark("diabetes", 7);
+    let rows = data.all_rows();
+    let baskets = boundary_collapse(value_baskets(&data, &rows, 0));
+
+    let mut g = c.benchmark_group("splits");
+    for k in [2usize, 4, 8] {
+        g.bench_function(format!("interval_dp_k{k}"), |b| {
+            b.iter(|| std::hint::black_box(optimal_interval_split(&baskets, k, &Gini)))
+        });
+    }
+    g.bench_function("best_split_all_attrs_k4", |b| {
+        b.iter(|| std::hint::black_box(best_split(&data, &rows, 4, &Gini)))
+    });
+    g.bench_function("best_split_all_attrs_k2_entropy", |b| {
+        b.iter(|| std::hint::black_box(best_split(&data, &rows, 2, &Entropy)))
+    });
+    g.bench_function("c45_gain_ratio_scan", |b| {
+        b.iter(|| std::hint::black_box(c45_split(&data, &rows)))
+    });
+
+    // Categorical search on the german data (13 categorical attributes).
+    let german = benchmark("german", 7);
+    let grows = german.all_rows();
+    g.bench_function("best_split_mixed_german_k4", |b| {
+        b.iter(|| std::hint::black_box(best_split(&german, &grows, 4, &Gini)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_splits);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Tree-edit-distance kernels: plain Zhang–Shasha, the cut variant, and
+//! best-subtree containment on RNA-sized trees.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::rna_structures;
+use treemine::{best_subtree_distance, cut_distance, tree_edit_distance, OrderedTree};
+
+fn bench_treedist(c: &mut Criterion) {
+    let trees = rna_structures(5, 8, 30, &[]);
+    let motif = OrderedTree::parse("M(R(H),R(B(H)))");
+    let (a, b2) = (&trees[0], &trees[1]);
+
+    let mut g = c.benchmark_group("treedist");
+    g.bench_function("zhang_shasha", |b| {
+        b.iter(|| std::hint::black_box(tree_edit_distance(a, b2)))
+    });
+    g.bench_function("cut_distance", |b| {
+        b.iter(|| std::hint::black_box(cut_distance(&motif, a)))
+    });
+    g.bench_function("best_subtree_distance", |b| {
+        b.iter(|| std::hint::black_box(best_subtree_distance(&motif, a)))
+    });
+    g.bench_function("occurrence_over_8_trees", |b| {
+        b.iter(|| std::hint::black_box(treemine::occurrence_number(&motif, &trees, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_treedist);
+criterion_main!(benches);

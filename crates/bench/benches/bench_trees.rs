@@ -1,0 +1,45 @@
+//! Whole-tree growth: NyuMiner (K = 4), CART (binary Gini), and C4.5
+//! (gain ratio) on the same training data, plus cost-complexity pruning.
+
+use classify::prune::ccp_sequence;
+use classify::tree::{DecisionTree, GrowConfig, GrowRule};
+use classify::Gini;
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::benchmark;
+
+fn bench_trees(c: &mut Criterion) {
+    let data = benchmark("diabetes", 7);
+    let rows = data.all_rows();
+    let cfg = GrowConfig::default();
+
+    let mut g = c.benchmark_group("trees");
+    g.sample_size(10);
+    g.bench_function("grow_nyuminer_k4", |b| {
+        b.iter(|| {
+            std::hint::black_box(DecisionTree::grow(
+                &data,
+                &rows,
+                &GrowRule::NyuMiner {
+                    max_branches: 4,
+                    impurity: &Gini,
+                },
+                &cfg,
+            ))
+        })
+    });
+    g.bench_function("grow_cart", |b| {
+        b.iter(|| std::hint::black_box(DecisionTree::grow(&data, &rows, &GrowRule::Cart, &cfg)))
+    });
+    g.bench_function("grow_c45", |b| {
+        b.iter(|| std::hint::black_box(DecisionTree::grow(&data, &rows, &GrowRule::C45, &cfg)))
+    });
+
+    let full = DecisionTree::grow(&data, &rows, &GrowRule::Cart, &cfg);
+    g.bench_function("ccp_sequence", |b| {
+        b.iter(|| std::hint::black_box(ccp_sequence(&full)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trees);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Tuple-space micro-benchmarks: op throughput and the effect of
+//! signature partitioning (DESIGN.md ablation: partition-by-signature vs
+//! one flat queue — emulated by giving every tuple the same signature).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use plinda::{field, tup, Template, TupleSpace};
+
+fn bench_out_inp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuplespace");
+    g.bench_function("out_inp_cycle", |b| {
+        let ts = TupleSpace::new();
+        let tmpl = Template::new(vec![field::val("t"), field::int()]);
+        b.iter(|| {
+            ts.out(tup!["t", 1]);
+            std::hint::black_box(ts.inp(&tmpl)).unwrap()
+        });
+    });
+
+    // Distinct signatures: each template scans a one-tuple partition.
+    g.bench_function("inp_100_distinct_signatures", |b| {
+        b.iter_batched(
+            || {
+                let ts = TupleSpace::new();
+                for i in 0..100i64 {
+                    // Arity varies with i%4 -> many partitions.
+                    match i % 4 {
+                        0 => ts.out(tup!["a", i]),
+                        1 => ts.out(tup!["a", i, i]),
+                        2 => ts.out(tup!["a", i, i, i]),
+                        _ => ts.out(tup![i, "a"]),
+                    }
+                }
+                ts
+            },
+            |ts| {
+                let tmpl = Template::new(vec![field::val("a"), field::int(), field::int()]);
+                while std::hint::black_box(ts.inp(&tmpl)).is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Single signature: the flat-queue worst case, linear scans for a
+    // selective actual field.
+    g.bench_function("inp_100_single_signature_selective", |b| {
+        b.iter_batched(
+            || {
+                let ts = TupleSpace::new();
+                for i in 0..100i64 {
+                    ts.out(tup!["a", i]);
+                }
+                ts
+            },
+            |ts| {
+                for i in (0..100i64).rev() {
+                    let tmpl = Template::new(vec![field::val("a"), field::val(i)]);
+                    std::hint::black_box(ts.inp(&tmpl)).unwrap();
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("checkpoint_1000_tuples", |b| {
+        let ts = TupleSpace::new();
+        for i in 0..1000i64 {
+            ts.out(tup!["task", i, i as f64, vec![0u8; 16]]);
+        }
+        b.iter(|| std::hint::black_box(ts.checkpoint_bytes()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_out_inp);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! One-split profiling helper: wall-time the four learners on one
+//! dataset (development tool behind the Table 5.3 runtime budget).
+//!
+//! ```text
+//! cargo run -p fpdm-bench --release --bin profile_ds -- satimage
+//! ```
+use classify::c45::{C45Config, C45};
+use classify::nyuminer::{NyuConfig, NyuMinerCV, NyuMinerRS};
+use classify::prune::grow_with_cv_pruning;
+use classify::tree::GrowRule;
+use datagen::benchmark;
+use std::time::Instant;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap();
+    let data = benchmark(&name, 7);
+    let (train, _) = data.stratified_halves(0);
+    let t = Instant::now();
+    let _ = C45::fit(&data, &train, &C45Config::default());
+    let c45 = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let _ = grow_with_cv_pruning(&data, &train, &GrowRule::Cart, &Default::default(), 10, 0);
+    let cart = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let _ = NyuMinerCV::fit(&data, &train, &NyuConfig::default(), 10, 0);
+    let nyucv = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let _ = NyuMinerRS::fit(&data, &train, &NyuConfig::default(), 5, 0.0, 0.02, 0);
+    let nyurs = t.elapsed().as_secs_f64();
+    println!("{name}: c45 {c45:.2}s cart {cart:.2}s nyucv {nyucv:.2}s nyurs {nyurs:.2}s");
+}

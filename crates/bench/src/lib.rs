@@ -1,0 +1,11 @@
+//! # `fpdm-bench` — experiment harness and micro-benchmarks
+//!
+//! The `experiments` binary regenerates every table and figure of the
+//! dissertation's evaluation (see DESIGN.md's per-experiment index);
+//! the Criterion benches under `benches/` cover the micro-level design
+//! choices (tuple-space ops, GST construction, motif matching, tree edit
+//! distance, Apriori counting structures, the optimal-split DP, tree
+//! growth).
+
+/// Shared helpers for the experiment binary and benches.
+pub mod tables;

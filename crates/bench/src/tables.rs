@@ -1,0 +1,75 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// Render an aligned table: a header row and data rows, columns padded to
+/// the widest cell, separated by two spaces.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        assert_eq!(r.len(), cols, "ragged table row");
+        for (i, cell) in r.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format seconds with two decimals.
+pub fn secs(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render(
+            &["a", "bbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "20000".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbb"));
+        assert!(lines[3].ends_with("20000"));
+    }
+
+    #[test]
+    fn pct_and_secs() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert_eq!(secs(1.5), "1.50");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        render(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

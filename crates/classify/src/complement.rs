@@ -1,0 +1,121 @@
+//! Complementarity tests (§5.5.3, Table 5.4).
+//!
+//! Compare several classifiers' decisions on a common test set: when all
+//! agree, the consensus is more accurate than any classifier alone; when
+//! they disagree, at least one of them is usually right — evidence that
+//! differently-structured trees (NyuMiner vs. C4.5 vs. CART) complement
+//! each other.
+
+use crate::data::Dataset;
+
+/// The Table 5.4 row for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplementarityReport {
+    /// Test cases examined.
+    pub total: usize,
+    /// Cases on which every classifier gave the same class.
+    pub all_agree: usize,
+    /// `all_agree / total`.
+    pub coverage: f64,
+    /// Accuracy of the consensus on the agreed cases.
+    pub agree_accuracy: f64,
+    /// Cases with disagreement.
+    pub disagree: usize,
+    /// Fraction of disagreement cases where at least one classifier was
+    /// correct (NaN-free: 0 when there are no disagreements).
+    pub at_least_one_correct: f64,
+}
+
+/// Run the complementarity analysis over per-classifier prediction
+/// vectors (all aligned with `rows`).
+pub fn complementarity(
+    data: &Dataset,
+    rows: &[usize],
+    predictions: &[Vec<u16>],
+) -> ComplementarityReport {
+    assert!(!predictions.is_empty(), "need at least one classifier");
+    for p in predictions {
+        assert_eq!(p.len(), rows.len(), "prediction vector mismatch");
+    }
+    let mut all_agree = 0usize;
+    let mut agree_correct = 0usize;
+    let mut disagree = 0usize;
+    let mut one_correct = 0usize;
+    for (i, &r) in rows.iter().enumerate() {
+        let truth = data.class(r);
+        let first = predictions[0][i];
+        if predictions.iter().all(|p| p[i] == first) {
+            all_agree += 1;
+            if first == truth {
+                agree_correct += 1;
+            }
+        } else {
+            disagree += 1;
+            if predictions.iter().any(|p| p[i] == truth) {
+                one_correct += 1;
+            }
+        }
+    }
+    let total = rows.len();
+    ComplementarityReport {
+        total,
+        all_agree,
+        coverage: all_agree as f64 / total.max(1) as f64,
+        agree_accuracy: agree_correct as f64 / all_agree.max(1) as f64,
+        disagree,
+        at_least_one_correct: one_correct as f64 / disagree.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{AttrValue, Attribute};
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            vec![Attribute::Numeric { name: "x".into() }],
+            vec![(0..6).map(|i| AttrValue::Num(i as f64)).collect()],
+            vec![0, 0, 1, 1, 0, 1],
+            vec!["a".into(), "b".into()],
+        )
+    }
+
+    #[test]
+    fn unanimous_and_split_cases() {
+        let d = toy();
+        let rows = d.all_rows();
+        // Classifier 1 perfect; classifier 2 wrong on rows 4 and 5.
+        let p1 = vec![0, 0, 1, 1, 0, 1];
+        let p2 = vec![0, 0, 1, 1, 1, 0];
+        let rep = complementarity(&d, &rows, &[p1, p2]);
+        assert_eq!(rep.total, 6);
+        assert_eq!(rep.all_agree, 4);
+        assert!((rep.coverage - 4.0 / 6.0).abs() < 1e-12);
+        assert!((rep.agree_accuracy - 1.0).abs() < 1e-12);
+        assert_eq!(rep.disagree, 2);
+        // Classifier 1 is right on both disagreement cases.
+        assert!((rep.at_least_one_correct - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_classifier_always_agrees() {
+        let d = toy();
+        let rows = d.all_rows();
+        let p = vec![0, 0, 1, 1, 0, 0];
+        let rep = complementarity(&d, &rows, &[p]);
+        assert_eq!(rep.all_agree, 6);
+        assert_eq!(rep.disagree, 0);
+        assert_eq!(rep.at_least_one_correct, 0.0);
+        assert!((rep.agree_accuracy - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_wrong_consensus() {
+        let d = toy();
+        let rows = d.all_rows();
+        let p = vec![1, 1, 0, 0, 1, 0];
+        let rep = complementarity(&d, &rows, &[p.clone(), p]);
+        assert_eq!(rep.agree_accuracy, 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Impurity functions (Definition 5, §5.3) and the C4.5 information
+//! measures (§2.1.5).
+//!
+//! An impurity function `φ` on class-probability tuples must be maximal
+//! at the uniform distribution, zero exactly at the pure points,
+//! symmetric, and strictly concave — the concavity (Property 4) is what
+//! makes merging two differently-distributed partitions strictly increase
+//! aggregate impurity (Lemma 4), which in turn is why optimal splits fall
+//! on boundary points.
+
+/// An impurity function over class-count histograms.
+pub trait Impurity {
+    /// Impurity of a node with the given class counts (0 for empty/pure).
+    fn of(&self, counts: &[usize]) -> f64;
+
+    /// Aggregate impurity of a split: the weighted sum
+    /// `Σ (n_i / N) · φ(s_i)` over its partitions.
+    fn aggregate(&self, parts: &[Vec<usize>]) -> f64 {
+        let total: usize = parts.iter().map(|p| p.iter().sum::<usize>()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        parts
+            .iter()
+            .map(|p| {
+                let n: usize = p.iter().sum();
+                n as f64 / total as f64 * self.of(p)
+            })
+            .sum()
+    }
+}
+
+/// The Gini index used by CART: `1 - Σ p_j²`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gini;
+
+impl Impurity for Gini {
+    fn of(&self, counts: &[usize]) -> f64 {
+        let n: usize = counts.iter().sum();
+        if n == 0 {
+            return 0.0;
+        }
+        let n = n as f64;
+        1.0 - counts
+            .iter()
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p
+            })
+            .sum::<f64>()
+    }
+}
+
+/// Class entropy `info(T) = -Σ p_j log2 p_j` (§2.1.5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Entropy;
+
+impl Impurity for Entropy {
+    fn of(&self, counts: &[usize]) -> f64 {
+        let n: usize = counts.iter().sum();
+        if n == 0 {
+            return 0.0;
+        }
+        let n = n as f64;
+        -counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                p * p.log2()
+            })
+            .sum::<f64>()
+    }
+}
+
+/// `gain(A) = info(T) − info_A(T)`: the information gained by a split
+/// producing the given partitions (§2.1.5).
+pub fn information_gain(parent: &[usize], parts: &[Vec<usize>]) -> f64 {
+    Entropy.of(parent) - Entropy.aggregate(parts)
+}
+
+/// `split info(A)`: the potential information of the division itself.
+pub fn split_info(parts: &[Vec<usize>]) -> f64 {
+    let total: usize = parts.iter().map(|p| p.iter().sum::<usize>()).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    -parts
+        .iter()
+        .map(|p| p.iter().sum::<usize>())
+        .filter(|&n| n > 0)
+        .map(|n| {
+            let f = n as f64 / total as f64;
+            f * f.log2()
+        })
+        .sum::<f64>()
+}
+
+/// `gain ratio(A) = gain(A) / split info(A)` — C4.5's criterion, the
+/// normalisation that removes the gain criterion's bias toward
+/// many-outcome tests.
+pub fn gain_ratio(parent: &[usize], parts: &[Vec<usize>]) -> f64 {
+    let si = split_info(parts);
+    if si <= f64::EPSILON {
+        return 0.0;
+    }
+    information_gain(parent, parts) / si
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_nodes_have_zero_impurity() {
+        assert_eq!(Gini.of(&[5, 0, 0]), 0.0);
+        assert_eq!(Entropy.of(&[0, 9]), 0.0);
+        assert_eq!(Gini.of(&[]), 0.0);
+        assert_eq!(Entropy.of(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn uniform_is_maximal() {
+        // Property 1 of Definition 5 on a grid of 2-class histograms.
+        let uniform_g = Gini.of(&[5, 5]);
+        let uniform_e = Entropy.of(&[5, 5]);
+        for a in 0..=10usize {
+            let counts = [a, 10 - a];
+            assert!(Gini.of(&counts) <= uniform_g + 1e-12);
+            assert!(Entropy.of(&counts) <= uniform_e + 1e-12);
+        }
+        assert!((uniform_g - 0.5).abs() < 1e-12);
+        assert!((uniform_e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetry() {
+        assert!((Gini.of(&[3, 7]) - Gini.of(&[7, 3])).abs() < 1e-12);
+        assert!((Entropy.of(&[2, 5, 9]) - Entropy.of(&[9, 2, 5])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma_4_merging_never_decreases_aggregate_impurity() {
+        // Merge two partitions with different distributions: aggregate
+        // impurity strictly increases (concavity).
+        let a = vec![8, 2];
+        let b = vec![1, 9];
+        let merged = vec![9, 11];
+        for imp in [&Gini as &dyn Impurity, &Entropy] {
+            let split = imp.aggregate(&[a.clone(), b.clone()]);
+            let whole = imp.aggregate(&[merged.clone()]);
+            assert!(whole > split, "merging must increase impurity");
+        }
+        // Identical distributions: equality.
+        let same = imp_eq_case();
+        for imp in [&Gini as &dyn Impurity, &Entropy] {
+            let split = imp.aggregate(&[same.0.clone(), same.1.clone()]);
+            let whole = imp.aggregate(&[vec![
+                same.0[0] + same.1[0],
+                same.0[1] + same.1[1],
+            ]]);
+            assert!((whole - split).abs() < 1e-12);
+        }
+    }
+
+    fn imp_eq_case() -> (Vec<usize>, Vec<usize>) {
+        (vec![4, 2], vec![2, 1]) // both 2:1
+    }
+
+    #[test]
+    fn gain_and_ratio() {
+        // Perfect split of a 4+4 parent: gain = 1 bit; split into two
+        // equal halves: split info = 1; ratio = 1.
+        let parent = [4, 4];
+        let parts = vec![vec![4, 0], vec![0, 4]];
+        assert!((information_gain(&parent, &parts) - 1.0).abs() < 1e-12);
+        assert!((split_info(&parts) - 1.0).abs() < 1e-12);
+        assert!((gain_ratio(&parent, &parts) - 1.0).abs() < 1e-12);
+        // A useless split gains nothing.
+        let useless = vec![vec![2, 2], vec![2, 2]];
+        assert!(information_gain(&parent, &useless).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_ratio_penalises_many_outcomes() {
+        // Splitting 8 elements into 8 singletons is "perfect" by gain but
+        // its split info is 3 bits, crushing the ratio.
+        let parent = [4, 4];
+        let shatter: Vec<Vec<usize>> = (0..8)
+            .map(|i| if i < 4 { vec![1, 0] } else { vec![0, 1] })
+            .collect();
+        let two_way = vec![vec![4, 0], vec![0, 4]];
+        assert!(
+            information_gain(&parent, &shatter) >= information_gain(&parent, &two_way) - 1e-12
+        );
+        assert!(gain_ratio(&parent, &shatter) < gain_ratio(&parent, &two_way));
+    }
+}

@@ -1,0 +1,59 @@
+//! # `classify` — NyuMiner classification trees and their baselines
+//!
+//! Chapter 5 of *Free Parallel Data Mining*: **NyuMiner**, a
+//! classification-tree learner that guarantees an *optimal sub-K-ary
+//! split* at every node — the least-aggregate-impurity, fewest-branch
+//! split for any impurity function and any branch bound `K`, for both
+//! numerical and categorical attributes — together with clean-room
+//! reimplementations of the dissertation's comparison baselines, C4.5 and
+//! CART.
+//!
+//! | Piece | Module | Paper section |
+//! |---|---|---|
+//! | Datasets, stratified splits, folds | [`data`] | §5.1, §5.5 |
+//! | Impurity functions, gain ratio | [`impurity`] | Def. 5, §2.1.5 |
+//! | Boundary baskets + the `O(K·B²)` DP | [`split`] | §5.3 |
+//! | Greedy tree growth | [`tree`] | §2.1.4 |
+//! | Cost-complexity pruning + V-fold CV | [`prune`] | §5.4.1 |
+//! | C4.5: gain ratio, pessimistic pruning, windowing | [`c45`] | §2.1.5, §5.4.2 |
+//! | NyuMiner-CV / NyuMiner-RS (rule selection) | [`nyuminer`] | §5.3–5.4 |
+//! | Complementarity tests | [`complement`] | §5.5.3 |
+//! | FX features, rule trading | [`forex`] | §5.6 |
+//!
+//! ```
+//! use classify::{Classifier, Dataset, Attribute, AttrValue};
+//! use classify::nyuminer::{NyuConfig, NyuMinerCV};
+//!
+//! // Tiny two-class table: y = (x >= 2).
+//! let data = Dataset::new(
+//!     vec![Attribute::Numeric { name: "x".into() }],
+//!     vec![(0..8).map(|i| AttrValue::Num(i as f64)).collect()],
+//!     vec![0, 0, 1, 1, 1, 1, 1, 1],
+//!     vec!["small".into(), "large".into()],
+//! );
+//! let model = NyuMinerCV::fit(&data, &data.all_rows(), &NyuConfig::default(), 0, 1);
+//! assert_eq!(model.accuracy(&data, &data.all_rows()), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod c45;
+pub mod complement;
+pub mod data;
+pub mod forex;
+pub mod impurity;
+pub mod nyuminer;
+pub mod prune;
+pub mod rulemine;
+pub mod split;
+pub mod tree;
+
+pub use c45::{C45Config, C45};
+pub use complement::{complementarity, ComplementarityReport};
+pub use data::{AttrValue, Attribute, Classifier, Dataset};
+pub use impurity::{Entropy, Gini, Impurity};
+pub use nyuminer::{NyuConfig, NyuMinerCV, NyuMinerRS, Rule, RuleList};
+pub use prune::{ccp_sequence, grow_with_cv_pruning, CvPruned};
+pub use rulemine::{mine_classification_rules, MinedRule, RuleMiningProblem};
+pub use split::{best_split, SplitTest};
+pub use tree::{DecisionTree, GrowConfig, GrowRule};

@@ -1,0 +1,409 @@
+//! Classification rule mining as a pattern-lattice problem — the third
+//! application class of Table 3.1 (Figs. 3.3/3.8) over real datasets.
+//!
+//! Patterns are conjunctions of attribute conditions `(A1 = v1) ∧ … ∧
+//! (Ak = vk)`; numeric attributes are discretised into quantile bins
+//! (the heart-disease tree of Fig. 2.1 tests exactly such ranges).
+//! A pattern is *good* — worth extending — while it covers at least
+//! `min_cover` training rows (coverage is anti-monotone, so every E-dag/
+//! E-tree traversal prunes it exactly); the final report keeps the
+//! covered-and-confident conjunctions as classification rules, which plug
+//! directly into [`crate::nyuminer::RuleList`] for classification.
+//!
+//! Unlike Fig. 3.3's illustrative dag (where both orderings of the same
+//! condition set appear), conditions here are kept in ascending attribute
+//! order, so each condition *set* is generated exactly once — the same
+//! canonicalisation the itemset lattice uses.
+
+use crate::data::{AttrValue, Dataset};
+use crate::nyuminer::{Rule, RuleList};
+use crate::split::SplitTest;
+use fpdm_core::{sequential_ett, MiningOutcome, MiningProblem, PatternCodec};
+
+/// One mined condition: attribute index and value index (categorical
+/// value, or quantile-bin index for numeric attributes).
+pub type Condition = (u8, u8);
+
+/// A mined classification rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinedRule {
+    /// Conditions in ascending attribute order.
+    pub conditions: Vec<Condition>,
+    /// Majority class among covered rows.
+    pub class: u16,
+    /// Covered-row count.
+    pub cover: usize,
+    /// Majority share among covered rows.
+    pub confidence: f64,
+}
+
+/// Classification rule mining over a dataset.
+pub struct RuleMiningProblem {
+    data: Dataset,
+    rows: Vec<usize>,
+    /// Per-attribute bin upper bounds (numeric) or empty (categorical —
+    /// the value domain is used directly).
+    bins: Vec<Vec<f64>>,
+    min_cover: usize,
+}
+
+impl RuleMiningProblem {
+    /// Build the problem, discretising each numeric attribute into
+    /// `numeric_bins` equal-frequency bins over `rows`.
+    pub fn new(data: Dataset, rows: Vec<usize>, numeric_bins: usize, min_cover: usize) -> Self {
+        assert!(numeric_bins >= 2);
+        assert!(
+            data.n_attributes() <= u8::MAX as usize,
+            "attribute index must fit a byte"
+        );
+        let mut bins = Vec::with_capacity(data.n_attributes());
+        for a in 0..data.n_attributes() {
+            if data.attributes()[a].is_numeric() {
+                let mut values: Vec<f64> = rows
+                    .iter()
+                    .filter_map(|&r| match data.value(r, a) {
+                        AttrValue::Num(v) => Some(v),
+                        _ => None,
+                    })
+                    .collect();
+                values.sort_by(f64::total_cmp);
+                let mut uppers = Vec::with_capacity(numeric_bins - 1);
+                for b in 1..numeric_bins {
+                    if values.is_empty() {
+                        break;
+                    }
+                    let idx = (b * values.len() / numeric_bins).min(values.len() - 1);
+                    let u = values[idx];
+                    if uppers.last().map_or(true, |&l: &f64| u > l) {
+                        uppers.push(u);
+                    }
+                }
+                bins.push(uppers);
+            } else {
+                bins.push(Vec::new());
+            }
+        }
+        RuleMiningProblem {
+            data,
+            rows,
+            bins,
+            min_cover,
+        }
+    }
+
+    /// Number of condition values attribute `a` offers.
+    fn domain(&self, a: usize) -> usize {
+        if self.data.attributes()[a].is_numeric() {
+            self.bins[a].len() + 1
+        } else {
+            self.data.attributes()[a].cardinality()
+        }
+    }
+
+    /// Human-readable form of a condition, e.g. `age in (35, 62]` or
+    /// `bp = high`.
+    pub fn describe_condition(&self, cond: Condition) -> String {
+        let (a, v) = (cond.0 as usize, cond.1 as usize);
+        let name = self.data.attributes()[a].name();
+        match &self.data.attributes()[a] {
+            crate::data::Attribute::Categorical { values, .. } => {
+                format!("{name} = {}", values[v])
+            }
+            crate::data::Attribute::Numeric { .. } => {
+                let bins = &self.bins[a];
+                if v == 0 {
+                    format!("{name} <= {:.4}", bins[0])
+                } else if v == bins.len() {
+                    format!("{name} > {:.4}", bins[v - 1])
+                } else {
+                    format!("{name} in ({:.4}, {:.4}]", bins[v - 1], bins[v])
+                }
+            }
+        }
+    }
+
+    /// Does `row` satisfy condition `(attr, value)`? Missing values fail.
+    pub fn satisfies(&self, row: usize, cond: Condition) -> bool {
+        let (a, v) = (cond.0 as usize, cond.1);
+        match self.data.value(row, a) {
+            AttrValue::Cat(c) => c == v as u16,
+            AttrValue::Num(x) => {
+                let bin = self.bins[a]
+                    .iter()
+                    .position(|&u| x <= u)
+                    .unwrap_or(self.bins[a].len());
+                bin == v as usize
+            }
+            AttrValue::Missing => false,
+        }
+    }
+
+    fn cover_counts(&self, conds: &[Condition]) -> (usize, Vec<usize>) {
+        let mut counts = vec![0usize; self.data.n_classes()];
+        let mut n = 0;
+        for &r in &self.rows {
+            if conds.iter().all(|&c| self.satisfies(r, c)) {
+                counts[self.data.class(r) as usize] += 1;
+                n += 1;
+            }
+        }
+        (n, counts)
+    }
+
+    /// Turn an outcome into the rule report, keeping conjunctions whose
+    /// confidence reaches `min_confidence`.
+    pub fn report(
+        &self,
+        outcome: &MiningOutcome<Vec<Condition>>,
+        min_confidence: f64,
+    ) -> Vec<MinedRule> {
+        let mut out = Vec::new();
+        for conds in outcome.good.keys() {
+            let (n, counts) = self.cover_counts(conds);
+            if n == 0 {
+                continue;
+            }
+            let (class, top) = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(c, &k)| (c as u16, k))
+                .unwrap();
+            let confidence = top as f64 / n as f64;
+            if confidence >= min_confidence {
+                out.push(MinedRule {
+                    conditions: conds.clone(),
+                    class,
+                    cover: n,
+                    confidence,
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then(b.cover.cmp(&a.cover))
+                .then(a.conditions.cmp(&b.conditions))
+        });
+        out
+    }
+
+    /// Convert mined rules into a [`RuleList`] classifier. Conditions are
+    /// expressed as [`SplitTest`]s so the list shares NyuMiner-RS's
+    /// matching machinery.
+    pub fn to_rule_list(&self, mined: &[MinedRule], default_class: u16) -> RuleList {
+        let n = self.rows.len().max(1);
+        let rules = mined
+            .iter()
+            .map(|m| Rule {
+                conditions: m
+                    .conditions
+                    .iter()
+                    .map(|&(a, v)| {
+                        let a = a as usize;
+                        if self.data.attributes()[a].is_numeric() {
+                            (
+                                SplitTest::NumRanges {
+                                    attr: a,
+                                    // Branch v of the bin thresholds;
+                                    // NumRanges uses strict `<`, and bins
+                                    // use `<=`, so nudge the cut points.
+                                    cuts: self
+                                        .bins[a]
+                                        .iter()
+                                        .map(|&u| u + f64::EPSILON * u.abs().max(1.0))
+                                        .collect(),
+                                },
+                                v as usize,
+                            )
+                        } else {
+                            (
+                                SplitTest::CatEach {
+                                    attr: a,
+                                    arity: self.data.attributes()[a].cardinality(),
+                                },
+                                v as usize,
+                            )
+                        }
+                    })
+                    .collect(),
+                class: m.class,
+                confidence: m.confidence,
+                support: m.cover as f64 / n as f64,
+            })
+            .collect();
+        RuleList::select(rules, 0.0, 0.0, default_class)
+    }
+}
+
+impl MiningProblem for RuleMiningProblem {
+    type Pattern = Vec<Condition>;
+
+    fn root(&self) -> Vec<Condition> {
+        Vec::new()
+    }
+
+    fn pattern_len(&self, p: &Vec<Condition>) -> usize {
+        p.len()
+    }
+
+    fn children(&self, p: &Vec<Condition>) -> Vec<Vec<Condition>> {
+        let first_attr = p.last().map_or(0, |&(a, _)| a as usize + 1);
+        let mut out = Vec::new();
+        for a in first_attr..self.data.n_attributes() {
+            for v in 0..self.domain(a) {
+                let mut q = p.clone();
+                q.push((a as u8, v as u8));
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    fn immediate_subpatterns(&self, p: &Vec<Condition>) -> Vec<Vec<Condition>> {
+        (0..p.len())
+            .map(|drop| {
+                p.iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, &c)| c)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn goodness(&self, p: &Vec<Condition>) -> f64 {
+        self.cover_counts(p).0 as f64
+    }
+
+    fn is_good(&self, _p: &Vec<Condition>, goodness: f64) -> bool {
+        goodness >= self.min_cover as f64
+    }
+}
+
+impl PatternCodec for RuleMiningProblem {
+    fn encode_pattern(&self, p: &Vec<Condition>) -> Vec<u8> {
+        p.iter().flat_map(|&(a, v)| [a, v]).collect()
+    }
+    fn decode_pattern(&self, bytes: &[u8]) -> Vec<Condition> {
+        bytes.chunks_exact(2).map(|c| (c[0], c[1])).collect()
+    }
+}
+
+/// Mine all classification rules of `data` with coverage ≥ `min_cover`
+/// and confidence ≥ `min_confidence`, numeric attributes discretised into
+/// `numeric_bins` quantile bins.
+pub fn mine_classification_rules(
+    data: Dataset,
+    rows: Vec<usize>,
+    numeric_bins: usize,
+    min_cover: usize,
+    min_confidence: f64,
+) -> (Vec<MinedRule>, RuleMiningProblem) {
+    let problem = RuleMiningProblem::new(data, rows, numeric_bins, min_cover);
+    let outcome = sequential_ett(&problem);
+    let rules = problem.report(&outcome, min_confidence);
+    (rules, problem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::fixtures::heart;
+    use crate::data::Classifier;
+    use fpdm_core::{parallel_ett, sequential_edt, ParallelConfig};
+    use std::sync::Arc;
+
+    fn problem() -> RuleMiningProblem {
+        let d = heart();
+        let rows = d.all_rows();
+        RuleMiningProblem::new(d, rows, 3, 2)
+    }
+
+    #[test]
+    fn children_ascend_attributes() {
+        let p = problem();
+        let root_children = p.children(&vec![]);
+        // 3 attributes: two numeric (3 bins... up to 3 values each) + bp
+        // (3 categorical values).
+        assert!(!root_children.is_empty());
+        for c in &root_children {
+            assert_eq!(c.len(), 1);
+        }
+        let deeper = p.children(&vec![(1, 0)]);
+        assert!(deeper.iter().all(|q| q.last().unwrap().0 == 2));
+    }
+
+    #[test]
+    fn coverage_is_anti_monotone() {
+        let p = problem();
+        let base = vec![(2u8, 0u8)]; // bp = low
+        let (n_base, _) = p.cover_counts(&base);
+        for child in p.children(&base) {
+            let (n_child, _) = p.cover_counts(&child);
+            assert!(n_child <= n_base);
+        }
+    }
+
+    #[test]
+    fn edt_and_ett_agree() {
+        let p = problem();
+        assert_eq!(sequential_edt(&p).good, sequential_ett(&p).good);
+    }
+
+    #[test]
+    fn parallel_agrees() {
+        let p = Arc::new(problem());
+        let seq = sequential_ett(&*p);
+        let par = parallel_ett(Arc::clone(&p), &ParallelConfig::load_balanced(3));
+        assert_eq!(seq.good, par.good);
+    }
+
+    #[test]
+    fn mined_rules_satisfy_thresholds() {
+        let d = heart();
+        let rows = d.all_rows();
+        let (rules, problem) = mine_classification_rules(d, rows, 3, 2, 0.9);
+        assert!(!rules.is_empty(), "the heart table has confident rules");
+        for r in &rules {
+            assert!(r.cover >= 2);
+            assert!(r.confidence >= 0.9);
+            // Verify the reported statistics.
+            let (n, counts) = problem.cover_counts(&r.conditions);
+            assert_eq!(n, r.cover);
+            assert_eq!(
+                counts[r.class as usize] as f64 / n as f64,
+                r.confidence
+            );
+        }
+    }
+
+    #[test]
+    fn rule_list_classifier_roundtrip() {
+        // At cover >= 1 the heart table yields pure rules for every row
+        // (e.g. age > 35 -> yes), so the converted RuleList classifier
+        // must fit the training table.
+        let d = heart();
+        let rows = d.all_rows();
+        let (rules, problem) = mine_classification_rules(d.clone(), rows.clone(), 3, 1, 0.9);
+        let (plur, _) = d.plurality(&rows);
+        let list = problem.to_rule_list(&rules, plur);
+        let acc = list.accuracy(&d, &rows);
+        assert!(acc >= 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn numeric_bins_partition_rows() {
+        // Every non-missing numeric value satisfies exactly one bin
+        // condition.
+        let p = problem();
+        for r in 0..6 {
+            for a in [0usize, 1] {
+                let satisfied: Vec<u8> = (0..p.domain(a) as u8)
+                    .filter(|&v| p.satisfies(r, (a as u8, v)))
+                    .collect();
+                assert_eq!(satisfied.len(), 1, "row {r} attr {a}: {satisfied:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Property tests of the split machinery and pruning invariants.
+
+use classify::impurity::{Entropy, Gini, Impurity};
+use classify::prune::ccp_sequence;
+use classify::split::{boundary_collapse, optimal_interval_split, Basket};
+use classify::tree::{DecisionTree, GrowConfig, GrowRule};
+use classify::{AttrValue, Attribute, Dataset};
+use proptest::prelude::*;
+
+fn arb_baskets() -> impl Strategy<Value = Vec<Basket>> {
+    prop::collection::vec((0usize..6, 0usize..6), 1..10).prop_map(|counts| {
+        counts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, (a, b))| a + b > 0)
+            .map(|(i, (a, b))| Basket {
+                upper: i as f64,
+                counts: vec![a, b],
+            })
+            .collect::<Vec<_>>()
+    })
+}
+
+fn brute_best(baskets: &[Basket], k_max: usize, imp: &dyn Impurity) -> f64 {
+    let b = baskets.len();
+    let mut best = f64::INFINITY;
+    for mask in 0u32..(1 << (b - 1)) {
+        if (mask.count_ones() as usize) >= k_max {
+            continue;
+        }
+        let mut parts: Vec<Vec<usize>> = Vec::new();
+        let mut cur = vec![0usize; 2];
+        for (i, bk) in baskets.iter().enumerate() {
+            for c in 0..2 {
+                cur[c] += bk.counts[c];
+            }
+            if i + 1 < b && mask & (1 << i) != 0 {
+                parts.push(std::mem::replace(&mut cur, vec![0; 2]));
+            }
+        }
+        parts.push(cur);
+        best = best.min(imp.aggregate(&parts));
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interval_dp_is_optimal(baskets in arb_baskets(), k_max in 2usize..5) {
+        prop_assume!(!baskets.is_empty());
+        for imp in [&Gini as &dyn Impurity, &Entropy] {
+            let dp = optimal_interval_split(&baskets, k_max, imp).unwrap();
+            let brute = brute_best(&baskets, k_max, imp);
+            prop_assert!(
+                (dp.impurity - brute).abs() < 1e-9,
+                "dp {} vs brute {brute}", dp.impurity
+            );
+            prop_assert!(dp.arity <= k_max.min(baskets.len()));
+        }
+    }
+
+    #[test]
+    fn more_branches_never_hurt(baskets in arb_baskets()) {
+        prop_assume!(baskets.len() >= 2);
+        let mut prev = f64::INFINITY;
+        for k in 2..=baskets.len() {
+            let s = optimal_interval_split(&baskets, k, &Gini).unwrap();
+            prop_assert!(s.impurity <= prev + 1e-12);
+            prev = s.impurity;
+        }
+    }
+
+    #[test]
+    fn boundary_collapse_preserves_class_totals(baskets in arb_baskets()) {
+        let total: Vec<usize> = (0..2)
+            .map(|c| baskets.iter().map(|b| b.counts[c]).sum())
+            .collect();
+        let collapsed = boundary_collapse(baskets.clone());
+        let after: Vec<usize> = (0..2)
+            .map(|c| collapsed.iter().map(|b| b.counts[c]).sum())
+            .collect();
+        prop_assert_eq!(total, after);
+        prop_assert!(collapsed.len() <= baskets.len());
+        // Collapse never changes the unlimited-K optimum (Theorem 5).
+        if !baskets.is_empty() {
+            let full = optimal_interval_split(&baskets, baskets.len(), &Gini).unwrap();
+            let coll = optimal_interval_split(&collapsed, collapsed.len(), &Gini).unwrap();
+            prop_assert!((full.impurity - coll.impurity).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impurity_concavity_on_random_histograms(
+        a in prop::collection::vec(0usize..20, 2..5),
+        b in prop::collection::vec(0usize..20, 2..5),
+    ) {
+        // Lemma 4 on random pairs: merging two partitions never reduces
+        // aggregate impurity.
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        prop_assume!(a.iter().sum::<usize>() > 0 && b.iter().sum::<usize>() > 0);
+        let merged: Vec<usize> = a.iter().zip(b).map(|(&x, &y)| x + y).collect();
+        for imp in [&Gini as &dyn Impurity, &Entropy] {
+            let split = imp.aggregate(&[a.to_vec(), b.to_vec()]);
+            let whole = imp.aggregate(&[merged.clone()]);
+            prop_assert!(whole >= split - 1e-12);
+        }
+    }
+
+    #[test]
+    fn grown_trees_partition_training_rows(
+        values in prop::collection::vec(0u8..10, 4..40),
+        classes in prop::collection::vec(0u16..3, 4..40),
+    ) {
+        let n = values.len().min(classes.len());
+        let data = Dataset::new(
+            vec![Attribute::Numeric { name: "x".into() }],
+            vec![values[..n].iter().map(|&v| AttrValue::Num(v as f64)).collect()],
+            classes[..n].to_vec(),
+            vec!["a".into(), "b".into(), "c".into()],
+        );
+        let tree = DecisionTree::grow(
+            &data,
+            &data.all_rows(),
+            &GrowRule::Cart,
+            &GrowConfig::default(),
+        );
+        // Leaf row counts sum to the training size.
+        let leaf_rows: usize = tree
+            .subtree_leaves(0)
+            .iter()
+            .map(|&l| tree.nodes[l].n_rows)
+            .sum();
+        prop_assert_eq!(leaf_rows, n);
+        // Every row lands in a leaf whose class counts include it.
+        for r in 0..n {
+            let leaf = tree.leaf_of(&data, r);
+            prop_assert!(tree.nodes[leaf].is_leaf());
+        }
+    }
+
+    #[test]
+    fn ccp_sequence_invariants(
+        values in prop::collection::vec(0u8..8, 8..30),
+        classes in prop::collection::vec(0u16..2, 8..30),
+    ) {
+        let n = values.len().min(classes.len());
+        let data = Dataset::new(
+            vec![Attribute::Numeric { name: "x".into() }],
+            vec![values[..n].iter().map(|&v| AttrValue::Num(v as f64)).collect()],
+            classes[..n].to_vec(),
+            vec!["a".into(), "b".into()],
+        );
+        let tree = DecisionTree::grow(
+            &data,
+            &data.all_rows(),
+            &GrowRule::Cart,
+            &GrowConfig::default(),
+        );
+        let seq = ccp_sequence(&tree);
+        prop_assert!(!seq.is_empty());
+        prop_assert_eq!(seq.last().unwrap().1.leaves(), 1);
+        for w in seq.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0 + 1e-12, "alphas ascend");
+            prop_assert!(w[0].1.leaves() > w[1].1.leaves(), "leaves descend");
+            prop_assert!(
+                w[0].1.subtree_errors(0) <= w[1].1.subtree_errors(0),
+                "training error ascends"
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Sequential E-dag traversal (EDT) — the data mining virtual machine of
+//! §3.1.5.
+//!
+//! The exploration dag (E-dag) of a mining application has one vertex per
+//! possible pattern and an edge into each pattern from each of its
+//! immediate subpatterns. In an **E-dag traversal** a vertex is visited
+//! only after *all* vertices with edges into it have been visited
+//! (Definition 1), which yields maximal pruning: a pattern's goodness is
+//! computed only if *every* immediate subpattern proved good.
+//!
+//! The E-dag is constructed lazily during the traversal — vertices are
+//! generated only when it becomes necessary to look at them (§3.1.4, Fact
+//! 2) — so the traversal is simultaneously the construction.
+//!
+//! Theorem 1: an EDT is equivalent to an execution of any optimal
+//! sequential program solving the same application — same good patterns,
+//! same set of tested patterns. The property tests in `tests/` check this
+//! against the E-tree and parallel traversals.
+
+use crate::problem::{MiningOutcome, MiningProblem};
+use std::collections::HashMap;
+
+/// Fine-grained trace of an EDT, for tests and cost-replay instrumentation.
+#[derive(Debug, Clone, Default)]
+pub struct EdtTrace<P> {
+    /// Patterns whose goodness was evaluated, in evaluation order.
+    pub tested: Vec<P>,
+    /// Patterns generated but skipped because some immediate subpattern
+    /// was not good (the E-dag's extra pruning over the E-tree).
+    pub skipped: Vec<P>,
+}
+
+/// Run a sequential E-dag traversal to completion.
+pub fn sequential_edt<P: MiningProblem>(problem: &P) -> MiningOutcome<P::Pattern> {
+    sequential_edt_traced(problem).0
+}
+
+/// [`sequential_edt`] plus its [`EdtTrace`].
+pub fn sequential_edt_traced<P: MiningProblem>(
+    problem: &P,
+) -> (MiningOutcome<P::Pattern>, EdtTrace<P::Pattern>) {
+    let mut outcome = MiningOutcome::new();
+    let mut trace = EdtTrace {
+        tested: Vec::new(),
+        skipped: Vec::new(),
+    };
+
+    let root = problem.root();
+    // Status of every pattern *generated* so far at the previous level:
+    // true = good. Patterns never generated are implicitly not good (their
+    // parent was pruned), which is exactly the lazy-construction rule: a
+    // candidate whose subpattern was never generated cannot have all-good
+    // subpatterns.
+    let mut prev_level_good: HashMap<P::Pattern, bool> = HashMap::new();
+    prev_level_good.insert(root.clone(), true);
+
+    // Candidates at the current level: children of good previous-level
+    // patterns. Unique-parent generation means no duplicates.
+    let mut frontier: Vec<P::Pattern> = problem.children(&root);
+
+    while !frontier.is_empty() {
+        let mut this_level_good: HashMap<P::Pattern, bool> = HashMap::new();
+        let mut next_frontier: Vec<P::Pattern> = Vec::new();
+
+        for p in frontier {
+            let all_subs_good = problem
+                .immediate_subpatterns(&p)
+                .iter()
+                .all(|s| prev_level_good.get(s).copied().unwrap_or(false));
+            if !all_subs_good {
+                this_level_good.insert(p.clone(), false);
+                trace.skipped.push(p);
+                continue;
+            }
+            let g = problem.goodness(&p);
+            outcome.tested += 1;
+            trace.tested.push(p.clone());
+            let good = problem.is_good(&p, g);
+            this_level_good.insert(p.clone(), good);
+            if good {
+                outcome.good.insert(p.clone(), g);
+                next_frontier.extend(problem.children(&p));
+            }
+        }
+
+        prev_level_good = this_level_good;
+        frontier = next_frontier;
+    }
+
+    (outcome, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{ToyItemsets, ToySeq};
+
+    #[test]
+    fn fig_3_1_sequence_edag() {
+        // The complete E-dag of Fig. 3.1: sequences FFRR, MRRM, MTRM,
+        // min occurrence 2. Active patterns of each length are exactly the
+        // vertices retained in the figure.
+        let p = ToySeq::new(vec!["FFRR", "MRRM", "MTRM"], 2, usize::MAX);
+        let out = sequential_edt(&p);
+        let good: Vec<String> = out.good.keys().cloned().collect();
+        // Length-1 active: F? F occurs in 1 seq only (FFRR) -> no.
+        // M: MRRM, MTRM -> 2. R: all three -> 3. T: 1 -> no.
+        assert!(good.contains(&"M".to_string()));
+        assert!(good.contains(&"R".to_string()));
+        assert!(!good.contains(&"F".to_string()));
+        assert!(!good.contains(&"T".to_string()));
+        // Length-2 active: RR (FFRR, MRRM), RM (MRRM, MTRM).
+        assert!(good.contains(&"RR".to_string()));
+        assert!(good.contains(&"RM".to_string()));
+        assert!(!good.contains(&"MR".to_string()) || p.occurrence("MR") >= 2);
+        // Nothing of length 3 survives: RRM occurs only in MRRM.
+        assert!(good.iter().all(|g| g.len() <= 2));
+    }
+
+    #[test]
+    fn fig_3_2_itemset_edag() {
+        // Items {1,2,3,4}; transactions chosen so {1,2} and {1,3} are
+        // frequent but {2,3} is not: then {1,2,3} must be *skipped*, not
+        // tested (the E-dag's full-subpattern pruning).
+        let txns = vec![
+            vec![1, 2],
+            vec![1, 2],
+            vec![1, 3],
+            vec![1, 3],
+            vec![2, 4],
+            vec![3, 4],
+        ];
+        let p = ToyItemsets::new(txns, 2);
+        let (out, trace) = sequential_edt_traced(&p);
+        let good: Vec<Vec<u32>> = out.good.keys().cloned().collect();
+        assert!(good.contains(&vec![1, 2]));
+        assert!(good.contains(&vec![1, 3]));
+        assert!(!good.contains(&vec![2, 3]));
+        assert!(!good.contains(&vec![1, 2, 3]));
+        assert!(
+            !trace.tested.contains(&vec![1, 2, 3]),
+            "{{1,2,3}} has non-good subpattern {{2,3}} and must not be tested"
+        );
+    }
+
+    #[test]
+    fn empty_database_mines_nothing() {
+        let p = ToyItemsets::new(vec![], 1);
+        let out = sequential_edt(&p);
+        assert!(out.is_empty());
+        assert_eq!(out.tested, 0);
+    }
+
+    #[test]
+    fn tested_counts_goodness_calls() {
+        let txns = vec![vec![1], vec![1], vec![2]];
+        let p = ToyItemsets::new(txns, 2);
+        let out = sequential_edt(&p);
+        // Tested: {1}, {2}. {1} good; {2} not; {1,2} never generated as a
+        // candidate with all-good subpatterns.
+        assert_eq!(out.tested, 2);
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Sequential E-tree traversal (ETT) — §3.3.1–3.3.2.
+//!
+//! The exploration tree (E-tree) is the E-dag with every edge from a
+//! non-parent immediate subpattern removed: each pattern hangs only under
+//! its unique parent. In an **E-tree traversal** a node is visited as soon
+//! as its parent has been visited and found good (Definition 3).
+//!
+//! Compared with the EDT this gives up some pruning — a pattern may be
+//! tested even though a non-parent subpattern is known bad — but removes
+//! the per-level synchronisation entirely, which is why its *parallel*
+//! form load-balances so much better (§3.3.2). Lemma 2: the ETT produces
+//! exactly the same good patterns as the EDT; it may merely test more.
+
+use crate::problem::{MiningOutcome, MiningProblem};
+
+/// A recorded E-tree: every node the traversal tested, with its goodness,
+/// verdict and children. This is the structure the cost-replay simulator
+/// (`crate::strategy`) schedules over, and the paper's lazily-constructed
+/// E-tree made explicit.
+#[derive(Debug, Clone)]
+pub struct ETree<P> {
+    /// Tested nodes in DFS visit order; index 0.. are node ids.
+    pub nodes: Vec<ENode<P>>,
+    /// Ids of the depth-1 nodes (children of the root).
+    pub top_level: Vec<usize>,
+}
+
+/// One tested node of a recorded [`ETree`].
+#[derive(Debug, Clone)]
+pub struct ENode<P> {
+    /// The pattern at this node.
+    pub pattern: P,
+    /// Its computed goodness.
+    pub goodness: f64,
+    /// Whether it was good (children generated).
+    pub good: bool,
+    /// Ids of its tested children (empty unless `good`).
+    pub children: Vec<usize>,
+    /// Depth below the root (top-level nodes are depth 1).
+    pub depth: usize,
+}
+
+impl<P> ETree<P> {
+    /// Total number of tested nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the tree empty (no depth-1 candidates)?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of all nodes in the subtree rooted at `id` (inclusive).
+    pub fn subtree(&self, id: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(&self.nodes[n].children);
+        }
+        out
+    }
+
+    /// Ids of nodes at exactly `depth`.
+    pub fn at_depth(&self, depth: usize) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].depth == depth)
+            .collect()
+    }
+}
+
+/// Run a sequential E-tree traversal to completion.
+pub fn sequential_ett<P: MiningProblem>(problem: &P) -> MiningOutcome<P::Pattern> {
+    let (outcome, _) = sequential_ett_recorded(problem);
+    outcome
+}
+
+/// [`sequential_ett`] returning the recorded [`ETree`] as well.
+pub fn sequential_ett_recorded<P: MiningProblem>(
+    problem: &P,
+) -> (MiningOutcome<P::Pattern>, ETree<P::Pattern>) {
+    let mut outcome = MiningOutcome::new();
+    let mut tree = ETree {
+        nodes: Vec::new(),
+        top_level: Vec::new(),
+    };
+
+    let root = problem.root();
+    // DFS over (pattern, parent_id, depth); parent_id == usize::MAX marks a
+    // top-level node.
+    let mut stack: Vec<(P::Pattern, usize, usize)> = problem
+        .children(&root)
+        .into_iter()
+        .rev()
+        .map(|c| (c, usize::MAX, 1))
+        .collect();
+
+    while let Some((p, parent, depth)) = stack.pop() {
+        let g = problem.goodness(&p);
+        outcome.tested += 1;
+        let good = problem.is_good(&p, g);
+        let id = tree.nodes.len();
+        tree.nodes.push(ENode {
+            pattern: p.clone(),
+            goodness: g,
+            good,
+            children: Vec::new(),
+            depth,
+        });
+        if parent == usize::MAX {
+            tree.top_level.push(id);
+        } else {
+            tree.nodes[parent].children.push(id);
+        }
+        if good {
+            outcome.good.insert(p.clone(), g);
+            for c in problem.children(&p).into_iter().rev() {
+                stack.push((c, id, depth + 1));
+            }
+        }
+    }
+
+    (outcome, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edag::sequential_edt_traced;
+    use crate::toy::{ToyItemsets, ToySeq};
+
+    #[test]
+    fn lemma_2_same_good_patterns_as_edt() {
+        let p = ToySeq::new(vec!["FFRR", "MRRM", "MTRM"], 2, usize::MAX);
+        let (edt, _) = sequential_edt_traced(&p);
+        let ett = sequential_ett(&p);
+        assert_eq!(edt.good, ett.good);
+    }
+
+    #[test]
+    fn ett_may_test_more_than_edt_never_less() {
+        // {1,2},{1,3} frequent but {2,3} not: the ETT tests {1,2,3} (its
+        // parent {1,2} is good) while the EDT skips it.
+        let txns = vec![
+            vec![1, 2],
+            vec![1, 2],
+            vec![1, 3],
+            vec![1, 3],
+            vec![2, 4],
+            vec![3, 4],
+        ];
+        let p = ToyItemsets::new(txns, 2);
+        let (edt, trace) = sequential_edt_traced(&p);
+        let ett = sequential_ett(&p);
+        assert_eq!(edt.good, ett.good);
+        assert!(ett.tested >= edt.tested);
+        assert!(
+            ett.tested as usize >= trace.tested.len() + 1,
+            "the skipped candidate {{1,2,3}} should be tested by the ETT"
+        );
+    }
+
+    #[test]
+    fn recorded_tree_structure_is_consistent() {
+        let p = ToySeq::new(vec!["ABAB", "ABBA", "BABA"], 2, usize::MAX);
+        let (out, tree) = sequential_ett_recorded(&p);
+        assert_eq!(tree.len() as u64, out.tested);
+        // Every good node's children are recorded under it; depth increases
+        // by one along edges; subtree(top) partitions all nodes.
+        for (i, n) in tree.nodes.iter().enumerate() {
+            for &c in &n.children {
+                assert_eq!(tree.nodes[c].depth, n.depth + 1, "edge {i}->{c}");
+            }
+        }
+        let mut all: Vec<usize> = tree
+            .top_level
+            .iter()
+            .flat_map(|&t| tree.subtree(t))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..tree.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn at_depth_selects_levels() {
+        let p = ToySeq::new(vec!["AAA", "AAB"], 2, usize::MAX);
+        let (_, tree) = sequential_ett_recorded(&p);
+        let d1 = tree.at_depth(1);
+        assert_eq!(d1, tree.top_level);
+        for id in tree.at_depth(2) {
+            assert_eq!(tree.nodes[id].depth, 2);
+        }
+    }
+}

@@ -1,0 +1,636 @@
+//! Parallel E-dag / E-tree traversals on the PLinda tuple space.
+//!
+//! These are the PLED and PLET programs of §3.2.2 and §3.3.3, and the
+//! optimistic / load-balanced worker variants of §4.2.2, implemented
+//! against the `plinda` runtime:
+//!
+//! * [`parallel_edt`] — PLED (Figs. 3.4/3.5): the master enforces the
+//!   E-dag visiting rule (a pattern is dispatched only after *all* its
+//!   immediate subpatterns are known good), level-synchronised exactly as
+//!   in Definition 2; workers are stateless goodness evaluators.
+//! * [`parallel_ett`] — PLET (Figs. 3.9/3.10, 4.4–4.7): no barrier.
+//!   - With [`WorkerStrategy::LoadBalanced`], workers generate child work
+//!     tuples themselves, so any idle worker can help on any branch.
+//!   - With [`WorkerStrategy::Optimistic`], a worker takes one initial
+//!     task and traverses that whole subtree locally (minimal
+//!     communication, no balancing).
+//!   The *adaptive master* (§4.3.2) is `initial_task_level`: the master
+//!   itself traverses the first `initial_task_level - 1` levels and emits
+//!   tasks at `initial_task_level`, producing more (smaller) initial tasks
+//!   when many workers are available.
+//!
+//! All variants produce identical good-pattern sets (Theorems 2–4); the
+//! tests and `tests/integration_parallel_mining.rs` check this, including
+//! under injected worker failures.
+
+use crate::problem::{MiningOutcome, MiningProblem, PatternCodec};
+use plinda::{field, tup, Runtime, Template, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Worker style for [`parallel_ett`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerStrategy {
+    /// Workers expand good patterns into new work tuples (Figs. 4.6/4.7).
+    LoadBalanced,
+    /// Workers consume a whole subtree per task (Figs. 4.4/4.5).
+    Optimistic,
+}
+
+/// Configuration of a parallel E-tree traversal.
+#[derive(Debug, Clone)]
+pub struct ParallelConfig {
+    /// Number of worker processes.
+    pub workers: usize,
+    /// Worker style.
+    pub strategy: WorkerStrategy,
+    /// The level at which the master emits initial tasks; levels above it
+    /// are traversed by the master itself. `1` is the plain master; the
+    /// adaptive master of §4.3.2 picks `2` when six or more machines are
+    /// available.
+    pub initial_task_level: usize,
+    /// Failure injections: `(delay from start, worker index)` kills — the
+    /// simulated workstation-owner returns of §7.1.1. The runtime aborts
+    /// the victim's open transaction and re-spawns it; results must be
+    /// unaffected (PLinda's guarantee, exercised by the integration
+    /// tests).
+    pub kill_schedule: Vec<(std::time::Duration, usize)>,
+}
+
+impl ParallelConfig {
+    /// Plain load-balanced configuration.
+    pub fn load_balanced(workers: usize) -> Self {
+        ParallelConfig {
+            workers,
+            strategy: WorkerStrategy::LoadBalanced,
+            initial_task_level: 1,
+            kill_schedule: Vec::new(),
+        }
+    }
+
+    /// Plain optimistic configuration.
+    pub fn optimistic(workers: usize) -> Self {
+        ParallelConfig {
+            workers,
+            strategy: WorkerStrategy::Optimistic,
+            initial_task_level: 1,
+            kill_schedule: Vec::new(),
+        }
+    }
+
+    /// Schedule a kill of worker `index` after `delay`.
+    pub fn kill_after(mut self, delay: std::time::Duration, index: usize) -> Self {
+        self.kill_schedule.push((delay, index));
+        self
+    }
+
+    /// Apply the adaptive-master rule of §4.3.2: with 6 or more workers,
+    /// descend to level 2 before emitting tasks.
+    pub fn adaptive(mut self) -> Self {
+        self.initial_task_level = if self.workers >= 6 { 2 } else { 1 };
+        self
+    }
+}
+
+const NORMAL: i64 = 0;
+const POISON: i64 = 1;
+
+fn t_task() -> Template {
+    Template::new(vec![field::val("task"), field::int(), field::bytes()])
+}
+
+fn t_result() -> Template {
+    Template::new(vec![
+        field::val("result"),
+        field::bytes(),
+        field::real(),
+    ])
+}
+
+fn t_done() -> Template {
+    Template::new(vec![
+        field::val("done"),
+        field::bytes(),
+        field::real(),
+        field::int(),
+        field::int(),
+    ])
+}
+
+fn t_sub() -> Template {
+    Template::new(vec![field::val("sub"), field::list()])
+}
+
+fn t_wcount() -> Template {
+    Template::new(vec![field::val("wcount"), field::int()])
+}
+
+fn t_wcount_zero() -> Template {
+    Template::new(vec![field::val("wcount"), field::val(0)])
+}
+
+fn poison_task() -> plinda::Tuple {
+    tup!["task", POISON, Vec::<u8>::new()]
+}
+
+// ---------------------------------------------------------------------
+// PLED: parallel E-dag traversal (level-synchronised).
+// ---------------------------------------------------------------------
+
+/// Run a parallel E-dag traversal with `workers` worker processes.
+///
+/// Equivalent (Theorem 2) to [`crate::edag::sequential_edt`]: same good
+/// patterns, same tested-pattern set.
+pub fn parallel_edt<P>(problem: Arc<P>, workers: usize) -> MiningOutcome<P::Pattern>
+where
+    P: MiningProblem + PatternCodec + Send + Sync + 'static,
+{
+    assert!(workers >= 1, "need at least one worker");
+    let rt = Runtime::new();
+    let space = rt.space();
+
+    // PLED worker (Fig. 3.5): evaluate goodness of task patterns.
+    for _ in 0..workers {
+        let problem = Arc::clone(&problem);
+        rt.spawn("pled", move |proc| loop {
+            proc.xstart();
+            let t = proc.in_(t_task())?;
+            if t.int(1) == POISON {
+                proc.xcommit(None)?;
+                return Ok(());
+            }
+            let p = problem.decode_pattern(t.bytes(2));
+            let g = problem.goodness(&p);
+            proc.out(tup!["result", t.bytes(2).to_vec(), g]);
+            proc.xcommit(None)?;
+        });
+    }
+
+    // PLED master (Fig. 3.4), level-synchronised per Definition 2.
+    let mut outcome = MiningOutcome::new();
+    let root = problem.root();
+    let mut prev_good: HashMap<P::Pattern, bool> = HashMap::new();
+    prev_good.insert(root.clone(), true);
+    let mut frontier: Vec<P::Pattern> = problem.children(&root);
+
+    while !frontier.is_empty() {
+        let mut this_good: HashMap<P::Pattern, bool> = HashMap::new();
+        let mut dispatched: HashMap<Vec<u8>, P::Pattern> = HashMap::new();
+
+        for p in frontier {
+            let eligible = problem
+                .immediate_subpatterns(&p)
+                .iter()
+                .all(|s| prev_good.get(s).copied().unwrap_or(false));
+            if eligible {
+                let enc = problem.encode_pattern(&p);
+                space.out(tup!["task", NORMAL, enc.clone()]);
+                dispatched.insert(enc, p);
+            } else {
+                this_good.insert(p, false);
+            }
+        }
+
+        let mut next_frontier = Vec::new();
+        for _ in 0..dispatched.len() {
+            let r = space.in_blocking(t_result());
+            outcome.tested += 1;
+            let p = dispatched
+                .get(r.bytes(1))
+                .expect("result for undisputed task")
+                .clone();
+            let g = r.real(2);
+            let good = problem.is_good(&p, g);
+            if good {
+                outcome.good.insert(p.clone(), g);
+                next_frontier.extend(problem.children(&p));
+            }
+            this_good.insert(p, good);
+        }
+
+        prev_good = this_good;
+        frontier = next_frontier;
+    }
+
+    for _ in 0..workers {
+        space.out(poison_task());
+    }
+    rt.join();
+    outcome
+}
+
+// ---------------------------------------------------------------------
+// PLET: parallel E-tree traversal.
+// ---------------------------------------------------------------------
+
+/// Run a parallel E-tree traversal per `config`.
+///
+/// Equivalent (Theorem 3) to [`crate::etree::sequential_ett`] in its good
+/// patterns (the set of *tested* patterns can differ between strategies;
+/// `tested` reports the actual count).
+pub fn parallel_ett<P>(problem: Arc<P>, config: &ParallelConfig) -> MiningOutcome<P::Pattern>
+where
+    P: MiningProblem + PatternCodec + Send + Sync + 'static,
+{
+    assert!(config.workers >= 1, "need at least one worker");
+    assert!(config.initial_task_level >= 1);
+    let rt = Runtime::new();
+    let space = rt.space();
+
+    let mut pids = Vec::with_capacity(config.workers);
+    match config.strategy {
+        WorkerStrategy::LoadBalanced => {
+            for _ in 0..config.workers {
+                let problem = Arc::clone(&problem);
+                pids.push(rt.spawn("plet-lb", move |proc| loop {
+                    // Fig. 4.7: evaluate one node; expand in place if good.
+                    proc.xstart();
+                    let t = proc.in_(t_task())?;
+                    if t.int(1) == POISON {
+                        proc.xcommit(None)?;
+                        return Ok(());
+                    }
+                    let p = problem.decode_pattern(t.bytes(2));
+                    let g = problem.goodness(&p);
+                    let good = problem.is_good(&p, g);
+                    let mut n_children = 0i64;
+                    if good {
+                        for c in problem.children(&p) {
+                            proc.out(tup!["task", NORMAL, problem.encode_pattern(&c)]);
+                            n_children += 1;
+                        }
+                    }
+                    // Retire this task and register its children on the
+                    // shared outstanding-work counter *within the same
+                    // transaction*, so the counter reads zero exactly when
+                    // every task (and its `done` report) has committed.
+                    // This is the tuple-space form of the `termination()`
+                    // pruned-propagation of Fig. 4.6/3.9.
+                    let c = proc.in_(t_wcount())?;
+                    proc.out(tup!["wcount", c.int(1) + n_children - 1]);
+                    proc.out(tup![
+                        "done",
+                        t.bytes(2).to_vec(),
+                        g,
+                        if good { 1i64 } else { 0 },
+                        n_children
+                    ]);
+                    proc.xcommit(None)?;
+                }));
+            }
+        }
+        WorkerStrategy::Optimistic => {
+            for _ in 0..config.workers {
+                let problem = Arc::clone(&problem);
+                pids.push(rt.spawn("plet-opt", move |proc| loop {
+                    // Fig. 4.5: take one task, finish the whole subtree.
+                    proc.xstart();
+                    let t = proc.in_(t_task())?;
+                    if t.int(1) == POISON {
+                        proc.xcommit(None)?;
+                        return Ok(());
+                    }
+                    let mut results: Vec<Value> = Vec::new();
+                    let mut stack = vec![problem.decode_pattern(t.bytes(2))];
+                    while let Some(p) = stack.pop() {
+                        let g = problem.goodness(&p);
+                        let good = problem.is_good(&p, g);
+                        if good {
+                            stack.extend(problem.children(&p));
+                        }
+                        results.push(Value::List(vec![
+                            Value::Bytes(problem.encode_pattern(&p)),
+                            Value::Real(g),
+                            Value::Int(if good { 1 } else { 0 }),
+                        ]));
+                    }
+                    proc.out(tup!["sub", results]);
+                    proc.xcommit(None)?;
+                }));
+            }
+        }
+    }
+
+    // Inject any scheduled failures (PLinda re-spawns the victims).
+    if !config.kill_schedule.is_empty() {
+        let mut plan = plinda::FaultPlan::new();
+        for (delay, idx) in &config.kill_schedule {
+            if let Some(&pid) = pids.get(*idx) {
+                plan = plan.kill_after(*delay, pid);
+            }
+        }
+        rt.inject(plan);
+    }
+
+    // Master: traverse the first `initial_task_level - 1` levels locally
+    // (the adaptive master of §4.3.2), then emit initial tasks.
+    let mut outcome = MiningOutcome::new();
+    let root = problem.root();
+    let mut frontier = problem.children(&root);
+    for _ in 1..config.initial_task_level {
+        let mut next = Vec::new();
+        for p in frontier {
+            let g = problem.goodness(&p);
+            outcome.tested += 1;
+            if problem.is_good(&p, g) {
+                next.extend(problem.children(&p));
+                outcome.good.insert(p, g);
+            }
+        }
+        frontier = next;
+    }
+
+    let initial = frontier.len() as i64;
+    for p in &frontier {
+        space.out(tup!["task", NORMAL, problem.encode_pattern(p)]);
+    }
+
+    match config.strategy {
+        WorkerStrategy::LoadBalanced => {
+            // Fig. 4.6 master: seed the outstanding-work counter, block
+            // until the workers drive it to zero (termination detection),
+            // then collect every "done" report. Because each worker
+            // updates the counter atomically with consuming its task and
+            // publishing its children and its report, counter == 0 implies
+            // all reports are visible.
+            space.out(tup!["wcount", initial]);
+            let zero = space.in_blocking(t_wcount_zero());
+            debug_assert_eq!(zero.int(1), 0);
+            while let Some(d) = space.inp(&t_done()) {
+                outcome.tested += 1;
+                if d.int(3) == 1 {
+                    let p = problem.decode_pattern(d.bytes(1));
+                    outcome.good.insert(p, d.real(2));
+                }
+            }
+        }
+        WorkerStrategy::Optimistic => {
+            // Fig. 4.4 master: one "sub" report per initial task.
+            for _ in 0..initial {
+                let s = space.in_blocking(t_sub());
+                for entry in s.list(1) {
+                    let Value::List(fields) = entry else {
+                        unreachable!("sub entries are lists")
+                    };
+                    let (Value::Bytes(enc), Value::Real(g), Value::Int(good)) =
+                        (&fields[0], &fields[1], &fields[2])
+                    else {
+                        unreachable!("sub entry shape")
+                    };
+                    outcome.tested += 1;
+                    if *good == 1 {
+                        let p = problem.decode_pattern(enc);
+                        outcome.good.insert(p, *g);
+                    }
+                }
+            }
+        }
+    }
+
+    for _ in 0..config.workers {
+        space.out(poison_task());
+    }
+    rt.join();
+    outcome
+}
+
+// ---------------------------------------------------------------------
+// Hybrid: PLED early, PLET late (§3.3.4).
+// ---------------------------------------------------------------------
+
+const EVAL: i64 = 2;
+
+/// The "optimal PLinda implementation" of §3.3.4: start as a parallel
+/// E-dag traversal — full subpattern pruning while pruning pays the most,
+/// at the shallow levels — and switch to a load-balanced parallel E-tree
+/// traversal below `switch_level`, where synchronisation would cost more
+/// than the extra pruning saves.
+///
+/// Theorem 4: produces exactly the good patterns of the sequential EDT.
+pub fn parallel_hybrid<P>(
+    problem: Arc<P>,
+    workers: usize,
+    switch_level: usize,
+) -> MiningOutcome<P::Pattern>
+where
+    P: MiningProblem + PatternCodec + Send + Sync + 'static,
+{
+    assert!(workers >= 1, "need at least one worker");
+    assert!(switch_level >= 1, "switch level starts at 1");
+    let rt = Runtime::new();
+    let space = rt.space();
+
+    // One worker program serving both protocols, selected per task:
+    // EVAL tasks answer with a result tuple (PLED mode); NORMAL tasks
+    // expand in place with counter-based termination (PLET mode).
+    for _ in 0..workers {
+        let problem = Arc::clone(&problem);
+        rt.spawn("hybrid", move |proc| loop {
+            proc.xstart();
+            let t = proc.in_(t_task())?;
+            match t.int(1) {
+                POISON => {
+                    proc.xcommit(None)?;
+                    return Ok(());
+                }
+                EVAL => {
+                    let p = problem.decode_pattern(t.bytes(2));
+                    let g = problem.goodness(&p);
+                    proc.out(tup!["result", t.bytes(2).to_vec(), g]);
+                }
+                _ => {
+                    let p = problem.decode_pattern(t.bytes(2));
+                    let g = problem.goodness(&p);
+                    let good = problem.is_good(&p, g);
+                    let mut n_children = 0i64;
+                    if good {
+                        for c in problem.children(&p) {
+                            proc.out(tup!["task", NORMAL, problem.encode_pattern(&c)]);
+                            n_children += 1;
+                        }
+                    }
+                    let c = proc.in_(t_wcount())?;
+                    proc.out(tup!["wcount", c.int(1) + n_children - 1]);
+                    proc.out(tup![
+                        "done",
+                        t.bytes(2).to_vec(),
+                        g,
+                        if good { 1i64 } else { 0 },
+                        n_children
+                    ]);
+                }
+            }
+            proc.xcommit(None)?;
+        });
+    }
+
+    // Phase 1: PLED over levels 1..=switch_level (full pruning).
+    let mut outcome = MiningOutcome::new();
+    let root = problem.root();
+    let mut prev_good: HashMap<P::Pattern, bool> = HashMap::new();
+    prev_good.insert(root.clone(), true);
+    let mut frontier: Vec<P::Pattern> = problem.children(&root);
+    let mut level = 1usize;
+    while !frontier.is_empty() && level <= switch_level {
+        let mut this_good: HashMap<P::Pattern, bool> = HashMap::new();
+        let mut dispatched: HashMap<Vec<u8>, P::Pattern> = HashMap::new();
+        for p in frontier {
+            let eligible = problem
+                .immediate_subpatterns(&p)
+                .iter()
+                .all(|sp| prev_good.get(sp).copied().unwrap_or(false));
+            if eligible {
+                let enc = problem.encode_pattern(&p);
+                space.out(tup!["task", EVAL, enc.clone()]);
+                dispatched.insert(enc, p);
+            } else {
+                this_good.insert(p, false);
+            }
+        }
+        let mut next_frontier = Vec::new();
+        for _ in 0..dispatched.len() {
+            let r = space.in_blocking(t_result());
+            outcome.tested += 1;
+            let p = dispatched[r.bytes(1)].clone();
+            let g = r.real(2);
+            let good = problem.is_good(&p, g);
+            if good {
+                outcome.good.insert(p.clone(), g);
+                next_frontier.extend(problem.children(&p));
+            }
+            this_good.insert(p, good);
+        }
+        prev_good = this_good;
+        frontier = next_frontier;
+        level += 1;
+    }
+
+    // Phase 2: PLET over everything below, starting from the surviving
+    // frontier (already pruned by PLED's subpattern rule).
+    if !frontier.is_empty() {
+        let initial = frontier.len() as i64;
+        for p in &frontier {
+            space.out(tup!["task", NORMAL, problem.encode_pattern(p)]);
+        }
+        space.out(tup!["wcount", initial]);
+        let zero = space.in_blocking(t_wcount_zero());
+        debug_assert_eq!(zero.int(1), 0);
+        while let Some(d) = space.inp(&t_done()) {
+            outcome.tested += 1;
+            if d.int(3) == 1 {
+                let p = problem.decode_pattern(d.bytes(1));
+                outcome.good.insert(p, d.real(2));
+            }
+        }
+    }
+
+    for _ in 0..workers {
+        space.out(poison_task());
+    }
+    rt.join();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edag::sequential_edt;
+    use crate::etree::sequential_ett;
+    use crate::toy::{ToyItemsets, ToySeq};
+
+    fn seq_problem() -> Arc<ToySeq> {
+        Arc::new(ToySeq::new(
+            vec!["FFRR", "MRRM", "MTRM", "ARRM", "FRRM"],
+            2,
+            usize::MAX,
+        ))
+    }
+
+    fn itemset_problem() -> Arc<ToyItemsets> {
+        Arc::new(ToyItemsets::new(
+            vec![
+                vec![1, 2, 3],
+                vec![1, 2],
+                vec![1, 3, 4],
+                vec![2, 3],
+                vec![1, 2, 3, 4],
+                vec![2, 4],
+            ],
+            2,
+        ))
+    }
+
+    #[test]
+    fn theorem_2_pled_equals_edt() {
+        let p = seq_problem();
+        let seq = sequential_edt(&*p);
+        let par = parallel_edt(Arc::clone(&p), 3);
+        assert_eq!(seq.good, par.good);
+        assert_eq!(seq.tested, par.tested, "PLED tests exactly the EDT set");
+    }
+
+    #[test]
+    fn theorem_3_plet_load_balanced_equals_ett() {
+        let p = itemset_problem();
+        let seq = sequential_ett(&*p);
+        let par = parallel_ett(Arc::clone(&p), &ParallelConfig::load_balanced(4));
+        assert_eq!(seq.good, par.good);
+        assert_eq!(seq.tested, par.tested);
+    }
+
+    #[test]
+    fn theorem_3_plet_optimistic_equals_ett() {
+        let p = itemset_problem();
+        let seq = sequential_ett(&*p);
+        let par = parallel_ett(Arc::clone(&p), &ParallelConfig::optimistic(4));
+        assert_eq!(seq.good, par.good);
+        assert_eq!(seq.tested, par.tested);
+    }
+
+    #[test]
+    fn adaptive_master_same_results() {
+        let p = seq_problem();
+        let seq = sequential_ett(&*p);
+        for workers in [2, 6] {
+            let cfg = ParallelConfig::load_balanced(workers).adaptive();
+            assert_eq!(
+                cfg.initial_task_level,
+                if workers >= 6 { 2 } else { 1 }
+            );
+            let par = parallel_ett(Arc::clone(&p), &cfg);
+            assert_eq!(seq.good, par.good, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential() {
+        let p = itemset_problem();
+        let seq = sequential_ett(&*p);
+        let par = parallel_ett(Arc::clone(&p), &ParallelConfig::optimistic(1));
+        assert_eq!(seq.good, par.good);
+    }
+
+    #[test]
+    fn theorem_4_hybrid_equals_edt() {
+        let p = itemset_problem();
+        let seq = crate::edag::sequential_edt(&*p);
+        for switch in [1, 2, 5] {
+            let hybrid = parallel_hybrid(Arc::clone(&p), 3, switch);
+            assert_eq!(seq.good, hybrid.good, "switch={switch}");
+        }
+        // Switching below the deepest level degenerates to pure PLED:
+        // the tested sets then agree exactly as well.
+        let hybrid = parallel_hybrid(Arc::clone(&p), 2, 64);
+        assert_eq!(seq.good, hybrid.good);
+        assert_eq!(seq.tested, hybrid.tested);
+    }
+
+    #[test]
+    fn empty_problem_terminates() {
+        let p = Arc::new(ToyItemsets::new(vec![], 1));
+        let out = parallel_ett(Arc::clone(&p), &ParallelConfig::load_balanced(2));
+        assert!(out.is_empty());
+        let out = parallel_edt(p, 2);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! The four elements of a pattern-lattice data mining application (§3.1.2).
+//!
+//! A data mining application in the dissertation's framework defines:
+//!
+//! 1. a database `D` (owned by the implementor of [`MiningProblem`]);
+//! 2. patterns with a length function (`len`), generated uniquely from a
+//!    zero-length root via a child/parent relation;
+//! 3. a `goodness` measure (occurrence number, support, info gain, …);
+//! 4. a `good` predicate; the anti-monotone property — *if a pattern is not
+//!    good, neither is any superpattern* — is what every traversal prunes
+//!    on.
+//!
+//! The result of an application is the set of all good patterns.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A pattern-lattice data mining application.
+///
+/// Implementations must satisfy the framework's structural contract
+/// (checked by the property tests in this crate and exercised by every
+/// traversal):
+///
+/// * **Unique generation**: every pattern of length `k ≥ 1` is produced by
+///   [`MiningProblem::children`] of exactly one pattern of length `k - 1`
+///   (its *parent*); the zero-length [`MiningProblem::root`] is the sole
+///   ancestor of everything.
+/// * **Subpattern closure**: [`MiningProblem::immediate_subpatterns`] of a
+///   length-`k` pattern returns only length-`k-1` patterns reachable from
+///   the root, and includes the parent.
+/// * **Anti-monotonicity**: if any immediate subpattern of `p` is not good,
+///   `p` is not good. (The traversals *rely* on this; a violating
+///   implementation simply mines a superset, as in an E-tree traversal.)
+pub trait MiningProblem {
+    /// The pattern type (vertex label of the E-dag).
+    type Pattern: Clone + Eq + Hash + Ord + Debug + Send + Sync;
+
+    /// The zero-length pattern (`**`, `{}`, `∅` in the three application
+    /// classes of Table 3.1). Always good; never tested.
+    fn root(&self) -> Self::Pattern;
+
+    /// `len(p)`: number of pattern elements; `0` exactly for the root.
+    fn pattern_len(&self, p: &Self::Pattern) -> usize;
+
+    /// Child patterns of `p` (each generated *only* here — unique-parent
+    /// rule). Returning an empty vector ends growth below `p`, which is
+    /// also how maximum-length constraints are expressed.
+    fn children(&self, p: &Self::Pattern) -> Vec<Self::Pattern>;
+
+    /// All immediate subpatterns of `p` (length `len(p) - 1`). For the
+    /// E-dag these are the sources of `p`'s incident edges. Must include
+    /// `p`'s parent. Never called on the root.
+    fn immediate_subpatterns(&self, p: &Self::Pattern) -> Vec<Self::Pattern>;
+
+    /// The expensive measure — occurrence number, support, info gain.
+    /// Traversals count calls to this to compare pruning power.
+    fn goodness(&self, p: &Self::Pattern) -> f64;
+
+    /// Is `p`, with the given `goodness`, a good pattern (or a good
+    /// subpattern, i.e. worth extending)?
+    fn is_good(&self, p: &Self::Pattern, goodness: f64) -> bool;
+}
+
+/// Serialisation of patterns for transport through the tuple space. Every
+/// problem that wants to run under the *parallel* traversals provides this.
+pub trait PatternCodec: MiningProblem {
+    /// Encode a pattern.
+    fn encode_pattern(&self, p: &Self::Pattern) -> Vec<u8>;
+    /// Decode a pattern previously produced by
+    /// [`PatternCodec::encode_pattern`].
+    fn decode_pattern(&self, bytes: &[u8]) -> Self::Pattern;
+}
+
+/// The outcome of running a traversal: all good patterns with their
+/// goodness, plus instrumentation used by the equivalence theorems.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningOutcome<P: Ord> {
+    /// Good patterns (excluding the zero-length root) and their goodness,
+    /// in pattern order (deterministic across traversals).
+    pub good: BTreeMap<P, f64>,
+    /// Number of `goodness` evaluations performed. Theorem 1: for an EDT
+    /// this equals the count of an optimal sequential program; an ETT may
+    /// test more (§3.3.2).
+    pub tested: u64,
+}
+
+impl<P: Ord> MiningOutcome<P> {
+    /// Empty outcome.
+    pub fn new() -> Self {
+        MiningOutcome {
+            good: BTreeMap::new(),
+            tested: 0,
+        }
+    }
+
+    /// The good patterns only, in order.
+    pub fn patterns(&self) -> Vec<&P> {
+        self.good.keys().collect()
+    }
+
+    /// Number of good patterns found.
+    pub fn len(&self) -> usize {
+        self.good.len()
+    }
+
+    /// Were any good patterns found?
+    pub fn is_empty(&self) -> bool {
+        self.good.is_empty()
+    }
+}
+
+impl<P: Ord> Default for MiningOutcome<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,152 @@
+//! Graphviz rendering of E-dags and E-trees — the structures of Figs.
+//! 3.1–3.3 and 3.6–3.8, regenerable for any mining problem small enough
+//! to draw.
+
+use crate::problem::MiningProblem;
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Escape a label for DOT.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the *complete* E-dag of `problem` (every generated pattern,
+/// good or not, down to `max_len`) as Graphviz DOT. Vertices are labelled
+/// with `label(pattern)`; good patterns are drawn solid, bad ones dashed.
+/// Edges run from each immediate subpattern into the pattern — the full
+/// dag of Fig. 3.1/3.2/3.3.
+pub fn edag_dot<P: MiningProblem>(
+    problem: &P,
+    max_len: usize,
+    label: impl Fn(&P::Pattern) -> String,
+) -> String {
+    let (ids, good) = enumerate(problem, max_len);
+    let mut out = String::from("digraph edag {\n  rankdir=TB;\n  node [shape=ellipse];\n");
+    for (p, &id) in &ids {
+        let style = if good[id] { "solid" } else { "dashed" };
+        let _ = writeln!(out, "  n{id} [label=\"{}\", style={style}];", esc(&label(p)));
+    }
+    for (p, &id) in &ids {
+        if problem.pattern_len(p) == 0 {
+            continue;
+        }
+        for sub in problem.immediate_subpatterns(p) {
+            if let Some(&sid) = ids.get(&sub) {
+                let _ = writeln!(out, "  n{sid} -> n{id};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render the E-tree of `problem` (unique-parent edges only) as DOT —
+/// the trees of Fig. 3.6/3.7/3.8.
+pub fn etree_dot<P: MiningProblem>(
+    problem: &P,
+    max_len: usize,
+    label: impl Fn(&P::Pattern) -> String,
+) -> String {
+    let (ids, good) = enumerate(problem, max_len);
+    let mut out = String::from("digraph etree {\n  rankdir=TB;\n  node [shape=ellipse];\n");
+    for (p, &id) in &ids {
+        let style = if good[id] { "solid" } else { "dashed" };
+        let _ = writeln!(out, "  n{id} [label=\"{}\", style={style}];", esc(&label(p)));
+    }
+    for (p, &id) in &ids {
+        for c in problem.children(p) {
+            if let Some(&cid) = ids.get(&c) {
+                let _ = writeln!(out, "  n{id} -> n{cid};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Breadth-first enumeration of all patterns up to `max_len`, with their
+/// goodness verdicts. Exhaustive (children of *every* pattern), so only
+/// suitable for illustration-scale problems.
+fn enumerate<P: MiningProblem>(
+    problem: &P,
+    max_len: usize,
+) -> (HashMap<P::Pattern, usize>, Vec<bool>) {
+    let mut ids: HashMap<P::Pattern, usize> = HashMap::new();
+    let mut good: Vec<bool> = Vec::new();
+    let root = problem.root();
+    ids.insert(root.clone(), 0);
+    good.push(true);
+    let mut frontier = vec![root];
+    while let Some(p) = frontier.pop() {
+        if problem.pattern_len(&p) >= max_len {
+            continue;
+        }
+        for c in problem.children(&p) {
+            if ids.contains_key(&c) {
+                continue;
+            }
+            let g = problem.goodness(&c);
+            let id = ids.len();
+            ids.insert(c.clone(), id);
+            good.push(problem.is_good(&c, g));
+            frontier.push(c);
+        }
+    }
+    (ids, good)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::{ToyItemsets, ToySeq};
+
+    fn label_items(p: &Vec<u32>) -> String {
+        format!("{{{}}}", p.iter().map(u32::to_string).collect::<Vec<_>>().join(","))
+    }
+
+    #[test]
+    fn fig_3_2_itemset_edag_structure() {
+        // Items {1,2,3,4}: the complete E-dag has 16 vertices (the
+        // powerset) and every k-itemset has k incoming edges.
+        let p = ToyItemsets::new(vec![vec![1, 2, 3, 4]], 1);
+        let dot = edag_dot(&p, 4, label_items);
+        let nodes = dot.matches("label=").count();
+        assert_eq!(nodes, 16);
+        let edges = dot.matches(" -> ").count();
+        // Sum over k of k * C(4, k) = 4 + 12 + 12 + 4 = 32.
+        assert_eq!(edges, 32);
+        assert!(dot.contains("{1,2,3,4}"));
+    }
+
+    #[test]
+    fn fig_3_7_itemset_etree_structure() {
+        // The E-tree keeps only the unique-parent edges: 15 edges for 16
+        // vertices.
+        let p = ToyItemsets::new(vec![vec![1, 2, 3, 4]], 1);
+        let dot = etree_dot(&p, 4, label_items);
+        assert_eq!(dot.matches("label=").count(), 16);
+        assert_eq!(dot.matches(" -> ").count(), 15);
+    }
+
+    #[test]
+    fn bad_patterns_are_dashed() {
+        let p = ToySeq::new(vec!["AB", "AB", "BA"], 2, 2);
+        let dot = edag_dot(&p, 2, |s| format!("*{s}*"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("style=solid"));
+        // "AA" never occurs: dashed.
+        let aa_line = dot
+            .lines()
+            .find(|l| l.contains("*AA*"))
+            .expect("AA vertex present");
+        assert!(aa_line.contains("dashed"), "{aa_line}");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let p = ToySeq::new(vec!["\"A"], 1, 1);
+        let dot = edag_dot(&p, 1, |s| format!("\"{s}\""));
+        assert!(dot.contains("\\\""));
+    }
+}

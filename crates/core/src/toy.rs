@@ -1,0 +1,431 @@
+//! Small self-contained mining problems used throughout the tests — the
+//! three application classes of Table 3.1 in miniature, matching the
+//! worked examples of Figs. 3.1–3.3 / 3.6–3.8.
+
+use crate::problem::{MiningProblem, PatternCodec};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Sequence pattern discovery in miniature (Fig. 3.1 / 3.6).
+// ---------------------------------------------------------------------
+
+/// Exact substring motifs `*X*` over a tiny sequence database. Patterns are
+/// contiguous segments; a pattern is good if it occurs (as a substring) in
+/// at least `min_occurrence` sequences. Children extend the segment on the
+/// right; immediate subpatterns are the `(k-1)`-prefix and `(k-1)`-suffix,
+/// exactly as in Example 3.1.4.
+#[derive(Debug, Clone)]
+pub struct ToySeq {
+    sequences: Vec<String>,
+    alphabet: Vec<char>,
+    min_occurrence: usize,
+    max_len: usize,
+}
+
+impl ToySeq {
+    /// Build the problem from sequences, an occurrence threshold, and a
+    /// maximum pattern length.
+    pub fn new(sequences: Vec<&str>, min_occurrence: usize, max_len: usize) -> Self {
+        let sequences: Vec<String> = sequences.into_iter().map(str::to_owned).collect();
+        let mut alphabet: Vec<char> = sequences
+            .iter()
+            .flat_map(|s| s.chars())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        alphabet.sort_unstable();
+        ToySeq {
+            sequences,
+            alphabet,
+            min_occurrence,
+            max_len,
+        }
+    }
+
+    /// Number of sequences containing `pat` as a substring.
+    pub fn occurrence(&self, pat: &str) -> usize {
+        self.sequences.iter().filter(|s| s.contains(pat)).count()
+    }
+}
+
+impl MiningProblem for ToySeq {
+    type Pattern = String;
+
+    fn root(&self) -> String {
+        String::new()
+    }
+
+    fn pattern_len(&self, p: &String) -> usize {
+        p.chars().count()
+    }
+
+    fn children(&self, p: &String) -> Vec<String> {
+        if self.pattern_len(p) >= self.max_len {
+            return Vec::new();
+        }
+        self.alphabet
+            .iter()
+            .map(|c| {
+                let mut s = p.clone();
+                s.push(*c);
+                s
+            })
+            .collect()
+    }
+
+    fn immediate_subpatterns(&self, p: &String) -> Vec<String> {
+        let n = p.chars().count();
+        debug_assert!(n >= 1);
+        let chars: Vec<char> = p.chars().collect();
+        let prefix: String = chars[..n - 1].iter().collect();
+        let suffix: String = chars[1..].iter().collect();
+        if prefix == suffix {
+            vec![prefix]
+        } else {
+            vec![prefix, suffix]
+        }
+    }
+
+    fn goodness(&self, p: &String) -> f64 {
+        self.occurrence(p) as f64
+    }
+
+    fn is_good(&self, _p: &String, goodness: f64) -> bool {
+        goodness >= self.min_occurrence as f64
+    }
+}
+
+impl PatternCodec for ToySeq {
+    fn encode_pattern(&self, p: &String) -> Vec<u8> {
+        p.as_bytes().to_vec()
+    }
+    fn decode_pattern(&self, bytes: &[u8]) -> String {
+        String::from_utf8(bytes.to_vec()).expect("toy sequence patterns are UTF-8")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Association rule mining in miniature (Fig. 3.2 / 3.7).
+// ---------------------------------------------------------------------
+
+/// Frequent itemsets over a transaction list. Patterns are sorted itemsets;
+/// the unique parent of `{i1 < … < ik}` is its `(k-1)`-prefix, so children
+/// extend with items larger than the maximum (the classic lexicographic
+/// generation); immediate subpatterns are all `(k-1)`-subsets.
+#[derive(Debug, Clone)]
+pub struct ToyItemsets {
+    transactions: Vec<Vec<u32>>,
+    items: Vec<u32>,
+    min_support: usize,
+}
+
+impl ToyItemsets {
+    /// Build from transactions (item lists in any order) and a minimum
+    /// support count.
+    pub fn new(transactions: Vec<Vec<u32>>, min_support: usize) -> Self {
+        let mut transactions: Vec<Vec<u32>> = transactions
+            .into_iter()
+            .map(|mut t| {
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        transactions.retain(|t| !t.is_empty());
+        let mut items: Vec<u32> = transactions
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        items.sort_unstable();
+        ToyItemsets {
+            transactions,
+            items,
+            min_support,
+        }
+    }
+
+    /// Support count of `itemset` (assumed sorted).
+    pub fn support(&self, itemset: &[u32]) -> usize {
+        self.transactions
+            .iter()
+            .filter(|t| itemset.iter().all(|i| t.binary_search(i).is_ok()))
+            .count()
+    }
+}
+
+impl MiningProblem for ToyItemsets {
+    type Pattern = Vec<u32>;
+
+    fn root(&self) -> Vec<u32> {
+        Vec::new()
+    }
+
+    fn pattern_len(&self, p: &Vec<u32>) -> usize {
+        p.len()
+    }
+
+    fn children(&self, p: &Vec<u32>) -> Vec<Vec<u32>> {
+        let last = p.last().copied();
+        self.items
+            .iter()
+            .filter(|&&i| last.map_or(true, |l| i > l))
+            .map(|&i| {
+                let mut c = p.clone();
+                c.push(i);
+                c
+            })
+            .collect()
+    }
+
+    fn immediate_subpatterns(&self, p: &Vec<u32>) -> Vec<Vec<u32>> {
+        (0..p.len())
+            .map(|drop| {
+                p.iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, &v)| v)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn goodness(&self, p: &Vec<u32>) -> f64 {
+        self.support(p) as f64
+    }
+
+    fn is_good(&self, _p: &Vec<u32>, goodness: f64) -> bool {
+        goodness >= self.min_support as f64
+    }
+}
+
+impl PatternCodec for ToyItemsets {
+    fn encode_pattern(&self, p: &Vec<u32>) -> Vec<u8> {
+        p.iter().flat_map(|i| i.to_le_bytes()).collect()
+    }
+    fn decode_pattern(&self, bytes: &[u8]) -> Vec<u32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Classification rule mining in miniature (Fig. 3.3 / 3.8).
+// ---------------------------------------------------------------------
+
+/// Conjunctive classification rules over a tiny categorical table.
+/// Patterns are *ordered* conjunctions of attribute=value conditions (the
+/// same condition set appears once per attribute order, exactly as in Fig.
+/// 3.3); children append a condition on any attribute not yet used;
+/// the single immediate subpattern is the `(k-1)`-prefix (Example 3.1.4).
+///
+/// A pattern is good if it covers at least `min_cover` rows and the
+/// majority class among covered rows has purity at least `min_purity` —
+/// a simplified stand-in for the info-gain criterion that keeps `good`
+/// a per-pattern predicate.
+#[derive(Debug, Clone)]
+pub struct ToyRules {
+    /// Rows of attribute values: `rows[r][a]` is row r's value of attr a.
+    rows: Vec<Vec<u8>>,
+    /// Class label per row.
+    classes: Vec<u8>,
+    /// Domain size of each attribute.
+    domains: Vec<u8>,
+    min_cover: usize,
+    min_purity: f64,
+}
+
+impl ToyRules {
+    /// Build from a table, classes, per-attribute domain sizes, and the
+    /// goodness thresholds.
+    pub fn new(
+        rows: Vec<Vec<u8>>,
+        classes: Vec<u8>,
+        domains: Vec<u8>,
+        min_cover: usize,
+        min_purity: f64,
+    ) -> Self {
+        assert_eq!(rows.len(), classes.len());
+        for r in &rows {
+            assert_eq!(r.len(), domains.len());
+        }
+        ToyRules {
+            rows,
+            classes,
+            domains,
+            min_cover,
+            min_purity,
+        }
+    }
+
+    fn covered(&self, conds: &[(u8, u8)]) -> Vec<usize> {
+        (0..self.rows.len())
+            .filter(|&r| conds.iter().all(|&(a, v)| self.rows[r][a as usize] == v))
+            .collect()
+    }
+
+    /// (cover count, majority-class purity) of a conjunction.
+    pub fn cover_purity(&self, conds: &[(u8, u8)]) -> (usize, f64) {
+        let rows = self.covered(conds);
+        if rows.is_empty() {
+            return (0, 0.0);
+        }
+        let mut counts: HashMap<u8, usize> = HashMap::new();
+        for &r in &rows {
+            *counts.entry(self.classes[r]).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        (rows.len(), max as f64 / rows.len() as f64)
+    }
+}
+
+impl MiningProblem for ToyRules {
+    /// `(attribute, value)` conjunction, in the order conditions were added.
+    type Pattern = Vec<(u8, u8)>;
+
+    fn root(&self) -> Self::Pattern {
+        Vec::new()
+    }
+
+    fn pattern_len(&self, p: &Self::Pattern) -> usize {
+        p.len()
+    }
+
+    fn children(&self, p: &Self::Pattern) -> Vec<Self::Pattern> {
+        let used: Vec<u8> = p.iter().map(|&(a, _)| a).collect();
+        let mut out = Vec::new();
+        for a in 0..self.domains.len() as u8 {
+            if used.contains(&a) {
+                continue;
+            }
+            for v in 0..self.domains[a as usize] {
+                let mut c = p.clone();
+                c.push((a, v));
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    fn immediate_subpatterns(&self, p: &Self::Pattern) -> Vec<Self::Pattern> {
+        vec![p[..p.len() - 1].to_vec()]
+    }
+
+    fn goodness(&self, p: &Self::Pattern) -> f64 {
+        let (cover, purity) = self.cover_purity(p);
+        if cover < self.min_cover {
+            // Encode the cover failure so is_good can reject.
+            return -1.0;
+        }
+        purity
+    }
+
+    fn is_good(&self, _p: &Self::Pattern, goodness: f64) -> bool {
+        goodness >= self.min_purity
+    }
+}
+
+impl PatternCodec for ToyRules {
+    fn encode_pattern(&self, p: &Self::Pattern) -> Vec<u8> {
+        p.iter().flat_map(|&(a, v)| [a, v]).collect()
+    }
+    fn decode_pattern(&self, bytes: &[u8]) -> Self::Pattern {
+        bytes.chunks_exact(2).map(|c| (c[0], c[1])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edag::sequential_edt;
+    use crate::etree::sequential_ett;
+
+    #[test]
+    fn toyseq_occurrence_counts() {
+        let p = ToySeq::new(vec!["FFRR", "MRRM", "MTRM"], 2, usize::MAX);
+        assert_eq!(p.occurrence("R"), 3);
+        assert_eq!(p.occurrence("RR"), 2);
+        assert_eq!(p.occurrence("RM"), 2);
+        assert_eq!(p.occurrence("FF"), 1);
+        assert_eq!(p.occurrence("ZZ"), 0);
+    }
+
+    #[test]
+    fn toyseq_subpatterns_dedup_when_prefix_equals_suffix() {
+        let p = ToySeq::new(vec!["AAA"], 1, usize::MAX);
+        assert_eq!(p.immediate_subpatterns(&"AA".to_string()), vec!["A"]);
+        assert_eq!(
+            p.immediate_subpatterns(&"AB".to_string()),
+            vec!["A".to_string(), "B".to_string()]
+        );
+    }
+
+    #[test]
+    fn toyitemsets_support() {
+        let p = ToyItemsets::new(vec![vec![2, 1], vec![1, 3], vec![1]], 1);
+        assert_eq!(p.support(&[1]), 3);
+        assert_eq!(p.support(&[1, 2]), 1);
+        assert_eq!(p.support(&[2, 3]), 0);
+    }
+
+    #[test]
+    fn toyitemsets_children_are_lexicographic_extensions() {
+        let p = ToyItemsets::new(vec![vec![1, 2, 3]], 1);
+        assert_eq!(
+            p.children(&vec![2]),
+            vec![vec![2, 3]],
+            "children only extend with larger items"
+        );
+        assert_eq!(p.children(&vec![]).len(), 3);
+    }
+
+    #[test]
+    fn toyrules_fig_3_3_shape() {
+        // Attributes A (2 values) and B (3 values) as in Fig. 3.3: the root
+        // has 2 + 3 = 5 children; each child of A=a1 appends a B condition.
+        let rows = vec![vec![0, 0], vec![0, 1], vec![1, 2], vec![1, 0]];
+        let classes = vec![0, 0, 1, 1];
+        let p = ToyRules::new(rows, classes, vec![2, 3], 1, 0.99);
+        assert_eq!(p.children(&vec![]).len(), 5);
+        assert_eq!(p.children(&vec![(0, 0)]).len(), 3);
+        assert_eq!(p.children(&vec![(0, 0), (1, 0)]).len(), 0);
+        // Pure rule A=a1 -> class 0.
+        let (cover, purity) = p.cover_purity(&[(0, 0)]);
+        assert_eq!(cover, 2);
+        assert!((purity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toyrules_edt_ett_agree() {
+        let rows = vec![
+            vec![0, 0],
+            vec![0, 1],
+            vec![0, 1],
+            vec![1, 2],
+            vec![1, 0],
+            vec![1, 1],
+        ];
+        let classes = vec![0, 0, 0, 1, 1, 0];
+        let p = ToyRules::new(rows, classes, vec![2, 3], 2, 0.9);
+        assert_eq!(sequential_edt(&p).good, sequential_ett(&p).good);
+    }
+
+    #[test]
+    fn codecs_roundtrip() {
+        let ps = ToySeq::new(vec!["AB"], 1, 4);
+        let s = "AB".to_string();
+        assert_eq!(ps.decode_pattern(&ps.encode_pattern(&s)), s);
+
+        let pi = ToyItemsets::new(vec![vec![1, 2]], 1);
+        let i = vec![1u32, 2, 9];
+        assert_eq!(pi.decode_pattern(&pi.encode_pattern(&i)), i);
+
+        let pr = ToyRules::new(vec![vec![0]], vec![0], vec![1], 1, 0.5);
+        let r = vec![(0u8, 0u8)];
+        assert_eq!(pr.decode_pattern(&pr.encode_pattern(&r)), r);
+    }
+}

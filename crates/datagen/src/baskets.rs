@@ -1,0 +1,122 @@
+//! Quest-style synthetic market-basket transactions (the standard IBM
+//! generator design used by the Apriori/Partition literature of §2.2).
+//!
+//! A pool of "potentially frequent" patterns is drawn first; each
+//! transaction then samples a few patterns (with per-item corruption) and
+//! pads with random items, so the resulting database has genuine frequent
+//! itemsets of varying size amid noise.
+
+use assoc::TransactionDb;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generator parameters (names follow the Quest conventions).
+#[derive(Debug, Clone)]
+pub struct BasketSpec {
+    /// Number of transactions (`|D|`).
+    pub transactions: usize,
+    /// Item universe size (`N`).
+    pub items: u32,
+    /// Average transaction length (`|T|`).
+    pub avg_txn_len: usize,
+    /// Number of patterns in the pool (`|L|`).
+    pub patterns: usize,
+    /// Average pattern length (`|I|`).
+    pub avg_pattern_len: usize,
+    /// Probability an item of a chosen pattern is dropped (corruption).
+    pub corruption: f64,
+}
+
+impl Default for BasketSpec {
+    fn default() -> Self {
+        BasketSpec {
+            transactions: 1000,
+            items: 200,
+            avg_txn_len: 10,
+            patterns: 20,
+            avg_pattern_len: 4,
+            corruption: 0.25,
+        }
+    }
+}
+
+/// Generate a transaction database.
+pub fn basket_db(spec: &BasketSpec, seed: u64) -> TransactionDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Pattern pool.
+    let pool: Vec<Vec<u32>> = (0..spec.patterns)
+        .map(|_| {
+            let len = (spec.avg_pattern_len / 2
+                + rng.random_range(0..=spec.avg_pattern_len))
+            .max(1);
+            let mut p: Vec<u32> = (0..len).map(|_| rng.random_range(0..spec.items)).collect();
+            p.sort_unstable();
+            p.dedup();
+            p
+        })
+        .collect();
+
+    let mut txns = Vec::with_capacity(spec.transactions);
+    for _ in 0..spec.transactions {
+        let target = (spec.avg_txn_len / 2 + rng.random_range(0..=spec.avg_txn_len)).max(1);
+        let mut t: Vec<u32> = Vec::with_capacity(target + 4);
+        while t.len() < target {
+            // Sample a pattern, corrupt it, append.
+            let p = &pool[rng.random_range(0..pool.len())];
+            for &item in p {
+                if !rng.random_bool(spec.corruption) {
+                    t.push(item);
+                }
+            }
+            // Occasional random noise item.
+            if rng.random_bool(0.3) {
+                t.push(rng.random_range(0..spec.items));
+            }
+        }
+        txns.push(t);
+    }
+    TransactionDb::new(txns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use assoc::apriori;
+
+    #[test]
+    fn shape_matches_spec() {
+        let spec = BasketSpec {
+            transactions: 200,
+            items: 50,
+            avg_txn_len: 8,
+            ..BasketSpec::default()
+        };
+        let db = basket_db(&spec, 1);
+        assert_eq!(db.len(), 200);
+        let avg: usize =
+            db.transactions().iter().map(Vec::len).sum::<usize>() / db.len();
+        assert!((3..=16).contains(&avg), "avg txn len {avg}");
+        assert!(db.items().iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = BasketSpec::default();
+        let a = basket_db(&spec, 9);
+        let b = basket_db(&spec, 9);
+        assert_eq!(a.transactions(), b.transactions());
+    }
+
+    #[test]
+    fn database_contains_multi_item_frequent_sets() {
+        // The pattern pool must induce frequent 2-itemsets at a 2% support
+        // threshold — that is the point of the Quest design.
+        let db = basket_db(&BasketSpec::default(), 3);
+        let freq = apriori(&db, db.len() / 50);
+        assert!(
+            freq.keys().any(|s| s.len() >= 2),
+            "expected some frequent pair, got only {} singletons",
+            freq.len()
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! # `datagen` — seeded synthetic data for the reproduction experiments
+//!
+//! The dissertation's experiments depend on data that is not available in
+//! this environment (PIR protein files, UCI datasets, 27 years of daily
+//! exchange rates). Per the substitution policy of `DESIGN.md`, each is
+//! replaced by a deterministic, seeded generator matching the original's
+//! published shape and exercising the same code paths:
+//!
+//! * [`proteins`] — amino-acid families with planted motifs
+//!   (`cyclins.pirx` substitute, §4.3 / Table 4.2);
+//! * [`rna`] — random RNA secondary-structure trees with planted subtree
+//!   motifs (§4.1.2);
+//! * [`baskets`] — Quest-style market-basket transactions (§2.2);
+//! * [`benchmarks`] — the seven Table 5.1 datasets plus `letter`, with
+//!   latent-rule class structure calibrated to the paper's reported
+//!   accuracies (§5.5, §6);
+//! * [`forexgen`] — regime-switching exchange-rate series for the five
+//!   Table 5.5 currency pairs (§5.6).
+//!
+//! Everything is a pure function of its seed.
+
+#![warn(missing_docs)]
+
+pub mod baskets;
+pub mod eventstream;
+pub mod benchmarks;
+pub mod forexgen;
+pub mod proteins;
+pub mod rna;
+
+pub use baskets::{basket_db, BasketSpec};
+pub use eventstream::event_stream;
+pub use benchmarks::{all_specs, benchmark, generate, spec, BenchmarkSpec};
+pub use forexgen::{fx_pairs, fx_series, FxSpec};
+pub use proteins::{cyclins_substitute, protein_family, PlantedMotif};
+pub use rna::rna_structures;

@@ -1,0 +1,167 @@
+//! Synthetic protein families with planted motifs — the stand-in for the
+//! PIR `cyclins.pirx` file of §4.3 (47 cyclin sequences, average length
+//! ~400).
+//!
+//! Planted motifs give the discovery experiments a known ground truth:
+//! each motif string is copied (optionally with point mutations) into a
+//! chosen fraction of the sequences at random positions; everything else
+//! is i.i.d. background over the 20-letter amino-acid alphabet.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use seqmine::{Sequence, AMINO_ACIDS};
+
+/// A motif to plant.
+#[derive(Debug, Clone)]
+pub struct PlantedMotif {
+    /// The motif letters.
+    pub pattern: Vec<u8>,
+    /// Fraction of sequences that receive a copy.
+    pub occurrence: f64,
+    /// Maximum point mutations per planted copy (each copy receives a
+    /// uniform number in `0..=mutations`, so some copies stay exact —
+    /// which is what lets phase-1 candidate harvesting find the family).
+    pub mutations: usize,
+}
+
+impl PlantedMotif {
+    /// Plant `pattern` in `occurrence` of the sequences, exactly.
+    pub fn exact(pattern: &str, occurrence: f64) -> Self {
+        PlantedMotif {
+            pattern: pattern.as_bytes().to_vec(),
+            occurrence,
+            mutations: 0,
+        }
+    }
+
+    /// Plant with `mutations` point substitutions per copy.
+    pub fn mutated(pattern: &str, occurrence: f64, mutations: usize) -> Self {
+        PlantedMotif {
+            pattern: pattern.as_bytes().to_vec(),
+            occurrence,
+            mutations,
+        }
+    }
+}
+
+/// Generate a protein family of `n` sequences with lengths uniform in
+/// `[avg_len - spread, avg_len + spread]` and the given planted motifs.
+pub fn protein_family(
+    seed: u64,
+    n: usize,
+    avg_len: usize,
+    spread: usize,
+    motifs: &[PlantedMotif],
+) -> Vec<Sequence> {
+    assert!(avg_len > spread, "average length must exceed the spread");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seqs: Vec<Vec<u8>> = (0..n)
+        .map(|_| {
+            let len = avg_len - spread + rng.random_range(0..=2 * spread);
+            (0..len)
+                .map(|_| AMINO_ACIDS[rng.random_range(0..AMINO_ACIDS.len())])
+                .collect()
+        })
+        .collect();
+
+    for m in motifs {
+        let carriers = ((n as f64 * m.occurrence).round() as usize).min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        // Partial shuffle to pick carrier sequences.
+        for i in 0..carriers {
+            let j = rng.random_range(i..n);
+            order.swap(i, j);
+        }
+        for &s in &order[..carriers] {
+            let mut copy = m.pattern.clone();
+            let damage = rng.random_range(0..=m.mutations);
+            for _ in 0..damage {
+                let pos = rng.random_range(0..copy.len());
+                copy[pos] = AMINO_ACIDS[rng.random_range(0..AMINO_ACIDS.len())];
+            }
+            let seq = &mut seqs[s];
+            if seq.len() <= copy.len() {
+                continue;
+            }
+            let at = rng.random_range(0..seq.len() - copy.len());
+            seq[at..at + copy.len()].copy_from_slice(&copy);
+        }
+    }
+    seqs.into_iter().map(Sequence::new).collect()
+}
+
+/// The `cyclins.pirx` substitute used throughout the Chapter 4
+/// experiments: 47 sequences of average length 400 carrying three exact
+/// motif families (so setting 1 of Table 4.2 — length ≥ 12, occurrence ≥
+/// 5, no mutations — finds a small number of long motifs) plus several
+/// diffuse mutated families (so setting 2 — length ≥ 16, occurrence ≥ 12,
+/// 4 mutations — finds many more).
+pub fn cyclins_substitute(seed: u64) -> Vec<Sequence> {
+    let motifs = vec![
+        // Setting-1 targets: long, exact, in >= 5 sequences.
+        PlantedMotif::exact("MRAILVDWLVEVGE", 0.15),
+        PlantedMotif::exact("YLDRFLSLEPVKKS", 0.13),
+        PlantedMotif::exact("LQLVGTAAMLLASK", 0.12),
+        // Setting-2 targets: longer, planted widely with small per-copy
+        // damage so they are found only with a mutation budget.
+        PlantedMotif::mutated("EADPFLKYLPSVIAGAAFHL", 0.4, 2),
+        PlantedMotif::mutated("KYEEIYPPEVAEFVYITDDT", 0.35, 2),
+        PlantedMotif::mutated("WSLAVACLSADVLHLNQAFL", 0.3, 2),
+    ];
+    protein_family(seed, 47, 400, 60, &motifs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seqmine::{occurrence_number, Motif};
+
+    #[test]
+    fn family_shape() {
+        let seqs = protein_family(1, 10, 100, 20, &[]);
+        assert_eq!(seqs.len(), 10);
+        for s in &seqs {
+            assert!((80..=120).contains(&s.len()));
+            assert!(s.bytes().iter().all(|b| AMINO_ACIDS.contains(b)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(protein_family(7, 5, 50, 5, &[]), protein_family(7, 5, 50, 5, &[]));
+        assert_ne!(protein_family(7, 5, 50, 5, &[]), protein_family(8, 5, 50, 5, &[]));
+    }
+
+    #[test]
+    fn exact_motifs_are_planted_at_rate() {
+        let m = PlantedMotif::exact("WWWWHHHHKKKK", 0.5);
+        let seqs = protein_family(3, 40, 200, 20, &[m]);
+        let found = seqs
+            .iter()
+            .filter(|s| s.contains(b"WWWWHHHHKKKK"))
+            .count();
+        // At least the planted 20 carriers (random background of length 12
+        // essentially never collides).
+        assert!(found >= 20, "found {found}");
+        assert!(found <= 24);
+    }
+
+    #[test]
+    fn mutated_motifs_match_within_budget() {
+        let m = PlantedMotif::mutated("CCCCDDDDEEEEFFFF", 0.6, 2);
+        let seqs = protein_family(9, 30, 150, 10, &[m]);
+        let motif = Motif::single(b"CCCCDDDDEEEEFFFF");
+        let exact = occurrence_number(&motif, &seqs, 0);
+        let within2 = occurrence_number(&motif, &seqs, 2);
+        assert!(within2 >= 18, "within2 {within2}");
+        assert!(within2 >= exact);
+    }
+
+    #[test]
+    fn cyclins_substitute_matches_table_4_2_shape() {
+        let seqs = cyclins_substitute(42);
+        assert_eq!(seqs.len(), 47);
+        let avg: usize = seqs.iter().map(Sequence::len).sum::<usize>() / seqs.len();
+        assert!((340..=460).contains(&avg), "avg {avg}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Synthetic RNA secondary-structure trees — the stand-in for the multiple
+//! RNA structures of §4.1.2.
+//!
+//! Structures are random ordered trees over the Shapiro–Zhang alphabet
+//! (`N`-rooted, stems `R` carrying loops `H/I/B/M`), with optional planted
+//! submotifs grafted into a fraction of the trees.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use treemine::OrderedTree;
+
+/// Generate `n` random RNA structure trees of roughly `avg_size` nodes,
+/// grafting a copy of each `planted` motif into the given fraction of
+/// them.
+pub fn rna_structures(
+    seed: u64,
+    n: usize,
+    avg_size: usize,
+    planted: &[(OrderedTree, f64)],
+) -> Vec<OrderedTree> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trees: Vec<OrderedTree> = (0..n).map(|_| random_structure(&mut rng, avg_size)).collect();
+    for (motif, fraction) in planted {
+        let carriers = ((n as f64 * fraction).round() as usize).min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in 0..carriers {
+            let j = rng.random_range(i..n);
+            order.swap(i, j);
+        }
+        for &t in &order[..carriers] {
+            let node = rng.random_range(0..trees[t].len());
+            trees[t].graft(node, motif);
+        }
+    }
+    trees
+}
+
+/// One random structure: an `N` connector over a run of stems, each stem
+/// `R` closing on a loop that is either a hairpin `H`, or a bulge/internal
+/// loop continuing the stem, or a multi-branch `M` splitting into further
+/// stems — mirroring the grammar of Fig. 4.2's representation.
+fn random_structure(rng: &mut StdRng, avg_size: usize) -> OrderedTree {
+    let budget = (avg_size / 2 + rng.random_range(0..avg_size.max(2))).max(3);
+    let mut tree = OrderedTree::leaf(b'N');
+    let mut remaining = budget as i64;
+    let stems = 1 + rng.random_range(0..3);
+    for _ in 0..stems {
+        grow_stem(rng, &mut tree, 0, &mut remaining, 0);
+    }
+    tree
+}
+
+fn grow_stem(
+    rng: &mut StdRng,
+    tree: &mut OrderedTree,
+    parent: usize,
+    remaining: &mut i64,
+    depth: usize,
+) {
+    if *remaining <= 0 || depth > 8 {
+        return;
+    }
+    let stem = tree.graft(parent, &OrderedTree::leaf(b'R'));
+    *remaining -= 1;
+    match rng.random_range(0..10) {
+        // Hairpin terminates the stem.
+        0..=4 => {
+            tree.graft(stem, &OrderedTree::leaf(b'H'));
+            *remaining -= 1;
+        }
+        // Bulge or internal loop continues the stem.
+        5..=7 => {
+            let label = if rng.random_bool(0.5) { b'B' } else { b'I' };
+            let loop_node = tree.graft(stem, &OrderedTree::leaf(label));
+            *remaining -= 1;
+            grow_stem(rng, tree, loop_node, remaining, depth + 1);
+        }
+        // Multi-branch loop splits into 2-3 stems.
+        _ => {
+            let m = tree.graft(stem, &OrderedTree::leaf(b'M'));
+            *remaining -= 1;
+            for _ in 0..2 + rng.random_range(0..2) {
+                grow_stem(rng, tree, m, remaining, depth + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treemine::{contains_within, RNA_LABELS};
+
+    #[test]
+    fn structures_use_rna_alphabet() {
+        let trees = rna_structures(5, 8, 20, &[]);
+        assert_eq!(trees.len(), 8);
+        for t in &trees {
+            assert!(t.len() >= 3);
+            for n in t.nodes() {
+                assert!(RNA_LABELS.contains(&t.label(n)));
+            }
+            assert_eq!(t.label(0), b'N');
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rna_structures(3, 4, 15, &[]);
+        let b = rna_structures(3, 4, 15, &[]);
+        assert_eq!(
+            a.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+            b.iter().map(|t| t.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn planted_motifs_occur() {
+        let motif = OrderedTree::parse("M(R(H),R(H))");
+        let trees = rna_structures(11, 12, 18, &[(motif.clone(), 0.75)]);
+        let hits = trees
+            .iter()
+            .filter(|t| contains_within(&motif, t, 0))
+            .count();
+        assert!(hits >= 9, "hits {hits}");
+    }
+}

@@ -1,0 +1,381 @@
+//! # `episodes` — frequent episode discovery in event sequences
+//!
+//! The dissertation's §8.2 names *frequent episode discovery* as a prime
+//! candidate for the E-dag framework ("many applications fit the pattern
+//! lattice paradigm"); this crate implements it, WINEPI-style (Mannila,
+//! Toivonen & Verkamo): given a long event sequence and a window width
+//! `w`, find all **serial episodes** — ordered tuples of event types —
+//! that occur (as subsequences) in at least `min_frequency` of the
+//! sliding windows.
+//!
+//! Window frequency is anti-monotone under subsequence removal: every
+//! window containing `A → B → C` contains `A → C`, so the episode lattice
+//! is exactly a pattern-lattice mining application:
+//!
+//! * pattern: the event-type sequence;
+//! * children: append any event type (unique-parent generation);
+//! * immediate subpatterns: all drop-one-position subsequences;
+//! * goodness: the count of windows containing the episode in order.
+//!
+//! ```
+//! use episodes::{discover_episodes, EpisodeParams, EventSequence};
+//!
+//! // A, B alternating with a C in between: A→B recurs everywhere.
+//! let events = EventSequence::new(vec![
+//!     (0, b'A'), (1, b'C'), (2, b'B'),
+//!     (4, b'A'), (5, b'B'),
+//!     (8, b'A'), (9, b'C'), (10, b'B'),
+//! ]);
+//! let found = discover_episodes(&events, EpisodeParams {
+//!     window: 4, min_windows: 3, min_length: 2, max_length: 3,
+//! });
+//! assert!(found.iter().any(|e| e.episode == b"AB".to_vec()));
+//! ```
+
+#![warn(missing_docs)]
+
+use fpdm_core::{
+    parallel_ett, sequential_ett, MiningOutcome, MiningProblem, ParallelConfig, PatternCodec,
+};
+use std::sync::Arc;
+
+/// A time-stamped event stream, sorted by time.
+#[derive(Debug, Clone)]
+pub struct EventSequence {
+    /// `(time, event type)` pairs, ascending in time.
+    events: Vec<(u32, u8)>,
+    /// Distinct event types, ascending.
+    alphabet: Vec<u8>,
+}
+
+impl EventSequence {
+    /// Build from raw `(time, event)` pairs (sorted internally).
+    pub fn new(mut events: Vec<(u32, u8)>) -> Self {
+        events.sort_unstable();
+        let mut alphabet: Vec<u8> = events
+            .iter()
+            .map(|&(_, e)| e)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        alphabet.sort_unstable();
+        EventSequence { events, alphabet }
+    }
+
+    /// The events.
+    pub fn events(&self) -> &[(u32, u8)] {
+        &self.events
+    }
+
+    /// Distinct event types.
+    pub fn alphabet(&self) -> &[u8] {
+        &self.alphabet
+    }
+
+    /// Time span `[first, last]` of the stream (`None` when empty).
+    pub fn span(&self) -> Option<(u32, u32)> {
+        Some((self.events.first()?.0, self.events.last()?.0))
+    }
+
+    /// Number of width-`w` windows considered by WINEPI: one starting at
+    /// every integer time in `[first - w + 1, last]` (each event is seen
+    /// by exactly `w` windows).
+    pub fn n_windows(&self, w: u32) -> usize {
+        match self.span() {
+            Some((first, last)) => (last - first + w) as usize,
+            None => 0,
+        }
+    }
+
+    /// Does the half-open window `[t, t + w)` contain `episode` as an
+    /// in-order subsequence?
+    pub fn window_contains(&self, t: i64, w: u32, episode: &[u8]) -> bool {
+        let end = t + w as i64;
+        let start = self
+            .events
+            .partition_point(|&(time, _)| (time as i64) < t);
+        let mut need = 0usize;
+        for &(time, ev) in &self.events[start..] {
+            if (time as i64) >= end {
+                break;
+            }
+            if need < episode.len() && ev == episode[need] {
+                need += 1;
+                if need == episode.len() {
+                    return true;
+                }
+            }
+        }
+        episode.is_empty()
+    }
+
+    /// WINEPI window count: the number of width-`w` windows containing
+    /// `episode` in order.
+    pub fn window_count(&self, w: u32, episode: &[u8]) -> usize {
+        let Some((first, last)) = self.span() else {
+            return 0;
+        };
+        let lo = first as i64 - w as i64 + 1;
+        let hi = last as i64;
+        (lo..=hi)
+            .filter(|&t| self.window_contains(t, w, episode))
+            .count()
+    }
+}
+
+/// Discovery parameters.
+#[derive(Debug, Clone)]
+pub struct EpisodeParams {
+    /// Window width `w`.
+    pub window: u32,
+    /// Minimum number of containing windows.
+    pub min_windows: usize,
+    /// Minimum episode length for the report.
+    pub min_length: usize,
+    /// Maximum episode length (bounds the traversal).
+    pub max_length: usize,
+}
+
+/// A discovered frequent episode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentEpisode {
+    /// The event-type sequence.
+    pub episode: Vec<u8>,
+    /// Number of width-`w` windows containing it.
+    pub windows: usize,
+}
+
+/// Frequent-episode discovery as a pattern-lattice mining problem.
+pub struct EpisodeMiningProblem {
+    events: EventSequence,
+    params: EpisodeParams,
+}
+
+impl EpisodeMiningProblem {
+    /// Build the problem.
+    pub fn new(events: EventSequence, params: EpisodeParams) -> Self {
+        assert!(params.window >= 1);
+        EpisodeMiningProblem { events, params }
+    }
+
+    /// The underlying stream.
+    pub fn events(&self) -> &EventSequence {
+        &self.events
+    }
+
+    /// Report the good episodes meeting the length floor.
+    pub fn report(&self, outcome: &MiningOutcome<Vec<u8>>) -> Vec<FrequentEpisode> {
+        let mut out: Vec<FrequentEpisode> = outcome
+            .good
+            .iter()
+            .filter(|(e, _)| e.len() >= self.params.min_length)
+            .map(|(e, &w)| FrequentEpisode {
+                episode: e.clone(),
+                windows: w as usize,
+            })
+            .collect();
+        out.sort_by(|a, b| a.episode.cmp(&b.episode));
+        out
+    }
+}
+
+impl MiningProblem for EpisodeMiningProblem {
+    type Pattern = Vec<u8>;
+
+    fn root(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    fn pattern_len(&self, p: &Vec<u8>) -> usize {
+        p.len()
+    }
+
+    fn children(&self, p: &Vec<u8>) -> Vec<Vec<u8>> {
+        if p.len() >= self.params.max_length {
+            return Vec::new();
+        }
+        self.events
+            .alphabet
+            .iter()
+            .map(|&e| {
+                let mut q = p.clone();
+                q.push(e);
+                q
+            })
+            .collect()
+    }
+
+    fn immediate_subpatterns(&self, p: &Vec<u8>) -> Vec<Vec<u8>> {
+        let mut subs: Vec<Vec<u8>> = (0..p.len())
+            .map(|drop| {
+                p.iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != drop)
+                    .map(|(_, &e)| e)
+                    .collect()
+            })
+            .collect();
+        subs.sort();
+        subs.dedup();
+        subs
+    }
+
+    fn goodness(&self, p: &Vec<u8>) -> f64 {
+        self.events.window_count(self.params.window, p) as f64
+    }
+
+    fn is_good(&self, _p: &Vec<u8>, goodness: f64) -> bool {
+        goodness >= self.params.min_windows as f64
+    }
+}
+
+impl PatternCodec for EpisodeMiningProblem {
+    fn encode_pattern(&self, p: &Vec<u8>) -> Vec<u8> {
+        p.clone()
+    }
+    fn decode_pattern(&self, bytes: &[u8]) -> Vec<u8> {
+        bytes.to_vec()
+    }
+}
+
+/// Sequential discovery of all frequent serial episodes.
+pub fn discover_episodes(events: &EventSequence, params: EpisodeParams) -> Vec<FrequentEpisode> {
+    let problem = EpisodeMiningProblem::new(events.clone(), params);
+    let outcome = sequential_ett(&problem);
+    problem.report(&outcome)
+}
+
+/// Parallel discovery on the PLinda runtime.
+pub fn discover_episodes_parallel(
+    events: &EventSequence,
+    params: EpisodeParams,
+    config: &ParallelConfig,
+) -> Vec<FrequentEpisode> {
+    let problem = Arc::new(EpisodeMiningProblem::new(events.clone(), params));
+    let outcome = parallel_ett(Arc::clone(&problem), config);
+    problem.report(&outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpdm_core::sequential_edt;
+
+    fn stream() -> EventSequence {
+        // A..B pairs every 5 ticks; C noise.
+        let mut ev = Vec::new();
+        for k in 0..20u32 {
+            ev.push((5 * k, b'A'));
+            ev.push((5 * k + 2, b'B'));
+            if k % 3 == 0 {
+                ev.push((5 * k + 1, b'C'));
+            }
+        }
+        EventSequence::new(ev)
+    }
+
+    #[test]
+    fn window_containment_basics() {
+        let e = EventSequence::new(vec![(0, b'A'), (2, b'B'), (5, b'A')]);
+        assert!(e.window_contains(0, 3, b"AB"));
+        assert!(!e.window_contains(0, 2, b"AB")); // B at t=2 excluded
+        assert!(!e.window_contains(0, 3, b"BA")); // order matters
+        assert!(e.window_contains(2, 4, b"BA"));
+        assert!(e.window_contains(0, 1, b""));
+    }
+
+    #[test]
+    fn window_count_matches_brute_force() {
+        let e = stream();
+        for pat in [b"A".as_slice(), b"AB", b"BA", b"ABC", b"AA"] {
+            let w = 6;
+            let (first, last) = e.span().unwrap();
+            let brute = ((first as i64 - w as i64 + 1)..=(last as i64))
+                .filter(|&t| e.window_contains(t, w, pat))
+                .count();
+            assert_eq!(e.window_count(w, pat), brute);
+        }
+    }
+
+    #[test]
+    fn anti_monotone_under_drop_one() {
+        let e = stream();
+        let p = EpisodeMiningProblem::new(
+            e,
+            EpisodeParams {
+                window: 8,
+                min_windows: 1,
+                min_length: 1,
+                max_length: 4,
+            },
+        );
+        for episode in [b"AB".to_vec(), b"ABA".to_vec(), b"CAB".to_vec()] {
+            let whole = p.goodness(&episode);
+            for sub in p.immediate_subpatterns(&episode) {
+                assert!(
+                    p.goodness(&sub) >= whole,
+                    "{sub:?} vs {episode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn planted_episode_found() {
+        let found = discover_episodes(
+            &stream(),
+            EpisodeParams {
+                window: 5,
+                min_windows: 40,
+                min_length: 2,
+                max_length: 3,
+            },
+        );
+        assert!(
+            found.iter().any(|f| f.episode == b"AB".to_vec()),
+            "{found:?}"
+        );
+        // BA across period boundaries is rarer at this window width.
+        for f in &found {
+            assert!(f.windows >= 40);
+        }
+    }
+
+    #[test]
+    fn edt_ett_and_parallel_agree() {
+        let params = EpisodeParams {
+            window: 7,
+            min_windows: 25,
+            min_length: 1,
+            max_length: 3,
+        };
+        let p = EpisodeMiningProblem::new(stream(), params.clone());
+        let edt = sequential_edt(&p);
+        let ett = sequential_ett(&p);
+        assert_eq!(edt.good, ett.good);
+        assert!(edt.tested <= ett.tested);
+        let par = discover_episodes_parallel(
+            &stream(),
+            params.clone(),
+            &ParallelConfig::load_balanced(3),
+        );
+        let seq = discover_episodes(&stream(), params);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let e = EventSequence::new(vec![]);
+        assert_eq!(e.n_windows(5), 0);
+        let found = discover_episodes(
+            &e,
+            EpisodeParams {
+                window: 5,
+                min_windows: 1,
+                min_length: 1,
+                max_length: 2,
+            },
+        );
+        assert!(found.is_empty());
+    }
+}

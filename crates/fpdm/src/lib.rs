@@ -1,0 +1,49 @@
+//! # `fpdm` — Free Parallel Data Mining (umbrella crate)
+//!
+//! One-stop re-export of the workspace reproducing Bin Li's 1998 NYU
+//! dissertation *Free Parallel Data Mining*: the E-dag/E-tree framework
+//! for pattern-lattice mining, its biological and market-basket
+//! applications, the NyuMiner classification-tree family, data-parallel
+//! classification, the PLinda coordination substrate, and the
+//! network-of-workstations simulator.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+//!
+//! ```
+//! use fpdm::core::prelude::*;
+//!
+//! let problem = ToySeq::new(vec!["FFRR", "MRRM", "MTRM"], 2, usize::MAX);
+//! assert_eq!(sequential_edt(&problem).good, sequential_ett(&problem).good);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The E-dag/E-tree framework (primary contribution).
+pub use fpdm_core as core;
+
+/// PLinda-style tuple space, transactions, fault-tolerant runtime.
+pub use plinda;
+
+/// Discrete-event network-of-workstations simulator.
+pub use nowsim;
+
+/// Protein sequence motif discovery.
+pub use seqmine;
+
+/// RNA secondary-structure tree motif discovery.
+pub use treemine;
+
+/// Association rule mining.
+pub use assoc;
+
+/// NyuMiner classification trees, CART and C4.5 baselines.
+pub use classify;
+
+/// Data-parallel classification-tree mining.
+pub use parmine;
+
+/// Seeded synthetic data generators.
+pub use datagen;
+
+/// Frequent episode discovery (the §8.2 future-work application).
+pub use episodes;

@@ -1,0 +1,100 @@
+//! Property tests of the discrete-event NOW simulator: conservation and
+//! bound laws that must hold for every workload and machine pool.
+
+use nowsim::{MachineSpec, SimConfig, Simulator};
+use proptest::prelude::*;
+
+fn arb_costs() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..10.0, 1..30)
+}
+
+fn arb_speeds() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.25f64..4.0, 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_tasks_complete(costs in arb_costs(), speeds in arb_speeds()) {
+        let machines: Vec<MachineSpec> =
+            speeds.iter().map(|&s| MachineSpec::with_speed(s)).collect();
+        let r = Simulator::run_static(&costs, &machines, &SimConfig::zero_overhead());
+        prop_assert_eq!(r.completed as usize, costs.len());
+        prop_assert_eq!(r.aborted, 0);
+    }
+
+    #[test]
+    fn makespan_lower_bounds(costs in arb_costs(), speeds in arb_speeds()) {
+        let machines: Vec<MachineSpec> =
+            speeds.iter().map(|&s| MachineSpec::with_speed(s)).collect();
+        let r = Simulator::run_static(&costs, &machines, &SimConfig::zero_overhead());
+        let total: f64 = costs.iter().sum();
+        let aggregate_speed: f64 = speeds.iter().sum();
+        let max_speed = speeds.iter().cloned().fold(0.0, f64::max);
+        let longest = costs.iter().cloned().fold(0.0, f64::max);
+        // Work conservation: cannot beat aggregate throughput.
+        prop_assert!(r.makespan >= total / aggregate_speed - 1e-9);
+        // Critical path: the longest task on the fastest machine.
+        prop_assert!(r.makespan >= longest / max_speed - 1e-9);
+    }
+
+    #[test]
+    fn makespan_upper_bound_greedy(costs in arb_costs(), speeds in arb_speeds()) {
+        // Greedy list scheduling is a 2-approximation (Graham): makespan
+        // <= total/aggregate + longest/min_speed.
+        let machines: Vec<MachineSpec> =
+            speeds.iter().map(|&s| MachineSpec::with_speed(s)).collect();
+        let r = Simulator::run_static(&costs, &machines, &SimConfig::zero_overhead());
+        let total: f64 = costs.iter().sum();
+        let aggregate: f64 = speeds.iter().sum();
+        let min_speed = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let longest = costs.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(
+            r.makespan <= total / aggregate + longest / min_speed + 1e-9,
+            "makespan {} exceeds Graham bound", r.makespan
+        );
+    }
+
+    #[test]
+    fn more_machines_never_slower(costs in arb_costs(), n in 1usize..6) {
+        let cfg = SimConfig::zero_overhead();
+        let small: Vec<MachineSpec> = (0..n).map(|_| MachineSpec::ideal()).collect();
+        let big: Vec<MachineSpec> = (0..n + 1).map(|_| MachineSpec::ideal()).collect();
+        let r_small = Simulator::run_static(&costs, &small, &cfg);
+        let r_big = Simulator::run_static(&costs, &big, &cfg);
+        // Greedy FIFO with identical machines: adding a machine cannot
+        // hurt on a static bag (no dependencies).
+        prop_assert!(r_big.makespan <= r_small.makespan + 1e-9);
+    }
+
+    #[test]
+    fn overheads_only_add_time(costs in arb_costs()) {
+        let machines = vec![MachineSpec::ideal(), MachineSpec::ideal()];
+        let fast = Simulator::run_static(&costs, &machines, &SimConfig::zero_overhead());
+        let slow = Simulator::run_static(&costs, &machines, &SimConfig::lan_default());
+        prop_assert!(slow.makespan >= fast.makespan - 1e-9);
+    }
+
+    #[test]
+    fn busy_time_consistent(costs in arb_costs(), speeds in arb_speeds()) {
+        let machines: Vec<MachineSpec> =
+            speeds.iter().map(|&s| MachineSpec::with_speed(s)).collect();
+        let r = Simulator::run_static(&costs, &machines, &SimConfig::zero_overhead());
+        // Total machine-seconds of execution equals the speed-adjusted
+        // work.
+        let total_busy: f64 = r.busy_time.iter().sum();
+        let work: f64 = costs.iter().sum();
+        // Each task of cost c on machine of speed s takes c/s seconds;
+        // with distinct speeds busy time differs from work, but is
+        // bounded by work / min_speed and work / max_speed.
+        let min_speed = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_speed = speeds.iter().cloned().fold(0.0f64, f64::max);
+        prop_assert!(total_busy <= work / min_speed + 1e-9);
+        prop_assert!(total_busy >= work / max_speed - 1e-9);
+        // And no machine is busy longer than the makespan.
+        for &b in &r.busy_time {
+            prop_assert!(b <= r.makespan + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Parallel C4.5 (§6.2.1, Figs. 6.5/6.6) and Parallel NyuMiner-RS
+//! (§6.2.2, Figs. 6.7/6.8): data parallelism in the windowing / multiple
+//! incremental sampling techniques.
+//!
+//! Each trial grows a tree from a differently-seeded random initial
+//! sample — trials are embarrassingly parallel tasks. Workers coordinate
+//! through the tuple space (`("trial", t)` work tuples, `("tdone", t,
+//! accuracy)` results); the grown trees themselves stay in shared memory,
+//! just as the original workers kept them in their own address spaces and
+//! published only summary tuples.
+
+use classify::c45::{grow_windowed, C45Config};
+use classify::data::Dataset;
+use classify::nyuminer::{extract_rules, grow_incremental, reevaluate_rules, NyuConfig, NyuMinerRS, RuleList};
+use classify::tree::DecisionTree;
+use classify::Classifier;
+use parking_lot::Mutex;
+use plinda::{field, tup, Runtime, Template};
+use std::sync::Arc;
+
+fn t_trial() -> Template {
+    Template::new(vec![field::val("trial"), field::int()])
+}
+
+fn t_tdone() -> Template {
+    Template::new(vec![field::val("tdone"), field::int(), field::real()])
+}
+
+/// Run `trials` windowed C4.5 trials over `workers` PLinda workers and
+/// return the tree most accurate on the full training rows — the
+/// parallel form of [`classify::c45::C45::fit_trials`], bit-identical for
+/// the same `seed`.
+pub fn parallel_c45_trials(
+    data: Arc<Dataset>,
+    rows: Arc<Vec<usize>>,
+    config: &C45Config,
+    trials: usize,
+    workers: usize,
+    seed: u64,
+) -> DecisionTree {
+    assert!(trials >= 1 && workers >= 1);
+    let rt = Runtime::new();
+    let space = rt.space();
+    let grown: Arc<Mutex<Vec<Option<DecisionTree>>>> =
+        Arc::new(Mutex::new((0..trials).map(|_| None).collect()));
+
+    for _ in 0..workers {
+        let data = Arc::clone(&data);
+        let rows = Arc::clone(&rows);
+        let grown = Arc::clone(&grown);
+        let config = config.clone();
+        rt.spawn("pc45", move |proc| loop {
+            proc.xstart();
+            let t = proc.in_(t_trial())?;
+            let i = t.int(1);
+            if i < 0 {
+                proc.xcommit(None)?;
+                return Ok(());
+            }
+            let tree = grow_windowed(&data, &rows, &config, seed.wrapping_add(i as u64));
+            let acc = tree.accuracy(&data, &rows);
+            grown.lock()[i as usize] = Some(tree);
+            proc.out(tup!["tdone", i, acc]);
+            proc.xcommit(None)?;
+        });
+    }
+
+    for i in 0..trials {
+        space.out(tup!["trial", i as i64]);
+    }
+    let mut best: Option<(f64, i64)> = None;
+    for _ in 0..trials {
+        let d = space.in_blocking(t_tdone());
+        let (i, acc) = (d.int(1), d.real(2));
+        // Deterministic tie-break on the trial index so the result does
+        // not depend on tuple arrival order.
+        let better = match best {
+            None => true,
+            Some((ba, bi)) => acc > ba + 1e-15 || ((acc - ba).abs() <= 1e-15 && i < bi),
+        };
+        if better {
+            best = Some((acc, i));
+        }
+    }
+    for _ in 0..workers {
+        space.out(tup!["trial", -1i64]);
+    }
+    rt.join();
+    let (_, idx) = best.unwrap();
+    let tree = grown.lock()[idx as usize].take().unwrap();
+    tree
+}
+
+/// Run `trials` incremental-sampling trees over `workers` PLinda workers
+/// and pool their rules — the parallel form of
+/// [`classify::nyuminer::NyuMinerRS::fit`], identical for the same seed.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_nyuminer_rs(
+    data: Arc<Dataset>,
+    rows: Arc<Vec<usize>>,
+    config: &NyuConfig,
+    trials: usize,
+    cmin: f64,
+    smin: f64,
+    workers: usize,
+    seed: u64,
+) -> NyuMinerRS {
+    assert!(trials >= 1 && workers >= 1);
+    let rt = Runtime::new();
+    let space = rt.space();
+    let grown: Arc<Mutex<Vec<Option<DecisionTree>>>> =
+        Arc::new(Mutex::new((0..trials).map(|_| None).collect()));
+
+    for _ in 0..workers {
+        let data = Arc::clone(&data);
+        let rows = Arc::clone(&rows);
+        let grown = Arc::clone(&grown);
+        let config = config.clone();
+        rt.spawn("prs", move |proc| loop {
+            proc.xstart();
+            let t = proc.in_(t_trial())?;
+            let i = t.int(1);
+            if i < 0 {
+                proc.xcommit(None)?;
+                return Ok(());
+            }
+            // Same per-trial seed schedule as the sequential fit.
+            let tree =
+                grow_incremental(&data, &rows, &config, seed.wrapping_add(i as u64 * 7919));
+            grown.lock()[i as usize] = Some(tree);
+            proc.out(tup!["tdone", i, 0.0f64]);
+            proc.xcommit(None)?;
+        });
+    }
+
+    for i in 0..trials {
+        space.out(tup!["trial", i as i64]);
+    }
+    for _ in 0..trials {
+        space.in_blocking(t_tdone());
+    }
+    for _ in 0..workers {
+        space.out(tup!["trial", -1i64]);
+    }
+    rt.join();
+
+    let trees: Vec<DecisionTree> = grown
+        .lock()
+        .iter_mut()
+        .map(|t| t.take().unwrap())
+        .collect();
+    let mut candidates = Vec::new();
+    for tree in &trees {
+        candidates.extend(extract_rules(tree, rows.len()));
+    }
+    reevaluate_rules(&data, &rows, &mut candidates);
+    let (default_class, _) = data.plurality(&rows);
+    NyuMinerRS {
+        rules: RuleList::select(candidates, cmin, smin, default_class),
+        trees,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classify::c45::C45;
+    use classify::nyuminer::NyuMinerRS as SeqRS;
+    use datagen::benchmark;
+
+    #[test]
+    fn parallel_c45_matches_sequential_trials() {
+        let data = Arc::new(benchmark("vote", 2));
+        let rows = Arc::new(data.all_rows());
+        let cfg = C45Config::default();
+        let seq = C45::fit_trials(&data, &rows, &cfg, 4, 100);
+        let par = parallel_c45_trials(Arc::clone(&data), Arc::clone(&rows), &cfg, 4, 3, 100);
+        // Same windows, same candidate trees: equal training accuracy.
+        assert!(
+            (seq.tree.accuracy(&data, &rows) - par.accuracy(&data, &rows)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn parallel_rs_matches_sequential_rules() {
+        let data = Arc::new(benchmark("diabetes", 4));
+        let rows = Arc::new(data.all_rows());
+        let cfg = NyuConfig::default();
+        let seq = SeqRS::fit(&data, &rows, &cfg, 3, 0.7, 0.01, 55);
+        let par = parallel_nyuminer_rs(
+            Arc::clone(&data),
+            Arc::clone(&rows),
+            &cfg,
+            3,
+            0.7,
+            0.01,
+            2,
+            55,
+        );
+        assert_eq!(seq.rules.rules().len(), par.rules.rules().len());
+        // Same decisions everywhere.
+        for r in rows.iter().take(200) {
+            assert_eq!(seq.predict(&data, *r), par.predict(&data, *r));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Parallel NyuMiner-CV (§6.1, Figs. 6.1/6.2).
+//!
+//! The `V + 1` trees of a V-fold cross-validated run — one main tree plus
+//! `V` auxiliary trees grown on the leave-one-fold-out learning sets —
+//! are grown in exactly the same way on different data: textbook data
+//! partitioning. The master emits one work tuple per auxiliary tree,
+//! grows the main tree itself (it costs about as much as four auxiliary
+//! trees, §6.1.1), broadcasts the α-midpoints of the main tree's pruning
+//! sequence, and combines the per-fold error vectors into the CV estimate
+//! that selects the final pruned tree.
+//!
+//! Coordination flows through the tuple space exactly as in the paper's
+//! pseudo-code; the trees themselves (large, pointer-rich) stay in shared
+//! memory — in the original they lived in the workers' address spaces and
+//! only the per-α error counts travelled as `("alpha_list", i, αs)`
+//! tuples, which is what we reproduce.
+
+use classify::data::Dataset;
+use classify::prune::{ccp_sequence, select_for_alpha};
+use classify::tree::{DecisionTree, GrowRule};
+use classify::{Classifier, NyuConfig};
+use plinda::{field, tup, Runtime, Template};
+use std::sync::Arc;
+
+fn t_fold() -> Template {
+    Template::new(vec![field::val("fold"), field::int()])
+}
+
+fn t_mids() -> Template {
+    Template::new(vec![field::val("mids"), field::bytes()])
+}
+
+fn t_errs() -> Template {
+    Template::new(vec![field::val("errs"), field::int(), field::bytes()])
+}
+
+fn encode_f64s(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn decode_f64s(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn encode_u32s(v: &[u32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn decode_u32s(b: &[u8]) -> Vec<u32> {
+    b.chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Result of a parallel cross-validated run.
+pub struct ParallelCv {
+    /// The selected pruned tree.
+    pub tree: DecisionTree,
+    /// The selected complexity parameter.
+    pub alpha: f64,
+    /// CV error estimate per main-sequence entry.
+    pub cv_errors: Vec<(f64, f64)>,
+}
+
+/// Grow + prune with `v`-fold CV, the `v` auxiliary trees built by
+/// `workers` PLinda workers while the master grows the main tree.
+/// Matches [`classify::prune::grow_with_cv_pruning`] exactly (same seeds,
+/// same folds, same selection rule).
+pub fn parallel_nyuminer_cv(
+    data: Arc<Dataset>,
+    rows: Arc<Vec<usize>>,
+    config: &NyuConfig,
+    v: usize,
+    workers: usize,
+    seed: u64,
+) -> ParallelCv {
+    assert!(v >= 2 && workers >= 1);
+    let rt = Runtime::new();
+    let space = rt.space();
+    let folds: Arc<Vec<Vec<usize>>> = Arc::new(data.folds(&rows, v, seed));
+
+    let max_branches = config.max_branches;
+    let impurity = config.impurity;
+    let grow = config.grow.clone();
+
+    for _ in 0..workers {
+        let data = Arc::clone(&data);
+        let folds = Arc::clone(&folds);
+        let grow = grow.clone();
+        rt.spawn("pcv", move |proc| {
+            loop {
+                proc.xstart();
+                let t = proc.in_(t_fold())?;
+                let i = t.int(1);
+                if i < 0 {
+                    proc.xcommit(None)?;
+                    return Ok(());
+                }
+                let i = i as usize;
+                // Learning set V(i) = all folds but fold i.
+                let train: Vec<usize> = folds
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .flat_map(|(_, f)| f.iter().copied())
+                    .collect();
+                let rule = GrowRule::NyuMiner {
+                    max_branches,
+                    impurity: impurity.as_dyn(),
+                };
+                let aux = DecisionTree::grow(&data, &train, &rule, &grow);
+                let seq = ccp_sequence(&aux);
+                // Broadcast read: every worker reads the same midpoints.
+                let mids_tuple = proc.rd(t_mids())?;
+                let mids = decode_f64s(mids_tuple.bytes(1));
+                let errs: Vec<u32> = mids
+                    .iter()
+                    .map(|&alpha| {
+                        let pruned = select_for_alpha(&seq, alpha);
+                        folds[i]
+                            .iter()
+                            .filter(|&&r| pruned.predict(&data, r) != data.class(r))
+                            .count() as u32
+                    })
+                    .collect();
+                proc.out(tup!["errs", i as i64, encode_u32s(&errs)]);
+                proc.xcommit(None)?;
+            }
+        });
+    }
+
+    // Emit fold tasks, then grow the main tree concurrently.
+    for i in 0..v {
+        space.out(tup!["fold", i as i64]);
+    }
+    let rule = GrowRule::NyuMiner {
+        max_branches,
+        impurity: impurity.as_dyn(),
+    };
+    let main = DecisionTree::grow(&data, &rows, &rule, &grow);
+    let seq = ccp_sequence(&main);
+
+    // Midpoints α'_k of the main sequence (same formula as the sequential
+    // implementation).
+    let mids: Vec<f64> = (0..seq.len())
+        .map(|k| {
+            if k + 1 < seq.len() {
+                let (a, next) = (seq[k].0, seq[k + 1].0);
+                if a > 0.0 {
+                    (a * next).sqrt()
+                } else {
+                    next / 2.0
+                }
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect();
+    space.out(tup!["mids", encode_f64s(&mids)]);
+
+    // Combine per-fold error vectors.
+    let mut totals = vec![0u64; seq.len()];
+    for _ in 0..v {
+        let t = space.in_blocking(t_errs());
+        for (k, e) in decode_u32s(t.bytes(2)).iter().enumerate() {
+            totals[k] += *e as u64;
+        }
+    }
+    for _ in 0..workers {
+        space.out(tup!["fold", -1i64]);
+    }
+    rt.join();
+
+    let n = rows.len() as f64;
+    let cv_errors: Vec<(f64, f64)> = seq
+        .iter()
+        .zip(&totals)
+        .map(|((a, _), &e)| (*a, e as f64 / n))
+        .collect();
+    let mut best_k = 0;
+    for k in 1..cv_errors.len() {
+        if cv_errors[k].1 <= cv_errors[best_k].1 + 1e-12 {
+            best_k = k;
+        }
+    }
+    ParallelCv {
+        alpha: seq[best_k].0,
+        tree: seq[best_k].1.clone(),
+        cv_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classify::prune::grow_with_cv_pruning;
+    use datagen::benchmark;
+
+    #[test]
+    fn parallel_cv_matches_sequential_selection() {
+        let data = Arc::new(benchmark("diabetes", 3));
+        let rows = Arc::new(data.all_rows());
+        let cfg = NyuConfig::default();
+        let seed = 17;
+        let v = 4;
+
+        let seq_result = grow_with_cv_pruning(
+            &data,
+            &rows,
+            &GrowRule::NyuMiner {
+                max_branches: cfg.max_branches,
+                impurity: cfg.impurity.as_dyn(),
+            },
+            &cfg.grow,
+            v,
+            seed,
+        );
+        let par_result =
+            parallel_nyuminer_cv(Arc::clone(&data), Arc::clone(&rows), &cfg, v, 2, seed);
+
+        assert_eq!(par_result.alpha, seq_result.alpha);
+        assert_eq!(par_result.tree.leaves(), seq_result.tree.leaves());
+        assert_eq!(par_result.cv_errors.len(), seq_result.cv_errors.len());
+        for (a, b) in par_result.cv_errors.iter().zip(&seq_result.cv_errors) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_result() {
+        let data = Arc::new(benchmark("vote", 5));
+        let rows = Arc::new(data.all_rows());
+        let cfg = NyuConfig::default();
+        let a = parallel_nyuminer_cv(Arc::clone(&data), Arc::clone(&rows), &cfg, 4, 1, 9);
+        let b = parallel_nyuminer_cv(Arc::clone(&data), Arc::clone(&rows), &cfg, 4, 4, 9);
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.tree.leaves(), b.tree.leaves());
+    }
+}

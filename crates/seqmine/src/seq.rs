@@ -1,0 +1,252 @@
+//! Protein sequences and VLDC motifs (§2.3.3, §4.1.1).
+//!
+//! Biologists represent proteins as sequences over the 20-letter amino
+//! acid alphabet. The motifs we discover are regular expressions of the
+//! form `*S1*S2*…` where each segment `S_i` is a run of consecutive
+//! letters and `*` is a variable-length don't care (VLDC) that may
+//! substitute for zero or more letters.
+
+use std::fmt;
+
+/// The 20 amino-acid one-letter codes.
+pub const AMINO_ACIDS: &[u8; 20] = b"ACDEFGHIKLMNPQRSTVWY";
+
+/// A protein (or other) sequence: bytes over some alphabet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Sequence(pub Vec<u8>);
+
+impl Sequence {
+    /// Build from raw bytes.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Sequence(bytes)
+    }
+
+    /// Build from a string slice.
+    pub fn from_str(s: &str) -> Self {
+        Sequence(s.as_bytes().to_vec())
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Is the sequence empty?
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrow the bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Does this sequence contain `segment` as an exact substring?
+    pub fn contains(&self, segment: &[u8]) -> bool {
+        if segment.is_empty() {
+            return true;
+        }
+        self.0.windows(segment.len()).any(|w| w == segment)
+    }
+}
+
+impl fmt::Display for Sequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            write!(f, "{}", b as char)?;
+        }
+        Ok(())
+    }
+}
+
+/// A VLDC motif `*S1*S2*…*Sm*`: non-empty segments separated (and
+/// surrounded) by variable-length don't cares.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Motif {
+    /// The segments, in order. Invariant: non-empty, each segment
+    /// non-empty.
+    segments: Vec<Vec<u8>>,
+}
+
+impl Motif {
+    /// Single-segment motif `*X*`.
+    pub fn single(segment: &[u8]) -> Self {
+        assert!(!segment.is_empty(), "motif segments must be non-empty");
+        Motif {
+            segments: vec![segment.to_vec()],
+        }
+    }
+
+    /// Multi-segment motif `*S1*S2*…*`.
+    pub fn new(segments: Vec<Vec<u8>>) -> Self {
+        assert!(!segments.is_empty(), "a motif needs at least one segment");
+        assert!(
+            segments.iter().all(|s| !s.is_empty()),
+            "motif segments must be non-empty"
+        );
+        Motif { segments }
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[Vec<u8>] {
+        &self.segments
+    }
+
+    /// `|P|`: the number of non-VLDC letters (the paper's motif length).
+    pub fn len(&self) -> usize {
+        self.segments.iter().map(Vec::len).sum()
+    }
+
+    /// Motifs are never empty (segments are non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Is `self` a subpattern of `other` (Wang et al.'s pruning relation)?
+    /// `*U1*…*Um*` is a subpattern of `*V1*…*Vm*` if each `U_i` is a
+    /// (contiguous) subsegment of `V_i`.
+    pub fn is_subpattern_of(&self, other: &Motif) -> bool {
+        self.segments.len() == other.segments.len()
+            && self
+                .segments
+                .iter()
+                .zip(&other.segments)
+                .all(|(u, v)| v.windows(u.len()).any(|w| w == &u[..]) || u.is_empty())
+    }
+}
+
+impl fmt::Display for Motif {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "*")?;
+        for seg in &self.segments {
+            for &b in seg {
+                write!(f, "{}", b as char)?;
+            }
+            write!(f, "*")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_contains() {
+        let s = Sequence::from_str("FFRR");
+        assert!(s.contains(b"FR"));
+        assert!(s.contains(b"FFRR"));
+        assert!(!s.contains(b"RF"));
+        assert!(s.contains(b""));
+    }
+
+    #[test]
+    fn motif_len_counts_letters_only() {
+        let m = Motif::new(vec![b"AB".to_vec(), b"CDE".to_vec()]);
+        assert_eq!(m.len(), 5);
+        assert_eq!(format!("{m}"), "*AB*CDE*");
+    }
+
+    #[test]
+    fn subpattern_relation() {
+        let small = Motif::new(vec![b"B".to_vec(), b"DE".to_vec()]);
+        let big = Motif::new(vec![b"AB".to_vec(), b"CDE".to_vec()]);
+        assert!(small.is_subpattern_of(&big));
+        assert!(!big.is_subpattern_of(&small));
+        // Different segment counts are incomparable.
+        let one = Motif::single(b"AB");
+        assert!(!one.is_subpattern_of(&big));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_segment_rejected() {
+        Motif::new(vec![vec![]]);
+    }
+}
+
+/// Parse FASTA-formatted text into `(header, sequence)` records — the
+/// interface for users who *do* have a `cyclins.pirx`-style protein file.
+/// Headers are the text after `>`; sequence lines are concatenated with
+/// whitespace stripped. Lines before the first header are ignored.
+pub fn parse_fasta(text: &str) -> Vec<(String, Sequence)> {
+    let mut out: Vec<(String, Vec<u8>)> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            out.push((header.trim().to_owned(), Vec::new()));
+        } else if let Some((_, seq)) = out.last_mut() {
+            seq.extend(line.bytes().filter(|b| !b.is_ascii_whitespace()));
+        }
+    }
+    out.into_iter()
+        .map(|(h, s)| (h, Sequence::new(s)))
+        .collect()
+}
+
+/// Render records as FASTA with 60-column sequence lines.
+pub fn to_fasta(records: &[(String, Sequence)]) -> String {
+    let mut out = String::new();
+    for (header, seq) in records {
+        out.push('>');
+        out.push_str(header);
+        out.push('\n');
+        for chunk in seq.bytes().chunks(60) {
+            for &b in chunk {
+                out.push(b as char);
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod fasta_tests {
+    use super::*;
+
+    const SAMPLE: &str = ">CG2A_DAUCA G2/mitotic-specific cyclin\nAPSMTTPEPASKRRVVLGEISNNSS\nAVSGNEDLLCREFEVPK\n>second one\nMRAIL\n";
+
+    #[test]
+    fn parse_concatenates_lines() {
+        let recs = parse_fasta(SAMPLE);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].0, "CG2A_DAUCA G2/mitotic-specific cyclin");
+        assert_eq!(recs[0].1.len(), 25 + 17);
+        assert_eq!(recs[1].1.bytes(), b"MRAIL");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = parse_fasta(SAMPLE);
+        let text = to_fasta(&recs);
+        let again = parse_fasta(&text);
+        assert_eq!(recs, again);
+    }
+
+    #[test]
+    fn wraps_long_sequences() {
+        let recs = vec![("x".to_owned(), Sequence::new(vec![b'A'; 130]))];
+        let text = to_fasta(&recs);
+        let body: Vec<&str> = text.lines().skip(1).collect();
+        assert_eq!(body.len(), 3);
+        assert_eq!(body[0].len(), 60);
+        assert_eq!(body[2].len(), 10);
+    }
+
+    #[test]
+    fn garbage_before_header_ignored() {
+        let recs = parse_fasta("; comment\nnoise\n>h\nAB\n");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1.bytes(), b"AB");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(parse_fasta("").is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! Tree edit distance and approximate containment with cuttings (§4.1.2).
+//!
+//! The dissimilarity measure between two ordered labeled trees is the
+//! edit distance: the minimum number of unit-cost node insertions,
+//! deletions, and relabelings transforming one into the other
+//! (Zhang–Shasha). A motif `M` *occurs in* a tree `T` within distance `d`
+//! if some subtree `U` of `T` satisfies `dist(M, U) ≤ d` **allowing zero
+//! or more cuttings at nodes of `U`** — cutting at `n` removes `n` and all
+//! its descendants at no cost.
+//!
+//! [`tree_edit_distance`] is the classic Zhang–Shasha O(|A||B|·min(depth,
+//! leaves)²) dynamic program; [`cut_distance`] is the same program with a
+//! free transition that removes a complete data-side subtree
+//! (Zhang/Shasha/Wang approximate tree matching *with cuttings*);
+//! [`contains_within`] minimises the cut distance over every subtree of
+//! the data tree — which the algorithm yields for free, since the DP
+//! computes the distance for *all* node pairs.
+
+use crate::tree::OrderedTree;
+
+struct ZsInfo {
+    /// Postorder node ids.
+    post: Vec<usize>,
+    /// `l[i]`: postorder index of the leftmost leaf of postorder node i.
+    l: Vec<usize>,
+    /// Labels by postorder index.
+    label: Vec<u8>,
+    /// LR-keyroots (postorder indices).
+    keyroots: Vec<usize>,
+}
+
+fn zs_info(t: &OrderedTree) -> ZsInfo {
+    let post = t.postorder();
+    let n = post.len();
+    let mut post_index = vec![0usize; t.len()];
+    for (i, &node) in post.iter().enumerate() {
+        post_index[node] = i;
+    }
+    // Leftmost leaf per postorder index.
+    let mut l = vec![0usize; n];
+    for (i, &node) in post.iter().enumerate() {
+        let mut cur = node;
+        while let Some(&first) = t.children(cur).first() {
+            cur = first;
+        }
+        l[i] = post_index[cur];
+    }
+    // Keyroots: for each distinct l-value, the highest postorder index.
+    let mut last_for_l = std::collections::HashMap::new();
+    for i in 0..n {
+        last_for_l.insert(l[i], i);
+    }
+    let mut keyroots: Vec<usize> = last_for_l.into_values().collect();
+    keyroots.sort_unstable();
+    let label = post.iter().map(|&node| t.label(node)).collect();
+    ZsInfo {
+        post,
+        l,
+        label,
+        keyroots,
+    }
+}
+
+/// Full distance matrix `td[i][j]` = edit distance between the subtree of
+/// A rooted at postorder node `i` and the subtree of B rooted at `j`,
+/// with optional free cutting of complete B-subtrees.
+fn zs_matrix(a: &OrderedTree, b: &OrderedTree, cuts_in_b: bool) -> Vec<Vec<usize>> {
+    let ia = zs_info(a);
+    let ib = zs_info(b);
+    let (na, nb) = (ia.post.len(), ib.post.len());
+    let mut td = vec![vec![0usize; nb]; na];
+
+    // Forest-distance scratch, indexed by (postorder+1) within the spans.
+    let mut fd = vec![vec![0usize; nb + 1]; na + 1];
+
+    for &ka in &ia.keyroots {
+        for &kb in &ib.keyroots {
+            let la = ia.l[ka];
+            let lb = ib.l[kb];
+            // fd[x][y]: distance between A-forest l(ka)..(la+x-1) and
+            // B-forest l(kb)..(lb+y-1); x,y are counts.
+            fd[0][0] = 0;
+            for x in 1..=(ka - la + 1) {
+                fd[x][0] = fd[x - 1][0] + 1; // delete A node
+            }
+            for y in 1..=(kb - lb + 1) {
+                // Insert the B node... or cut it free: the prefix forest
+                // l(kb)..j is a union of complete subtrees, so with cuts
+                // enabled the empty A-forest matches any B-forest at 0.
+                fd[0][y] = if cuts_in_b { 0 } else { fd[0][y - 1] + 1 };
+            }
+            for x in 1..=(ka - la + 1) {
+                let i = la + x - 1; // A postorder index
+                for y in 1..=(kb - lb + 1) {
+                    let j = lb + y - 1; // B postorder index
+                    let both_trees = ia.l[i] == la && ib.l[j] == lb;
+                    let mut best;
+                    if both_trees {
+                        let sub = fd[x - 1][y - 1]
+                            + usize::from(ia.label[i] != ib.label[j]);
+                        best = sub;
+                        best = best.min(fd[x - 1][y] + 1); // delete A node i
+                        best = best.min(fd[x][y - 1] + 1); // insert B node j
+                        if cuts_in_b {
+                            // Cut the whole subtree rooted at j.
+                            let skip = ib.l[j] - lb; // count before subtree j
+                            best = best.min(fd[x][skip]);
+                        }
+                        td[i][j] = best;
+                    } else {
+                        best = fd[x - 1][y] + 1;
+                        best = best.min(fd[x][y - 1] + 1);
+                        let xa = ia.l[i] - la; // forest prefix before subtree i
+                        let yb = ib.l[j] - lb;
+                        best = best.min(fd[xa][yb] + td[i][j]);
+                        if cuts_in_b {
+                            best = best.min(fd[x][yb]);
+                        }
+                    }
+                    fd[x][y] = best;
+                }
+            }
+        }
+    }
+    td
+}
+
+/// Zhang–Shasha ordered tree edit distance (unit costs).
+pub fn tree_edit_distance(a: &OrderedTree, b: &OrderedTree) -> usize {
+    let td = zs_matrix(a, b, false);
+    td[a.len() - 1][b.len() - 1]
+}
+
+/// Edit distance between `motif` and `data` allowing free cuttings of
+/// complete subtrees of `data`.
+pub fn cut_distance(motif: &OrderedTree, data: &OrderedTree) -> usize {
+    let td = zs_matrix(motif, data, true);
+    td[motif.len() - 1][data.len() - 1]
+}
+
+/// Minimum over all subtrees `U` of `data` of the cut distance between
+/// `motif` and `U` — "how far is the motif from occurring in the tree".
+pub fn best_subtree_distance(motif: &OrderedTree, data: &OrderedTree) -> usize {
+    let td = zs_matrix(motif, data, true);
+    let root = motif.len() - 1;
+    (0..data.len()).map(|j| td[root][j]).min().unwrap()
+}
+
+/// Does `motif` occur in `data` within distance `d` (with cuttings)?
+pub fn contains_within(motif: &OrderedTree, data: &OrderedTree, d: usize) -> bool {
+    best_subtree_distance(motif, data) <= d
+}
+
+/// Occurrence number of `motif` over a set of trees (§4.1.2):
+/// `occurrence_no^d_S(M)` = number of trees containing `M` within `d`.
+pub fn occurrence_number(motif: &OrderedTree, set: &[OrderedTree], d: usize) -> usize {
+    set.iter().filter(|t| contains_within(motif, t, d)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: &str) -> OrderedTree {
+        OrderedTree::parse(s)
+    }
+
+    // Brute-force ordered-forest edit distance for validation (small
+    // trees only): classic recursion over forests.
+    fn brute_forest(a: &OrderedTree, af: &[usize], b: &OrderedTree, bf: &[usize]) -> usize {
+        fn size(t: &OrderedTree, f: &[usize]) -> usize {
+            f.iter().map(|&n| t.subtree(n).len()).sum()
+        }
+        match (af.split_last(), bf.split_last()) {
+            (None, None) => 0,
+            (Some(_), None) => size(a, af),
+            (None, Some(_)) => size(b, bf),
+            (Some((&ra, af_rest)), Some((&rb, bf_rest))) => {
+                // Delete root of last A tree.
+                let mut a_minus: Vec<usize> = af_rest.to_vec();
+                a_minus.extend(a.children(ra));
+                let d1 = 1 + brute_forest(a, &a_minus, b, bf);
+                // Insert root of last B tree.
+                let mut b_minus: Vec<usize> = bf_rest.to_vec();
+                b_minus.extend(b.children(rb));
+                let d2 = 1 + brute_forest(a, af, b, &b_minus);
+                // Match last roots.
+                let d3 = brute_forest(a, a.children(ra), b, b.children(rb))
+                    + brute_forest(a, af_rest, b, bf_rest)
+                    + usize::from(a.label(ra) != b.label(rb));
+                d1.min(d2).min(d3)
+            }
+        }
+    }
+
+    fn brute_dist(a: &OrderedTree, b: &OrderedTree) -> usize {
+        brute_forest(a, &[0], b, &[0])
+    }
+
+    #[test]
+    fn identical_trees_distance_zero() {
+        let x = t("A(B(C,D),E)");
+        assert_eq!(tree_edit_distance(&x, &x), 0);
+    }
+
+    #[test]
+    fn single_relabel() {
+        assert_eq!(tree_edit_distance(&t("A(B,C)"), &t("A(B,D)")), 1);
+    }
+
+    #[test]
+    fn insert_delete() {
+        assert_eq!(tree_edit_distance(&t("A(B)"), &t("A(B,C)")), 1);
+        assert_eq!(tree_edit_distance(&t("A(B(C))"), &t("A(C)")), 1);
+        assert_eq!(tree_edit_distance(&t("A"), &t("A(B(C,D))")), 3);
+    }
+
+    #[test]
+    fn matches_brute_force_on_enumerated_trees() {
+        // All tree shapes with <= 4 nodes over a 2-letter alphabet would
+        // be large; sample a representative set instead.
+        let shapes = [
+            "A", "B", "A(B)", "A(B,C)", "B(A(C))", "A(B(C),D)", "C(A,B,A)",
+            "A(A(A))", "B(B,B)", "A(C(B),B(C))",
+        ];
+        for x in &shapes {
+            for y in &shapes {
+                let (tx, ty) = (t(x), t(y));
+                assert_eq!(
+                    tree_edit_distance(&tx, &ty),
+                    brute_dist(&tx, &ty),
+                    "{x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_samples() {
+        let shapes = ["A", "A(B)", "A(B,C)", "B(A(C))", "A(B(C),D)"];
+        for x in &shapes {
+            for y in &shapes {
+                let dxy = tree_edit_distance(&t(x), &t(y));
+                let dyx = tree_edit_distance(&t(y), &t(x));
+                assert_eq!(dxy, dyx, "symmetry {x},{y}");
+                for z in &shapes {
+                    let dxz = tree_edit_distance(&t(x), &t(z));
+                    let dzy = tree_edit_distance(&t(z), &t(y));
+                    assert!(dxy <= dxz + dzy, "triangle {x},{y} via {z}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_containment_with_cuts() {
+        // Motif B(C) occurs exactly in A(B(C,D),E): take subtree B(C,D)
+        // and cut D.
+        assert!(contains_within(&t("B(C)"), &t("A(B(C,D),E)"), 0));
+        // Motif B(D) likewise (cut C).
+        assert!(contains_within(&t("B(D)"), &t("A(B(C,D),E)"), 0));
+        // Motif B(E) does not: E is not below B.
+        assert!(!contains_within(&t("B(E)"), &t("A(B(C,D),E)"), 0));
+        assert!(contains_within(&t("B(E)"), &t("A(B(C,D),E)"), 1));
+    }
+
+    #[test]
+    fn whole_tree_is_a_subtree() {
+        let x = t("A(B,C)");
+        assert!(contains_within(&x, &x, 0));
+        assert_eq!(best_subtree_distance(&x, &x), 0);
+    }
+
+    #[test]
+    fn cut_distance_never_exceeds_plain_distance() {
+        let shapes = ["A", "A(B)", "A(B,C)", "B(A(C))", "A(B(C),D)", "C(A,B,A)"];
+        for x in &shapes {
+            for y in &shapes {
+                assert!(
+                    cut_distance(&t(x), &t(y)) <= tree_edit_distance(&t(x), &t(y)),
+                    "{x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cuts_remove_whole_subtrees_only() {
+        // Data A(B(C)): motif A(C) needs distance 1 even with cuts —
+        // cutting B would also remove C (its descendant), so B must be
+        // *deleted* (cost 1) to connect C to A.
+        assert_eq!(best_subtree_distance(&t("A(C)"), &t("A(B(C))")), 1);
+        // Whereas motif A(B) is exact: cut C (a complete leaf subtree).
+        assert_eq!(best_subtree_distance(&t("A(B)"), &t("A(B(C))")), 0);
+    }
+
+    #[test]
+    fn occurrence_number_over_a_set() {
+        let set = vec![t("A(B(C,D),E)"), t("X(B(C))"), t("B(C,F)"), t("Q")];
+        assert_eq!(occurrence_number(&t("B(C)"), &set, 0), 3);
+        // Matching B(C) against the single node Q takes two edits
+        // (relabel Q, delete C), so distance 1 adds nothing...
+        assert_eq!(occurrence_number(&t("B(C)"), &set, 1), 3);
+        // ...and distance 2 reaches all four trees.
+        assert_eq!(occurrence_number(&t("B(C)"), &set, 2), 4);
+    }
+
+    #[test]
+    fn anti_monotone_under_leaf_removal() {
+        // Removing a leaf from the motif can only bring it closer to any
+        // data tree (the pruning property the miner relies on).
+        let data = [
+            t("N(M(R,H),I(B))"),
+            t("M(R(H),I)"),
+            t("R(H,B,M)"),
+            t("N(I(B,R))"),
+        ];
+        let big = t("M(R,H,I)");
+        let smalls = [t("M(R,H)"), t("M(R,I)"), t("M(H,I)")];
+        for d in 0..3 {
+            let occ_big = occurrence_number(&big, &data, d);
+            for s in &smalls {
+                assert!(
+                    occurrence_number(s, &data, d) >= occ_big,
+                    "motif {s} at distance {d}"
+                );
+            }
+        }
+    }
+}

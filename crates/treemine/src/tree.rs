@@ -1,0 +1,266 @@
+//! Ordered labeled trees (§4.1.2).
+//!
+//! RNA secondary structures are represented as ordered trees whose nodes
+//! are labeled with structural elements: `H` hairpin, `I` internal loop,
+//! `B` bulge, `M` multi-branch loop, `R` helical stem, `N` connector
+//! (Shapiro–Zhang representation, Fig. 4.2). The ordering follows the 5'
+//! to 3' direction of the molecule.
+
+use std::fmt;
+
+/// The RNA structural-element alphabet.
+pub const RNA_LABELS: &[u8; 6] = b"HIBMRN";
+
+/// An ordered tree with byte labels, stored as an arena; node 0 is the
+/// root, children in left-to-right order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrderedTree {
+    labels: Vec<u8>,
+    children: Vec<Vec<usize>>,
+}
+
+impl OrderedTree {
+    /// Single-node tree.
+    pub fn leaf(label: u8) -> Self {
+        OrderedTree {
+            labels: vec![label],
+            children: vec![Vec::new()],
+        }
+    }
+
+    /// A root with the given subtrees, in order.
+    pub fn node(label: u8, subtrees: Vec<OrderedTree>) -> Self {
+        let mut t = OrderedTree::leaf(label);
+        for sub in subtrees {
+            t.graft(0, &sub);
+        }
+        t
+    }
+
+    /// Attach a copy of `sub` as the new rightmost child of `parent`.
+    pub fn graft(&mut self, parent: usize, sub: &OrderedTree) -> usize {
+        assert!(parent < self.len(), "graft parent out of range");
+        let offset = self.len();
+        self.labels.extend_from_slice(&sub.labels);
+        for ch in &sub.children {
+            self.children
+                .push(ch.iter().map(|&c| c + offset).collect());
+        }
+        self.children[parent].push(offset);
+        offset
+    }
+
+    /// Parse the compact notation `A(B(C,D),E)`: a label optionally
+    /// followed by a parenthesised, comma-separated child list.
+    pub fn parse(s: &str) -> OrderedTree {
+        fn parse_node(bytes: &[u8], pos: &mut usize) -> OrderedTree {
+            let label = bytes[*pos];
+            *pos += 1;
+            let mut t = OrderedTree::leaf(label);
+            if *pos < bytes.len() && bytes[*pos] == b'(' {
+                *pos += 1; // consume '('
+                loop {
+                    let child = parse_node(bytes, pos);
+                    t.graft(0, &child);
+                    match bytes[*pos] {
+                        b',' => *pos += 1,
+                        b')' => {
+                            *pos += 1;
+                            break;
+                        }
+                        c => panic!("unexpected byte {:?} at {}", c as char, pos),
+                    }
+                }
+            }
+            t
+        }
+        let cleaned: Vec<u8> = s.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+        let mut pos = 0;
+        let t = parse_node(&cleaned, &mut pos);
+        assert_eq!(pos, cleaned.len(), "trailing input after tree");
+        t
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Is the tree empty? (Never: there is always a root.)
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Node label.
+    pub fn label(&self, node: usize) -> u8 {
+        self.labels[node]
+    }
+
+    /// Node children, left to right.
+    pub fn children(&self, node: usize) -> &[usize] {
+        &self.children[node]
+    }
+
+    /// Postorder listing of node ids (left to right, root last).
+    pub fn postorder(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.len());
+        // Iterative postorder: (node, child cursor).
+        let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+        while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+            if *cursor < self.children[node].len() {
+                let next = self.children[node][*cursor];
+                *cursor += 1;
+                stack.push((next, 0));
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order
+    }
+
+    /// All node ids (each is the root of a distinct subtree).
+    pub fn nodes(&self) -> impl Iterator<Item = usize> {
+        0..self.len()
+    }
+
+    /// The subtree rooted at `node`, as a fresh tree.
+    pub fn subtree(&self, node: usize) -> OrderedTree {
+        let mut labels = Vec::new();
+        let mut children = Vec::new();
+        let mut map = std::collections::HashMap::new();
+        // Preorder copy preserving child order.
+        let mut stack = vec![node];
+        let mut order = Vec::new();
+        while let Some(n) = stack.pop() {
+            order.push(n);
+            for &c in self.children[n].iter().rev() {
+                stack.push(c);
+            }
+        }
+        for (new_id, &old) in order.iter().enumerate() {
+            map.insert(old, new_id);
+            labels.push(self.labels[old]);
+            children.push(Vec::new());
+        }
+        for &old in &order {
+            let new = map[&old];
+            for &c in &self.children[old] {
+                let cn = map[&c];
+                children[new].push(cn);
+            }
+        }
+        OrderedTree { labels, children }
+    }
+
+    /// Preorder `(depth, label)` encoding — the canonical pattern form
+    /// used by the mining problem (valid sequences start at depth 0 and
+    /// never jump by more than +1).
+    pub fn encode(&self) -> Vec<(u8, u8)> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut stack: Vec<(usize, u8)> = vec![(0, 0)];
+        while let Some((node, depth)) = stack.pop() {
+            out.push((depth, self.labels[node]));
+            for &c in self.children[node].iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+        out
+    }
+
+    /// Rebuild a tree from its preorder `(depth, label)` encoding.
+    pub fn decode(code: &[(u8, u8)]) -> OrderedTree {
+        assert!(!code.is_empty(), "empty encoding");
+        assert_eq!(code[0].0, 0, "first node must be the root (depth 0)");
+        let mut t = OrderedTree::leaf(code[0].1);
+        // Path of arena ids from root to current rightmost node, by depth.
+        let mut path: Vec<usize> = vec![0];
+        for &(depth, label) in &code[1..] {
+            let d = depth as usize;
+            assert!(d >= 1 && d <= path.len(), "invalid preorder depth jump");
+            let parent = path[d - 1];
+            let id = t.len();
+            t.labels.push(label);
+            t.children.push(Vec::new());
+            t.children[parent].push(id);
+            path.truncate(d);
+            path.push(id);
+        }
+        t
+    }
+}
+
+impl fmt::Display for OrderedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn rec(t: &OrderedTree, node: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", t.labels[node] as char)?;
+            if !t.children[node].is_empty() {
+                write!(f, "(")?;
+                for (i, &c) in t.children[node].iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    rec(t, c, f)?;
+                }
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        rec(self, 0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in ["A", "A(B)", "A(B,C)", "A(B(C,D),E(F))", "N(M(R,H),I(B))"] {
+            let t = OrderedTree::parse(s);
+            assert_eq!(format!("{t}"), s);
+        }
+    }
+
+    #[test]
+    fn postorder_visits_children_before_parent() {
+        let t = OrderedTree::parse("A(B(C,D),E)");
+        let order = t.postorder();
+        let labels: Vec<char> = order.iter().map(|&n| t.label(n) as char).collect();
+        assert_eq!(labels, vec!['C', 'D', 'B', 'E', 'A']);
+    }
+
+    #[test]
+    fn subtree_extraction() {
+        let t = OrderedTree::parse("A(B(C,D),E)");
+        // Node ids are preorder of construction: A=0, B=1, C=2, D=3, E=4.
+        let sub = t.subtree(1);
+        assert_eq!(format!("{sub}"), "B(C,D)");
+        assert_eq!(t.subtree(4).len(), 1);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for s in ["A", "A(B,C)", "A(B(C(D)),E(F,G))"] {
+            let t = OrderedTree::parse(s);
+            let code = t.encode();
+            let back = OrderedTree::decode(&code);
+            assert_eq!(format!("{back}"), s);
+        }
+    }
+
+    #[test]
+    fn encode_is_preorder_with_depths() {
+        let t = OrderedTree::parse("A(B(C),D)");
+        assert_eq!(
+            t.encode(),
+            vec![(0, b'A'), (1, b'B'), (2, b'C'), (1, b'D')]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid preorder depth jump")]
+    fn decode_rejects_depth_jumps() {
+        OrderedTree::decode(&[(0, b'A'), (2, b'B')]);
+    }
+}

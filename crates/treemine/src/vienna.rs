@@ -1,0 +1,208 @@
+//! Vienna dot-bracket notation → Shapiro tree conversion.
+//!
+//! Real RNA secondary structures arrive as dot-bracket strings (each `(`
+//! paired with its matching `)`, `.` unpaired). Fig. 4.2 of the
+//! dissertation shows the corresponding coarse-grained Shapiro tree: runs
+//! of stacked pairs collapse into stem nodes `R`; the loop closing a stem
+//! is a hairpin `H` (no inner helices), a bulge `B` (one inner helix,
+//! unpaired bases on exactly one side), an internal loop `I` (one inner
+//! helix, unpaired bases on both sides), or a multi-branch loop `M` (two
+//! or more inner helices); the exterior is the connector `N`.
+//!
+//! This module implements that conversion, giving `treemine` the
+//! interface a user with real structures (e.g. from RNAfold) needs.
+
+use crate::tree::OrderedTree;
+
+/// Dot-bracket parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViennaError {
+    /// A `)` with no matching `(`, at this byte offset.
+    UnmatchedClose(usize),
+    /// `(`s left open at the end of the string (count).
+    UnmatchedOpen(usize),
+    /// A character other than `(`, `)`, `.` at this byte offset.
+    BadChar(usize),
+}
+
+impl std::fmt::Display for ViennaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViennaError::UnmatchedClose(i) => write!(f, "unmatched ')' at {i}"),
+            ViennaError::UnmatchedOpen(n) => write!(f, "{n} unmatched '('"),
+            ViennaError::BadChar(i) => write!(f, "unexpected character at {i}"),
+        }
+    }
+}
+
+impl std::error::Error for ViennaError {}
+
+/// Compute the pair table: `pair[i] = Some(j)` iff positions `i < j` are
+/// paired.
+fn pair_table(db: &str) -> Result<Vec<Option<usize>>, ViennaError> {
+    let bytes = db.as_bytes();
+    let mut pair = vec![None; bytes.len()];
+    let mut stack = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' => stack.push(i),
+            b')' => {
+                let j = stack.pop().ok_or(ViennaError::UnmatchedClose(i))?;
+                pair[j] = Some(i);
+                pair[i] = Some(j);
+            }
+            b'.' => {}
+            _ => return Err(ViennaError::BadChar(i)),
+        }
+    }
+    if !stack.is_empty() {
+        return Err(ViennaError::UnmatchedOpen(stack.len()));
+    }
+    Ok(pair)
+}
+
+/// Convert a dot-bracket string into its Shapiro tree (`N`-rooted; stems
+/// `R`, loops `H`/`B`/`I`/`M`).
+pub fn parse_dot_bracket(db: &str) -> Result<OrderedTree, ViennaError> {
+    let pair = pair_table(db)?;
+    let mut tree = OrderedTree::leaf(b'N');
+    let helices = top_level_helices(&pair, 0, pair.len());
+    for (i, j) in helices {
+        build_helix(&pair, i, j, &mut tree, 0);
+    }
+    Ok(tree)
+}
+
+/// Opening positions (with their partners) of the outermost helices
+/// within `[from, to)`.
+fn top_level_helices(pair: &[Option<usize>], from: usize, to: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = from;
+    while i < to {
+        match pair[i] {
+            Some(j) if j > i => {
+                out.push((i, j));
+                i = j + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Build the stem rooted at the pair `(i, j)` under `parent`, recursing
+/// into the loop that closes it.
+fn build_helix(pair: &[Option<usize>], mut i: usize, mut j: usize, tree: &mut OrderedTree, parent: usize) {
+    // Collapse stacked pairs into one stem node.
+    let stem = tree.graft(parent, &OrderedTree::leaf(b'R'));
+    while i + 1 < j && pair[i + 1] == Some(j - 1) {
+        i += 1;
+        j -= 1;
+    }
+    // Interior of the closing pair.
+    let inner = top_level_helices(pair, i + 1, j);
+    let unpaired_left = inner
+        .first()
+        .map_or(j - i - 1, |&(a, _)| a - (i + 1));
+    let unpaired_right = inner.last().map_or(0, |&(_, b)| j - 1 - b);
+    let label = match inner.len() {
+        0 => b'H',
+        1 if (unpaired_left > 0) != (unpaired_right > 0) => b'B',
+        1 => b'I',
+        _ => b'M',
+    };
+    let loop_node = tree.graft(stem, &OrderedTree::leaf(label));
+    for (a, b) in inner {
+        build_helix(pair, a, b, tree, loop_node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(db: &str) -> String {
+        parse_dot_bracket(db).unwrap().to_string()
+    }
+
+    #[test]
+    fn hairpin() {
+        assert_eq!(t("((((...))))"), "N(R(H))");
+        assert_eq!(t("(...)"), "N(R(H))");
+    }
+
+    #[test]
+    fn bulge_one_sided() {
+        // Unpaired bases on the left side only between two stems.
+        assert_eq!(t("((..((...))))"), "N(R(B(R(H))))");
+        assert_eq!(t("((((...))..))"), "N(R(B(R(H))))");
+    }
+
+    #[test]
+    fn internal_loop_two_sided() {
+        assert_eq!(t("((..((...))..))"), "N(R(I(R(H))))");
+    }
+
+    #[test]
+    fn stacked_inner_helix_without_gap_is_internal_zero_loop() {
+        // Fully stacked pairs collapse into ONE stem node.
+        assert_eq!(t("(((...)))"), "N(R(H))");
+    }
+
+    #[test]
+    fn multibranch() {
+        assert_eq!(t("(((...)(...)))"), "N(R(M(R(H),R(H))))");
+        assert_eq!(
+            t("((..(...)..(...).(...)..))"),
+            "N(R(M(R(H),R(H),R(H))))"
+        );
+    }
+
+    #[test]
+    fn exterior_connects_multiple_helices() {
+        assert_eq!(t("(...)..(...)"), "N(R(H),R(H))");
+        assert_eq!(t("..."), "N");
+        assert_eq!(t(""), "N");
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            parse_dot_bracket("(.))"),
+            Err(ViennaError::UnmatchedClose(3))
+        );
+        assert_eq!(parse_dot_bracket("(("), Err(ViennaError::UnmatchedOpen(2)));
+        assert_eq!(parse_dot_bracket("(x)"), Err(ViennaError::BadChar(1)));
+    }
+
+    #[test]
+    fn parsed_structures_feed_the_miner() {
+        use crate::discover::{discover_tree_motifs, TreeDiscoveryParams};
+        // Three structures sharing a stem-hairpin under a multiloop.
+        let dbs = [
+            "((((...)(...))))",
+            "(((...)(...)..))",
+            "((..(...)(...)))",
+        ];
+        let trees: Vec<OrderedTree> = dbs
+            .iter()
+            .map(|d| parse_dot_bracket(d).unwrap())
+            .collect();
+        let found = discover_tree_motifs(
+            trees,
+            TreeDiscoveryParams {
+                min_size: 3,
+                max_size: 4,
+                min_occurrence: 3,
+                max_distance: 0,
+            },
+        );
+        assert!(
+            found.iter().any(|m| m.motif.to_string() == "M(R(H),R)"
+                || m.motif.to_string() == "M(R,R(H))"
+                || m.motif.to_string() == "M(R(H),R(H))"),
+            "{:?}",
+            found.iter().map(|m| m.motif.to_string()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests of the tree edit distance and containment.
+
+use proptest::prelude::*;
+use treemine::{
+    best_subtree_distance, contains_within, cut_distance, tree_edit_distance, OrderedTree,
+};
+
+/// Arbitrary small ordered trees over a 3-letter alphabet, built from
+/// preorder (depth, label) encodings.
+fn arb_tree() -> impl Strategy<Value = OrderedTree> {
+    prop::collection::vec((0u8..3, 0u8..3), 0..7).prop_map(|steps| {
+        let mut code: Vec<(u8, u8)> = vec![(0, b'A')];
+        let mut last_depth = 0u8;
+        for (jump, label) in steps {
+            // Valid preorder: depth in 1..=last_depth+1.
+            let depth = 1 + jump % (last_depth + 1);
+            code.push((depth, b'A' + label));
+            last_depth = depth;
+        }
+        OrderedTree::decode(&code)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn identity(t in arb_tree()) {
+        prop_assert_eq!(tree_edit_distance(&t, &t), 0);
+        prop_assert_eq!(best_subtree_distance(&t, &t), 0);
+        prop_assert!(contains_within(&t, &t, 0));
+    }
+
+    #[test]
+    fn symmetry(a in arb_tree(), b in arb_tree()) {
+        prop_assert_eq!(tree_edit_distance(&a, &b), tree_edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_tree(), b in arb_tree(), c in arb_tree()) {
+        let ab = tree_edit_distance(&a, &b);
+        let bc = tree_edit_distance(&b, &c);
+        let ac = tree_edit_distance(&a, &c);
+        prop_assert!(ac <= ab + bc, "d(a,c)={ac} > d(a,b)={ab} + d(b,c)={bc}");
+    }
+
+    #[test]
+    fn distance_bounded_by_sizes(a in arb_tree(), b in arb_tree()) {
+        // Delete all of a, insert all of b.
+        prop_assert!(tree_edit_distance(&a, &b) <= a.len() + b.len());
+        // And at least the size difference.
+        prop_assert!(tree_edit_distance(&a, &b) >= a.len().abs_diff(b.len()));
+    }
+
+    #[test]
+    fn cuts_never_increase_distance(a in arb_tree(), b in arb_tree()) {
+        prop_assert!(cut_distance(&a, &b) <= tree_edit_distance(&a, &b));
+        prop_assert!(best_subtree_distance(&a, &b) <= cut_distance(&a, &b));
+    }
+
+    #[test]
+    fn every_subtree_is_contained_exactly(t in arb_tree(), node_pick in any::<u32>()) {
+        let node = node_pick as usize % t.len();
+        let sub = t.subtree(node);
+        prop_assert!(
+            contains_within(&sub, &t, 0),
+            "subtree {} of {} should occur exactly", sub, t
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip(t in arb_tree()) {
+        let code = t.encode();
+        let back = OrderedTree::decode(&code);
+        prop_assert_eq!(t.to_string(), back.to_string());
+    }
+
+    #[test]
+    fn containment_monotone_in_distance(a in arb_tree(), b in arb_tree()) {
+        let d0 = best_subtree_distance(&a, &b);
+        for d in 0..4 {
+            prop_assert_eq!(contains_within(&a, &b, d), d >= d0);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! A small self-contained binary codec for tuples.
+//!
+//! PLinda's *checkpoint-protected tuple space* (§2.4.6) periodically saves
+//! the whole visible tuple space to disk and restores it on server
+//! recovery. This module provides the wire format: length-prefixed,
+//! tag-discriminated, little-endian. It is deliberately hand-rolled — the
+//! format is tiny and this keeps the workspace off serde format crates
+//! (see DESIGN.md "Dependencies").
+
+use crate::value::{Tuple, Value};
+use std::fmt;
+
+/// Decoding failure: truncated input, unknown tag, or invalid UTF-8.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_INT: u8 = 0;
+const TAG_REAL: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_BYTES: u8 = 3;
+const TAG_LIST: u8 = 4;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Real(r) => {
+            out.push(TAG_REAL);
+            out.extend_from_slice(&r.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_u64(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            put_u64(out, b.len() as u64);
+            out.extend_from_slice(b);
+        }
+        Value::List(l) => {
+            out.push(TAG_LIST);
+            put_u64(out, l.len() as u64);
+            for v in l {
+                encode_value(out, v);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CodecError(format!(
+                "truncated input: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn len(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        // Reject absurd lengths before allocating (a corrupted checkpoint
+        // must not OOM the recovering server).
+        if v as usize > self.buf.len().saturating_sub(self.pos) {
+            return Err(CodecError(format!("length {v} exceeds remaining input")));
+        }
+        Ok(v as usize)
+    }
+}
+
+fn decode_value(r: &mut Reader<'_>) -> Result<Value, CodecError> {
+    match r.u8()? {
+        TAG_INT => Ok(Value::Int(i64::from_le_bytes(
+            r.take(8)?.try_into().unwrap(),
+        ))),
+        TAG_REAL => Ok(Value::Real(f64::from_bits(u64::from_le_bytes(
+            r.take(8)?.try_into().unwrap(),
+        )))),
+        TAG_STR => {
+            let n = r.len()?;
+            let s = std::str::from_utf8(r.take(n)?)
+                .map_err(|e| CodecError(format!("invalid utf-8: {e}")))?;
+            Ok(Value::Str(s.to_owned()))
+        }
+        TAG_BYTES => {
+            let n = r.len()?;
+            Ok(Value::Bytes(r.take(n)?.to_vec()))
+        }
+        TAG_LIST => {
+            let n = r.u64()? as usize;
+            let mut l = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                l.push(decode_value(r)?);
+            }
+            Ok(Value::List(l))
+        }
+        t => Err(CodecError(format!("unknown value tag {t}"))),
+    }
+}
+
+/// Encode one tuple.
+pub fn encode_tuple(t: &Tuple) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * t.arity() + 8);
+    put_u64(&mut out, t.arity() as u64);
+    for v in &t.0 {
+        encode_value(&mut out, v);
+    }
+    out
+}
+
+/// Decode one tuple from exactly `buf`.
+pub fn decode_tuple(buf: &[u8]) -> Result<Tuple, CodecError> {
+    let mut r = Reader { buf, pos: 0 };
+    let t = decode_tuple_from(&mut r)?;
+    if r.pos != buf.len() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after tuple",
+            buf.len() - r.pos
+        )));
+    }
+    Ok(t)
+}
+
+fn decode_tuple_from(r: &mut Reader<'_>) -> Result<Tuple, CodecError> {
+    let n = r.u64()? as usize;
+    let mut fields = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        fields.push(decode_value(r)?);
+    }
+    Ok(Tuple::new(fields))
+}
+
+/// Encode a whole tuple-space snapshot.
+pub fn encode_tuples(ts: &[Tuple]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"PLTS");
+    put_u64(&mut out, ts.len() as u64);
+    for t in ts {
+        encode_value(&mut out, &Value::Bytes(encode_tuple(t)));
+    }
+    out
+}
+
+/// Decode a tuple-space snapshot produced by [`encode_tuples`].
+pub fn decode_tuples(buf: &[u8]) -> Result<Vec<Tuple>, CodecError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != b"PLTS" {
+        return Err(CodecError("bad snapshot magic".into()));
+    }
+    let n = r.u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        match decode_value(&mut r)? {
+            Value::Bytes(b) => out.push(decode_tuple(&b)?),
+            other => {
+                return Err(CodecError(format!(
+                    "expected bytes-wrapped tuple, got {}",
+                    other.tag()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn roundtrip_scalar_tuple() {
+        let t = tup!["task", 42, 3.25];
+        assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let t = Tuple::new(vec![
+            Value::List(vec![
+                Value::Int(-1),
+                Value::Bytes(vec![0, 255, 7]),
+                Value::List(vec![Value::Str("deep".into())]),
+            ]),
+            Value::Real(f64::NEG_INFINITY),
+        ]);
+        assert_eq!(decode_tuple(&encode_tuple(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn roundtrip_snapshot() {
+        let ts = vec![tup!["a", 1], tup![2.5], tup!["b", vec![9u8]]];
+        assert_eq!(decode_tuples(&encode_tuples(&ts)).unwrap(), ts);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let t = tup!["hello", 1];
+        let enc = encode_tuple(&t);
+        for cut in 0..enc.len() {
+            assert!(decode_tuple(&enc[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(decode_tuples(b"XXXX\0\0\0\0\0\0\0\0").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut enc = encode_tuple(&tup![1]);
+        enc.push(0);
+        assert!(decode_tuple(&enc).is_err());
+    }
+}

@@ -1,0 +1,454 @@
+//! PLinda processes: transactional access to the tuple space.
+//!
+//! A PLinda program is divided into a sequence of transactions executed
+//! all-or-nothing (§2.4.6). A [`Process`] is the per-worker handle through
+//! which those transactions run:
+//!
+//! * [`Process::xstart`] opens a transaction.
+//! * [`Process::out`] buffers a tuple — invisible until commit.
+//! * [`Process::in_`] / [`Process::rd`] withdraw/read matching tuples; a
+//!   withdrawal is tentative and undone if the transaction aborts.
+//! * [`Process::xcommit`] atomically publishes the buffered `out`s and
+//!   stores the optional *continuation* tuple (the live local variables),
+//!   which [`Process::xrecover`] retrieves after a failure.
+//!
+//! If the process is killed mid-transaction (workstation owner returned, or
+//! machine crashed), every operation — including a blocked `in` — returns
+//! [`PlindaError::Killed`]; the runtime then aborts the open transaction
+//! (restoring withdrawn tuples, discarding buffered ones) and re-spawns the
+//! process, which resumes from its last committed continuation.
+
+use crate::space::TupleSpace;
+use crate::template::Template;
+use crate::value::Tuple;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Errors surfaced to PLinda process code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlindaError {
+    /// The process was killed by the runtime (owner activity or injected
+    /// failure). The worker function should propagate this immediately.
+    Killed,
+    /// A transactional operation was used outside `xstart`…`xcommit`.
+    NoTransaction,
+    /// `xstart` while a transaction is already open.
+    NestedTransaction,
+}
+
+impl fmt::Display for PlindaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlindaError::Killed => write!(f, "process killed"),
+            PlindaError::NoTransaction => write!(f, "operation outside a transaction"),
+            PlindaError::NestedTransaction => write!(f, "xstart inside an open transaction"),
+        }
+    }
+}
+
+impl std::error::Error for PlindaError {}
+
+/// Continuations of committed transactions, keyed by *logical* process id —
+/// a re-spawned incarnation of a process keeps the id of the failed one, so
+/// `xrecover` finds the predecessor's state (PLinda's continuation
+/// committing, §2.4.6).
+#[derive(Default)]
+pub struct ContinuationStore {
+    map: Mutex<HashMap<u64, Tuple>>,
+}
+
+impl ContinuationStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `cont` as the continuation of logical process `pid`.
+    pub fn put(&self, pid: u64, cont: Tuple) {
+        self.map.lock().insert(pid, cont);
+    }
+
+    /// Latest committed continuation of `pid`, if any.
+    pub fn get(&self, pid: u64) -> Option<Tuple> {
+        self.map.lock().get(&pid).cloned()
+    }
+
+    /// Drop the continuation of `pid` (process completed normally).
+    pub fn clear(&self, pid: u64) {
+        self.map.lock().remove(&pid);
+    }
+}
+
+/// Observable status of a process — the states of the PLinda "Process
+/// Watch" window (Fig. 7.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessStatus {
+    /// Created, not yet running user code.
+    Dispatched,
+    /// Executing.
+    Running,
+    /// Parked in a blocking `in`/`rd`.
+    Blocked,
+    /// A failed incarnation was re-spawned.
+    FailureHandled,
+    /// Completed normally.
+    Done,
+}
+
+impl std::fmt::Display for ProcessStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProcessStatus::Dispatched => "DISPATCHED",
+            ProcessStatus::Running => "RUNNING",
+            ProcessStatus::Blocked => "BLOCKED",
+            ProcessStatus::FailureHandled => "FAILURE_HANDLED",
+            ProcessStatus::Done => "DONE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shared, runtime-visible state of one process incarnation.
+pub struct ProcessState {
+    killed: AtomicBool,
+    status: std::sync::atomic::AtomicU8,
+}
+
+impl ProcessState {
+    pub(crate) fn new() -> Self {
+        ProcessState {
+            killed: AtomicBool::new(false),
+            status: std::sync::atomic::AtomicU8::new(0),
+        }
+    }
+
+    pub(crate) fn kill(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn revive(&self) {
+        self.killed.store(false, Ordering::SeqCst);
+        self.set_status(ProcessStatus::FailureHandled);
+    }
+
+    /// Has this incarnation been killed?
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn set_status(&self, st: ProcessStatus) {
+        let v = match st {
+            ProcessStatus::Dispatched => 0,
+            ProcessStatus::Running => 1,
+            ProcessStatus::Blocked => 2,
+            ProcessStatus::FailureHandled => 3,
+            ProcessStatus::Done => 4,
+        };
+        self.status.store(v, Ordering::SeqCst);
+    }
+
+    /// Current observable status.
+    pub fn status(&self) -> ProcessStatus {
+        match self.status.load(Ordering::SeqCst) {
+            0 => ProcessStatus::Dispatched,
+            1 => ProcessStatus::Running,
+            2 => ProcessStatus::Blocked,
+            3 => ProcessStatus::FailureHandled,
+            _ => ProcessStatus::Done,
+        }
+    }
+}
+
+struct Txn {
+    /// Tuples tentatively withdrawn; restored on abort.
+    consumed: Vec<Tuple>,
+    /// Tuples produced; published atomically on commit.
+    outbox: Vec<Tuple>,
+}
+
+/// A PLinda process handle: the `this`-pointer of the master/worker
+/// pseudo-code listings throughout the dissertation (Figs. 3.4–3.10,
+/// 4.4–4.7, 6.1–6.2).
+pub struct Process {
+    pid: u64,
+    space: Arc<TupleSpace>,
+    conts: Arc<ContinuationStore>,
+    state: Arc<ProcessState>,
+    txn: Option<Txn>,
+    /// Transactions committed by this incarnation (diagnostics).
+    committed: u64,
+}
+
+impl Process {
+    pub(crate) fn new(
+        pid: u64,
+        space: Arc<TupleSpace>,
+        conts: Arc<ContinuationStore>,
+        state: Arc<ProcessState>,
+    ) -> Self {
+        Process {
+            pid,
+            space,
+            conts,
+            state,
+            txn: None,
+            committed: 0,
+        }
+    }
+
+    /// Logical process id (stable across re-spawns).
+    pub fn pid(&self) -> u64 {
+        self.pid
+    }
+
+    /// The shared tuple space (for non-transactional reads in tests).
+    pub fn space(&self) -> &Arc<TupleSpace> {
+        &self.space
+    }
+
+    /// Transactions committed by this incarnation.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    fn check_alive(&self) -> Result<(), PlindaError> {
+        if self.state.is_killed() {
+            Err(PlindaError::Killed)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Open a transaction. All subsequent ops run inside it until
+    /// [`Process::xcommit`].
+    pub fn xstart(&mut self) {
+        // Matching the pseudo-code ergonomics, xstart does not return a
+        // Result; a nested xstart is a programming error.
+        assert!(
+            self.txn.is_none(),
+            "xstart inside an open transaction (pid {})",
+            self.pid
+        );
+        self.txn = Some(Txn {
+            consumed: Vec::new(),
+            outbox: Vec::new(),
+        });
+    }
+
+    /// Is a transaction currently open?
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// `out` inside the open transaction: buffered until commit.
+    pub fn out(&mut self, t: Tuple) {
+        match &mut self.txn {
+            Some(txn) => txn.outbox.push(t),
+            // Outside a transaction, fall back to a direct (immediately
+            // visible) out — PLinda masters use this for poison tuples.
+            None => self.space.out(t),
+        }
+    }
+
+    /// `in`: blocking withdrawal. Returns [`PlindaError::Killed`] if this
+    /// process is killed while blocked or before the call.
+    pub fn in_(&mut self, tmpl: Template) -> Result<Tuple, PlindaError> {
+        self.check_alive()?;
+        // A transaction's own buffered outs are visible to it (PLinda
+        // processes routinely `out` then `in` within one transaction).
+        if let Some(txn) = &mut self.txn {
+            if let Some(i) = txn.outbox.iter().position(|t| tmpl.matches(t)) {
+                return Ok(txn.outbox.remove(i));
+            }
+        }
+        self.state.set_status(ProcessStatus::Blocked);
+        let got = self.space.in_cancellable(&tmpl, Some(&self.state.killed));
+        self.state.set_status(ProcessStatus::Running);
+        match got {
+            Some(t) => {
+                if let Some(txn) = &mut self.txn {
+                    txn.consumed.push(t.clone());
+                }
+                Ok(t)
+            }
+            None => Err(PlindaError::Killed),
+        }
+    }
+
+    /// `inp`: non-blocking withdrawal.
+    pub fn inp(&mut self, tmpl: &Template) -> Result<Option<Tuple>, PlindaError> {
+        self.check_alive()?;
+        if let Some(txn) = &mut self.txn {
+            if let Some(i) = txn.outbox.iter().position(|t| tmpl.matches(t)) {
+                return Ok(Some(txn.outbox.remove(i)));
+            }
+        }
+        let got = self.space.inp(tmpl);
+        if let (Some(t), Some(txn)) = (&got, &mut self.txn) {
+            txn.consumed.push(t.clone());
+        }
+        Ok(got)
+    }
+
+    /// `rd`: blocking read (copy).
+    pub fn rd(&mut self, tmpl: Template) -> Result<Tuple, PlindaError> {
+        self.check_alive()?;
+        if let Some(txn) = &self.txn {
+            if let Some(t) = txn.outbox.iter().find(|t| tmpl.matches(t)) {
+                return Ok(t.clone());
+            }
+        }
+        self.state.set_status(ProcessStatus::Blocked);
+        let got = self.space.rd_cancellable(&tmpl, Some(&self.state.killed));
+        self.state.set_status(ProcessStatus::Running);
+        match got {
+            Some(t) => Ok(t),
+            None => Err(PlindaError::Killed),
+        }
+    }
+
+    /// `rdp`: non-blocking read.
+    pub fn rdp(&mut self, tmpl: &Template) -> Result<Option<Tuple>, PlindaError> {
+        self.check_alive()?;
+        if let Some(txn) = &self.txn {
+            if let Some(t) = txn.outbox.iter().find(|t| tmpl.matches(t)) {
+                return Ok(Some(t.clone()));
+            }
+        }
+        Ok(self.space.rdp(tmpl))
+    }
+
+    /// Commit the open transaction: atomically publish buffered `out`s and
+    /// durably record `continuation` (the live local variables) for
+    /// [`Process::xrecover`]. A kill that lands before the commit point
+    /// aborts instead — exactly PLinda's all-or-nothing guarantee.
+    pub fn xcommit(&mut self, continuation: Option<Tuple>) -> Result<(), PlindaError> {
+        let txn = self.txn.take().ok_or(PlindaError::NoTransaction)?;
+        if self.state.is_killed() {
+            // The failure happened before commit: abort.
+            self.space.out_all(txn.consumed);
+            return Err(PlindaError::Killed);
+        }
+        self.space.out_all(txn.outbox);
+        if let Some(c) = continuation {
+            self.conts.put(self.pid, c);
+        }
+        self.committed += 1;
+        Ok(())
+    }
+
+    /// Retrieve the continuation of the last committed transaction of this
+    /// logical process, if a previous incarnation failed after committing.
+    pub fn xrecover(&self) -> Option<Tuple> {
+        self.conts.get(self.pid)
+    }
+
+    /// Abort the open transaction (if any): restore withdrawn tuples,
+    /// discard buffered ones. Called by the runtime after a kill.
+    pub(crate) fn abort(&mut self) {
+        if let Some(txn) = self.txn.take() {
+            self.space.out_all(txn.consumed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::field;
+    use crate::tup;
+
+    fn mk() -> (Process, Arc<TupleSpace>, Arc<ProcessState>) {
+        let space = Arc::new(TupleSpace::new());
+        let conts = Arc::new(ContinuationStore::new());
+        let state = Arc::new(ProcessState::new());
+        let p = Process::new(
+            7,
+            Arc::clone(&space),
+            conts,
+            Arc::clone(&state),
+        );
+        (p, space, state)
+    }
+
+    fn t_task() -> Template {
+        Template::new(vec![field::val("task"), field::int()])
+    }
+
+    #[test]
+    fn outs_invisible_until_commit() {
+        let (mut p, space, _) = mk();
+        p.xstart();
+        p.out(tup!["task", 1]);
+        assert_eq!(space.len(), 0);
+        p.xcommit(None).unwrap();
+        assert_eq!(space.len(), 1);
+    }
+
+    #[test]
+    fn own_outs_visible_within_txn() {
+        let (mut p, space, _) = mk();
+        p.xstart();
+        p.out(tup!["task", 5]);
+        let got = p.inp(&t_task()).unwrap().unwrap();
+        assert_eq!(got.int(1), 5);
+        p.xcommit(None).unwrap();
+        // Consumed its own buffered out before commit: nothing published.
+        assert_eq!(space.len(), 0);
+    }
+
+    #[test]
+    fn abort_restores_consumed_and_drops_outbox() {
+        let (mut p, space, state) = mk();
+        space.out(tup!["task", 1]);
+        p.xstart();
+        let _ = p.in_(t_task()).unwrap();
+        p.out(tup!["task", 99]);
+        assert_eq!(space.len(), 0);
+        state.kill();
+        p.abort();
+        assert_eq!(space.len(), 1);
+        let back = space.inp(&t_task()).unwrap();
+        assert_eq!(back.int(1), 1, "original tuple restored, not the outbox");
+    }
+
+    #[test]
+    fn kill_before_commit_aborts() {
+        let (mut p, space, state) = mk();
+        space.out(tup!["task", 1]);
+        p.xstart();
+        let _ = p.in_(t_task()).unwrap();
+        p.out(tup!["done", 1]);
+        state.kill();
+        assert_eq!(p.xcommit(None), Err(PlindaError::Killed));
+        assert_eq!(space.len(), 1, "consumed tuple restored");
+        assert_eq!(space.count(&t_task()), 1);
+    }
+
+    #[test]
+    fn continuation_roundtrip() {
+        let (mut p, _, _) = mk();
+        assert!(p.xrecover().is_none());
+        p.xstart();
+        p.xcommit(Some(tup![42, "state"])).unwrap();
+        let c = p.xrecover().unwrap();
+        assert_eq!(c.int(0), 42);
+    }
+
+    #[test]
+    fn ops_after_kill_fail() {
+        let (mut p, _, state) = mk();
+        state.kill();
+        assert_eq!(p.in_(t_task()), Err(PlindaError::Killed));
+        assert_eq!(p.rd(t_task()), Err(PlindaError::Killed));
+    }
+
+    #[test]
+    fn xcommit_without_xstart_errors() {
+        let (mut p, _, _) = mk();
+        assert_eq!(p.xcommit(None), Err(PlindaError::NoTransaction));
+    }
+}

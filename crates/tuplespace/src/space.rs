@@ -1,0 +1,340 @@
+//! The shared tuple space.
+//!
+//! Storage is partitioned by type signature: a template's typed formals pin
+//! down the exact signature of every tuple it can match, so `in`/`rd` only
+//! scan one partition. This mirrors the compile-time tuple partitioning of
+//! Linda implementations described in §2.4.5 of the dissertation, performed
+//! here at runtime.
+
+use crate::codec;
+use crate::template::Template;
+use crate::value::{Tuple, TypeTag};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+#[derive(Default)]
+struct Store {
+    partitions: HashMap<Vec<TypeTag>, Vec<Tuple>>,
+    /// Total visible tuples (kept in sync with `partitions`).
+    len: usize,
+}
+
+impl Store {
+    fn insert(&mut self, t: Tuple) {
+        self.partitions.entry(t.signature()).or_default().push(t);
+        self.len += 1;
+    }
+
+    fn find(&self, tmpl: &Template) -> Option<(usize, &Vec<Tuple>)> {
+        let part = self.partitions.get(&tmpl.signature())?;
+        part.iter()
+            .position(|t| tmpl.matches(t))
+            .map(|i| (i, part))
+    }
+
+    fn take(&mut self, tmpl: &Template) -> Option<Tuple> {
+        let part = self.partitions.get_mut(&tmpl.signature())?;
+        let idx = part.iter().position(|t| tmpl.matches(t))?;
+        self.len -= 1;
+        // Order within a partition is not part of the Linda contract;
+        // swap_remove keeps withdrawal O(1).
+        Some(part.swap_remove(idx))
+    }
+
+    fn read(&self, tmpl: &Template) -> Option<Tuple> {
+        self.find(tmpl).map(|(i, part)| part[i].clone())
+    }
+}
+
+/// The generative shared memory all PLinda processes coordinate through.
+///
+/// All operations are linearizable (single internal lock); blocking
+/// operations park on a condition variable that is signalled whenever
+/// tuples become visible. Blocking calls take an optional *cancel flag* so
+/// the runtime can abort a process that is parked inside `in` — the PLinda
+/// server does exactly this when a workstation owner returns (§7.1.1).
+pub struct TupleSpace {
+    store: Mutex<Store>,
+    cond: Condvar,
+}
+
+impl Default for TupleSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TupleSpace {
+    /// Create an empty space.
+    pub fn new() -> Self {
+        TupleSpace {
+            store: Mutex::new(Store::default()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// `out`: make `t` visible to every process. Never blocks.
+    pub fn out(&self, t: Tuple) {
+        let mut s = self.store.lock();
+        s.insert(t);
+        drop(s);
+        self.cond.notify_all();
+    }
+
+    /// Bulk `out` under one lock acquisition (used by transaction commit so
+    /// a committed transaction's tuples appear atomically).
+    pub fn out_all(&self, ts: Vec<Tuple>) {
+        if ts.is_empty() {
+            return;
+        }
+        let mut s = self.store.lock();
+        for t in ts {
+            s.insert(t);
+        }
+        drop(s);
+        self.cond.notify_all();
+    }
+
+    /// `inp`: withdraw a matching tuple if one exists, without blocking.
+    pub fn inp(&self, tmpl: &Template) -> Option<Tuple> {
+        self.store.lock().take(tmpl)
+    }
+
+    /// `rdp`: copy a matching tuple if one exists, without blocking.
+    pub fn rdp(&self, tmpl: &Template) -> Option<Tuple> {
+        self.store.lock().read(tmpl)
+    }
+
+    /// `in`: withdraw a matching tuple, blocking until one is available.
+    pub fn in_blocking(&self, tmpl: Template) -> Tuple {
+        self.in_cancellable(&tmpl, None)
+            .expect("in_blocking without cancel flag cannot be cancelled")
+    }
+
+    /// `rd`: copy a matching tuple, blocking until one is available.
+    pub fn rd_blocking(&self, tmpl: Template) -> Tuple {
+        self.rd_cancellable(&tmpl, None)
+            .expect("rd_blocking without cancel flag cannot be cancelled")
+    }
+
+    /// `in` with cancellation: returns `None` if `cancel` becomes true
+    /// while waiting (the process was killed).
+    pub fn in_cancellable(&self, tmpl: &Template, cancel: Option<&AtomicBool>) -> Option<Tuple> {
+        let mut s = self.store.lock();
+        loop {
+            if let Some(c) = cancel {
+                if c.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            if let Some(t) = s.take(tmpl) {
+                return Some(t);
+            }
+            // Bounded wait so a kill that races with the final notify is
+            // still observed promptly.
+            self.cond.wait_for(&mut s, Duration::from_millis(20));
+        }
+    }
+
+    /// `rd` with cancellation; see [`TupleSpace::in_cancellable`].
+    pub fn rd_cancellable(&self, tmpl: &Template, cancel: Option<&AtomicBool>) -> Option<Tuple> {
+        let mut s = self.store.lock();
+        loop {
+            if let Some(c) = cancel {
+                if c.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            if let Some(t) = s.read(tmpl) {
+                return Some(t);
+            }
+            self.cond.wait_for(&mut s, Duration::from_millis(20));
+        }
+    }
+
+    /// Wake all waiters so they can re-check cancellation flags.
+    pub(crate) fn kick(&self) {
+        self.cond.notify_all();
+    }
+
+    /// Number of visible tuples.
+    pub fn len(&self) -> usize {
+        self.store.lock().len
+    }
+
+    /// Is the space empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count visible tuples matching `tmpl` (diagnostics / tests).
+    pub fn count(&self, tmpl: &Template) -> usize {
+        let s = self.store.lock();
+        s.partitions
+            .get(&tmpl.signature())
+            .map(|p| p.iter().filter(|t| tmpl.matches(t)).count())
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of every visible tuple (checkpointing; order unspecified).
+    pub fn snapshot(&self) -> Vec<Tuple> {
+        let s = self.store.lock();
+        let mut out = Vec::with_capacity(s.len);
+        // Deterministic ordering for stable checkpoints.
+        let mut keys: Vec<_> = s.partitions.keys().cloned().collect();
+        keys.sort();
+        for k in keys {
+            out.extend(s.partitions[&k].iter().cloned());
+        }
+        out
+    }
+
+    /// Serialize the visible space — PLinda's checkpoint (§2.4.6).
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        codec::encode_tuples(&self.snapshot())
+    }
+
+    /// Replace the space contents from a checkpoint — rollback recovery.
+    pub fn restore_bytes(&self, bytes: &[u8]) -> Result<(), codec::CodecError> {
+        let tuples = codec::decode_tuples(bytes)?;
+        let mut s = self.store.lock();
+        s.partitions.clear();
+        s.len = 0;
+        for t in tuples {
+            s.insert(t);
+        }
+        drop(s);
+        self.cond.notify_all();
+        Ok(())
+    }
+
+    /// Checkpoint to a file.
+    pub fn checkpoint_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.checkpoint_bytes())
+    }
+
+    /// Restore from a file written by [`TupleSpace::checkpoint_file`].
+    pub fn restore_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let bytes = std::fs::read(path)?;
+        self.restore_bytes(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::field;
+    use crate::tup;
+    use std::sync::Arc;
+
+    fn task_tmpl() -> Template {
+        Template::new(vec![field::val("task"), field::int()])
+    }
+
+    #[test]
+    fn out_then_inp() {
+        let ts = TupleSpace::new();
+        ts.out(tup!["task", 1]);
+        ts.out(tup!["task", 2]);
+        assert_eq!(ts.len(), 2);
+        let got = ts.inp(&task_tmpl()).unwrap();
+        assert_eq!(got.str(0), "task");
+        assert_eq!(ts.len(), 1);
+        assert!(ts.inp(&task_tmpl()).is_some());
+        assert!(ts.inp(&task_tmpl()).is_none());
+    }
+
+    #[test]
+    fn rdp_does_not_withdraw() {
+        let ts = TupleSpace::new();
+        ts.out(tup!["task", 1]);
+        assert!(ts.rdp(&task_tmpl()).is_some());
+        assert!(ts.rdp(&task_tmpl()).is_some());
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn actual_fields_select_specific_tuples() {
+        let ts = TupleSpace::new();
+        ts.out(tup!["result", 0, 10]);
+        ts.out(tup!["result", 1, 20]);
+        let tmpl = Template::new(vec![field::val("result"), field::val(1), field::int()]);
+        let got = ts.inp(&tmpl).unwrap();
+        assert_eq!(got.int(2), 20);
+    }
+
+    #[test]
+    fn blocking_in_wakes_on_out() {
+        let ts = Arc::new(TupleSpace::new());
+        let ts2 = Arc::clone(&ts);
+        let h = std::thread::spawn(move || ts2.in_blocking(task_tmpl()));
+        std::thread::sleep(Duration::from_millis(30));
+        ts.out(tup!["task", 9]);
+        let got = h.join().unwrap();
+        assert_eq!(got.int(1), 9);
+    }
+
+    #[test]
+    fn cancellable_in_observes_kill() {
+        let ts = Arc::new(TupleSpace::new());
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (ts2, c2) = (Arc::clone(&ts), Arc::clone(&cancel));
+        let h = std::thread::spawn(move || ts2.in_cancellable(&task_tmpl(), Some(&c2)));
+        std::thread::sleep(Duration::from_millis(30));
+        cancel.store(true, Ordering::SeqCst);
+        ts.kick();
+        assert!(h.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let ts = TupleSpace::new();
+        ts.out(tup!["task", 1]);
+        ts.out(tup!["done", 2, 3.5]);
+        let bytes = ts.checkpoint_bytes();
+
+        let ts2 = TupleSpace::new();
+        ts2.out(tup!["junk"]);
+        ts2.restore_bytes(&bytes).unwrap();
+        assert_eq!(ts2.len(), 2);
+        assert!(ts2.inp(&task_tmpl()).is_some());
+        assert!(ts2
+            .inp(&Template::new(vec![field::val("junk")]))
+            .is_none());
+    }
+
+    #[test]
+    fn out_all_is_atomic_batch() {
+        let ts = TupleSpace::new();
+        ts.out_all(vec![tup!["task", 1], tup!["task", 2], tup!["task", 3]]);
+        assert_eq!(ts.count(&task_tmpl()), 3);
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let ts = Arc::new(TupleSpace::new());
+        let n = 8;
+        let per = 50;
+        let mut handles = Vec::new();
+        for p in 0..n {
+            let ts = Arc::clone(&ts);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    ts.out(tup!["task", (p * per + i) as i64]);
+                }
+            }));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n * per {
+            let t = ts.in_blocking(task_tmpl());
+            assert!(seen.insert(t.int(1)));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(ts.is_empty());
+    }
+}

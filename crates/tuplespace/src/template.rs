@@ -1,0 +1,124 @@
+//! Templates (anti-tuples) and matching.
+//!
+//! A template is a sequence of fields, each either an **actual** (a
+//! concrete value that must be equal in the matched tuple) or a **formal**
+//! (a typed wildcard, written `?x` in Linda). `in(template)` withdraws and
+//! `rd(template)` reads any tuple whose arity, field types, and actual
+//! fields all agree with the template.
+
+use crate::value::{Tuple, TypeTag, Value};
+
+/// One field of a [`Template`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Field {
+    /// A concrete value the tuple field must equal.
+    Actual(Value),
+    /// A typed wildcard the tuple field must merely type-match.
+    Formal(TypeTag),
+}
+
+impl Field {
+    fn tag(&self) -> TypeTag {
+        match self {
+            Field::Actual(v) => v.tag(),
+            Field::Formal(t) => *t,
+        }
+    }
+}
+
+/// Shorthand constructors for template fields, e.g.
+/// `Template::new(vec![field::val("task"), field::int()])`.
+pub mod field {
+    use super::Field;
+    use crate::value::{TypeTag, Value};
+
+    /// Actual field from anything convertible to a [`Value`].
+    pub fn val(v: impl Into<Value>) -> Field {
+        Field::Actual(v.into())
+    }
+    /// Formal integer field (`?int`).
+    pub fn int() -> Field {
+        Field::Formal(TypeTag::Int)
+    }
+    /// Formal real field (`?real`).
+    pub fn real() -> Field {
+        Field::Formal(TypeTag::Real)
+    }
+    /// Formal string field (`?str`).
+    pub fn str() -> Field {
+        Field::Formal(TypeTag::Str)
+    }
+    /// Formal bytes field (`?bytes`).
+    pub fn bytes() -> Field {
+        Field::Formal(TypeTag::Bytes)
+    }
+    /// Formal list field (`?list`).
+    pub fn list() -> Field {
+        Field::Formal(TypeTag::List)
+    }
+}
+
+/// A pattern that selects tuples from the space.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Template(pub Vec<Field>);
+
+impl Template {
+    /// Build a template from its fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Template(fields)
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The type signature this template can ever match. Because formals are
+    /// typed, a template matches only tuples of exactly one signature —
+    /// this is what makes signature partitioning of the space sound.
+    pub fn signature(&self) -> Vec<TypeTag> {
+        self.0.iter().map(Field::tag).collect()
+    }
+
+    /// Does `tuple` satisfy this template?
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        if self.0.len() != tuple.0.len() {
+            return false;
+        }
+        self.0.iter().zip(&tuple.0).all(|(f, v)| match f {
+            Field::Actual(a) => a.matches_actual(v),
+            Field::Formal(t) => *t == v.tag(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tup;
+
+    #[test]
+    fn actuals_and_formals() {
+        let t = Template::new(vec![field::val("task"), field::int(), field::real()]);
+        assert!(t.matches(&tup!["task", 7, 1.5]));
+        assert!(!t.matches(&tup!["task", 7, 1])); // wrong type in formal
+        assert!(!t.matches(&tup!["done", 7, 1.5])); // wrong actual
+        assert!(!t.matches(&tup!["task", 7])); // wrong arity
+    }
+
+    #[test]
+    fn signature_agrees_with_matched_tuples() {
+        let t = Template::new(vec![field::val(3), field::bytes()]);
+        let tu = tup![3, vec![1u8, 2u8]];
+        assert!(t.matches(&tu));
+        assert_eq!(t.signature(), tu.signature());
+    }
+
+    #[test]
+    fn all_formals_matches_any_same_signature_tuple() {
+        let t = Template::new(vec![field::str(), field::int()]);
+        assert!(t.matches(&tup!["x", 1]));
+        assert!(t.matches(&tup!["y", -9]));
+        assert!(!t.matches(&tup![1, "x"]));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests of the checkpoint codec and template matching.
+
+use plinda::codec::{decode_tuple, decode_tuples, encode_tuple, encode_tuples};
+use plinda::{field, Template, Tuple, Value};
+use proptest::prelude::*;
+
+fn arb_value(depth: u32) -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Real),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::Str),
+        prop::collection::vec(any::<u8>(), 0..16).prop_map(Value::Bytes),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            leaf,
+            prop::collection::vec(arb_value(depth - 1), 0..4).prop_map(Value::List),
+        ]
+        .boxed()
+    }
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    prop::collection::vec(arb_value(2), 0..6).prop_map(Tuple::new)
+}
+
+proptest! {
+    #[test]
+    fn tuple_roundtrip(t in arb_tuple()) {
+        let enc = encode_tuple(&t);
+        let dec = decode_tuple(&enc).unwrap();
+        // Bitwise comparison (NaN-safe) via re-encoding.
+        prop_assert_eq!(encode_tuple(&dec), enc);
+    }
+
+    #[test]
+    fn snapshot_roundtrip(ts in prop::collection::vec(arb_tuple(), 0..8)) {
+        let enc = encode_tuples(&ts);
+        let dec = decode_tuples(&enc).unwrap();
+        prop_assert_eq!(dec.len(), ts.len());
+        for (a, b) in ts.iter().zip(&dec) {
+            prop_assert_eq!(encode_tuple(a), encode_tuple(b));
+        }
+    }
+
+    #[test]
+    fn truncation_never_panics(t in arb_tuple(), cut in 0usize..64) {
+        let enc = encode_tuple(&t);
+        let cut = cut.min(enc.len());
+        // May fail (it is truncated) but must not panic or OOM.
+        let _ = decode_tuple(&enc[..cut]);
+    }
+
+    #[test]
+    fn all_formal_template_matches_same_signature(t in arb_tuple()) {
+        let tmpl = Template::new(
+            t.signature()
+                .into_iter()
+                .map(|tag| {
+                    use plinda::TypeTag::*;
+                    match tag {
+                        Int => field::int(),
+                        Real => field::real(),
+                        Str => field::str(),
+                        Bytes => field::bytes(),
+                        List => field::list(),
+                    }
+                })
+                .collect(),
+        );
+        prop_assert!(tmpl.matches(&t));
+        prop_assert_eq!(tmpl.signature(), t.signature());
+    }
+
+    #[test]
+    fn exact_template_matches_itself_only_same_content(
+        a in arb_tuple(),
+        b in arb_tuple(),
+    ) {
+        let tmpl = Template::new(a.0.iter().cloned().map(plinda::Field::Actual).collect());
+        prop_assert!(tmpl.matches(&a));
+        if tmpl.matches(&b) {
+            prop_assert_eq!(encode_tuple(&a), encode_tuple(&b));
+        }
+    }
+}

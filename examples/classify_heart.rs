@@ -1,0 +1,95 @@
+//! Classification trees (Chapters 2 and 5): the heart-disease table of
+//! Table 2.1 — does Karp have heart disease? — learned by NyuMiner, CART,
+//! and C4.5.
+//!
+//! ```text
+//! cargo run -p fpdm --example classify_heart
+//! ```
+
+use fpdm::classify::c45::{C45Config, C45};
+use fpdm::classify::rulemine::mine_classification_rules;
+use fpdm::classify::nyuminer::{NyuConfig, NyuMinerCV};
+use fpdm::classify::{AttrValue, Attribute, Classifier, Dataset, DecisionTree, GrowConfig, GrowRule};
+
+fn schema() -> Vec<Attribute> {
+    vec![
+        Attribute::Numeric {
+            name: "weight".into(),
+        },
+        Attribute::Numeric { name: "age".into() },
+        Attribute::Categorical {
+            name: "bp".into(),
+            values: vec!["low".into(), "med".into(), "high".into()],
+        },
+    ]
+}
+
+fn main() {
+    // Table 2.1 without Karp: (weight, age, bp, heart disease?).
+    let rows: [(f64, f64, u16, u16); 6] = [
+        (180.0, 27.0, 0, 1), // Jihai
+        (140.0, 20.0, 0, 0), // Tom
+        (150.0, 30.0, 1, 0), // Hansoo
+        (150.0, 31.0, 0, 0), // Peter
+        (150.0, 35.0, 2, 1), // Bin
+        (150.0, 62.0, 0, 1), // Dennis
+    ];
+    let data = Dataset::new(
+        schema(),
+        vec![
+            rows.iter().map(|r| AttrValue::Num(r.0)).collect(),
+            rows.iter().map(|r| AttrValue::Num(r.1)).collect(),
+            rows.iter().map(|r| AttrValue::Cat(r.2)).collect(),
+        ],
+        rows.iter().map(|r| r.3).collect(),
+        vec!["no".into(), "yes".into()],
+    );
+
+    let nyu = NyuMinerCV::fit(&data, &data.all_rows(), &NyuConfig::default(), 0, 1);
+    let cart = DecisionTree::grow(&data, &data.all_rows(), &GrowRule::Cart, &GrowConfig::default());
+    let c45 = C45::fit(&data, &data.all_rows(), &C45Config::default());
+
+    println!("NyuMiner tree on the PLinda group's records:\n{}", nyu.tree.render(&data));
+
+    // Karp: 140 lb, 32 years, low blood pressure.
+    let karp = Dataset::new(
+        schema(),
+        vec![
+            vec![AttrValue::Num(140.0)],
+            vec![AttrValue::Num(32.0)],
+            vec![AttrValue::Cat(0)],
+        ],
+        vec![0],
+        vec!["no".into(), "yes".into()],
+    );
+    for (name, prediction) in [
+        ("NyuMiner", nyu.predict(&karp, 0)),
+        ("CART", cart.predict(&karp, 0)),
+        ("C4.5", c45.predict(&karp, 0)),
+    ] {
+        println!(
+            "{name}: Karp {} heart disease",
+            if prediction == 1 { "has" } else { "does not have" }
+        );
+    }
+    println!("(but he should go see a doctor anyway)");
+
+    // Rules induced from the table, like §2.1.1's
+    // "(Age > 60) -> Yes" and "(Age < 30 & Wt >= 160) -> No":
+    // classification rule mining over the same data (Fig. 3.3 for real).
+    let (mined, problem) = mine_classification_rules(data.clone(), data.all_rows(), 3, 1, 0.99);
+    println!("\npure classification rules (cover >= 1):");
+    for rule in mined.iter().take(6) {
+        let conds: Vec<String> = rule
+            .conditions
+            .iter()
+            .map(|&c| problem.describe_condition(c))
+            .collect();
+        println!(
+            "  {} -> {} (cover {})",
+            conds.join(" & "),
+            data.class_names()[rule.class as usize],
+            rule.cover
+        );
+    }
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Splice the experiment harness output into EXPERIMENTS.md.
+
+Usage: python3 scripts/fill_experiments.py [experiments_output.txt]
+
+Replaces each `<!-- ID -->` marker (e.g. `<!-- T4.2 -->`, `<!-- F6.3 -->`)
+with the corresponding harness section, fenced as a code block. Idempotent:
+re-running replaces previously spliced blocks.
+"""
+
+import re
+import sys
+
+OUT = sys.argv[1] if len(sys.argv) > 1 else "experiments_output.txt"
+
+# Map marker id -> section header prefix in the harness output.
+HEADERS = {
+    "T4.2": "== Table 4.2",
+    "F4.8": "== Figure 4.8",
+    "F4.9": "== Figure 4.9",
+    "F4.10": "== Figure 4.10",
+    "F4.11": "== Figure 4.11",
+    "F4.12": "== Figure 4.12",
+    "F4.13": "== Figure 4.13",
+    "F4.14": "== Figure 4.14",
+    "T5.1": "== Table 5.1",
+    "T5.2": "== Table 5.2",
+    "T5.3": "== Table 5.3",
+    "T5.4": "== Table 5.4",
+    "T5.5": "== Table 5.5",
+    "T5.6": "== Table 5.6",
+    "T6.1": "== Table 6.1",
+    "F6.3": "== Figure 6.3",
+    "F6.4": "== Figure 6.4",
+    "T6.2": "== Table 6.2",
+    "F6.5": "== Figure 6.5",
+    "F6.6": "== Figure 6.6",
+    "T6.3": "== Table 6.3",
+    "F6.7": "== Figure 6.7",
+    "F6.8": "== Figure 6.8",
+}
+
+
+def sections(text):
+    """Split harness output into {header_line: body} chunks."""
+    out = {}
+    current = None
+    body = []
+    for line in text.splitlines():
+        if line.startswith("== "):
+            if current:
+                out[current] = "\n".join(body).strip()
+            current = line
+            body = []
+        elif current is not None:
+            body.append(line)
+    if current:
+        out[current] = "\n".join(body).strip()
+    return out
+
+
+def main():
+    harness = open(OUT).read()
+    secs = sections(harness)
+    md = open("EXPERIMENTS.md").read()
+
+    for marker, prefix in HEADERS.items():
+        match = next((k for k in secs if k.startswith(prefix)), None)
+        if match is None:
+            print(f"warning: no harness section for {marker}", file=sys.stderr)
+            continue
+        block = f"<!-- {marker} -->\n```text\n{secs[match]}\n```"
+        # Replace the bare marker, or a previously spliced marker+block.
+        pattern = re.compile(
+            rf"<!-- {re.escape(marker)} -->(\n```text\n.*?\n```)?",
+            re.DOTALL,
+        )
+        md, n = pattern.subn(block, md, count=1)
+        if n == 0:
+            print(f"warning: marker {marker} not found in EXPERIMENTS.md", file=sys.stderr)
+
+    open("EXPERIMENTS.md", "w").write(md)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

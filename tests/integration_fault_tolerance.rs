@@ -1,0 +1,91 @@
+//! PLinda's fault-tolerance guarantee (§7.1.2) end-to-end: parallel
+//! mining runs with injected worker kills must reach exactly the final
+//! state of a failure-free execution.
+
+use fpdm::core::prelude::*;
+use fpdm::core::WorkerStrategy;
+use fpdm::datagen::{basket_db, BasketSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn workload() -> ToyItemsets {
+    let db = basket_db(
+        &BasketSpec {
+            transactions: 300,
+            items: 30,
+            avg_txn_len: 6,
+            ..BasketSpec::default()
+        },
+        5,
+    );
+    ToyItemsets::new(db.transactions().to_vec(), 12)
+}
+
+#[test]
+fn load_balanced_survives_worker_kills() {
+    let p = Arc::new(workload());
+    let reference = sequential_ett(&*p);
+    assert!(!reference.is_empty());
+    let cfg = ParallelConfig::load_balanced(3)
+        .kill_after(Duration::from_millis(2), 0)
+        .kill_after(Duration::from_millis(5), 1)
+        .kill_after(Duration::from_millis(9), 0);
+    let got = parallel_ett(Arc::clone(&p), &cfg);
+    assert_eq!(reference.good, got.good);
+}
+
+#[test]
+fn optimistic_survives_worker_kills() {
+    let p = Arc::new(workload());
+    let reference = sequential_ett(&*p);
+    let cfg = ParallelConfig {
+        workers: 3,
+        strategy: WorkerStrategy::Optimistic,
+        initial_task_level: 1,
+        kill_schedule: vec![
+            (Duration::from_millis(1), 2),
+            (Duration::from_millis(4), 0),
+        ],
+    };
+    let got = parallel_ett(Arc::clone(&p), &cfg);
+    assert_eq!(reference.good, got.good);
+}
+
+#[test]
+fn repeated_kills_of_every_worker() {
+    // Kill each worker several times over the run; the bag-of-tasks must
+    // still drain exactly once.
+    let p = Arc::new(workload());
+    let reference = sequential_ett(&*p);
+    let mut cfg = ParallelConfig::load_balanced(2);
+    for round in 0..5u64 {
+        for w in 0..2 {
+            cfg = cfg.kill_after(Duration::from_millis(2 + round * 3), w);
+        }
+    }
+    let got = parallel_ett(Arc::clone(&p), &cfg);
+    assert_eq!(reference.good, got.good);
+}
+
+#[test]
+fn checkpoint_restore_roundtrips_mid_run_state() {
+    // The checkpoint-protected tuple space (§2.4.6): serialise a space
+    // holding in-flight work, restore into a fresh space, and drain it.
+    use fpdm::plinda::{field, tup, Template, TupleSpace};
+    let ts = TupleSpace::new();
+    for i in 0..50i64 {
+        ts.out(tup!["task", i, vec![i as u8; 8]]);
+    }
+    ts.out(tup!["wcount", 50i64]);
+    let bytes = ts.checkpoint_bytes();
+
+    let recovered = TupleSpace::new();
+    recovered.restore_bytes(&bytes).unwrap();
+    assert_eq!(recovered.len(), 51);
+    let tmpl = Template::new(vec![field::val("task"), field::int(), field::bytes()]);
+    let mut seen = std::collections::HashSet::new();
+    while let Some(t) = recovered.inp(&tmpl) {
+        assert!(seen.insert(t.int(1)));
+    }
+    assert_eq!(seen.len(), 50);
+}
