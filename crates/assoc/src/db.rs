@@ -160,13 +160,7 @@ mod tests {
     fn subset_support_dominance() {
         // Property 1 of §2.2.3: A ⊆ B implies supp(A) >= supp(B).
         let db = kmart();
-        let sets: Vec<Vec<Item>> = vec![
-            vec![1],
-            vec![1, 3],
-            vec![1, 3, 5],
-            vec![4],
-            vec![4, 5],
-        ];
+        let sets: Vec<Vec<Item>> = vec![vec![1], vec![1, 3], vec![1, 3, 5], vec![4], vec![4, 5]];
         for b in &sets {
             for a in &sets {
                 if is_subset(a, b) {

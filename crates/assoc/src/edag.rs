@@ -53,7 +53,7 @@ impl MiningProblem for ItemsetMiningProblem {
         self.db
             .items()
             .iter()
-            .filter(|&&i| last.map_or(true, |l| i > l))
+            .filter(|&&i| last.is_none_or(|l| i > l))
             .map(|&i| {
                 let mut c = p.clone();
                 c.push(i);

@@ -7,68 +7,17 @@
 //! sequentially (apriori-gen), broadcasts them, and the workers count
 //! local supports in parallel; the master sums the partial counts to
 //! decide the frequent sets and generate the next level.
+//!
+//! Runs on a per-worker [`plinda::TaskFarm`]: the candidate broadcast is
+//! one addressed task per worker (the task flag carries the level), and
+//! candidate/count arrays travel as typed channel payloads through
+//! `plinda::codec` instead of hand-rolled byte packing.
 
 use crate::apriori::{apriori_gen, FrequentItemsets};
 use crate::db::{Item, Itemset, TransactionDb};
-use plinda::{field, tup, Runtime, Template};
+use plinda::{FarmConfig, TaskFarm};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-
-fn encode_candidates(cands: &[Itemset]) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.extend((cands.len() as u32).to_le_bytes());
-    for c in cands {
-        out.extend((c.len() as u32).to_le_bytes());
-        for &i in c {
-            out.extend(i.to_le_bytes());
-        }
-    }
-    out
-}
-
-fn decode_candidates(mut bytes: &[u8]) -> Vec<Itemset> {
-    let take_u32 = |b: &mut &[u8]| {
-        let (head, rest) = b.split_at(4);
-        *b = rest;
-        u32::from_le_bytes(head.try_into().unwrap())
-    };
-    let n = take_u32(&mut bytes) as usize;
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let len = take_u32(&mut bytes) as usize;
-        out.push((0..len).map(|_| take_u32(&mut bytes)).collect());
-    }
-    out
-}
-
-fn encode_counts(counts: &[u32]) -> Vec<u8> {
-    counts.iter().flat_map(|c| c.to_le_bytes()).collect()
-}
-
-fn decode_counts(bytes: &[u8]) -> Vec<u32> {
-    bytes
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-        .collect()
-}
-
-fn t_cands(worker: i64) -> Template {
-    Template::new(vec![
-        field::val("cands"),
-        field::val(worker),
-        field::int(),
-        field::bytes(),
-    ])
-}
-
-fn t_counts(level: i64) -> Template {
-    Template::new(vec![
-        field::val("counts"),
-        field::int(),
-        field::val(level),
-        field::bytes(),
-    ])
-}
 
 /// Parallel Apriori with count distribution over `workers` PLinda worker
 /// processes. Produces exactly [`crate::apriori::apriori`]'s result.
@@ -78,35 +27,29 @@ pub fn parallel_apriori(
     workers: usize,
 ) -> FrequentItemsets {
     assert!(workers >= 1);
-    let rt = Runtime::new();
-    let space = rt.space();
     let n = db.len();
 
-    // Workers: count local supports for broadcast candidate sets.
-    for w in 0..workers {
-        let db = Arc::clone(&db);
-        let (from, to) = (w * n / workers, (w + 1) * n / workers);
-        rt.spawn("pear", move |proc| loop {
-            proc.xstart();
-            let t = proc.in_(t_cands(w as i64))?;
-            let level = t.int(2);
-            if level < 0 {
-                proc.xcommit(None)?;
-                return Ok(());
-            }
-            let cands = decode_candidates(t.bytes(3));
+    // Workers: count local supports for broadcast candidate sets. Each
+    // worker's horizontal partition is derived from its farm index.
+    let w_db = Arc::clone(&db);
+    let farm = TaskFarm::<Vec<Itemset>, (i64, i64, Vec<u32>)>::start(
+        "pear",
+        FarmConfig::per_worker(workers),
+        move |scope, level, cands| {
+            let w = scope.index();
+            let (from, to) = (w * n / workers, (w + 1) * n / workers);
             let mut counts = vec![0u32; cands.len()];
-            for txn in &db.transactions()[from..to] {
+            for txn in &w_db.transactions()[from..to] {
                 for (ci, c) in cands.iter().enumerate() {
                     if crate::db::is_subset(c, txn) {
                         counts[ci] += 1;
                     }
                 }
             }
-            proc.out(tup!["counts", w as i64, level, encode_counts(&counts)]);
-            proc.xcommit(None)?;
-        });
-    }
+            scope.result(&(w as i64, level, counts));
+            Ok(())
+        },
+    );
 
     // Master: sequential candidate generation, parallel counting.
     let mut result = FrequentItemsets::new();
@@ -115,14 +58,16 @@ pub fn parallel_apriori(
     let mut candidates: Vec<Itemset> = db.items().iter().map(|&i| vec![i as Item]).collect();
 
     while !candidates.is_empty() {
-        let blob = encode_candidates(&candidates);
         for w in 0..workers {
-            space.out(tup!["cands", w as i64, level, blob.clone()]);
+            farm.send_to(w, level, &candidates);
         }
         let mut totals: BTreeMap<usize, usize> = BTreeMap::new();
         for _ in 0..workers {
-            let t = space.in_blocking(t_counts(level));
-            for (ci, c) in decode_counts(t.bytes(3)).iter().enumerate() {
+            let (_w, lvl, counts) = farm.recv();
+            // Levels are strictly sequential: every in-flight count report
+            // belongs to the level being collected.
+            debug_assert_eq!(lvl, level);
+            for (ci, c) in counts.iter().enumerate() {
                 *totals.entry(ci).or_default() += *c as usize;
             }
         }
@@ -137,10 +82,7 @@ pub fn parallel_apriori(
         level += 1;
     }
 
-    for w in 0..workers {
-        space.out(tup!["cands", w as i64, -1i64, Vec::<u8>::new()]);
-    }
-    rt.join();
+    farm.finish();
     result
 }
 
@@ -162,11 +104,12 @@ mod tests {
     }
 
     #[test]
-    fn candidate_codec_roundtrip() {
-        let cands = vec![vec![1, 2, 3], vec![7], vec![]];
-        assert_eq!(decode_candidates(&encode_candidates(&cands)), cands);
-        let counts = vec![0u32, 5, 1 << 20];
-        assert_eq!(decode_counts(&encode_counts(&counts)), counts);
+    fn candidate_wire_format_roundtrips() {
+        // Candidate sets ride the task channel as u32-list blobs; the
+        // shared codec must reproduce them exactly.
+        let cands: Vec<Itemset> = vec![vec![1, 2, 3], vec![7], vec![]];
+        let enc = plinda::codec::encode_u32_lists(&cands);
+        assert_eq!(plinda::codec::decode_u32_lists(&enc).unwrap(), cands);
     }
 
     #[test]

@@ -109,8 +109,7 @@ pub fn partition_mine(
     }
 
     // Step 4: global recount in one scan.
-    let mut counts: BTreeMap<Itemset, usize> =
-        candidates.into_iter().map(|c| (c, 0)).collect();
+    let mut counts: BTreeMap<Itemset, usize> = candidates.into_iter().map(|c| (c, 0)).collect();
     for t in db.transactions() {
         for (c, n) in counts.iter_mut() {
             if crate::db::is_subset(c, t) {

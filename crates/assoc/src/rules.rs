@@ -47,8 +47,7 @@ impl AssociationRule {
             return 0.0;
         }
         let n = db_size as f64;
-        self.support as f64 / n
-            - (antecedent_support as f64 / n) * (consequent_support as f64 / n)
+        self.support as f64 / n - (antecedent_support as f64 / n) * (consequent_support as f64 / n)
     }
 }
 
@@ -229,7 +228,9 @@ mod tests {
         let lift = r.lift(ind.support(&[2]), ind.len());
         assert!((lift - 1.0).abs() < 1e-9, "lift {lift}");
         assert!(
-            r.leverage(ind.support(&[1]), ind.support(&[2]), ind.len()).abs() < 1e-9
+            r.leverage(ind.support(&[1]), ind.support(&[2]), ind.len())
+                .abs()
+                < 1e-9
         );
     }
 

@@ -22,9 +22,7 @@ fn bench_apriori(c: &mut Criterion) {
     let mut g = c.benchmark_group("apriori");
     g.sample_size(10);
     g.bench_function("hash_tree", |b| {
-        b.iter(|| {
-            std::hint::black_box(apriori_with(&db, min_support, CountingMethod::HashTree))
-        })
+        b.iter(|| std::hint::black_box(apriori_with(&db, min_support, CountingMethod::HashTree)))
     });
     g.bench_function("flat_map", |b| {
         b.iter(|| std::hint::black_box(apriori_with(&db, min_support, CountingMethod::FlatMap)))

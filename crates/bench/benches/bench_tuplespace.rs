@@ -71,5 +71,166 @@ fn bench_out_inp(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_out_inp);
+// ---------------------------------------------------------------------
+// Contended many-signature workload: the sharded space (one lock +
+// condvar per signature, targeted wakeups) against a single-lock
+// reference space (one Vec, one condvar, notify_all on every out — the
+// pre-sharding design). Each signature gets a producer/consumer thread
+// pair; under a single lock every `out` wakes every blocked consumer.
+// ---------------------------------------------------------------------
+
+/// The minimal blocking-space surface the workload needs.
+trait BenchSpace: Sync {
+    fn put(&self, t: plinda::Tuple);
+    fn take(&self, tmpl: &Template) -> plinda::Tuple;
+}
+
+impl BenchSpace for TupleSpace {
+    fn put(&self, t: plinda::Tuple) {
+        self.out(t);
+    }
+    fn take(&self, tmpl: &Template) -> plinda::Tuple {
+        self.in_blocking(tmpl.clone())
+    }
+}
+
+/// Reference implementation: one flat store under one mutex, one condvar
+/// woken broadcast-style on every insertion.
+#[derive(Default)]
+struct SingleLockSpace {
+    tuples: std::sync::Mutex<Vec<plinda::Tuple>>,
+    cond: std::sync::Condvar,
+}
+
+impl BenchSpace for SingleLockSpace {
+    fn put(&self, t: plinda::Tuple) {
+        self.tuples.lock().unwrap().push(t);
+        self.cond.notify_all();
+    }
+    fn take(&self, tmpl: &Template) -> plinda::Tuple {
+        let mut g = self.tuples.lock().unwrap();
+        loop {
+            if let Some(i) = g.iter().position(|t| tmpl.matches(t)) {
+                return g.remove(i);
+            }
+            g = self.cond.wait(g).unwrap();
+        }
+    }
+}
+
+/// Tuples of stream `sig` get arity `sig + 2` — a distinct type
+/// signature, hence a distinct partition of the sharded space.
+fn stream_tuple(sig: usize, payload: i64) -> plinda::Tuple {
+    let mut vs = vec![
+        plinda::Value::Str(format!("s{sig}")),
+        plinda::Value::Int(payload),
+    ];
+    vs.extend((0..sig).map(|_| plinda::Value::Int(0)));
+    plinda::Tuple(vs)
+}
+
+fn stream_template(sig: usize) -> Template {
+    let mut fs = vec![field::val(format!("s{sig}")), field::int()];
+    fs.extend((0..sig).map(|_| field::int()));
+    Template::new(fs)
+}
+
+/// One producer + one consumer thread per signature; runs until every
+/// message has been withdrawn.
+fn contended_workload<S: BenchSpace>(space: &S, streams: usize, msgs: i64) {
+    std::thread::scope(|scope| {
+        for sig in 0..streams {
+            scope.spawn(move || {
+                for i in 0..msgs {
+                    space.put(stream_tuple(sig, i));
+                }
+            });
+            scope.spawn(move || {
+                let tmpl = stream_template(sig);
+                let mut sum = 0i64;
+                for _ in 0..msgs {
+                    sum += space.take(&tmpl).int(1);
+                }
+                std::hint::black_box(sum);
+            });
+        }
+    });
+}
+
+/// Wasted-wakeup workload: `idle_waiters` consumers park on signatures
+/// that see no traffic while one busy stream pumps `msgs` tuples. Under
+/// a single lock every `out` must broadcast, waking each parked waiter
+/// for a futile rescan; the sharded space notifies only the busy
+/// partition. A final tuple per quiet signature releases the waiters.
+fn wakeup_storm<S: BenchSpace>(space: &S, idle_waiters: usize, msgs: i64) {
+    std::thread::scope(|scope| {
+        for sig in 1..=idle_waiters {
+            scope.spawn(move || {
+                let tmpl = stream_template(sig);
+                std::hint::black_box(space.take(&tmpl));
+            });
+        }
+        scope.spawn(move || {
+            for i in 0..msgs {
+                space.put(stream_tuple(0, i));
+            }
+            for sig in 1..=idle_waiters {
+                space.put(stream_tuple(sig, 0));
+            }
+        });
+        let tmpl = stream_template(0);
+        let mut sum = 0i64;
+        for _ in 0..msgs {
+            sum += space.take(&tmpl).int(1);
+        }
+        std::hint::black_box(sum);
+    });
+}
+
+/// Backlog drain, single-threaded and scheduler-independent: interleave
+/// `streams * msgs` tuples, then withdraw stream by stream in reverse
+/// insertion order. The flat store scans past every other stream's
+/// backlog on each take (O(space) matching); the sharded store scans
+/// only the addressed partition.
+fn preloaded_drain<S: BenchSpace>(space: &S, streams: usize, msgs: i64) {
+    for i in 0..msgs {
+        for sig in 0..streams {
+            space.put(stream_tuple(sig, i));
+        }
+    }
+    for sig in (0..streams).rev() {
+        let tmpl = stream_template(sig);
+        for _ in 0..msgs {
+            std::hint::black_box(space.take(&tmpl));
+        }
+    }
+}
+
+fn bench_contended(c: &mut Criterion) {
+    const STREAMS: usize = 8;
+    const MSGS: i64 = 500;
+    let mut g = c.benchmark_group("tuplespace_contended");
+    g.sample_size(10);
+    g.bench_function("pairs_8x500_sharded", |b| {
+        b.iter(|| contended_workload(&TupleSpace::new(), STREAMS, MSGS));
+    });
+    g.bench_function("pairs_8x500_single_lock", |b| {
+        b.iter(|| contended_workload(&SingleLockSpace::default(), STREAMS, MSGS));
+    });
+    g.bench_function("wakeup_storm_7_idle_sharded", |b| {
+        b.iter(|| wakeup_storm(&TupleSpace::new(), STREAMS - 1, MSGS));
+    });
+    g.bench_function("wakeup_storm_7_idle_single_lock", |b| {
+        b.iter(|| wakeup_storm(&SingleLockSpace::default(), STREAMS - 1, MSGS));
+    });
+    g.bench_function("drain_8x200_sharded", |b| {
+        b.iter(|| preloaded_drain(&TupleSpace::new(), STREAMS, 200));
+    });
+    g.bench_function("drain_8x200_single_lock", |b| {
+        b.iter(|| preloaded_drain(&SingleLockSpace::default(), STREAMS, 200));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_out_inp, bench_contended);
 criterion_main!(benches);

@@ -16,23 +16,45 @@ use datagen::benchmark;
 fn main() {
     let names: Vec<String> = std::env::args().skip(1).collect();
     let names = if names.is_empty() {
-        vec!["diabetes".into(), "german".into(), "mushrooms".into(), "satimage".into(), "smoking".into(), "vote".into(), "yeast".into()]
-    } else { names };
+        vec![
+            "diabetes".into(),
+            "german".into(),
+            "mushrooms".into(),
+            "satimage".into(),
+            "smoking".into(),
+            "vote".into(),
+            "yeast".into(),
+        ]
+    } else {
+        names
+    };
     for name in names {
         let d = benchmark(&name, 7);
         let (train, test) = d.stratified_halves(0);
         let (plur, _) = d.plurality(&train);
         let base = test.iter().filter(|&&r| d.class(r) == plur).count() as f64 / test.len() as f64;
-        let mut cfg05 = C45Config::default(); cfg05.cf = 0.05;
-        let mut cfg01 = C45Config::default(); cfg01.cf = 0.01;
+        let cfg05 = C45Config {
+            cf: 0.05,
+            ..C45Config::default()
+        };
+        let cfg01 = C45Config {
+            cf: 0.01,
+            ..C45Config::default()
+        };
         let c45 = C45::fit(&d, &train, &C45Config::default()).accuracy(&d, &test);
         let _c45_05 = C45::fit(&d, &train, &cfg05).accuracy(&d, &test);
         let _c45_01 = C45::fit(&d, &train, &cfg01).accuracy(&d, &test);
-        let cart = grow_with_cv_pruning(&d, &train, &GrowRule::Cart, &Default::default(), 10, 0).tree.accuracy(&d, &test);
+        let cart = grow_with_cv_pruning(&d, &train, &GrowRule::Cart, &Default::default(), 10, 0)
+            .tree
+            .accuracy(&d, &test);
         let nyu = NyuMinerCV::fit(&d, &train, &NyuConfig::default(), 10, 0).accuracy(&d, &test);
-        let mut k3 = NyuConfig::default(); k3.max_branches = 3;
+        let k3 = NyuConfig {
+            max_branches: 3,
+            ..NyuConfig::default()
+        };
         let nyu3 = NyuMinerCV::fit(&d, &train, &k3, 10, 0).accuracy(&d, &test);
-        let rs = NyuMinerRS::fit(&d, &train, &NyuConfig::default(), 3, 0.0, 0.02, 0).accuracy(&d, &test);
+        let rs =
+            NyuMinerRS::fit(&d, &train, &NyuConfig::default(), 3, 0.0, 0.02, 0).accuracy(&d, &test);
         println!("{name}: plur {base:.3} c45 {c45:.3} cart {cart:.3} nyucv4 {nyu:.3} nyucv3 {nyu3:.3} nyurs {rs:.3}");
     }
 }

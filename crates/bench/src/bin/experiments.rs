@@ -108,9 +108,7 @@ mod ch4 {
     }
 
     pub fn t4_2() {
-        println!(
-            "== Table 4.2: parameter settings and sequential results (cyclins substitute) =="
-        );
+        println!("== Table 4.2: parameter settings and sequential results (cyclins substitute) ==");
         let mut rows = Vec::new();
         for setting in [1usize, 2] {
             let p = problem(setting);
@@ -133,7 +131,13 @@ mod ch4 {
             "{}",
             render(
                 &[
-                    "Setting", "MinLen", "MinOccur", "MaxMut", "Motifs", "Tested", "SeqTime(s)"
+                    "Setting",
+                    "MinLen",
+                    "MinOccur",
+                    "MaxMut",
+                    "Motifs",
+                    "Tested",
+                    "SeqTime(s)"
                 ],
                 &rows
             )
@@ -243,18 +247,14 @@ mod ch4 {
             let pool = nowsim::traces::workday_pool(1998, m, 1e7, &pattern);
             let idle = nowsim::traces::idle_fraction(&pool, 1e7);
             let r = simulate_load_balanced(&tree, &pool, &cfg, 2);
-            let dedicated =
-                simulate_load_balanced(&tree, &ideal(m), &cfg, 2);
+            let dedicated = simulate_load_balanced(&tree, &ideal(m), &cfg, 2);
             rows.push(vec![
                 format!("{m}"),
                 pct(idle),
                 secs(r.makespan),
                 format!("{}", r.sim.aborted),
                 secs(dedicated.makespan),
-                format!(
-                    "{:.2}",
-                    r.makespan / dedicated.makespan
-                ),
+                format!("{:.2}", r.makespan / dedicated.makespan),
             ]);
         }
         println!(
@@ -338,7 +338,10 @@ mod ch5 {
                 ),
             ]);
         }
-        println!("{}", render(&["Dataset", "Rows", "Planted structure"], &rows));
+        println!(
+            "{}",
+            render(&["Dataset", "Rows", "Planted structure"], &rows)
+        );
     }
 
     pub fn t5_2() {
@@ -387,14 +390,8 @@ mod ch5 {
 
     fn fit_predict(data: &Dataset, train: &[usize], test: &[usize], seed: u64) -> FourWay {
         let c45 = C45::fit(data, train, &C45Config::default());
-        let cart = grow_with_cv_pruning(
-            data,
-            train,
-            &GrowRule::Cart,
-            &Default::default(),
-            10,
-            seed,
-        );
+        let cart =
+            grow_with_cv_pruning(data, train, &GrowRule::Cart, &Default::default(), 10, seed);
         let nyu = NyuConfig::default();
         let nyucv = NyuMinerCV::fit(data, train, &nyu, 10, seed);
         let nyurs = NyuMinerRS::fit(data, train, &nyu, 3, 0.0, 0.02, seed);
@@ -416,9 +413,7 @@ mod ch5 {
     }
 
     pub fn t5_3() {
-        println!(
-            "== Table 5.3: classification accuracies over {SPLITS} stratified half-splits =="
-        );
+        println!("== Table 5.3: classification accuracies over {SPLITS} stratified half-splits ==");
         let mut rows = Vec::new();
         for name in TABLE_DATASETS {
             let data = benchmark(name, DATA_SEED);
@@ -624,7 +619,10 @@ mod ch6 {
                 format!("{:.1}", sequential / r.makespan),
             ]);
         }
-        println!("{}", render(&["Machines", "V", "Time(s)", "Speedup"], &rows));
+        println!(
+            "{}",
+            render(&["Machines", "V", "Time(s)", "Speedup"], &rows)
+        );
     }
 
     /// Measured per-trial costs for the windowing/sampling figures.

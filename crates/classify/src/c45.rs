@@ -71,8 +71,18 @@ fn ucf(e: usize, n: usize, cf: f64) -> f64 {
 fn inverse_normal_cdf(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0);
     // Beasley-Springer-Moro coefficients.
-    const A: [f64; 4] = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637];
-    const B: [f64; 4] = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833];
+    const A: [f64; 4] = [
+        2.50662823884,
+        -18.61500062529,
+        41.39119773534,
+        -25.44106049637,
+    ];
+    const B: [f64; 4] = [
+        -8.47351093090,
+        23.08336743743,
+        -21.06224101826,
+        3.13082909833,
+    ];
     const C: [f64; 9] = [
         0.3374754822726147,
         0.9761690190917186,
@@ -164,13 +174,19 @@ impl C45 {
     /// Train `trials` windowed trees and keep the most accurate on the
     /// full training rows — C4.5's `-t` trials mode, the unit of work of
     /// the Parallel C4.5 experiments (§6.2.1).
-    pub fn fit_trials(data: &Dataset, rows: &[usize], config: &C45Config, trials: usize, seed: u64) -> Self {
+    pub fn fit_trials(
+        data: &Dataset,
+        rows: &[usize],
+        config: &C45Config,
+        trials: usize,
+        seed: u64,
+    ) -> Self {
         assert!(trials >= 1);
         let mut best: Option<(f64, DecisionTree)> = None;
         for t in 0..trials {
             let tree = grow_windowed(data, rows, config, seed.wrapping_add(t as u64));
             let acc = tree.accuracy(data, rows);
-            if best.as_ref().map_or(true, |(ba, _)| acc > *ba) {
+            if best.as_ref().is_none_or(|(ba, _)| acc > *ba) {
                 best = Some((acc, tree));
             }
         }
@@ -289,8 +305,6 @@ mod tests {
         let d = heart();
         let single = C45::fit_windowed(&d, &d.all_rows(), &C45Config::default(), 0);
         let multi = C45::fit_trials(&d, &d.all_rows(), &C45Config::default(), 5, 0);
-        assert!(
-            multi.accuracy(&d, &d.all_rows()) >= single.accuracy(&d, &d.all_rows()) - 1e-12
-        );
+        assert!(multi.accuracy(&d, &d.all_rows()) >= single.accuracy(&d, &d.all_rows()) - 1e-12);
     }
 }

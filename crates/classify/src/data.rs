@@ -204,8 +204,9 @@ impl Dataset {
         let mut first = Vec::new();
         let mut second = Vec::new();
         for class in 0..self.n_classes() as u16 {
-            let mut basket: Vec<usize> =
-                (0..self.len()).filter(|&r| self.classes[r] == class).collect();
+            let mut basket: Vec<usize> = (0..self.len())
+                .filter(|&r| self.classes[r] == class)
+                .collect();
             basket.shuffle(&mut rng);
             for (i, r) in basket.into_iter().enumerate() {
                 if i % 2 == 0 {
@@ -264,9 +265,7 @@ pub(crate) mod fixtures {
             Attribute::Numeric {
                 name: "weight".into(),
             },
-            Attribute::Numeric {
-                name: "age".into(),
-            },
+            Attribute::Numeric { name: "age".into() },
             Attribute::Categorical {
                 name: "bp".into(),
                 values: vec!["low".into(), "med".into(), "high".into()],

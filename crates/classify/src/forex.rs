@@ -17,7 +17,16 @@ const YEAR: usize = 252;
 
 /// The ten §5.6.1 feature names, in dataset column order.
 pub const FEATURE_NAMES: [&str; 10] = [
-    "one", "two", "three", "four", "five", "average", "weighted", "month", "six-month", "year",
+    "one",
+    "two",
+    "three",
+    "four",
+    "five",
+    "average",
+    "weighted",
+    "month",
+    "six-month",
+    "year",
 ];
 
 /// Feature table built from a rate series; `day_of_row[i]` is the index
@@ -46,7 +55,9 @@ pub fn build_features(rates: &[f64]) -> ForexData {
     let mut day_of_row = Vec::new();
     for d in YEAR..rates.len() - 1 {
         let r = rates[d];
-        let daily: Vec<f64> = (0..WEEK).map(|k| pct(rates[d - k], rates[d - k - 1])).collect();
+        let daily: Vec<f64> = (0..WEEK)
+            .map(|k| pct(rates[d - k], rates[d - k - 1]))
+            .collect();
         let features = [
             pct(r, rates[d - 1]),
             pct(r, rates[d - 2]),

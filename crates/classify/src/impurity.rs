@@ -148,17 +148,14 @@ mod tests {
         let merged = vec![9, 11];
         for imp in [&Gini as &dyn Impurity, &Entropy] {
             let split = imp.aggregate(&[a.clone(), b.clone()]);
-            let whole = imp.aggregate(&[merged.clone()]);
+            let whole = imp.aggregate(std::slice::from_ref(&merged));
             assert!(whole > split, "merging must increase impurity");
         }
         // Identical distributions: equality.
         let same = imp_eq_case();
         for imp in [&Gini as &dyn Impurity, &Entropy] {
             let split = imp.aggregate(&[same.0.clone(), same.1.clone()]);
-            let whole = imp.aggregate(&[vec![
-                same.0[0] + same.1[0],
-                same.0[1] + same.1[1],
-            ]]);
+            let whole = imp.aggregate(&[vec![same.0[0] + same.1[0], same.0[1] + same.1[1]]]);
             assert!((whole - split).abs() < 1e-12);
         }
     }
@@ -190,9 +187,7 @@ mod tests {
             .map(|i| if i < 4 { vec![1, 0] } else { vec![0, 1] })
             .collect();
         let two_way = vec![vec![4, 0], vec![0, 4]];
-        assert!(
-            information_gain(&parent, &shatter) >= information_gain(&parent, &two_way) - 1e-12
-        );
+        assert!(information_gain(&parent, &shatter) >= information_gain(&parent, &two_way) - 1e-12);
         assert!(gain_ratio(&parent, &shatter) < gain_ratio(&parent, &two_way));
     }
 }

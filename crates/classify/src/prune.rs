@@ -13,6 +13,10 @@ use crate::data::{Classifier, Dataset};
 use crate::tree::{DecisionTree, GrowConfig, GrowRule};
 use std::collections::HashSet;
 
+/// A cost-complexity pruning sequence: `(alpha, pruned tree)` pairs in
+/// increasing order of alpha (decreasing tree size).
+pub type PruneSequence = Vec<(f64, DecisionTree)>;
+
 /// Rebuild `tree` with every node in `prune_at` converted to a leaf,
 /// dropping unreachable arena entries.
 fn materialise(tree: &DecisionTree, prune_at: &HashSet<usize>) -> DecisionTree {
@@ -49,9 +53,9 @@ fn materialise(tree: &DecisionTree, prune_at: &HashSet<usize>) -> DecisionTree {
 /// The nested pruning sequence: `(α_k, T_k)` pairs with `α_1 = 0` and the
 /// final entry the root-only tree. `T_k` minimises `R_α` for
 /// `α ∈ [α_k, α_{k+1})`.
-pub fn ccp_sequence(tree: &DecisionTree) -> Vec<(f64, DecisionTree)> {
+pub fn ccp_sequence(tree: &DecisionTree) -> PruneSequence {
     let mut pruned: HashSet<usize> = HashSet::new();
-    let mut seq: Vec<(f64, DecisionTree)> = Vec::new();
+    let mut seq: PruneSequence = Vec::new();
 
     // Effective leaves/errors of the overlay subtree at `id`.
     fn stats(tree: &DecisionTree, pruned: &HashSet<usize>, id: usize) -> (usize, usize) {
@@ -177,7 +181,7 @@ pub fn grow_with_cv_pruning(
 
     // Auxiliary trees per fold, with their own pruning sequences.
     let folds = data.folds(rows, v, seed);
-    let mut aux: Vec<(Vec<usize>, Vec<(f64, DecisionTree)>)> = Vec::with_capacity(v);
+    let mut aux: Vec<(Vec<usize>, PruneSequence)> = Vec::with_capacity(v);
     for i in 0..v {
         let test_fold = &folds[i];
         let train: Vec<usize> = folds
@@ -283,9 +287,7 @@ mod tests {
         let seq = ccp_sequence(&t);
         for k in 0..seq.len() - 1 {
             let alpha = (seq[k].0 + seq[k + 1].0) / 2.0;
-            let cost = |tr: &DecisionTree| {
-                tr.subtree_errors(0) as f64 + alpha * tr.leaves() as f64
-            };
+            let cost = |tr: &DecisionTree| tr.subtree_errors(0) as f64 + alpha * tr.leaves() as f64;
             for other in &seq {
                 assert!(
                     cost(&seq[k].1) <= cost(&other.1) + 1e-9,
@@ -299,10 +301,7 @@ mod tests {
     fn select_for_alpha_picks_interval() {
         let (_, t) = grown();
         let seq = ccp_sequence(&t);
-        assert_eq!(
-            select_for_alpha(&seq, 0.0).leaves(),
-            seq[0].1.leaves()
-        );
+        assert_eq!(select_for_alpha(&seq, 0.0).leaves(), seq[0].1.leaves());
         assert_eq!(select_for_alpha(&seq, f64::INFINITY).leaves(), 1);
     }
 

@@ -74,7 +74,7 @@ impl RuleMiningProblem {
                     }
                     let idx = (b * values.len() / numeric_bins).min(values.len() - 1);
                     let u = values[idx];
-                    if uppers.last().map_or(true, |&l: &f64| u > l) {
+                    if uppers.last().is_none_or(|&l: &f64| u > l) {
                         uppers.push(u);
                     }
                 }
@@ -208,8 +208,7 @@ impl RuleMiningProblem {
                                     // Branch v of the bin thresholds;
                                     // NumRanges uses strict `<`, and bins
                                     // use `<=`, so nudge the cut points.
-                                    cuts: self
-                                        .bins[a]
+                                    cuts: self.bins[a]
                                         .iter()
                                         .map(|&u| u + f64::EPSILON * u.abs().max(1.0))
                                         .collect(),
@@ -371,10 +370,7 @@ mod tests {
             // Verify the reported statistics.
             let (n, counts) = problem.cover_counts(&r.conditions);
             assert_eq!(n, r.cover);
-            assert_eq!(
-                counts[r.class as usize] as f64 / n as f64,
-                r.confidence
-            );
+            assert_eq!(counts[r.class as usize] as f64 / n as f64, r.confidence);
         }
     }
 

@@ -77,9 +77,7 @@ impl SplitTest {
     pub fn branch(&self, data: &Dataset, row: usize) -> Option<usize> {
         match self {
             SplitTest::NumRanges { attr, cuts } => match data.value(row, *attr) {
-                AttrValue::Num(v) => {
-                    Some(cuts.iter().position(|&c| v < c).unwrap_or(cuts.len()))
-                }
+                AttrValue::Num(v) => Some(cuts.iter().position(|&c| v < c).unwrap_or(cuts.len())),
                 _ => None,
             },
             SplitTest::CatGroups { attr, groups } => match data.value(row, *attr) {
@@ -225,7 +223,10 @@ pub fn optimal_interval_split(
     }
     let k_max = max_branches.min(b).max(1);
     let n_classes = baskets[0].counts.len();
-    let total: usize = baskets.iter().map(|bk| bk.counts.iter().sum::<usize>()).sum();
+    let total: usize = baskets
+        .iter()
+        .map(|bk| bk.counts.iter().sum::<usize>())
+        .sum();
     if total == 0 {
         return None;
     }
@@ -259,6 +260,7 @@ pub fn optimal_interval_split(
     // dp[k][j]: best cost splitting baskets [0, j) into exactly k parts.
     let mut dp = vec![vec![f64::INFINITY; b + 1]; k_max + 1];
     let mut back = vec![vec![usize::MAX; b + 1]; k_max + 1];
+    #[allow(clippy::needless_range_loop)]
     for j in 1..=b {
         dp[1][j] = cost(0, j);
     }
@@ -403,6 +405,7 @@ pub fn optimal_categorical_split(
     // together in an optimal split, §5.3.2).
     let mut logical: Vec<(Vec<u16>, Vec<usize>)> = Vec::new(); // (values, counts)
     let mut pure_slot: Vec<Option<usize>> = vec![None; data.n_classes()];
+    #[allow(clippy::needless_range_loop)]
     for v in 0..cardinality {
         let counts = &hist[v];
         if counts.iter().sum::<usize>() == 0 {
@@ -428,13 +431,12 @@ pub fn optimal_categorical_split(
         return None;
     }
 
-    let orderings: Vec<Vec<usize>> = if data.n_classes() > 2
-        && logical.len() <= MAX_EXHAUSTIVE_CATEGORICAL
-    {
-        permutations(logical.len())
-    } else {
-        vec![ratio_ordering(&logical)]
-    };
+    let orderings: Vec<Vec<usize>> =
+        if data.n_classes() > 2 && logical.len() <= MAX_EXHAUSTIVE_CATEGORICAL {
+            permutations(logical.len())
+        } else {
+            vec![ratio_ordering(&logical)]
+        };
 
     let mut best: Option<(Vec<Vec<u16>>, f64, usize)> = None;
     for order in orderings {
@@ -452,8 +454,7 @@ pub fn optimal_categorical_split(
             let better = match &best {
                 None => true,
                 Some((_, bi, ba)) => {
-                    s.impurity < bi - 1e-12
-                        || (s.impurity < bi + 1e-12 && s.arity < *ba)
+                    s.impurity < bi - 1e-12 || (s.impurity < bi + 1e-12 && s.arity < *ba)
                 }
             };
             if better {
@@ -489,7 +490,7 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
         }
         for i in 0..k {
             heap(k - 1, items, out);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 items.swap(i, k - 1);
             } else {
                 items.swap(0, k - 1);
@@ -549,8 +550,7 @@ pub fn c45_split(data: &Dataset, rows: &[usize]) -> Option<(SplitTest, f64)> {
     let parent = data.class_counts(rows);
     let mut best: Option<(SplitTest, f64)> = None;
     for attr in 0..data.n_attributes() {
-        let cand: Option<(SplitTest, Vec<Vec<usize>>)> = if data.attributes()[attr].is_numeric()
-        {
+        let cand: Option<(SplitTest, Vec<Vec<usize>>)> = if data.attributes()[attr].is_numeric() {
             // Best threshold by information gain.
             let baskets = boundary_collapse(value_baskets(data, rows, attr));
             if baskets.len() < 2 {
@@ -563,19 +563,15 @@ pub fn c45_split(data: &Dataset, rows: &[usize]) -> Option<(SplitTest, f64)> {
                     .map(|c| baskets.iter().map(|b| b.counts[c]).sum())
                     .collect();
                 for i in 0..baskets.len() - 1 {
+                    #[allow(clippy::needless_range_loop)]
                     for c in 0..n_classes {
                         left[c] += baskets[i].counts[c];
                     }
-                    let right: Vec<usize> =
-                        (0..n_classes).map(|c| all[c] - left[c]).collect();
+                    let right: Vec<usize> = (0..n_classes).map(|c| all[c] - left[c]).collect();
                     let parts = vec![left.clone(), right];
                     let g = crate::impurity::information_gain(&parent, &parts);
-                    if best_t.as_ref().map_or(true, |(bg, _, _)| g > *bg) {
-                        best_t = Some((
-                            g,
-                            parts,
-                            midpoint(baskets[i].upper, baskets[i + 1].upper),
-                        ));
+                    if best_t.as_ref().is_none_or(|(bg, _, _)| g > *bg) {
+                        best_t = Some((g, parts, midpoint(baskets[i].upper, baskets[i + 1].upper)));
                     }
                 }
                 best_t.map(|(_, parts, cut)| {
@@ -600,10 +596,7 @@ pub fn c45_split(data: &Dataset, rows: &[usize]) -> Option<(SplitTest, f64)> {
                     }
                 }
                 // At least two non-empty branches required.
-                let non_empty = parts
-                    .iter()
-                    .filter(|p| p.iter().sum::<usize>() > 0)
-                    .count();
+                let non_empty = parts.iter().filter(|p| p.iter().sum::<usize>() > 0).count();
                 if non_empty < 2 {
                     None
                 } else {
@@ -617,7 +610,7 @@ pub fn c45_split(data: &Dataset, rows: &[usize]) -> Option<(SplitTest, f64)> {
                 continue;
             }
             let gr = gain_ratio(&parent, &parts);
-            if best.as_ref().map_or(true, |(_, b)| gr > *b) {
+            if best.as_ref().is_none_or(|(_, b)| gr > *b) {
                 best = Some((test, gr));
             }
         }
@@ -693,8 +686,8 @@ mod tests {
                 let mut parts: Vec<Vec<usize>> = Vec::new();
                 let mut cur = vec![0usize; 3];
                 for (i, bk) in baskets.iter().enumerate() {
-                    for c in 0..3 {
-                        cur[c] += bk.counts[c];
+                    for (c, slot) in cur.iter_mut().enumerate() {
+                        *slot += bk.counts[c];
                     }
                     if i + 1 < b && mask & (1 << i) != 0 {
                         parts.push(std::mem::replace(&mut cur, vec![0; 3]));
@@ -843,7 +836,10 @@ mod tests {
         let baskets = value_baskets(&d, &d.all_rows(), 0);
         assert_eq!(baskets.len(), 2);
         assert_eq!(
-            baskets.iter().map(|b| b.counts.iter().sum::<usize>()).sum::<usize>(),
+            baskets
+                .iter()
+                .map(|b| b.counts.iter().sum::<usize>())
+                .sum::<usize>(),
             2
         );
     }

@@ -226,10 +226,7 @@ impl DecisionTree {
             }
             Some((test, children)) => {
                 for (i, &c) in children.iter().enumerate() {
-                    out.push_str(&format!(
-                        "{indent}{}\n",
-                        test.describe_branch(data, i)
-                    ));
+                    out.push_str(&format!("{indent}{}\n", test.describe_branch(data, i)));
                     self.render_node(data, c, &format!("{indent}  "), out);
                 }
             }
@@ -331,11 +328,7 @@ mod tests {
             },
         );
         assert!(t.nodes.iter().all(|n| n.depth <= 1));
-        assert!(t
-            .nodes
-            .iter()
-            .filter(|n| n.depth == 1)
-            .all(|n| n.is_leaf()));
+        assert!(t.nodes.iter().filter(|n| n.depth == 1).all(|n| n.is_leaf()));
     }
 
     #[test]
@@ -382,11 +375,7 @@ mod tests {
         let d = heart();
         let t = DecisionTree::grow(&d, &d.all_rows(), &GrowRule::Cart, &GrowConfig::default());
         assert_eq!(t.subtree_leaves(0).len(), t.leaves());
-        let total_leaf_rows: usize = t
-            .subtree_leaves(0)
-            .iter()
-            .map(|&l| t.nodes[l].n_rows)
-            .sum();
+        let total_leaf_rows: usize = t.subtree_leaves(0).iter().map(|&l| t.nodes[l].n_rows).sum();
         assert_eq!(total_leaf_rows, d.len());
     }
 }

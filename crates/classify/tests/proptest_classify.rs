@@ -31,8 +31,8 @@ fn brute_best(baskets: &[Basket], k_max: usize, imp: &dyn Impurity) -> f64 {
         let mut parts: Vec<Vec<usize>> = Vec::new();
         let mut cur = vec![0usize; 2];
         for (i, bk) in baskets.iter().enumerate() {
-            for c in 0..2 {
-                cur[c] += bk.counts[c];
+            for (c, slot) in cur.iter_mut().enumerate() {
+                *slot += bk.counts[c];
             }
             if i + 1 < b && mask & (1 << i) != 0 {
                 parts.push(std::mem::replace(&mut cur, vec![0; 2]));
@@ -104,7 +104,7 @@ proptest! {
         let merged: Vec<usize> = a.iter().zip(b).map(|(&x, &y)| x + y).collect();
         for imp in [&Gini as &dyn Impurity, &Entropy] {
             let split = imp.aggregate(&[a.to_vec(), b.to_vec()]);
-            let whole = imp.aggregate(&[merged.clone()]);
+            let whole = imp.aggregate(std::slice::from_ref(&merged));
             prop_assert!(whole >= split - 1e-12);
         }
     }

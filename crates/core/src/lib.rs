@@ -70,7 +70,9 @@ pub use strategy::{
 pub mod prelude {
     pub use crate::edag::{sequential_edt, sequential_edt_traced};
     pub use crate::etree::{sequential_ett, sequential_ett_recorded};
-    pub use crate::parallel::{parallel_edt, parallel_ett, parallel_hybrid, ParallelConfig, WorkerStrategy};
+    pub use crate::parallel::{
+        parallel_edt, parallel_ett, parallel_hybrid, ParallelConfig, WorkerStrategy,
+    };
     pub use crate::problem::{MiningOutcome, MiningProblem, PatternCodec};
     pub use crate::strategy::{simulate_load_balanced, simulate_optimistic, CostTree};
     pub use crate::toy::{ToyItemsets, ToyRules, ToySeq};

@@ -1,8 +1,10 @@
 //! Parallel E-dag / E-tree traversals on the PLinda tuple space.
 //!
 //! These are the PLED and PLET programs of §3.2.2 and §3.3.3, and the
-//! optimistic / load-balanced worker variants of §4.2.2, implemented
-//! against the `plinda` runtime:
+//! optimistic / load-balanced worker variants of §4.2.2, expressed over
+//! the [`plinda::TaskFarm`] harness (which owns the master/worker
+//! skeleton — task/result channels, poison-pill shutdown, fault
+//! injection — leaving only the traversal logic here):
 //!
 //! * [`parallel_edt`] — PLED (Figs. 3.4/3.5): the master enforces the
 //!   E-dag visiting rule (a pattern is dispatched only after *all* its
@@ -14,6 +16,7 @@
 //!   - With [`WorkerStrategy::Optimistic`], a worker takes one initial
 //!     task and traverses that whole subtree locally (minimal
 //!     communication, no balancing).
+//!
 //!   The *adaptive master* (§4.3.2) is `initial_task_level`: the master
 //!   itself traverses the first `initial_task_level - 1` levels and emits
 //!   tasks at `initial_task_level`, producing more (smaller) initial tasks
@@ -24,9 +27,10 @@
 //! under injected worker failures.
 
 use crate::problem::{MiningOutcome, MiningProblem, PatternCodec};
-use plinda::{field, tup, Runtime, Template, Value};
+use plinda::{FarmConfig, TaskFarm, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Worker style for [`parallel_ett`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,45 +96,23 @@ impl ParallelConfig {
     }
 }
 
+/// Ordinary evaluate-and-expand task (PLET) / evaluate task (PLED).
 const NORMAL: i64 = 0;
-const POISON: i64 = 1;
+/// Evaluate-only task of the hybrid's PLED phase (answers with a result
+/// tuple instead of expanding in place).
+const EVAL: i64 = 2;
 
-fn t_task() -> Template {
-    Template::new(vec![field::val("task"), field::int(), field::bytes()])
-}
-
-fn t_result() -> Template {
-    Template::new(vec![
-        field::val("result"),
-        field::bytes(),
-        field::real(),
-    ])
-}
-
-fn t_done() -> Template {
-    Template::new(vec![
-        field::val("done"),
-        field::bytes(),
-        field::real(),
-        field::int(),
-        field::int(),
-    ])
-}
-
-fn t_sub() -> Template {
-    Template::new(vec![field::val("sub"), field::list()])
-}
-
-fn t_wcount() -> Template {
-    Template::new(vec![field::val("wcount"), field::int()])
-}
-
-fn t_wcount_zero() -> Template {
-    Template::new(vec![field::val("wcount"), field::val(0)])
-}
-
-fn poison_task() -> plinda::Tuple {
-    tup!["task", POISON, Vec::<u8>::new()]
+/// Translate a `ParallelConfig`-style kill schedule into farm
+/// configuration, ignoring out-of-range worker indices as the previous
+/// implementation did.
+fn bag_config(workers: usize, kill_schedule: &[(Duration, usize)]) -> FarmConfig {
+    let mut cfg = FarmConfig::bag(workers);
+    for &(delay, index) in kill_schedule {
+        if index < workers {
+            cfg = cfg.kill_after(delay, index);
+        }
+    }
+    cfg
 }
 
 // ---------------------------------------------------------------------
@@ -146,25 +128,19 @@ where
     P: MiningProblem + PatternCodec + Send + Sync + 'static,
 {
     assert!(workers >= 1, "need at least one worker");
-    let rt = Runtime::new();
-    let space = rt.space();
 
     // PLED worker (Fig. 3.5): evaluate goodness of task patterns.
-    for _ in 0..workers {
-        let problem = Arc::clone(&problem);
-        rt.spawn("pled", move |proc| loop {
-            proc.xstart();
-            let t = proc.in_(t_task())?;
-            if t.int(1) == POISON {
-                proc.xcommit(None)?;
-                return Ok(());
-            }
-            let p = problem.decode_pattern(t.bytes(2));
-            let g = problem.goodness(&p);
-            proc.out(tup!["result", t.bytes(2).to_vec(), g]);
-            proc.xcommit(None)?;
-        });
-    }
+    let wp = Arc::clone(&problem);
+    let farm = TaskFarm::<Vec<u8>, (Vec<u8>, f64)>::start(
+        "pled",
+        FarmConfig::bag(workers),
+        move |scope, _flag, enc| {
+            let p = wp.decode_pattern(&enc);
+            let g = wp.goodness(&p);
+            scope.result(&(enc, g));
+            Ok(())
+        },
+    );
 
     // PLED master (Fig. 3.4), level-synchronised per Definition 2.
     let mut outcome = MiningOutcome::new();
@@ -184,7 +160,7 @@ where
                 .all(|s| prev_good.get(s).copied().unwrap_or(false));
             if eligible {
                 let enc = problem.encode_pattern(&p);
-                space.out(tup!["task", NORMAL, enc.clone()]);
+                farm.send(NORMAL, &enc);
                 dispatched.insert(enc, p);
             } else {
                 this_good.insert(p, false);
@@ -193,13 +169,12 @@ where
 
         let mut next_frontier = Vec::new();
         for _ in 0..dispatched.len() {
-            let r = space.in_blocking(t_result());
+            let (enc, g) = farm.recv();
             outcome.tested += 1;
             let p = dispatched
-                .get(r.bytes(1))
+                .get(&enc)
                 .expect("result for undisputed task")
                 .clone();
-            let g = r.real(2);
             let good = problem.is_good(&p, g);
             if good {
                 outcome.good.insert(p.clone(), g);
@@ -212,16 +187,18 @@ where
         frontier = next_frontier;
     }
 
-    for _ in 0..workers {
-        space.out(poison_task());
-    }
-    rt.join();
+    farm.finish();
     outcome
 }
 
 // ---------------------------------------------------------------------
 // PLET: parallel E-tree traversal.
 // ---------------------------------------------------------------------
+
+/// A load-balanced "done" report: `(encoded pattern, goodness, good?,
+/// children emitted)` — the tuple-space form of the `termination()`
+/// pruned-propagation of Figs. 4.6/3.9.
+type DoneReport = (Vec<u8>, f64, i64, i64);
 
 /// Run a parallel E-tree traversal per `config`.
 ///
@@ -234,96 +211,11 @@ where
 {
     assert!(config.workers >= 1, "need at least one worker");
     assert!(config.initial_task_level >= 1);
-    let rt = Runtime::new();
-    let space = rt.space();
+    let cfg = bag_config(config.workers, &config.kill_schedule);
 
-    let mut pids = Vec::with_capacity(config.workers);
-    match config.strategy {
-        WorkerStrategy::LoadBalanced => {
-            for _ in 0..config.workers {
-                let problem = Arc::clone(&problem);
-                pids.push(rt.spawn("plet-lb", move |proc| loop {
-                    // Fig. 4.7: evaluate one node; expand in place if good.
-                    proc.xstart();
-                    let t = proc.in_(t_task())?;
-                    if t.int(1) == POISON {
-                        proc.xcommit(None)?;
-                        return Ok(());
-                    }
-                    let p = problem.decode_pattern(t.bytes(2));
-                    let g = problem.goodness(&p);
-                    let good = problem.is_good(&p, g);
-                    let mut n_children = 0i64;
-                    if good {
-                        for c in problem.children(&p) {
-                            proc.out(tup!["task", NORMAL, problem.encode_pattern(&c)]);
-                            n_children += 1;
-                        }
-                    }
-                    // Retire this task and register its children on the
-                    // shared outstanding-work counter *within the same
-                    // transaction*, so the counter reads zero exactly when
-                    // every task (and its `done` report) has committed.
-                    // This is the tuple-space form of the `termination()`
-                    // pruned-propagation of Fig. 4.6/3.9.
-                    let c = proc.in_(t_wcount())?;
-                    proc.out(tup!["wcount", c.int(1) + n_children - 1]);
-                    proc.out(tup![
-                        "done",
-                        t.bytes(2).to_vec(),
-                        g,
-                        if good { 1i64 } else { 0 },
-                        n_children
-                    ]);
-                    proc.xcommit(None)?;
-                }));
-            }
-        }
-        WorkerStrategy::Optimistic => {
-            for _ in 0..config.workers {
-                let problem = Arc::clone(&problem);
-                pids.push(rt.spawn("plet-opt", move |proc| loop {
-                    // Fig. 4.5: take one task, finish the whole subtree.
-                    proc.xstart();
-                    let t = proc.in_(t_task())?;
-                    if t.int(1) == POISON {
-                        proc.xcommit(None)?;
-                        return Ok(());
-                    }
-                    let mut results: Vec<Value> = Vec::new();
-                    let mut stack = vec![problem.decode_pattern(t.bytes(2))];
-                    while let Some(p) = stack.pop() {
-                        let g = problem.goodness(&p);
-                        let good = problem.is_good(&p, g);
-                        if good {
-                            stack.extend(problem.children(&p));
-                        }
-                        results.push(Value::List(vec![
-                            Value::Bytes(problem.encode_pattern(&p)),
-                            Value::Real(g),
-                            Value::Int(if good { 1 } else { 0 }),
-                        ]));
-                    }
-                    proc.out(tup!["sub", results]);
-                    proc.xcommit(None)?;
-                }));
-            }
-        }
-    }
-
-    // Inject any scheduled failures (PLinda re-spawns the victims).
-    if !config.kill_schedule.is_empty() {
-        let mut plan = plinda::FaultPlan::new();
-        for (delay, idx) in &config.kill_schedule {
-            if let Some(&pid) = pids.get(*idx) {
-                plan = plan.kill_after(*delay, pid);
-            }
-        }
-        rt.inject(plan);
-    }
-
-    // Master: traverse the first `initial_task_level - 1` levels locally
-    // (the adaptive master of §4.3.2), then emit initial tasks.
+    // Master preamble shared by both strategies: traverse the first
+    // `initial_task_level - 1` levels locally (the adaptive master of
+    // §4.3.2), leaving the initial task frontier.
     let mut outcome = MiningOutcome::new();
     let root = problem.root();
     let mut frontier = problem.children(&root);
@@ -339,36 +231,82 @@ where
         }
         frontier = next;
     }
-
     let initial = frontier.len() as i64;
-    for p in &frontier {
-        space.out(tup!["task", NORMAL, problem.encode_pattern(p)]);
-    }
 
     match config.strategy {
         WorkerStrategy::LoadBalanced => {
-            // Fig. 4.6 master: seed the outstanding-work counter, block
-            // until the workers drive it to zero (termination detection),
-            // then collect every "done" report. Because each worker
-            // updates the counter atomically with consuming its task and
-            // publishing its children and its report, counter == 0 implies
-            // all reports are visible.
-            space.out(tup!["wcount", initial]);
-            let zero = space.in_blocking(t_wcount_zero());
-            debug_assert_eq!(zero.int(1), 0);
-            while let Some(d) = space.inp(&t_done()) {
+            // Fig. 4.7 worker: evaluate one node; expand in place if good.
+            // Retiring the task against the shared outstanding-work
+            // counter happens in the same transaction as consuming it and
+            // publishing its children and report, so the counter reads
+            // zero exactly when every report has committed.
+            let wp = Arc::clone(&problem);
+            let farm =
+                TaskFarm::<Vec<u8>, DoneReport>::start("plet-lb", cfg, move |scope, _flag, enc| {
+                    let p = wp.decode_pattern(&enc);
+                    let g = wp.goodness(&p);
+                    let good = wp.is_good(&p, g);
+                    let mut n_children = 0i64;
+                    if good {
+                        for c in wp.children(&p) {
+                            scope.emit(NORMAL, &wp.encode_pattern(&c));
+                            n_children += 1;
+                        }
+                    }
+                    scope.retire(n_children)?;
+                    scope.result(&(enc, g, i64::from(good), n_children));
+                    Ok(())
+                });
+
+            // Fig. 4.6 master: emit the initial tasks, seed the
+            // outstanding-work counter, block until the workers drive it
+            // to zero (termination detection), then collect every report.
+            for p in &frontier {
+                farm.send(NORMAL, &problem.encode_pattern(p));
+            }
+            farm.seed_counter(initial);
+            farm.await_quiescent();
+            for (enc, g, good, _children) in farm.drain() {
                 outcome.tested += 1;
-                if d.int(3) == 1 {
-                    let p = problem.decode_pattern(d.bytes(1));
-                    outcome.good.insert(p, d.real(2));
+                if good == 1 {
+                    let p = problem.decode_pattern(&enc);
+                    outcome.good.insert(p, g);
                 }
             }
+            farm.finish();
         }
         WorkerStrategy::Optimistic => {
-            // Fig. 4.4 master: one "sub" report per initial task.
+            // Fig. 4.5 worker: take one task, finish the whole subtree.
+            let wp = Arc::clone(&problem);
+            let farm = TaskFarm::<Vec<u8>, Vec<Value>>::start(
+                "plet-opt",
+                cfg,
+                move |scope, _flag, enc| {
+                    let mut results: Vec<Value> = Vec::new();
+                    let mut stack = vec![wp.decode_pattern(&enc)];
+                    while let Some(p) = stack.pop() {
+                        let g = wp.goodness(&p);
+                        let good = wp.is_good(&p, g);
+                        if good {
+                            stack.extend(wp.children(&p));
+                        }
+                        results.push(Value::List(vec![
+                            Value::Bytes(wp.encode_pattern(&p)),
+                            Value::Real(g),
+                            Value::Int(i64::from(good)),
+                        ]));
+                    }
+                    scope.result(&results);
+                    Ok(())
+                },
+            );
+
+            // Fig. 4.4 master: one subtree report per initial task.
+            for p in &frontier {
+                farm.send(NORMAL, &problem.encode_pattern(p));
+            }
             for _ in 0..initial {
-                let s = space.in_blocking(t_sub());
-                for entry in s.list(1) {
+                for entry in farm.recv() {
                     let Value::List(fields) = entry else {
                         unreachable!("sub entries are lists")
                     };
@@ -384,21 +322,16 @@ where
                     }
                 }
             }
+            farm.finish();
         }
     }
 
-    for _ in 0..config.workers {
-        space.out(poison_task());
-    }
-    rt.join();
     outcome
 }
 
 // ---------------------------------------------------------------------
 // Hybrid: PLED early, PLET late (§3.3.4).
 // ---------------------------------------------------------------------
-
-const EVAL: i64 = 2;
 
 /// The "optimal PLinda implementation" of §3.3.4: start as a parallel
 /// E-dag traversal — full subpattern pruning while pruning pays the most,
@@ -417,52 +350,36 @@ where
 {
     assert!(workers >= 1, "need at least one worker");
     assert!(switch_level >= 1, "switch level starts at 1");
-    let rt = Runtime::new();
-    let space = rt.space();
 
-    // One worker program serving both protocols, selected per task:
-    // EVAL tasks answer with a result tuple (PLED mode); NORMAL tasks
-    // expand in place with counter-based termination (PLET mode).
-    for _ in 0..workers {
-        let problem = Arc::clone(&problem);
-        rt.spawn("hybrid", move |proc| loop {
-            proc.xstart();
-            let t = proc.in_(t_task())?;
-            match t.int(1) {
-                POISON => {
-                    proc.xcommit(None)?;
-                    return Ok(());
-                }
-                EVAL => {
-                    let p = problem.decode_pattern(t.bytes(2));
-                    let g = problem.goodness(&p);
-                    proc.out(tup!["result", t.bytes(2).to_vec(), g]);
-                }
-                _ => {
-                    let p = problem.decode_pattern(t.bytes(2));
-                    let g = problem.goodness(&p);
-                    let good = problem.is_good(&p, g);
-                    let mut n_children = 0i64;
-                    if good {
-                        for c in problem.children(&p) {
-                            proc.out(tup!["task", NORMAL, problem.encode_pattern(&c)]);
-                            n_children += 1;
-                        }
+    // One worker program serving both protocols, selected per task flag:
+    // EVAL tasks answer with an evaluate-only report (PLED mode); NORMAL
+    // tasks expand in place with counter-based termination (PLET mode).
+    // The two phases are disjoint in time, so they share one result
+    // channel: EVAL reports carry zeroed expansion fields.
+    let wp = Arc::clone(&problem);
+    let farm = TaskFarm::<Vec<u8>, DoneReport>::start(
+        "hybrid",
+        FarmConfig::bag(workers),
+        move |scope, flag, enc| {
+            let p = wp.decode_pattern(&enc);
+            let g = wp.goodness(&p);
+            if flag == EVAL {
+                scope.result(&(enc, g, 0, 0));
+            } else {
+                let good = wp.is_good(&p, g);
+                let mut n_children = 0i64;
+                if good {
+                    for c in wp.children(&p) {
+                        scope.emit(NORMAL, &wp.encode_pattern(&c));
+                        n_children += 1;
                     }
-                    let c = proc.in_(t_wcount())?;
-                    proc.out(tup!["wcount", c.int(1) + n_children - 1]);
-                    proc.out(tup![
-                        "done",
-                        t.bytes(2).to_vec(),
-                        g,
-                        if good { 1i64 } else { 0 },
-                        n_children
-                    ]);
                 }
+                scope.retire(n_children)?;
+                scope.result(&(enc, g, i64::from(good), n_children));
             }
-            proc.xcommit(None)?;
-        });
-    }
+            Ok(())
+        },
+    );
 
     // Phase 1: PLED over levels 1..=switch_level (full pruning).
     let mut outcome = MiningOutcome::new();
@@ -481,7 +398,7 @@ where
                 .all(|sp| prev_good.get(sp).copied().unwrap_or(false));
             if eligible {
                 let enc = problem.encode_pattern(&p);
-                space.out(tup!["task", EVAL, enc.clone()]);
+                farm.send(EVAL, &enc);
                 dispatched.insert(enc, p);
             } else {
                 this_good.insert(p, false);
@@ -489,10 +406,9 @@ where
         }
         let mut next_frontier = Vec::new();
         for _ in 0..dispatched.len() {
-            let r = space.in_blocking(t_result());
+            let (enc, g, _, _) = farm.recv();
             outcome.tested += 1;
-            let p = dispatched[r.bytes(1)].clone();
-            let g = r.real(2);
+            let p = dispatched[&enc].clone();
             let good = problem.is_good(&p, g);
             if good {
                 outcome.good.insert(p.clone(), g);
@@ -510,24 +426,20 @@ where
     if !frontier.is_empty() {
         let initial = frontier.len() as i64;
         for p in &frontier {
-            space.out(tup!["task", NORMAL, problem.encode_pattern(p)]);
+            farm.send(NORMAL, &problem.encode_pattern(p));
         }
-        space.out(tup!["wcount", initial]);
-        let zero = space.in_blocking(t_wcount_zero());
-        debug_assert_eq!(zero.int(1), 0);
-        while let Some(d) = space.inp(&t_done()) {
+        farm.seed_counter(initial);
+        farm.await_quiescent();
+        for (enc, g, good, _children) in farm.drain() {
             outcome.tested += 1;
-            if d.int(3) == 1 {
-                let p = problem.decode_pattern(d.bytes(1));
-                outcome.good.insert(p, d.real(2));
+            if good == 1 {
+                let p = problem.decode_pattern(&enc);
+                outcome.good.insert(p, g);
             }
         }
     }
 
-    for _ in 0..workers {
-        space.out(poison_task());
-    }
-    rt.join();
+    farm.finish();
     outcome
 }
 
@@ -593,10 +505,7 @@ mod tests {
         let seq = sequential_ett(&*p);
         for workers in [2, 6] {
             let cfg = ParallelConfig::load_balanced(workers).adaptive();
-            assert_eq!(
-                cfg.initial_task_level,
-                if workers >= 6 { 2 } else { 1 }
-            );
+            assert_eq!(cfg.initial_task_level, if workers >= 6 { 2 } else { 1 });
             let par = parallel_ett(Arc::clone(&p), &cfg);
             assert_eq!(seq.good, par.good, "workers={workers}");
         }

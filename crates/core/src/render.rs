@@ -25,7 +25,11 @@ pub fn edag_dot<P: MiningProblem>(
     let mut out = String::from("digraph edag {\n  rankdir=TB;\n  node [shape=ellipse];\n");
     for (p, &id) in &ids {
         let style = if good[id] { "solid" } else { "dashed" };
-        let _ = writeln!(out, "  n{id} [label=\"{}\", style={style}];", esc(&label(p)));
+        let _ = writeln!(
+            out,
+            "  n{id} [label=\"{}\", style={style}];",
+            esc(&label(p))
+        );
     }
     for (p, &id) in &ids {
         if problem.pattern_len(p) == 0 {
@@ -52,7 +56,11 @@ pub fn etree_dot<P: MiningProblem>(
     let mut out = String::from("digraph etree {\n  rankdir=TB;\n  node [shape=ellipse];\n");
     for (p, &id) in &ids {
         let style = if good[id] { "solid" } else { "dashed" };
-        let _ = writeln!(out, "  n{id} [label=\"{}\", style={style}];", esc(&label(p)));
+        let _ = writeln!(
+            out,
+            "  n{id} [label=\"{}\", style={style}];",
+            esc(&label(p))
+        );
     }
     for (p, &id) in &ids {
         for c in problem.children(p) {
@@ -101,8 +109,12 @@ mod tests {
     use super::*;
     use crate::toy::{ToyItemsets, ToySeq};
 
+    #[allow(clippy::ptr_arg)] // must match `impl Fn(&P::Pattern)` with Pattern = Vec<u32>
     fn label_items(p: &Vec<u32>) -> String {
-        format!("{{{}}}", p.iter().map(u32::to_string).collect::<Vec<_>>().join(","))
+        format!(
+            "{{{}}}",
+            p.iter().map(u32::to_string).collect::<Vec<_>>().join(",")
+        )
     }
 
     #[test]

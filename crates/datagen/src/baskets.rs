@@ -46,9 +46,8 @@ pub fn basket_db(spec: &BasketSpec, seed: u64) -> TransactionDb {
     // Pattern pool.
     let pool: Vec<Vec<u32>> = (0..spec.patterns)
         .map(|_| {
-            let len = (spec.avg_pattern_len / 2
-                + rng.random_range(0..=spec.avg_pattern_len))
-            .max(1);
+            let len =
+                (spec.avg_pattern_len / 2 + rng.random_range(0..=spec.avg_pattern_len)).max(1);
             let mut p: Vec<u32> = (0..len).map(|_| rng.random_range(0..spec.items)).collect();
             p.sort_unstable();
             p.dedup();
@@ -93,8 +92,7 @@ mod tests {
         };
         let db = basket_db(&spec, 1);
         assert_eq!(db.len(), 200);
-        let avg: usize =
-            db.transactions().iter().map(Vec::len).sum::<usize>() / db.len();
+        let avg: usize = db.transactions().iter().map(Vec::len).sum::<usize>() / db.len();
         assert!((3..=16).contains(&avg), "avg txn len {avg}");
         assert!(db.items().iter().all(|&i| i < 50));
     }

@@ -68,7 +68,9 @@ pub fn all_specs() -> Vec<BenchmarkSpec> {
             name: "mushrooms",
             rows: 8124,
             numeric: 0,
-            categorical: vec![6, 4, 10, 2, 9, 4, 3, 2, 12, 2, 5, 4, 4, 9, 9, 2, 4, 3, 5, 9, 6, 7],
+            categorical: vec![
+                6, 4, 10, 2, 9, 4, 3, 2, 12, 2, 5, 4, 4, 9, 9, 2, 4, 3, 5, 9, 6, 7,
+            ],
             class_weights: vec![0.518, 0.482],
             signal: 1.0,
             missing_cell_rate: 0.014,
@@ -109,7 +111,9 @@ pub fn all_specs() -> Vec<BenchmarkSpec> {
             rows: 1483,
             numeric: 8,
             categorical: vec![],
-            class_weights: vec![0.312, 0.289, 0.164, 0.110, 0.034, 0.030, 0.025, 0.020, 0.014, 0.002],
+            class_weights: vec![
+                0.312, 0.289, 0.164, 0.110, 0.034, 0.030, 0.025, 0.020, 0.014, 0.002,
+            ],
             signal: 0.55,
             missing_cell_rate: 0.0,
             latent_depth: 5,

@@ -54,7 +54,11 @@ pub fn fx_series(spec: &FxSpec, seed: u64) -> Vec<f64> {
         // are observable via the derived features, so learnable.
         let drift = if week.abs() >= spec.momentum_gate {
             let above_year = d < 252 || last > rates[d - 252];
-            let dir = if above_year { week.signum() } else { -week.signum() };
+            let dir = if above_year {
+                week.signum()
+            } else {
+                -week.signum()
+            };
             dir * spec.strength
         } else {
             0.0

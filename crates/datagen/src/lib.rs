@@ -22,15 +22,15 @@
 #![warn(missing_docs)]
 
 pub mod baskets;
-pub mod eventstream;
 pub mod benchmarks;
+pub mod eventstream;
 pub mod forexgen;
 pub mod proteins;
 pub mod rna;
 
 pub use baskets::{basket_db, BasketSpec};
-pub use eventstream::event_stream;
 pub use benchmarks::{all_specs, benchmark, generate, spec, BenchmarkSpec};
+pub use eventstream::event_stream;
 pub use forexgen::{fx_pairs, fx_series, FxSpec};
 pub use proteins::{cyclins_substitute, protein_family, PlantedMotif};
 pub use rna::rna_structures;

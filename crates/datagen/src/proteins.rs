@@ -128,18 +128,21 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(protein_family(7, 5, 50, 5, &[]), protein_family(7, 5, 50, 5, &[]));
-        assert_ne!(protein_family(7, 5, 50, 5, &[]), protein_family(8, 5, 50, 5, &[]));
+        assert_eq!(
+            protein_family(7, 5, 50, 5, &[]),
+            protein_family(7, 5, 50, 5, &[])
+        );
+        assert_ne!(
+            protein_family(7, 5, 50, 5, &[]),
+            protein_family(8, 5, 50, 5, &[])
+        );
     }
 
     #[test]
     fn exact_motifs_are_planted_at_rate() {
         let m = PlantedMotif::exact("WWWWHHHHKKKK", 0.5);
         let seqs = protein_family(3, 40, 200, 20, &[m]);
-        let found = seqs
-            .iter()
-            .filter(|s| s.contains(b"WWWWHHHHKKKK"))
-            .count();
+        let found = seqs.iter().filter(|s| s.contains(b"WWWWHHHHKKKK")).count();
         // At least the planted 20 carriers (random background of length 12
         // essentially never collides).
         assert!(found >= 20, "found {found}");

@@ -19,7 +19,9 @@ pub fn rna_structures(
     planted: &[(OrderedTree, f64)],
 ) -> Vec<OrderedTree> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut trees: Vec<OrderedTree> = (0..n).map(|_| random_structure(&mut rng, avg_size)).collect();
+    let mut trees: Vec<OrderedTree> = (0..n)
+        .map(|_| random_structure(&mut rng, avg_size))
+        .collect();
     for (motif, fraction) in planted {
         let carriers = ((n as f64 * fraction).round() as usize).min(n);
         let mut order: Vec<usize> = (0..n).collect();

@@ -91,9 +91,7 @@ impl EventSequence {
     /// in-order subsequence?
     pub fn window_contains(&self, t: i64, w: u32, episode: &[u8]) -> bool {
         let end = t + w as i64;
-        let start = self
-            .events
-            .partition_point(|&(time, _)| (time as i64) < t);
+        let start = self.events.partition_point(|&(time, _)| (time as i64) < t);
         let mut need = 0usize;
         for &(time, ev) in &self.events[start..] {
             if (time as i64) >= end {
@@ -312,10 +310,7 @@ mod tests {
         for episode in [b"AB".to_vec(), b"ABA".to_vec(), b"CAB".to_vec()] {
             let whole = p.goodness(&episode);
             for sub in p.immediate_subpatterns(&episode) {
-                assert!(
-                    p.goodness(&sub) >= whole,
-                    "{sub:?} vs {episode:?}"
-                );
+                assert!(p.goodness(&sub) >= whole, "{sub:?} vs {episode:?}");
             }
         }
     }

@@ -5,8 +5,9 @@ use fpdm_core::{sequential_edt, sequential_ett, MiningProblem};
 use proptest::prelude::*;
 
 fn arb_stream() -> impl Strategy<Value = EventSequence> {
-    prop::collection::vec((0u32..60, 0u8..3), 1..40)
-        .prop_map(|pairs| EventSequence::new(pairs.into_iter().map(|(t, e)| (t, b'a' + e)).collect()))
+    prop::collection::vec((0u32..60, 0u8..3), 1..40).prop_map(|pairs| {
+        EventSequence::new(pairs.into_iter().map(|(t, e)| (t, b'a' + e)).collect())
+    })
 }
 
 proptest! {
@@ -86,7 +87,7 @@ proptest! {
                 let (first, last) = stream.span().unwrap();
                 starts
                     .into_iter()
-                    .filter(|&s| s >= first as i64 - w as i64 + 1 && s <= last as i64)
+                    .filter(|&s| s > first as i64 - w as i64 && s <= last as i64)
                     .count()
             };
             prop_assert_eq!(stream.window_count(w, &[e]), brute);

@@ -266,7 +266,9 @@ enum MachineState {
     Idle,
     /// Running `task_seq`; the matching finish event is invalidated if the
     /// run is aborted first.
-    Running { task_seq: usize },
+    Running {
+        task_seq: usize,
+    },
     OwnerBusy,
     Dead,
 }
@@ -367,8 +369,8 @@ impl<'a> Engine<'a> {
             None
         });
         if let Some(task_seq) = next {
-            let dur =
-                (self.tasks[task_seq].cost + self.config.dispatch_overhead) / self.machines[m].speed;
+            let dur = (self.tasks[task_seq].cost + self.config.dispatch_overhead)
+                / self.machines[m].speed;
             self.state[m] = MachineState::Running { task_seq };
             self.busy_time[m] += dur;
             self.push(
@@ -510,7 +512,7 @@ mod tests {
     #[test]
     fn load_imbalance_shows_in_makespan() {
         let mut costs = vec![10.0];
-        costs.extend(std::iter::repeat(1.0).take(9));
+        costs.extend(std::iter::repeat_n(1.0, 9));
         let r = Simulator::run_static(
             &costs,
             &[MachineSpec::ideal(), MachineSpec::ideal()],
@@ -569,10 +571,8 @@ mod tests {
 
     #[test]
     fn pinned_tasks_wait_for_their_machine() {
-        let mut prog = StaticProgram::new(vec![
-            SimTask::pinned(0, 1.0, 0),
-            SimTask::pinned(1, 1.0, 0),
-        ]);
+        let mut prog =
+            StaticProgram::new(vec![SimTask::pinned(0, 1.0, 0), SimTask::pinned(1, 1.0, 0)]);
         let r = Simulator::run(
             &mut prog,
             &[MachineSpec::ideal(), MachineSpec::ideal()],
@@ -699,7 +699,12 @@ pub mod traces {
     /// Build `n` speed-1 machines with owner-busy intervals alternating
     /// per `pattern` over `[0, horizon)`, deterministically from `seed`.
     /// Interval lengths are uniform in `[0.5, 1.5] ×` their mean.
-    pub fn workday_pool(seed: u64, n: usize, horizon: f64, pattern: &OwnerPattern) -> Vec<MachineSpec> {
+    pub fn workday_pool(
+        seed: u64,
+        n: usize,
+        horizon: f64,
+        pattern: &OwnerPattern,
+    ) -> Vec<MachineSpec> {
         let mut out = Vec::with_capacity(n);
         for m in 0..n {
             let mut rng = XorShift(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (m as u64 + 1));

@@ -3,28 +3,22 @@
 //! incremental sampling techniques.
 //!
 //! Each trial grows a tree from a differently-seeded random initial
-//! sample — trials are embarrassingly parallel tasks. Workers coordinate
-//! through the tuple space (`("trial", t)` work tuples, `("tdone", t,
-//! accuracy)` results); the grown trees themselves stay in shared memory,
-//! just as the original workers kept them in their own address spaces and
+//! sample — trials are embarrassingly parallel tasks farmed out through
+//! [`plinda::TaskFarm`] (trial-index tasks in, `(trial, accuracy)`
+//! summaries out); the grown trees themselves stay in shared memory, just
+//! as the original workers kept them in their own address spaces and
 //! published only summary tuples.
 
 use classify::c45::{grow_windowed, C45Config};
 use classify::data::Dataset;
-use classify::nyuminer::{extract_rules, grow_incremental, reevaluate_rules, NyuConfig, NyuMinerRS, RuleList};
+use classify::nyuminer::{
+    extract_rules, grow_incremental, reevaluate_rules, NyuConfig, NyuMinerRS, RuleList,
+};
 use classify::tree::DecisionTree;
 use classify::Classifier;
 use parking_lot::Mutex;
-use plinda::{field, tup, Runtime, Template};
+use plinda::{FarmConfig, TaskFarm};
 use std::sync::Arc;
-
-fn t_trial() -> Template {
-    Template::new(vec![field::val("trial"), field::int()])
-}
-
-fn t_tdone() -> Template {
-    Template::new(vec![field::val("tdone"), field::int(), field::real()])
-}
 
 /// Run `trials` windowed C4.5 trials over `workers` PLinda workers and
 /// return the tree most accurate on the full training rows — the
@@ -39,39 +33,31 @@ pub fn parallel_c45_trials(
     seed: u64,
 ) -> DecisionTree {
     assert!(trials >= 1 && workers >= 1);
-    let rt = Runtime::new();
-    let space = rt.space();
     let grown: Arc<Mutex<Vec<Option<DecisionTree>>>> =
         Arc::new(Mutex::new((0..trials).map(|_| None).collect()));
 
-    for _ in 0..workers {
-        let data = Arc::clone(&data);
-        let rows = Arc::clone(&rows);
-        let grown = Arc::clone(&grown);
-        let config = config.clone();
-        rt.spawn("pc45", move |proc| loop {
-            proc.xstart();
-            let t = proc.in_(t_trial())?;
-            let i = t.int(1);
-            if i < 0 {
-                proc.xcommit(None)?;
-                return Ok(());
-            }
-            let tree = grow_windowed(&data, &rows, &config, seed.wrapping_add(i as u64));
-            let acc = tree.accuracy(&data, &rows);
-            grown.lock()[i as usize] = Some(tree);
-            proc.out(tup!["tdone", i, acc]);
-            proc.xcommit(None)?;
-        });
-    }
+    let w_data = Arc::clone(&data);
+    let w_rows = Arc::clone(&rows);
+    let w_grown = Arc::clone(&grown);
+    let w_config = config.clone();
+    let farm = TaskFarm::<i64, (i64, f64)>::start(
+        "pc45",
+        FarmConfig::bag(workers),
+        move |scope, _flag, i| {
+            let tree = grow_windowed(&w_data, &w_rows, &w_config, seed.wrapping_add(i as u64));
+            let acc = tree.accuracy(&w_data, &w_rows);
+            w_grown.lock()[i as usize] = Some(tree);
+            scope.result(&(i, acc));
+            Ok(())
+        },
+    );
 
     for i in 0..trials {
-        space.out(tup!["trial", i as i64]);
+        farm.send(0, &(i as i64));
     }
     let mut best: Option<(f64, i64)> = None;
     for _ in 0..trials {
-        let d = space.in_blocking(t_tdone());
-        let (i, acc) = (d.int(1), d.real(2));
+        let (i, acc) = farm.recv();
         // Deterministic tie-break on the trial index so the result does
         // not depend on tuple arrival order.
         let better = match best {
@@ -82,10 +68,7 @@ pub fn parallel_c45_trials(
             best = Some((acc, i));
         }
     }
-    for _ in 0..workers {
-        space.out(tup!["trial", -1i64]);
-    }
-    rt.join();
+    farm.finish();
     let (_, idx) = best.unwrap();
     let tree = grown.lock()[idx as usize].take().unwrap();
     tree
@@ -106,49 +89,39 @@ pub fn parallel_nyuminer_rs(
     seed: u64,
 ) -> NyuMinerRS {
     assert!(trials >= 1 && workers >= 1);
-    let rt = Runtime::new();
-    let space = rt.space();
     let grown: Arc<Mutex<Vec<Option<DecisionTree>>>> =
         Arc::new(Mutex::new((0..trials).map(|_| None).collect()));
 
-    for _ in 0..workers {
-        let data = Arc::clone(&data);
-        let rows = Arc::clone(&rows);
-        let grown = Arc::clone(&grown);
-        let config = config.clone();
-        rt.spawn("prs", move |proc| loop {
-            proc.xstart();
-            let t = proc.in_(t_trial())?;
-            let i = t.int(1);
-            if i < 0 {
-                proc.xcommit(None)?;
-                return Ok(());
-            }
+    let w_data = Arc::clone(&data);
+    let w_rows = Arc::clone(&rows);
+    let w_grown = Arc::clone(&grown);
+    let w_config = config.clone();
+    let farm = TaskFarm::<i64, (i64, f64)>::start(
+        "prs",
+        FarmConfig::bag(workers),
+        move |scope, _flag, i| {
             // Same per-trial seed schedule as the sequential fit.
-            let tree =
-                grow_incremental(&data, &rows, &config, seed.wrapping_add(i as u64 * 7919));
-            grown.lock()[i as usize] = Some(tree);
-            proc.out(tup!["tdone", i, 0.0f64]);
-            proc.xcommit(None)?;
-        });
-    }
+            let tree = grow_incremental(
+                &w_data,
+                &w_rows,
+                &w_config,
+                seed.wrapping_add(i as u64 * 7919),
+            );
+            w_grown.lock()[i as usize] = Some(tree);
+            scope.result(&(i, 0.0f64));
+            Ok(())
+        },
+    );
 
     for i in 0..trials {
-        space.out(tup!["trial", i as i64]);
+        farm.send(0, &(i as i64));
     }
     for _ in 0..trials {
-        space.in_blocking(t_tdone());
+        farm.recv();
     }
-    for _ in 0..workers {
-        space.out(tup!["trial", -1i64]);
-    }
-    rt.join();
+    farm.finish();
 
-    let trees: Vec<DecisionTree> = grown
-        .lock()
-        .iter_mut()
-        .map(|t| t.take().unwrap())
-        .collect();
+    let trees: Vec<DecisionTree> = grown.lock().iter_mut().map(|t| t.take().unwrap()).collect();
     let mut candidates = Vec::new();
     for tree in &trees {
         candidates.extend(extract_rules(tree, rows.len()));
@@ -176,9 +149,7 @@ mod tests {
         let seq = C45::fit_trials(&data, &rows, &cfg, 4, 100);
         let par = parallel_c45_trials(Arc::clone(&data), Arc::clone(&rows), &cfg, 4, 3, 100);
         // Same windows, same candidate trees: equal training accuracy.
-        assert!(
-            (seq.tree.accuracy(&data, &rows) - par.accuracy(&data, &rows)).abs() < 1e-12
-        );
+        assert!((seq.tree.accuracy(&data, &rows) - par.accuracy(&data, &rows)).abs() < 1e-12);
     }
 
     #[test]

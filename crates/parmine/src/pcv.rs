@@ -10,49 +10,20 @@
 //! that selects the final pruned tree.
 //!
 //! Coordination flows through the tuple space exactly as in the paper's
-//! pseudo-code; the trees themselves (large, pointer-rich) stay in shared
-//! memory — in the original they lived in the workers' address spaces and
-//! only the per-α error counts travelled as `("alpha_list", i, αs)`
-//! tuples, which is what we reproduce.
+//! pseudo-code, with the master/worker plumbing supplied by
+//! [`plinda::TaskFarm`] (fold tasks in, error vectors out) and the
+//! midpoint broadcast by a typed [`Chan<Vec<f64>>`] that workers `rd`
+//! without withdrawing. The trees themselves (large, pointer-rich) stay
+//! in shared memory — in the original they lived in the workers' address
+//! spaces and only the per-α error counts travelled as
+//! `("alpha_list", i, αs)` tuples, which is what we reproduce.
 
 use classify::data::Dataset;
 use classify::prune::{ccp_sequence, select_for_alpha};
 use classify::tree::{DecisionTree, GrowRule};
 use classify::{Classifier, NyuConfig};
-use plinda::{field, tup, Runtime, Template};
+use plinda::{Chan, FarmConfig, TaskFarm};
 use std::sync::Arc;
-
-fn t_fold() -> Template {
-    Template::new(vec![field::val("fold"), field::int()])
-}
-
-fn t_mids() -> Template {
-    Template::new(vec![field::val("mids"), field::bytes()])
-}
-
-fn t_errs() -> Template {
-    Template::new(vec![field::val("errs"), field::int(), field::bytes()])
-}
-
-fn encode_f64s(v: &[f64]) -> Vec<u8> {
-    v.iter().flat_map(|x| x.to_le_bytes()).collect()
-}
-
-fn decode_f64s(b: &[u8]) -> Vec<f64> {
-    b.chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
-}
-
-fn encode_u32s(v: &[u32]) -> Vec<u8> {
-    v.iter().flat_map(|x| x.to_le_bytes()).collect()
-}
-
-fn decode_u32s(b: &[u8]) -> Vec<u32> {
-    b.chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-        .collect()
-}
 
 /// Result of a parallel cross-validated run.
 pub struct ParallelCv {
@@ -77,63 +48,58 @@ pub fn parallel_nyuminer_cv(
     seed: u64,
 ) -> ParallelCv {
     assert!(v >= 2 && workers >= 1);
-    let rt = Runtime::new();
-    let space = rt.space();
     let folds: Arc<Vec<Vec<usize>>> = Arc::new(data.folds(&rows, v, seed));
 
     let max_branches = config.max_branches;
     let impurity = config.impurity;
     let grow = config.grow.clone();
 
-    for _ in 0..workers {
-        let data = Arc::clone(&data);
-        let folds = Arc::clone(&folds);
-        let grow = grow.clone();
-        rt.spawn("pcv", move |proc| {
-            loop {
-                proc.xstart();
-                let t = proc.in_(t_fold())?;
-                let i = t.int(1);
-                if i < 0 {
-                    proc.xcommit(None)?;
-                    return Ok(());
-                }
-                let i = i as usize;
-                // Learning set V(i) = all folds but fold i.
-                let train: Vec<usize> = folds
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| *j != i)
-                    .flat_map(|(_, f)| f.iter().copied())
-                    .collect();
-                let rule = GrowRule::NyuMiner {
-                    max_branches,
-                    impurity: impurity.as_dyn(),
-                };
-                let aux = DecisionTree::grow(&data, &train, &rule, &grow);
-                let seq = ccp_sequence(&aux);
-                // Broadcast read: every worker reads the same midpoints.
-                let mids_tuple = proc.rd(t_mids())?;
-                let mids = decode_f64s(mids_tuple.bytes(1));
-                let errs: Vec<u32> = mids
-                    .iter()
-                    .map(|&alpha| {
-                        let pruned = select_for_alpha(&seq, alpha);
-                        folds[i]
-                            .iter()
-                            .filter(|&&r| pruned.predict(&data, r) != data.class(r))
-                            .count() as u32
-                    })
-                    .collect();
-                proc.out(tup!["errs", i as i64, encode_u32s(&errs)]);
-                proc.xcommit(None)?;
-            }
-        });
-    }
+    let mids_chan = Chan::<Vec<f64>>::new("pcv.mids");
+
+    // Worker (Fig. 6.2): grow the aux tree of one fold, read the broadcast
+    // midpoints, report the fold's per-α error vector.
+    let w_data = Arc::clone(&data);
+    let w_folds = Arc::clone(&folds);
+    let w_grow = grow.clone();
+    let w_mids = mids_chan.clone();
+    let farm = TaskFarm::<i64, (i64, Vec<u32>)>::start(
+        "pcv",
+        FarmConfig::bag(workers),
+        move |scope, _flag, fold| {
+            let i = fold as usize;
+            // Learning set V(i) = all folds but fold i.
+            let train: Vec<usize> = w_folds
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .flat_map(|(_, f)| f.iter().copied())
+                .collect();
+            let rule = GrowRule::NyuMiner {
+                max_branches,
+                impurity: impurity.as_dyn(),
+            };
+            let aux = DecisionTree::grow(&w_data, &train, &rule, &w_grow);
+            let seq = ccp_sequence(&aux);
+            // Broadcast read: every worker reads the same midpoints.
+            let mids = w_mids.read_txn(scope.proc())?;
+            let errs: Vec<u32> = mids
+                .iter()
+                .map(|&alpha| {
+                    let pruned = select_for_alpha(&seq, alpha);
+                    w_folds[i]
+                        .iter()
+                        .filter(|&&r| pruned.predict(&w_data, r) != w_data.class(r))
+                        .count() as u32
+                })
+                .collect();
+            scope.result(&(fold, errs));
+            Ok(())
+        },
+    );
 
     // Emit fold tasks, then grow the main tree concurrently.
     for i in 0..v {
-        space.out(tup!["fold", i as i64]);
+        farm.send(0, &(i as i64));
     }
     let rule = GrowRule::NyuMiner {
         max_branches,
@@ -158,20 +124,17 @@ pub fn parallel_nyuminer_cv(
             }
         })
         .collect();
-    space.out(tup!["mids", encode_f64s(&mids)]);
+    mids_chan.send(farm.space(), &mids);
 
     // Combine per-fold error vectors.
     let mut totals = vec![0u64; seq.len()];
     for _ in 0..v {
-        let t = space.in_blocking(t_errs());
-        for (k, e) in decode_u32s(t.bytes(2)).iter().enumerate() {
+        let (_fold, errs) = farm.recv();
+        for (k, e) in errs.iter().enumerate() {
             totals[k] += *e as u64;
         }
     }
-    for _ in 0..workers {
-        space.out(tup!["fold", -1i64]);
-    }
-    rt.join();
+    farm.finish();
 
     let n = rows.len() as f64;
     let cv_errors: Vec<(f64, f64)> = seq

@@ -254,9 +254,7 @@ pub fn discover_two_segment(
     for a in singles {
         for b in singles {
             let (sa, sb) = (&a.motif.segments()[0], &b.motif.segments()[0]);
-            if sa.len() + sb.len() < params.min_length
-                || sa.len() + sb.len() > params.max_length
-            {
+            if sa.len() + sb.len() < params.min_length || sa.len() + sb.len() > params.max_length {
                 continue;
             }
             if sa.len() < half && sb.len() < half {
@@ -371,9 +369,11 @@ mod tests {
         let p = params(4, 3, 0);
         let singles = discover(db.clone(), params(2, 3, 0));
         let twos = discover_two_segment(&db, &singles, &p);
-        assert!(twos
-            .iter()
-            .any(|m| m.motif.to_string() == "*AAB*CDD*"), "got {:?}", twos.iter().map(|m| m.motif.to_string()).collect::<Vec<_>>());
+        assert!(
+            twos.iter().any(|m| m.motif.to_string() == "*AAB*CDD*"),
+            "got {:?}",
+            twos.iter().map(|m| m.motif.to_string()).collect::<Vec<_>>()
+        );
         for m in &twos {
             assert!(m.occurrence >= 3);
             assert!(m.motif.len() >= 4);
@@ -428,11 +428,8 @@ pub fn discover_k_segment(
                 }
                 let mut c = combo.clone();
                 c.push((*seg).clone());
-                let occ = occurrence_number(
-                    &Motif::new(c.clone()),
-                    sequences,
-                    params.max_mutations,
-                );
+                let occ =
+                    occurrence_number(&Motif::new(c.clone()), sequences, params.max_mutations);
                 if occ >= params.min_occurrence {
                     next.push(c);
                 }
@@ -449,8 +446,7 @@ pub fn discover_k_segment(
         })
         .map(|c| {
             let motif = Motif::new(c);
-            let occurrence =
-                occurrence_number(&motif, sequences, params.max_mutations);
+            let occurrence = occurrence_number(&motif, sequences, params.max_mutations);
             ActiveMotif { motif, occurrence }
         })
         .collect();
@@ -469,19 +465,17 @@ mod k_segment_tests {
 
     #[test]
     fn three_segments_recovered() {
-        let db = seqs(&[
-            "AAXXBBYYCC",
-            "AAZZBBWWCC",
-            "AAQQBBRRCC",
-            "NOPENOPENO",
-        ]);
+        let db = seqs(&["AAXXBBYYCC", "AAZZBBWWCC", "AAQQBBRRCC", "NOPENOPENO"]);
         let singles = discover(db.clone(), DiscoveryParams::new(2, 2, 3, 0));
         let p = DiscoveryParams::new(6, 8, 3, 0);
         let found = discover_k_segment(&db, &singles, &p, 3);
         assert!(
             found.iter().any(|m| m.motif.to_string() == "*AA*BB*CC*"),
             "{:?}",
-            found.iter().map(|m| m.motif.to_string()).collect::<Vec<_>>()
+            found
+                .iter()
+                .map(|m| m.motif.to_string())
+                .collect::<Vec<_>>()
         );
         for m in &found {
             assert!(m.occurrence >= 3);

@@ -274,7 +274,7 @@ impl Gst {
                 out.push(next as u8);
             }
         } else {
-            for (&c, _) in &self.nodes[node].children {
+            for &c in self.nodes[node].children.keys() {
                 if c < SEP_BASE {
                     out.push(c as u8);
                 }
@@ -386,7 +386,9 @@ mod tests {
     fn occurrence_matches_brute_force_small() {
         let set = seqs(&["FFRR", "MRRM", "MTRM"]);
         let g = Gst::build(&set);
-        for pat in ["F", "R", "M", "T", "RR", "RM", "FR", "MT", "RRM", "FFRR", "ZZZ", "RRRR"] {
+        for pat in [
+            "F", "R", "M", "T", "RR", "RM", "FR", "MT", "RRM", "FFRR", "ZZZ", "RRRR",
+        ] {
             assert_eq!(
                 g.occurrence(pat.as_bytes()),
                 brute_occ(&set, pat.as_bytes()),

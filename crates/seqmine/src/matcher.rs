@@ -173,7 +173,9 @@ mod tests {
                 d[0] = i + 1;
                 for (j, &cb) in b.iter().enumerate() {
                     let cur = d[j + 1];
-                    d[j + 1] = (prev + usize::from(ca != cb)).min(d[j] + 1).min(d[j + 1] + 1);
+                    d[j + 1] = (prev + usize::from(ca != cb))
+                        .min(d[j] + 1)
+                        .min(d[j + 1] + 1);
                     prev = cur;
                 }
             }
@@ -188,11 +190,7 @@ mod tests {
                     best = best.min(edit(pat.as_bytes(), &text[i..j]));
                 }
             }
-            assert_eq!(
-                min_mutations(&m1(pat), &s),
-                best,
-                "pattern {pat}"
-            );
+            assert_eq!(min_mutations(&m1(pat), &s), best, "pattern {pat}");
         }
     }
 }

@@ -21,7 +21,8 @@ impl Sequence {
         Sequence(bytes)
     }
 
-    /// Build from a string slice.
+    /// Build from a string slice (infallible, unlike `str::FromStr`).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Self {
         Sequence(s.as_bytes().to_vec())
     }

@@ -224,7 +224,10 @@ mod tests {
         assert!(
             found.iter().any(|m| format!("{}", m.motif) == "M(R,H)"),
             "{:?}",
-            found.iter().map(|m| m.motif.to_string()).collect::<Vec<_>>()
+            found
+                .iter()
+                .map(|m| m.motif.to_string())
+                .collect::<Vec<_>>()
         );
         for m in &found {
             assert!(m.occurrence >= 4);
@@ -302,11 +305,7 @@ mod tests {
     fn parallel_agrees_with_sequential() {
         let p = params(2, 3, 1);
         let seq = discover_tree_motifs(sample_set(), p.clone());
-        let par = discover_tree_motifs_parallel(
-            sample_set(),
-            p,
-            &ParallelConfig::load_balanced(3),
-        );
+        let par = discover_tree_motifs_parallel(sample_set(), p, &ParallelConfig::load_balanced(3));
         assert_eq!(seq, par);
     }
 

@@ -47,8 +47,8 @@ fn zs_info(t: &OrderedTree) -> ZsInfo {
     }
     // Keyroots: for each distinct l-value, the highest postorder index.
     let mut last_for_l = std::collections::HashMap::new();
-    for i in 0..n {
-        last_for_l.insert(l[i], i);
+    for (i, &lv) in l.iter().enumerate().take(n) {
+        last_for_l.insert(lv, i);
     }
     let mut keyroots: Vec<usize> = last_for_l.into_values().collect();
     keyroots.sort_unstable();
@@ -96,8 +96,7 @@ fn zs_matrix(a: &OrderedTree, b: &OrderedTree, cuts_in_b: bool) -> Vec<Vec<usize
                     let both_trees = ia.l[i] == la && ib.l[j] == lb;
                     let mut best;
                     if both_trees {
-                        let sub = fd[x - 1][y - 1]
-                            + usize::from(ia.label[i] != ib.label[j]);
+                        let sub = fd[x - 1][y - 1] + usize::from(ia.label[i] != ib.label[j]);
                         best = sub;
                         best = best.min(fd[x - 1][y] + 1); // delete A node i
                         best = best.min(fd[x][y - 1] + 1); // insert B node j
@@ -220,8 +219,16 @@ mod tests {
         // All tree shapes with <= 4 nodes over a 2-letter alphabet would
         // be large; sample a representative set instead.
         let shapes = [
-            "A", "B", "A(B)", "A(B,C)", "B(A(C))", "A(B(C),D)", "C(A,B,A)",
-            "A(A(A))", "B(B,B)", "A(C(B),B(C))",
+            "A",
+            "B",
+            "A(B)",
+            "A(B,C)",
+            "B(A(C))",
+            "A(B(C),D)",
+            "C(A,B,A)",
+            "A(A(A))",
+            "B(B,B)",
+            "A(C(B),B(C))",
         ];
         for x in &shapes {
             for y in &shapes {

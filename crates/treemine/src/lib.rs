@@ -31,9 +31,9 @@
 #![warn(missing_docs)]
 
 pub mod discover;
-pub mod vienna;
 pub mod dist;
 pub mod tree;
+pub mod vienna;
 
 pub use discover::{
     discover_tree_motifs, discover_tree_motifs_parallel, ActiveTreeMotif, TreeCode,

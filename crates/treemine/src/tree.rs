@@ -43,8 +43,7 @@ impl OrderedTree {
         let offset = self.len();
         self.labels.extend_from_slice(&sub.labels);
         for ch in &sub.children {
-            self.children
-                .push(ch.iter().map(|&c| c + offset).collect());
+            self.children.push(ch.iter().map(|&c| c + offset).collect());
         }
         self.children[parent].push(offset);
         offset
@@ -252,10 +251,7 @@ mod tests {
     #[test]
     fn encode_is_preorder_with_depths() {
         let t = OrderedTree::parse("A(B(C),D)");
-        assert_eq!(
-            t.encode(),
-            vec![(0, b'A'), (1, b'B'), (2, b'C'), (1, b'D')]
-        );
+        assert_eq!(t.encode(), vec![(0, b'A'), (1, b'B'), (2, b'C'), (1, b'D')]);
     }
 
     #[test]

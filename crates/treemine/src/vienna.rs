@@ -92,7 +92,13 @@ fn top_level_helices(pair: &[Option<usize>], from: usize, to: usize) -> Vec<(usi
 
 /// Build the stem rooted at the pair `(i, j)` under `parent`, recursing
 /// into the loop that closes it.
-fn build_helix(pair: &[Option<usize>], mut i: usize, mut j: usize, tree: &mut OrderedTree, parent: usize) {
+fn build_helix(
+    pair: &[Option<usize>],
+    mut i: usize,
+    mut j: usize,
+    tree: &mut OrderedTree,
+    parent: usize,
+) {
     // Collapse stacked pairs into one stem node.
     let stem = tree.graft(parent, &OrderedTree::leaf(b'R'));
     while i + 1 < j && pair[i + 1] == Some(j - 1) {
@@ -101,9 +107,7 @@ fn build_helix(pair: &[Option<usize>], mut i: usize, mut j: usize, tree: &mut Or
     }
     // Interior of the closing pair.
     let inner = top_level_helices(pair, i + 1, j);
-    let unpaired_left = inner
-        .first()
-        .map_or(j - i - 1, |&(a, _)| a - (i + 1));
+    let unpaired_left = inner.first().map_or(j - i - 1, |&(a, _)| a - (i + 1));
     let unpaired_right = inner.last().map_or(0, |&(_, b)| j - 1 - b);
     let label = match inner.len() {
         0 => b'H',
@@ -152,10 +156,7 @@ mod tests {
     #[test]
     fn multibranch() {
         assert_eq!(t("(((...)(...)))"), "N(R(M(R(H),R(H))))");
-        assert_eq!(
-            t("((..(...)..(...).(...)..))"),
-            "N(R(M(R(H),R(H),R(H))))"
-        );
+        assert_eq!(t("((..(...)..(...).(...)..))"), "N(R(M(R(H),R(H),R(H))))");
     }
 
     #[test]
@@ -179,15 +180,8 @@ mod tests {
     fn parsed_structures_feed_the_miner() {
         use crate::discover::{discover_tree_motifs, TreeDiscoveryParams};
         // Three structures sharing a stem-hairpin under a multiloop.
-        let dbs = [
-            "((((...)(...))))",
-            "(((...)(...)..))",
-            "((..(...)(...)))",
-        ];
-        let trees: Vec<OrderedTree> = dbs
-            .iter()
-            .map(|d| parse_dot_bracket(d).unwrap())
-            .collect();
+        let dbs = ["((((...)(...))))", "(((...)(...)..))", "((..(...)(...)))"];
+        let trees: Vec<OrderedTree> = dbs.iter().map(|d| parse_dot_bracket(d).unwrap()).collect();
         let found = discover_tree_motifs(
             trees,
             TreeDiscoveryParams {
@@ -202,7 +196,10 @@ mod tests {
                 || m.motif.to_string() == "M(R,R(H))"
                 || m.motif.to_string() == "M(R(H),R(H))"),
             "{:?}",
-            found.iter().map(|m| m.motif.to_string()).collect::<Vec<_>>()
+            found
+                .iter()
+                .map(|m| m.motif.to_string())
+                .collect::<Vec<_>>()
         );
     }
 }

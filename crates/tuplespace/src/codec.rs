@@ -131,6 +131,91 @@ fn decode_value(r: &mut Reader<'_>) -> Result<Value, CodecError> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Flat-array primitives.
+//
+// The parallel miners ship numeric vectors (α-midpoints, per-fold error
+// counts, candidate itemsets, support counts) through `Bytes` tuple
+// fields. These primitives define the one wire format for those arrays —
+// little-endian, densely packed, length-prefixed where nested — and back
+// the `Wire` impls of `crate::channel`.
+// ---------------------------------------------------------------------
+
+/// Encode a flat `f64` slice as packed little-endian bytes.
+pub fn encode_f64s(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Decode bytes produced by [`encode_f64s`].
+pub fn decode_f64s(b: &[u8]) -> Result<Vec<f64>, CodecError> {
+    if !b.len().is_multiple_of(8) {
+        return Err(CodecError(format!(
+            "f64 array length {} is not a multiple of 8",
+            b.len()
+        )));
+    }
+    Ok(b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Encode a flat `u32` slice as packed little-endian bytes.
+pub fn encode_u32s(v: &[u32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// Decode bytes produced by [`encode_u32s`].
+pub fn decode_u32s(b: &[u8]) -> Result<Vec<u32>, CodecError> {
+    if !b.len().is_multiple_of(4) {
+        return Err(CodecError(format!(
+            "u32 array length {} is not a multiple of 4",
+            b.len()
+        )));
+    }
+    Ok(b.chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Encode a list of `u32` lists (e.g. candidate itemsets): a `u32` count,
+/// then each list as a `u32` length followed by its items.
+pub fn encode_u32_lists(lists: &[Vec<u32>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend((lists.len() as u32).to_le_bytes());
+    for l in lists {
+        out.extend((l.len() as u32).to_le_bytes());
+        for &i in l {
+            out.extend(i.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decode bytes produced by [`encode_u32_lists`].
+pub fn decode_u32_lists(b: &[u8]) -> Result<Vec<Vec<u32>>, CodecError> {
+    let mut r = Reader { buf: b, pos: 0 };
+    let take_u32 = |r: &mut Reader<'_>| -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(r.take(4)?.try_into().unwrap()))
+    };
+    let n = take_u32(&mut r)? as usize;
+    let mut out = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let len = take_u32(&mut r)? as usize;
+        let mut l = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            l.push(take_u32(&mut r)?);
+        }
+        out.push(l);
+    }
+    if r.pos != b.len() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after u32 lists",
+            b.len() - r.pos
+        )));
+    }
+    Ok(out)
+}
+
 /// Encode one tuple.
 pub fn encode_tuple(t: &Tuple) -> Vec<u8> {
     let mut out = Vec::with_capacity(16 * t.arity() + 8);
@@ -245,5 +330,29 @@ mod tests {
         let mut enc = encode_tuple(&tup![1]);
         enc.push(0);
         assert!(decode_tuple(&enc).is_err());
+    }
+
+    #[test]
+    fn flat_array_roundtrips() {
+        let fs = vec![0.0, -1.5, f64::INFINITY, f64::MIN_POSITIVE];
+        assert_eq!(decode_f64s(&encode_f64s(&fs)).unwrap(), fs);
+        let us = vec![0u32, 5, u32::MAX];
+        assert_eq!(decode_u32s(&encode_u32s(&us)).unwrap(), us);
+        let lists = vec![vec![1, 2, 3], vec![7], vec![]];
+        assert_eq!(decode_u32_lists(&encode_u32_lists(&lists)).unwrap(), lists);
+        assert_eq!(
+            decode_u32_lists(&encode_u32_lists(&[])).unwrap(),
+            Vec::<Vec<u32>>::new()
+        );
+    }
+
+    #[test]
+    fn flat_array_bad_lengths_rejected() {
+        assert!(decode_f64s(&[0u8; 7]).is_err());
+        assert!(decode_u32s(&[0u8; 6]).is_err());
+        assert!(decode_u32_lists(&[1, 0, 0, 0]).is_err()); // count says 1 list, no data
+        let mut enc = encode_u32_lists(&[vec![1]]);
+        enc.push(9);
+        assert!(decode_u32_lists(&enc).is_err()); // trailing byte
     }
 }

@@ -1,0 +1,511 @@
+//! A generic task-farm harness over the tuple space.
+//!
+//! Every parallel program in the dissertation is the same master/worker
+//! skeleton (Figs. 3.4–3.10, 4.4–4.7, 6.1–6.2): the master `out`s task
+//! tuples and collects result tuples; each worker loops `xstart` → `in`
+//! task → compute (possibly `out`ing child tasks) → `out` results →
+//! `xcommit`, and exits on a poison pill. [`TaskFarm`] implements that
+//! skeleton once — worker spawning, task/result channels, poison-pill
+//! shutdown, kill-schedule fault injection, and per-worker statistics —
+//! leaving the application to supply only the per-task body.
+//!
+//! ## Wire protocol
+//!
+//! A farm named `name` owns three channels:
+//!
+//! * tasks: `["<name>.task", Int(key), Int(flag), …T fields]`. `key` is the
+//!   routing key: always `0` under [`Dispatch::Bag`] (any worker takes any
+//!   task — Linda's load balancing), the worker index under
+//!   [`Dispatch::PerWorker`] (addressed delivery). `flag` is free for the
+//!   application (task kind, tree level, …) except the reserved [`POISON`].
+//! * results: a [`Chan<R>`] named `"<name>.result"`.
+//! * a work counter: a [`Chan<i64>`] named `"<name>.wcount"`, for programs
+//!   whose task graph grows dynamically (a worker that replaces one task
+//!   with `n` children retires its task with [`WorkerScope::retire`]; the
+//!   master blocks on the counter reaching zero with
+//!   [`TaskFarm::await_quiescent`]).
+//!
+//! Poison pills carry [`Payload::placeholder`] so they share the task
+//! channel's signature — and therefore its partition of the sharded space.
+//!
+//! ## Fault tolerance
+//!
+//! The per-task transaction is owned by the farm: the body runs between
+//! `xstart` and `xcommit`, so a kill anywhere inside it aborts atomically
+//! (the task tuple reappears, child tasks and results are discarded) and
+//! the runtime re-spawns the worker, which re-enters the loop. Statistics
+//! are recorded only after a successful commit, so they count completed
+//! tasks exactly.
+
+use crate::channel::{Chan, Payload};
+use crate::process::{PlindaError, Process};
+use crate::runtime::{FaultPlan, Runtime};
+use crate::space::TupleSpace;
+use crate::template::{field, Field, Template};
+use crate::value::{Tuple, TypeTag, Value};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Reserved task flag: the poison pill. Applications may use any other
+/// `i64` flag value.
+pub const POISON: i64 = i64::MIN;
+
+/// How tasks are routed to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Bag of tasks: any worker takes any task (key 0 for everyone).
+    Bag,
+    /// Addressed delivery: each task is keyed to one worker's index.
+    PerWorker,
+}
+
+/// Configuration of a [`TaskFarm`].
+#[derive(Clone)]
+pub struct FarmConfig {
+    /// Number of worker processes.
+    pub workers: usize,
+    /// Task routing discipline.
+    pub dispatch: Dispatch,
+    /// Fault injections: `(delay from farm start, worker index to kill)`.
+    pub kill_schedule: Vec<(Duration, usize)>,
+}
+
+impl FarmConfig {
+    /// A bag-of-tasks farm with `workers` workers and no fault injection.
+    pub fn bag(workers: usize) -> Self {
+        FarmConfig {
+            workers,
+            dispatch: Dispatch::Bag,
+            kill_schedule: Vec::new(),
+        }
+    }
+
+    /// A per-worker (addressed) farm with `workers` workers.
+    pub fn per_worker(workers: usize) -> Self {
+        FarmConfig {
+            workers,
+            dispatch: Dispatch::PerWorker,
+            kill_schedule: Vec::new(),
+        }
+    }
+
+    /// Add a kill of worker `index` after `delay`.
+    pub fn kill_after(mut self, delay: Duration, index: usize) -> Self {
+        self.kill_schedule.push((delay, index));
+        self
+    }
+}
+
+/// Completed-task statistics of one worker.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerStats {
+    /// Tasks whose transaction committed.
+    pub tasks: u64,
+    /// Wall-clock time spent inside committed task bodies.
+    pub busy: Duration,
+}
+
+/// Final report returned by [`TaskFarm::finish`].
+#[derive(Debug, Clone)]
+pub struct FarmReport {
+    /// Per-worker statistics, indexed by worker index.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Process re-spawns performed by the runtime (detected failures).
+    pub respawns: u64,
+}
+
+struct StatsCell {
+    tasks: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// The task channel: hand-rolled rather than a [`crate::channel::KeyedChan`]
+/// because it carries both a routing key and a flag ahead of the payload.
+struct TaskChan<T: Payload> {
+    name: String,
+    _t: PhantomData<fn(T) -> T>,
+}
+
+impl<T: Payload> Clone for TaskChan<T> {
+    fn clone(&self) -> Self {
+        TaskChan {
+            name: self.name.clone(),
+            _t: PhantomData,
+        }
+    }
+}
+
+impl<T: Payload> TaskChan<T> {
+    fn new(farm: &str) -> Self {
+        TaskChan {
+            name: format!("{farm}.task"),
+            _t: PhantomData,
+        }
+    }
+
+    fn tuple(&self, key: i64, flag: i64, payload: &T) -> Tuple {
+        let mut vs = vec![
+            Value::Str(self.name.clone()),
+            Value::Int(key),
+            Value::Int(flag),
+        ];
+        vs.extend(payload.to_values());
+        Tuple(vs)
+    }
+
+    fn template_for(&self, key: i64) -> Template {
+        let mut fs = vec![
+            field::val(self.name.as_str()),
+            field::val(key),
+            Field::Formal(TypeTag::Int),
+        ];
+        fs.extend(T::tags().into_iter().map(field::of));
+        Template::new(fs)
+    }
+}
+
+/// The handle a task body uses to talk back to the farm: emit child tasks,
+/// publish results, retire the work counter — all inside the task's
+/// transaction — plus an escape hatch to the raw [`Process`].
+pub struct WorkerScope<'a, T: Payload, R: Payload> {
+    proc: &'a mut Process,
+    index: usize,
+    tasks: &'a TaskChan<T>,
+    results: &'a Chan<R>,
+    counter: &'a Chan<i64>,
+}
+
+impl<T: Payload, R: Payload> WorkerScope<'_, T, R> {
+    /// This worker's index (0-based).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Emit a child task into the bag (key 0).
+    pub fn emit(&mut self, flag: i64, payload: &T) {
+        self.proc.out(self.tasks.tuple(0, flag, payload));
+    }
+
+    /// Emit a child task addressed to worker `index`.
+    pub fn emit_to(&mut self, index: usize, flag: i64, payload: &T) {
+        self.proc.out(self.tasks.tuple(index as i64, flag, payload));
+    }
+
+    /// Publish a result.
+    pub fn result(&mut self, payload: &R) {
+        self.results.send_txn(self.proc, payload);
+    }
+
+    /// Retire the current task against the work counter, replacing it with
+    /// `n_children` new tasks: counter += n_children - 1. Runs inside the
+    /// task transaction, so the counter update, the child `emit`s, and the
+    /// task withdrawal commit atomically (the PLET load-balanced workers'
+    /// invariant: the counter always bounds outstanding work).
+    pub fn retire(&mut self, n_children: i64) -> Result<(), PlindaError> {
+        let c = self.counter.recv_txn(self.proc)?;
+        self.counter.send_txn(self.proc, &(c + n_children - 1));
+        Ok(())
+    }
+
+    /// The underlying transactional process, for operations the scope does
+    /// not model (broadcast `rd`s, continuations, auxiliary channels).
+    pub fn proc(&mut self) -> &mut Process {
+        self.proc
+    }
+}
+
+/// A running master/worker task farm. See the module docs for the model.
+pub struct TaskFarm<T: Payload, R: Payload> {
+    rt: Runtime,
+    space: Arc<TupleSpace>,
+    cfg: FarmConfig,
+    tasks: TaskChan<T>,
+    results: Chan<R>,
+    counter: Chan<i64>,
+    stats: Arc<Vec<StatsCell>>,
+}
+
+impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
+    /// Spawn `cfg.workers` workers named `name` running `body` for each
+    /// task, and start the kill schedule. The body receives the task's
+    /// flag and payload; the farm wraps each call in a transaction.
+    pub fn start<F>(name: &str, cfg: FarmConfig, body: F) -> Self
+    where
+        F: Fn(&mut WorkerScope<'_, T, R>, i64, T) -> Result<(), PlindaError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        let rt = Runtime::new();
+        let space = rt.space();
+        let tasks = TaskChan::<T>::new(name);
+        let results = Chan::<R>::new(format!("{name}.result"));
+        let counter = Chan::<i64>::new(format!("{name}.wcount"));
+        let stats: Arc<Vec<StatsCell>> = Arc::new(
+            (0..cfg.workers)
+                .map(|_| StatsCell {
+                    tasks: AtomicU64::new(0),
+                    nanos: AtomicU64::new(0),
+                })
+                .collect(),
+        );
+        let body = Arc::new(body);
+        let mut pids = Vec::with_capacity(cfg.workers);
+        for index in 0..cfg.workers {
+            let key = match cfg.dispatch {
+                Dispatch::Bag => 0,
+                Dispatch::PerWorker => index as i64,
+            };
+            let tasks_w = tasks.clone();
+            let results_w = results.clone();
+            let counter_w = counter.clone();
+            let stats_w = Arc::clone(&stats);
+            let body_w = Arc::clone(&body);
+            pids.push(rt.spawn(name, move |proc| {
+                loop {
+                    proc.xstart();
+                    let t = proc.in_(tasks_w.template_for(key))?;
+                    let flag = t.int(2);
+                    if flag == POISON {
+                        proc.xcommit(None)?;
+                        return Ok(());
+                    }
+                    let payload = T::from_values(&t.0[3..]);
+                    let started = Instant::now();
+                    {
+                        let mut scope = WorkerScope {
+                            proc,
+                            index,
+                            tasks: &tasks_w,
+                            results: &results_w,
+                            counter: &counter_w,
+                        };
+                        body_w(&mut scope, flag, payload)?;
+                    }
+                    proc.xcommit(None)?;
+                    // Only committed tasks count: an aborted body's time
+                    // belongs to the failure, not the work.
+                    let cell = &stats_w[index];
+                    cell.tasks.fetch_add(1, Ordering::Relaxed);
+                    cell.nanos
+                        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            }));
+        }
+        let mut plan = FaultPlan::new();
+        for &(delay, index) in &cfg.kill_schedule {
+            plan = plan.kill_after(delay, pids[index]);
+        }
+        if !plan.is_empty() {
+            rt.inject(plan);
+        }
+        TaskFarm {
+            rt,
+            space,
+            cfg,
+            tasks,
+            results,
+            counter,
+            stats,
+        }
+    }
+
+    /// The farm's tuple space (for auxiliary channels and direct ops).
+    pub fn space(&self) -> &Arc<TupleSpace> {
+        &self.space
+    }
+
+    /// Emit a task into the bag.
+    pub fn send(&self, flag: i64, payload: &T) {
+        debug_assert_eq!(
+            self.cfg.dispatch,
+            Dispatch::Bag,
+            "send() on a per-worker farm; use send_to"
+        );
+        self.space.out(self.tasks.tuple(0, flag, payload));
+    }
+
+    /// Emit a task addressed to worker `index`.
+    pub fn send_to(&self, index: usize, flag: i64, payload: &T) {
+        self.space
+            .out(self.tasks.tuple(index as i64, flag, payload));
+    }
+
+    /// Blocking withdrawal of the next result.
+    pub fn recv(&self) -> R {
+        self.results.recv(&self.space)
+    }
+
+    /// Non-blocking withdrawal of a result.
+    pub fn try_recv(&self) -> Option<R> {
+        self.results.try_recv(&self.space)
+    }
+
+    /// Withdraw every currently available result.
+    pub fn drain(&self) -> Vec<R> {
+        let mut out = Vec::new();
+        while let Some(r) = self.try_recv() {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Seed the work counter with `n` outstanding tasks. Emit the matching
+    /// tasks *before* seeding, as the dissertation's masters do: a worker
+    /// that retires a task before the seed appears simply blocks on the
+    /// counter channel.
+    pub fn seed_counter(&self, n: i64) {
+        self.counter.send(&self.space, &n);
+    }
+
+    /// Block until the work counter reaches zero, withdrawing the zero
+    /// tuple (so the counter channel ends empty).
+    pub fn await_quiescent(&self) {
+        self.counter.recv_eq(&self.space, &0);
+    }
+
+    /// Failures detected (and re-spawns performed) so far.
+    pub fn respawns(&self) -> u64 {
+        self.rt.respawns()
+    }
+
+    /// Poison every worker, wait for them to exit, and report statistics.
+    pub fn finish(self) -> FarmReport {
+        let pill = T::placeholder();
+        for index in 0..self.cfg.workers {
+            let key = match self.cfg.dispatch {
+                Dispatch::Bag => 0,
+                Dispatch::PerWorker => index as i64,
+            };
+            self.space.out(self.tasks.tuple(key, POISON, &pill));
+        }
+        self.rt.join();
+        FarmReport {
+            worker_stats: self
+                .stats
+                .iter()
+                .map(|c| WorkerStats {
+                    tasks: c.tasks.load(Ordering::Relaxed),
+                    busy: Duration::from_nanos(c.nanos.load(Ordering::Relaxed)),
+                })
+                .collect(),
+            respawns: self.rt.respawns(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bag_farm_squares() {
+        let farm = TaskFarm::<i64, (i64, i64)>::start("sq", FarmConfig::bag(4), |s, _flag, v| {
+            s.result(&(v, v * v));
+            Ok(())
+        });
+        for i in 0..20i64 {
+            farm.send(0, &i);
+        }
+        let mut sum = 0;
+        for _ in 0..20 {
+            sum += farm.recv().1;
+        }
+        let report = farm.finish();
+        assert_eq!(sum, (0..20i64).map(|i| i * i).sum::<i64>());
+        assert_eq!(report.worker_stats.iter().map(|s| s.tasks).sum::<u64>(), 20);
+        assert_eq!(report.respawns, 0);
+    }
+
+    #[test]
+    fn per_worker_dispatch_routes_by_index() {
+        let farm =
+            TaskFarm::<i64, (i64, i64)>::start("route", FarmConfig::per_worker(3), |s, _, v| {
+                s.result(&(s.index() as i64, v));
+                Ok(())
+            });
+        for w in 0..3 {
+            farm.send_to(w, 0, &(w as i64 * 100));
+        }
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(farm.recv());
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 0), (1, 100), (2, 200)]);
+        farm.finish();
+    }
+
+    #[test]
+    fn dynamic_tasks_and_quiescence() {
+        // Each task at depth d > 0 spawns two children at depth d-1; leaves
+        // produce one result. Counter tracks outstanding tasks.
+        let farm = TaskFarm::<i64, i64>::start("tree", FarmConfig::bag(4), |s, _, depth| {
+            if depth == 0 {
+                s.result(&1);
+                s.retire(0)?;
+            } else {
+                s.emit(0, &(depth - 1));
+                s.emit(0, &(depth - 1));
+                s.retire(2)?;
+            }
+            Ok(())
+        });
+        farm.send(0, &4);
+        farm.seed_counter(1);
+        farm.await_quiescent();
+        let leaves = farm.drain();
+        assert_eq!(leaves.len(), 16, "2^4 leaves");
+        let report = farm.finish();
+        // 1 + 2 + 4 + 8 + 16 internal+leaf tasks committed.
+        assert_eq!(report.worker_stats.iter().map(|s| s.tasks).sum::<u64>(), 31);
+    }
+
+    #[test]
+    fn kill_schedule_respawns_and_completes() {
+        let cfg = FarmConfig::bag(2)
+            .kill_after(Duration::from_millis(2), 0)
+            .kill_after(Duration::from_millis(4), 1);
+        let farm = TaskFarm::<i64, i64>::start("faulty", cfg, |s, _, v| {
+            // Enough per-task work that kills land mid-stream.
+            std::thread::sleep(Duration::from_micros(200));
+            s.result(&(v * 3));
+            Ok(())
+        });
+        for i in 0..60i64 {
+            farm.send(0, &i);
+        }
+        let mut results = Vec::new();
+        for _ in 0..60 {
+            results.push(farm.recv());
+        }
+        results.sort_unstable();
+        assert_eq!(results, (0..60i64).map(|i| i * 3).collect::<Vec<_>>());
+        let report = farm.finish();
+        assert!(report.respawns >= 1, "at least one injected kill landed");
+        // Every task committed exactly once despite the kills.
+        assert_eq!(report.worker_stats.iter().map(|s| s.tasks).sum::<u64>(), 60);
+    }
+
+    #[test]
+    fn poison_does_not_leak_into_results() {
+        let farm = TaskFarm::<(i64, Vec<u8>), Vec<u8>>::start(
+            "bytes",
+            FarmConfig::bag(2),
+            |s, _, (n, mut b)| {
+                b.push(n as u8);
+                s.result(&b);
+                Ok(())
+            },
+        );
+        farm.send(0, &(7, vec![1, 2]));
+        assert_eq!(farm.recv(), vec![1, 2, 7]);
+        let space = Arc::clone(farm.space());
+        let report = farm.finish();
+        assert_eq!(report.worker_stats.iter().map(|s| s.tasks).sum::<u64>(), 1);
+        // Workers consumed their pills; no task or result tuples remain.
+        assert!(space.is_empty());
+    }
+}

@@ -78,13 +78,17 @@
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod codec;
+pub mod farm;
 pub mod process;
 pub mod runtime;
 pub mod space;
 pub mod template;
 pub mod value;
 
+pub use channel::{Chan, KeyedChan, Payload, Wire};
+pub use farm::{Dispatch, FarmConfig, FarmReport, TaskFarm, WorkerScope, WorkerStats, POISON};
 pub use process::{PlindaError, Process, ProcessStatus};
 pub use runtime::{FaultPlan, Runtime};
 pub use space::TupleSpace;

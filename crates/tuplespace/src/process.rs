@@ -365,12 +365,7 @@ mod tests {
         let space = Arc::new(TupleSpace::new());
         let conts = Arc::new(ContinuationStore::new());
         let state = Arc::new(ProcessState::new());
-        let p = Process::new(
-            7,
-            Arc::clone(&space),
-            conts,
-            Arc::clone(&state),
-        );
+        let p = Process::new(7, Arc::clone(&space), conts, Arc::clone(&state));
         (p, space, state)
     }
 

@@ -197,7 +197,10 @@ impl Runtime {
             .map(|(&pid, st)| {
                 (
                     pid,
-                    reg.names.get(&pid).cloned().unwrap_or_else(|| "master".into()),
+                    reg.names
+                        .get(&pid)
+                        .cloned()
+                        .unwrap_or_else(|| "master".into()),
                     st.status(),
                 )
             })

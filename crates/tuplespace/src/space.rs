@@ -2,62 +2,61 @@
 //!
 //! Storage is partitioned by type signature: a template's typed formals pin
 //! down the exact signature of every tuple it can match, so `in`/`rd` only
-//! scan one partition. This mirrors the compile-time tuple partitioning of
+//! touch one partition. This mirrors the compile-time tuple partitioning of
 //! Linda implementations described in §2.4.5 of the dissertation, performed
-//! here at runtime.
+//! here at runtime — and each partition carries its *own* lock and condition
+//! variable, so an `out` wakes only waiters whose template could possibly
+//! match it. Waiters park unboundedly; the only cross-partition wakeup is
+//! [`TupleSpace::kick`], which the runtime uses to make killed processes
+//! re-check their cancellation flags.
+//!
+//! Lock order: the partition registry is always acquired before any
+//! partition lock, and multi-partition operations (`out_all`, `snapshot`,
+//! `restore_bytes`) acquire partition locks in sorted-signature order, so
+//! the lock graph is acyclic.
 
 use crate::codec;
 use crate::template::Template;
 use crate::value::{Tuple, TypeTag};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
+/// One signature's tuples plus the condvar its waiters park on.
 #[derive(Default)]
-struct Store {
-    partitions: HashMap<Vec<TypeTag>, Vec<Tuple>>,
-    /// Total visible tuples (kept in sync with `partitions`).
-    len: usize,
+struct Partition {
+    tuples: Mutex<Vec<Tuple>>,
+    cond: Condvar,
 }
 
-impl Store {
-    fn insert(&mut self, t: Tuple) {
-        self.partitions.entry(t.signature()).or_default().push(t);
-        self.len += 1;
-    }
-
-    fn find(&self, tmpl: &Template) -> Option<(usize, &Vec<Tuple>)> {
-        let part = self.partitions.get(&tmpl.signature())?;
-        part.iter()
-            .position(|t| tmpl.matches(t))
-            .map(|i| (i, part))
-    }
-
-    fn take(&mut self, tmpl: &Template) -> Option<Tuple> {
-        let part = self.partitions.get_mut(&tmpl.signature())?;
+impl Partition {
+    fn take(&self, tmpl: &Template) -> Option<Tuple> {
+        let mut part = self.tuples.lock();
         let idx = part.iter().position(|t| tmpl.matches(t))?;
-        self.len -= 1;
         // Order within a partition is not part of the Linda contract;
         // swap_remove keeps withdrawal O(1).
         Some(part.swap_remove(idx))
     }
 
     fn read(&self, tmpl: &Template) -> Option<Tuple> {
-        self.find(tmpl).map(|(i, part)| part[i].clone())
+        let part = self.tuples.lock();
+        part.iter().find(|t| tmpl.matches(t)).cloned()
     }
 }
 
 /// The generative shared memory all PLinda processes coordinate through.
 ///
-/// All operations are linearizable (single internal lock); blocking
-/// operations park on a condition variable that is signalled whenever
-/// tuples become visible. Blocking calls take an optional *cancel flag* so
-/// the runtime can abort a process that is parked inside `in` — the PLinda
-/// server does exactly this when a workstation owner returns (§7.1.1).
+/// Operations are linearizable per signature partition (each partition has
+/// a single lock); blocking operations park on their partition's condition
+/// variable and are woken only by tuples that land in that partition.
+/// Blocking calls take an optional *cancel flag* so the runtime can abort a
+/// process that is parked inside `in` — the PLinda server does exactly this
+/// when a workstation owner returns (§7.1.1).
 pub struct TupleSpace {
-    store: Mutex<Store>,
-    cond: Condvar,
+    registry: Mutex<HashMap<Vec<TypeTag>, Arc<Partition>>>,
+    /// Total visible tuples (kept in sync under partition locks).
+    len: AtomicUsize,
 }
 
 impl Default for TupleSpace {
@@ -70,41 +69,86 @@ impl TupleSpace {
     /// Create an empty space.
     pub fn new() -> Self {
         TupleSpace {
-            store: Mutex::new(Store::default()),
-            cond: Condvar::new(),
+            registry: Mutex::new(HashMap::new()),
+            len: AtomicUsize::new(0),
         }
     }
 
-    /// `out`: make `t` visible to every process. Never blocks.
-    pub fn out(&self, t: Tuple) {
-        let mut s = self.store.lock();
-        s.insert(t);
-        drop(s);
-        self.cond.notify_all();
+    /// Get-or-create the partition for `sig`. Partitions are never removed
+    /// once created, so producer and consumer always converge on the same
+    /// `Arc` even when the signature first appears as a *template*.
+    fn partition(&self, sig: Vec<TypeTag>) -> Arc<Partition> {
+        Arc::clone(self.registry.lock().entry(sig).or_default())
     }
 
-    /// Bulk `out` under one lock acquisition (used by transaction commit so
-    /// a committed transaction's tuples appear atomically).
+    /// Existing partition for `sig`, if any tuple or waiter ever used it.
+    fn existing(&self, sig: &[TypeTag]) -> Option<Arc<Partition>> {
+        self.registry.lock().get(sig).cloned()
+    }
+
+    /// Sorted `(signature, partition)` pairs — the deterministic iteration
+    /// order every multi-partition operation uses.
+    fn sorted_partitions(&self) -> Vec<(Vec<TypeTag>, Arc<Partition>)> {
+        let reg = self.registry.lock();
+        let mut parts: Vec<_> = reg
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect();
+        parts.sort_by(|a, b| a.0.cmp(&b.0));
+        parts
+    }
+
+    /// `out`: make `t` visible to every process. Never blocks. Wakes only
+    /// waiters parked on `t`'s signature partition.
+    pub fn out(&self, t: Tuple) {
+        let part = self.partition(t.signature());
+        let mut tuples = part.tuples.lock();
+        tuples.push(t);
+        self.len.fetch_add(1, Ordering::SeqCst);
+        drop(tuples);
+        part.cond.notify_all();
+    }
+
+    /// Bulk `out` holding every involved partition lock at once (used by
+    /// transaction commit so a committed transaction's tuples appear
+    /// atomically, even when they span signatures).
     pub fn out_all(&self, ts: Vec<Tuple>) {
         if ts.is_empty() {
             return;
         }
-        let mut s = self.store.lock();
+        let mut by_sig: HashMap<Vec<TypeTag>, Vec<Tuple>> = HashMap::new();
         for t in ts {
-            s.insert(t);
+            by_sig.entry(t.signature()).or_default().push(t);
         }
-        drop(s);
-        self.cond.notify_all();
+        let mut sigs: Vec<_> = by_sig.keys().cloned().collect();
+        sigs.sort();
+        let parts: Vec<Arc<Partition>> =
+            sigs.iter().map(|sig| self.partition(sig.clone())).collect();
+        let mut batches: Vec<Vec<Tuple>> =
+            sigs.iter().map(|sig| by_sig.remove(sig).unwrap()).collect();
+        // Acquire all locks in sorted-signature order, then publish.
+        let mut guards: Vec<MutexGuard<'_, Vec<Tuple>>> =
+            parts.iter().map(|p| p.tuples.lock()).collect();
+        for (guard, batch) in guards.iter_mut().zip(batches.iter_mut()) {
+            self.len.fetch_add(batch.len(), Ordering::SeqCst);
+            guard.append(batch);
+        }
+        drop(guards);
+        for part in &parts {
+            part.cond.notify_all();
+        }
     }
 
     /// `inp`: withdraw a matching tuple if one exists, without blocking.
     pub fn inp(&self, tmpl: &Template) -> Option<Tuple> {
-        self.store.lock().take(tmpl)
+        let t = self.existing(&tmpl.signature())?.take(tmpl)?;
+        self.len.fetch_sub(1, Ordering::SeqCst);
+        Some(t)
     }
 
     /// `rdp`: copy a matching tuple if one exists, without blocking.
     pub fn rdp(&self, tmpl: &Template) -> Option<Tuple> {
-        self.store.lock().read(tmpl)
+        self.existing(&tmpl.signature())?.read(tmpl)
     }
 
     /// `in`: withdraw a matching tuple, blocking until one is available.
@@ -122,46 +166,61 @@ impl TupleSpace {
     /// `in` with cancellation: returns `None` if `cancel` becomes true
     /// while waiting (the process was killed).
     pub fn in_cancellable(&self, tmpl: &Template, cancel: Option<&AtomicBool>) -> Option<Tuple> {
-        let mut s = self.store.lock();
-        loop {
-            if let Some(c) = cancel {
-                if c.load(Ordering::SeqCst) {
-                    return None;
-                }
-            }
-            if let Some(t) = s.take(tmpl) {
-                return Some(t);
-            }
-            // Bounded wait so a kill that races with the final notify is
-            // still observed promptly.
-            self.cond.wait_for(&mut s, Duration::from_millis(20));
-        }
+        let t = self.wait_on_partition(tmpl, cancel, true)?;
+        self.len.fetch_sub(1, Ordering::SeqCst);
+        Some(t)
     }
 
     /// `rd` with cancellation; see [`TupleSpace::in_cancellable`].
     pub fn rd_cancellable(&self, tmpl: &Template, cancel: Option<&AtomicBool>) -> Option<Tuple> {
-        let mut s = self.store.lock();
+        self.wait_on_partition(tmpl, cancel, false)
+    }
+
+    fn wait_on_partition(
+        &self,
+        tmpl: &Template,
+        cancel: Option<&AtomicBool>,
+        withdraw: bool,
+    ) -> Option<Tuple> {
+        // Waiting on a signature nobody has produced yet creates its
+        // (empty) partition, so the eventual `out` finds our condvar.
+        let part = self.partition(tmpl.signature());
+        let mut tuples = part.tuples.lock();
         loop {
             if let Some(c) = cancel {
                 if c.load(Ordering::SeqCst) {
                     return None;
                 }
             }
-            if let Some(t) = s.read(tmpl) {
-                return Some(t);
+            if let Some(idx) = tuples.iter().position(|t| tmpl.matches(t)) {
+                return Some(if withdraw {
+                    tuples.swap_remove(idx)
+                } else {
+                    tuples[idx].clone()
+                });
             }
-            self.cond.wait_for(&mut s, Duration::from_millis(20));
+            // Unbounded wait: an `out` into this partition notifies its
+            // condvar under the same lock, and `kick` (cancellation) locks
+            // the partition before notifying, so no wakeup can be lost.
+            part.cond.wait(&mut tuples);
         }
     }
 
-    /// Wake all waiters so they can re-check cancellation flags.
+    /// Wake every waiter in every partition so they re-check their
+    /// cancellation flags. This is the *only* cross-partition wakeup; it is
+    /// never needed for tuple arrival.
     pub(crate) fn kick(&self) {
-        self.cond.notify_all();
+        for (_, part) in self.sorted_partitions() {
+            // Lock-then-notify so the wakeup cannot land in the gap where a
+            // waiter has checked its flag but not yet parked.
+            drop(part.tuples.lock());
+            part.cond.notify_all();
+        }
     }
 
     /// Number of visible tuples.
     pub fn len(&self) -> usize {
-        self.store.lock().len
+        self.len.load(Ordering::SeqCst)
     }
 
     /// Is the space empty?
@@ -171,22 +230,27 @@ impl TupleSpace {
 
     /// Count visible tuples matching `tmpl` (diagnostics / tests).
     pub fn count(&self, tmpl: &Template) -> usize {
-        let s = self.store.lock();
-        s.partitions
-            .get(&tmpl.signature())
-            .map(|p| p.iter().filter(|t| tmpl.matches(t)).count())
-            .unwrap_or(0)
+        match self.existing(&tmpl.signature()) {
+            Some(part) => part
+                .tuples
+                .lock()
+                .iter()
+                .filter(|t| tmpl.matches(t))
+                .count(),
+            None => 0,
+        }
     }
 
-    /// Snapshot of every visible tuple (checkpointing; order unspecified).
+    /// Snapshot of every visible tuple, merged across partitions in sorted
+    /// signature order with all partition locks held — a consistent,
+    /// deterministic cut (checkpointing).
     pub fn snapshot(&self) -> Vec<Tuple> {
-        let s = self.store.lock();
-        let mut out = Vec::with_capacity(s.len);
-        // Deterministic ordering for stable checkpoints.
-        let mut keys: Vec<_> = s.partitions.keys().cloned().collect();
-        keys.sort();
-        for k in keys {
-            out.extend(s.partitions[&k].iter().cloned());
+        let parts = self.sorted_partitions();
+        let guards: Vec<MutexGuard<'_, Vec<Tuple>>> =
+            parts.iter().map(|(_, p)| p.tuples.lock()).collect();
+        let mut out = Vec::new();
+        for g in &guards {
+            out.extend(g.iter().cloned());
         }
         out
     }
@@ -199,14 +263,35 @@ impl TupleSpace {
     /// Replace the space contents from a checkpoint — rollback recovery.
     pub fn restore_bytes(&self, bytes: &[u8]) -> Result<(), codec::CodecError> {
         let tuples = codec::decode_tuples(bytes)?;
-        let mut s = self.store.lock();
-        s.partitions.clear();
-        s.len = 0;
-        for t in tuples {
-            s.insert(t);
+        let parts = self.sorted_partitions();
+        let mut guards: Vec<MutexGuard<'_, Vec<Tuple>>> =
+            parts.iter().map(|(_, p)| p.tuples.lock()).collect();
+        for g in guards.iter_mut() {
+            g.clear();
         }
-        drop(s);
-        self.cond.notify_all();
+        // Restored tuples whose signature has no partition yet cannot be
+        // pushed while holding the sorted guards (the registry lock must
+        // come first); collect them and publish via `out` afterwards.
+        let mut leftover = Vec::new();
+        let total = tuples.len();
+        'tuple: for t in tuples {
+            let sig = t.signature();
+            for (i, (k, _)) in parts.iter().enumerate() {
+                if *k == sig {
+                    guards[i].push(t);
+                    continue 'tuple;
+                }
+            }
+            leftover.push(t);
+        }
+        self.len.store(total - leftover.len(), Ordering::SeqCst);
+        drop(guards);
+        for (_, part) in &parts {
+            part.cond.notify_all();
+        }
+        for t in leftover {
+            self.out(t);
+        }
         Ok(())
     }
 
@@ -229,6 +314,7 @@ mod tests {
     use crate::template::field;
     use crate::tup;
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn task_tmpl() -> Template {
         Template::new(vec![field::val("task"), field::int()])
@@ -290,6 +376,21 @@ mod tests {
     }
 
     #[test]
+    fn out_to_other_signature_does_not_release_waiter() {
+        let ts = Arc::new(TupleSpace::new());
+        let ts2 = Arc::clone(&ts);
+        let h = std::thread::spawn(move || ts2.in_blocking(task_tmpl()));
+        // Traffic in unrelated partitions must not satisfy the waiter.
+        for i in 0..50 {
+            ts.out(tup!["other", i, 1.5]);
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished());
+        ts.out(tup!["task", 7]);
+        assert_eq!(h.join().unwrap().int(1), 7);
+    }
+
+    #[test]
     fn checkpoint_restore_roundtrip() {
         let ts = TupleSpace::new();
         ts.out(tup!["task", 1]);
@@ -301,9 +402,39 @@ mod tests {
         ts2.restore_bytes(&bytes).unwrap();
         assert_eq!(ts2.len(), 2);
         assert!(ts2.inp(&task_tmpl()).is_some());
-        assert!(ts2
-            .inp(&Template::new(vec![field::val("junk")]))
-            .is_none());
+        assert!(ts2.inp(&Template::new(vec![field::val("junk")])).is_none());
+    }
+
+    #[test]
+    fn restore_into_fresh_space_creates_partitions() {
+        let ts = TupleSpace::new();
+        ts.out(tup!["task", 1]);
+        ts.out(tup!["mids", 0.5, 1.5]);
+        let bytes = ts.checkpoint_bytes();
+
+        let fresh = TupleSpace::new();
+        fresh.restore_bytes(&bytes).unwrap();
+        assert_eq!(fresh.len(), 2);
+        assert!(fresh.inp(&task_tmpl()).is_some());
+        let mids = Template::new(vec![field::val("mids"), field::real(), field::real()]);
+        assert!(fresh.inp(&mids).is_some());
+        assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let build = |order_flip: bool| {
+            let ts = TupleSpace::new();
+            if order_flip {
+                ts.out(tup!["b", 2]);
+                ts.out(tup!["a", 1.0]);
+            } else {
+                ts.out(tup!["a", 1.0]);
+                ts.out(tup!["b", 2]);
+            }
+            ts.checkpoint_bytes()
+        };
+        assert_eq!(build(false), build(true));
     }
 
     #[test]
@@ -311,6 +442,22 @@ mod tests {
         let ts = TupleSpace::new();
         ts.out_all(vec![tup!["task", 1], tup!["task", 2], tup!["task", 3]]);
         assert_eq!(ts.count(&task_tmpl()), 3);
+    }
+
+    #[test]
+    fn out_all_spanning_signatures_wakes_each_partition() {
+        let ts = Arc::new(TupleSpace::new());
+        let t1 = Arc::clone(&ts);
+        let h1 = std::thread::spawn(move || t1.in_blocking(task_tmpl()));
+        let t2 = Arc::clone(&ts);
+        let h2 = std::thread::spawn(move || {
+            t2.in_blocking(Template::new(vec![field::val("done"), field::real()]))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        ts.out_all(vec![tup!["task", 4], tup!["done", 2.5]]);
+        assert_eq!(h1.join().unwrap().int(1), 4);
+        assert_eq!(h2.join().unwrap().real(1), 2.5);
+        assert!(ts.is_empty());
     }
 
     #[test]

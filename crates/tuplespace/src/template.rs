@@ -56,6 +56,11 @@ pub mod field {
     pub fn list() -> Field {
         Field::Formal(TypeTag::List)
     }
+    /// Formal field of a runtime-chosen type (used by the typed channel
+    /// layer, which derives template shapes from payload type tags).
+    pub fn of(tag: TypeTag) -> Field {
+        Field::Formal(tag)
+    }
 }
 
 /// A pattern that selects tuples from the space.

@@ -278,7 +278,10 @@ mod tests {
 
     #[test]
     fn nested_list_values() {
-        let t = Tuple::new(vec![Value::List(vec![Value::Int(1), Value::Str("x".into())])]);
+        let t = Tuple::new(vec![Value::List(vec![
+            Value::Int(1),
+            Value::Str("x".into()),
+        ])]);
         assert_eq!(t.list(0).len(), 2);
         assert_eq!(t.signature(), vec![TypeTag::List]);
     }

@@ -1,0 +1,106 @@
+//! Property tests of the typed channel layer: arbitrary payloads must
+//! round-trip through a `Chan<T>` byte-identically — including NaN and
+//! signed-zero floats, which the tuple space compares bitwise.
+
+use plinda::codec::encode_tuple;
+use plinda::{Chan, KeyedChan, Payload, TupleSpace};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ints_roundtrip(v in any::<i64>()) {
+        let space = TupleSpace::new();
+        let c = Chan::<i64>::new("i");
+        c.send(&space, &v);
+        prop_assert_eq!(c.recv(&space), v);
+    }
+
+    #[test]
+    fn floats_roundtrip_bitwise(bits in any::<u64>()) {
+        let space = TupleSpace::new();
+        let c = Chan::<f64>::new("f");
+        let v = f64::from_bits(bits);
+        c.send(&space, &v);
+        prop_assert_eq!(c.recv(&space).to_bits(), bits);
+    }
+
+    #[test]
+    fn byte_blobs_roundtrip(v in prop::collection::vec(any::<u8>(), 0..64)) {
+        let space = TupleSpace::new();
+        let c = Chan::<Vec<u8>>::new("b");
+        c.send(&space, &v);
+        prop_assert_eq!(c.recv(&space), v);
+    }
+
+    #[test]
+    fn f64_arrays_roundtrip_bitwise(
+        bits in prop::collection::vec(any::<u64>(), 0..16),
+    ) {
+        let space = TupleSpace::new();
+        let c = Chan::<Vec<f64>>::new("fs");
+        let v: Vec<f64> = bits.iter().copied().map(f64::from_bits).collect();
+        c.send(&space, &v);
+        let got: Vec<u64> = c.recv(&space).iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(got, bits);
+    }
+
+    #[test]
+    fn u32_arrays_roundtrip(v in prop::collection::vec(any::<u32>(), 0..32)) {
+        let space = TupleSpace::new();
+        let c = Chan::<Vec<u32>>::new("us");
+        c.send(&space, &v);
+        prop_assert_eq!(c.recv(&space), v);
+    }
+
+    #[test]
+    fn u32_list_arrays_roundtrip(
+        v in prop::collection::vec(prop::collection::vec(any::<u32>(), 0..8), 0..8),
+    ) {
+        let space = TupleSpace::new();
+        let c = Chan::<Vec<Vec<u32>>>::new("ls");
+        c.send(&space, &v);
+        prop_assert_eq!(c.recv(&space), v);
+    }
+
+    #[test]
+    fn mixed_tuple_payloads_roundtrip_byte_identically(
+        b in prop::collection::vec(any::<u8>(), 0..32),
+        fbits in any::<u64>(),
+        n in any::<i64>(),
+    ) {
+        let space = TupleSpace::new();
+        let c = Chan::<(Vec<u8>, f64, i64)>::new("res");
+        let payload = (b, f64::from_bits(fbits), n);
+        // Byte-identity of the wire tuple, not just value equality.
+        let sent = encode_tuple(&c.tuple(&payload));
+        c.send(&space, &payload);
+        let got = c.recv(&space);
+        prop_assert_eq!(encode_tuple(&c.tuple(&got)), sent);
+    }
+
+    #[test]
+    fn keyed_channels_deliver_to_the_addressed_key(
+        key in 0i64..8,
+        v in any::<i64>(),
+        other in any::<i64>(),
+    ) {
+        let space = TupleSpace::new();
+        let c = KeyedChan::<i64>::new("task");
+        let other_key = (key + 1) % 8;
+        c.send_to(&space, key, &v);
+        c.send_to(&space, other_key, &other);
+        prop_assert_eq!(c.recv_for(&space, key), v);
+        prop_assert_eq!(c.recv_for(&space, other_key), other);
+        prop_assert!(c.try_recv_for(&space, key).is_none());
+    }
+
+    #[test]
+    fn placeholder_always_matches_the_channel_template(
+        name in "[a-z]{1,12}",
+    ) {
+        let c = Chan::<(Vec<u8>, f64, i64)>::new(name);
+        let pill = c.tuple(&<(Vec<u8>, f64, i64)>::placeholder());
+        prop_assert!(c.template().matches(&pill));
+        prop_assert_eq!(c.template().signature(), pill.signature());
+    }
+}

@@ -1,0 +1,137 @@
+//! Contention stress for the signature-sharded tuple space: many
+//! producers and consumers hammering distinct signatures concurrently.
+//! Each signature is its own partition (lock + condvar), so traffic on
+//! one must neither starve nor wake-storm waiters on another, and every
+//! tuple must be withdrawn exactly once.
+
+use plinda::{field, Template, Tuple, TupleSpace, Value};
+use std::sync::Arc;
+use std::thread;
+
+/// Tuples of signature `sig` have arity `sig + 2`: a string tag, the
+/// payload int, then `sig` filler ints — distinct arity means a distinct
+/// signature, hence a distinct partition of the sharded space.
+fn mk_tuple(sig: usize, payload: i64) -> Tuple {
+    let mut vs = vec![Value::Str(format!("sig{sig}")), Value::Int(payload)];
+    vs.extend((0..sig).map(|_| Value::Int(0)));
+    Tuple(vs)
+}
+
+fn mk_template(sig: usize) -> Template {
+    let mut fs = vec![field::val(format!("sig{sig}")), field::int()];
+    fs.extend((0..sig).map(|_| field::int()));
+    Template::new(fs)
+}
+
+#[test]
+fn producers_and_consumers_on_distinct_signatures() {
+    const SIGNATURES: usize = 8;
+    const PRODUCERS_PER_SIG: usize = 2;
+    const CONSUMERS_PER_SIG: usize = 2;
+    const PER_PRODUCER: i64 = 50;
+
+    let space = Arc::new(TupleSpace::new());
+    let mut handles = Vec::new();
+
+    // Consumers first, so most start out blocked on their partition's
+    // condvar while unrelated partitions churn.
+    let per_consumer = (PRODUCERS_PER_SIG as i64 * PER_PRODUCER) / CONSUMERS_PER_SIG as i64;
+    for sig in 0..SIGNATURES {
+        for _ in 0..CONSUMERS_PER_SIG {
+            let space = Arc::clone(&space);
+            handles.push(thread::spawn(move || {
+                let tmpl = mk_template(sig);
+                let mut sum = 0i64;
+                for _ in 0..per_consumer {
+                    sum += space.in_blocking(tmpl.clone()).int(1);
+                }
+                sum
+            }));
+        }
+    }
+
+    let mut producer_handles = Vec::new();
+    for sig in 0..SIGNATURES {
+        for p in 0..PRODUCERS_PER_SIG {
+            let space = Arc::clone(&space);
+            producer_handles.push(thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    space.out(mk_tuple(sig, p as i64 * PER_PRODUCER + i));
+                    if i % 16 == 0 {
+                        thread::yield_now();
+                    }
+                }
+            }));
+        }
+    }
+    for h in producer_handles {
+        h.join().unwrap();
+    }
+
+    // Every consumer terminates (no waiter starved by traffic on other
+    // partitions) and the per-signature payload sums are all accounted for.
+    let total: i64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let per_sig: i64 = (0..PRODUCERS_PER_SIG as i64)
+        .map(|p| (0..PER_PRODUCER).map(|i| p * PER_PRODUCER + i).sum::<i64>())
+        .sum();
+    assert_eq!(total, per_sig * SIGNATURES as i64);
+    assert!(space.is_empty(), "every tuple withdrawn exactly once");
+}
+
+#[test]
+fn fresh_signature_waiter_wakes_after_heavy_unrelated_traffic() {
+    let space = Arc::new(TupleSpace::new());
+
+    // A consumer parks on a signature that has never carried a tuple.
+    let waiter_space = Arc::clone(&space);
+    let waiter = thread::spawn(move || {
+        waiter_space
+            .in_blocking(Template::new(vec![field::val("lonely"), field::real()]))
+            .real(1)
+    });
+
+    // Meanwhile, heavy traffic on other partitions.
+    for round in 0..200i64 {
+        space.out(mk_tuple(0, round));
+        space.out(mk_tuple(1, round));
+    }
+    let noise = mk_template(0);
+    let noise2 = mk_template(1);
+    for _ in 0..200 {
+        space.in_blocking(noise.clone());
+        space.in_blocking(noise2.clone());
+    }
+
+    // The lonely waiter's tuple arrives last; it must still be woken.
+    space.out(Tuple(vec![Value::Str("lonely".into()), Value::Real(2.5)]));
+    assert_eq!(waiter.join().unwrap(), 2.5);
+    assert!(space.is_empty());
+}
+
+#[test]
+fn same_signature_different_names_share_a_partition_safely() {
+    // Channels "a" and "b" have the same signature [Str, Int]; the name
+    // field disambiguates *within* the shared partition. Cross-name
+    // traffic must not deliver to the wrong consumer.
+    let space = Arc::new(TupleSpace::new());
+    let mut handles = Vec::new();
+    for name in ["a", "b"] {
+        let space = Arc::clone(&space);
+        handles.push(thread::spawn(move || {
+            let tmpl = Template::new(vec![field::val(name), field::int()]);
+            let mut sum = 0;
+            for _ in 0..100 {
+                sum += space.in_blocking(tmpl.clone()).int(1);
+            }
+            sum
+        }));
+    }
+    for i in 0..100i64 {
+        space.out(Tuple(vec![Value::Str("a".into()), Value::Int(i)]));
+        space.out(Tuple(vec![Value::Str("b".into()), Value::Int(1000 + i)]));
+    }
+    let sums: Vec<i64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let expect_a: i64 = (0..100).sum();
+    let expect_b: i64 = (0..100).map(|i| 1000 + i).sum();
+    assert_eq!(sums, vec![expect_a, expect_b]);
+}

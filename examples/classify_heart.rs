@@ -7,9 +7,11 @@
 //! ```
 
 use fpdm::classify::c45::{C45Config, C45};
-use fpdm::classify::rulemine::mine_classification_rules;
 use fpdm::classify::nyuminer::{NyuConfig, NyuMinerCV};
-use fpdm::classify::{AttrValue, Attribute, Classifier, Dataset, DecisionTree, GrowConfig, GrowRule};
+use fpdm::classify::rulemine::mine_classification_rules;
+use fpdm::classify::{
+    AttrValue, Attribute, Classifier, Dataset, DecisionTree, GrowConfig, GrowRule,
+};
 
 fn schema() -> Vec<Attribute> {
     vec![
@@ -46,10 +48,18 @@ fn main() {
     );
 
     let nyu = NyuMinerCV::fit(&data, &data.all_rows(), &NyuConfig::default(), 0, 1);
-    let cart = DecisionTree::grow(&data, &data.all_rows(), &GrowRule::Cart, &GrowConfig::default());
+    let cart = DecisionTree::grow(
+        &data,
+        &data.all_rows(),
+        &GrowRule::Cart,
+        &GrowConfig::default(),
+    );
     let c45 = C45::fit(&data, &data.all_rows(), &C45Config::default());
 
-    println!("NyuMiner tree on the PLinda group's records:\n{}", nyu.tree.render(&data));
+    println!(
+        "NyuMiner tree on the PLinda group's records:\n{}",
+        nyu.tree.render(&data)
+    );
 
     // Karp: 140 lb, 32 years, low blood pressure.
     let karp = Dataset::new(
@@ -69,7 +79,11 @@ fn main() {
     ] {
         println!(
             "{name}: Karp {} heart disease",
-            if prediction == 1 { "has" } else { "does not have" }
+            if prediction == 1 {
+                "has"
+            } else {
+                "does not have"
+            }
         );
     }
     println!("(but he should go see a doctor anyway)");

@@ -19,7 +19,11 @@ fn main() {
         "{} events over {:?}, alphabet {:?}",
         events.events().len(),
         events.span().unwrap(),
-        events.alphabet().iter().map(|&e| e as char).collect::<String>()
+        events
+            .alphabet()
+            .iter()
+            .map(|&e| e as char)
+            .collect::<String>()
     );
 
     let windows = events.n_windows(8);
@@ -30,9 +34,7 @@ fn main() {
         max_length: 3,
     };
     let found = discover_episodes(&events, params.clone());
-    println!(
-        "\nepisodes in >= 1/3 of the {windows} width-8 windows:"
-    );
+    println!("\nepisodes in >= 1/3 of the {windows} width-8 windows:");
     for f in &found {
         println!(
             "  {}  ({} windows, {:.0}%)",
@@ -52,5 +54,8 @@ fn main() {
         &ParallelConfig::load_balanced(4).adaptive(),
     );
     assert_eq!(found, parallel);
-    println!("\nparallel run on 4 PLinda workers agrees: {} episodes", parallel.len());
+    println!(
+        "\nparallel run on 4 PLinda workers agrees: {} episodes",
+        parallel.len()
+    );
 }

@@ -6,8 +6,8 @@
 //! cargo run -p fpdm --example fault_tolerance
 //! ```
 
-use fpdm::core::sequential_ett;
 use fpdm::core::prelude::ToyItemsets;
+use fpdm::core::sequential_ett;
 use fpdm::core::MiningProblem;
 use fpdm::plinda::{field, tup, FaultPlan, Runtime, Template};
 use std::sync::Arc;
@@ -30,10 +30,7 @@ fn main() {
         4,
     ));
     let reference = sequential_ett(&*problem);
-    println!(
-        "failure-free reference: {} good itemsets",
-        reference.len()
-    );
+    println!("failure-free reference: {} good itemsets", reference.len());
 
     // Hand-rolled master/worker with injected failures: workers evaluate
     // support for candidate itemsets; two of the three are killed early

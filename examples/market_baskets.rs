@@ -7,8 +7,7 @@
 //! ```
 
 use fpdm::assoc::{
-    apriori, generate_rules, parallel_apriori, partition_mine, ItemsetMiningProblem,
-    TransactionDb,
+    apriori, generate_rules, parallel_apriori, partition_mine, ItemsetMiningProblem, TransactionDb,
 };
 use fpdm::core::sequential_edt;
 use fpdm::datagen::{basket_db, BasketSpec};

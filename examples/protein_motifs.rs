@@ -37,7 +37,10 @@ fn main() {
         &ParallelConfig::load_balanced(4).adaptive(),
     );
     assert_eq!(motifs, parallel, "parallel discovery must agree");
-    println!("parallel run on 4 workers agrees: {} motifs", parallel.len());
+    println!(
+        "parallel run on 4 workers agrees: {} motifs",
+        parallel.len()
+    );
 
     // Combine active segments into two-segment motifs.
     let singles = discover(

@@ -8,8 +8,7 @@
 
 use fpdm::datagen::rna_structures;
 use fpdm::treemine::{
-    discover_tree_motifs, parse_dot_bracket, tree_edit_distance, OrderedTree,
-    TreeDiscoveryParams,
+    discover_tree_motifs, parse_dot_bracket, tree_edit_distance, OrderedTree, TreeDiscoveryParams,
 };
 
 fn main() {

@@ -27,8 +27,7 @@ fn brute(db: &TransactionDb, min_support: usize) -> FrequentItemsets {
 }
 
 fn arb_db() -> impl Strategy<Value = TransactionDb> {
-    prop::collection::vec(prop::collection::vec(0u32..9, 1..6), 1..30)
-        .prop_map(TransactionDb::new)
+    prop::collection::vec(prop::collection::vec(0u32..9, 1..6), 1..30).prop_map(TransactionDb::new)
 }
 
 proptest! {

@@ -8,10 +8,7 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn arb_transactions() -> impl Strategy<Value = Vec<Vec<u32>>> {
-    prop::collection::vec(
-        prop::collection::vec(0u32..8, 1..5),
-        1..25,
-    )
+    prop::collection::vec(prop::collection::vec(0u32..8, 1..5), 1..25)
 }
 
 proptest! {

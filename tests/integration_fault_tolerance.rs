@@ -42,10 +42,7 @@ fn optimistic_survives_worker_kills() {
         workers: 3,
         strategy: WorkerStrategy::Optimistic,
         initial_task_level: 1,
-        kill_schedule: vec![
-            (Duration::from_millis(1), 2),
-            (Duration::from_millis(4), 0),
-        ],
+        kill_schedule: vec![(Duration::from_millis(1), 2), (Duration::from_millis(4), 0)],
     };
     let got = parallel_ett(Arc::clone(&p), &cfg);
     assert_eq!(reference.good, got.good);

@@ -14,13 +14,7 @@ use std::sync::Arc;
 
 #[test]
 fn protein_discovery_parallel_equals_sequential_all_strategies() {
-    let family = protein_family(
-        9,
-        20,
-        80,
-        10,
-        &[PlantedMotif::exact("WWHHKK", 0.6)],
-    );
+    let family = protein_family(9, 20, 80, 10, &[PlantedMotif::exact("WWHHKK", 0.6)]);
     let params = DiscoveryParams::new(4, 8, 8, 1).with_sample_occurrence(2);
     let reference = discover(family.clone(), params.clone());
     assert!(!reference.is_empty(), "planted motif should be found");

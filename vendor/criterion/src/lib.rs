@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Two modes:
+//!
+//! * **Smoke (default):** each benchmark closure runs exactly once, so
+//!   `cargo test`/`cargo bench` validate that bench code still compiles and
+//!   executes without burning minutes on measurement.
+//! * **Measured (`FPDM_BENCH_FULL=1`):** each benchmark is warmed up and
+//!   timed over `sample_size` samples; median/mean ns-per-iteration are
+//!   printed to stdout. No statistics framework, no HTML reports — enough
+//!   to record relative numbers in EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+fn measured_mode() -> bool {
+    std::env::var("FPDM_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// How per-iteration setup cost is amortised in `iter_batched`. The stub
+/// runs every batch size the same way (setup re-run per iteration, setup
+/// time excluded from measurement).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to benchmark closures; `iter`/`iter_batched` run the routine.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample routine nanoseconds collected in measured mode.
+    times: Vec<u64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            times: Vec::new(),
+        }
+    }
+
+    /// Run `routine`; once in smoke mode, `samples` timed runs in
+    /// measured mode.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !measured_mode() {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warmup.
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.times.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Run `routine` on fresh input from `setup`, excluding setup time
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !measured_mode() {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..3 {
+            std::hint::black_box(routine(setup()));
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.times.push(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.times.is_empty() {
+            return;
+        }
+        let mut sorted = self.times.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<u64>() / sorted.len() as u64;
+        println!(
+            "bench {name:<50} median {} mean {} ({} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples measured mode collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.as_ref()));
+        self
+    }
+
+    /// End the group (no-op; exists for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        b.report(id.as_ref());
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 20,
+            _parent: self,
+        }
+    }
+
+    #[doc(hidden)]
+    pub fn final_summary(&self) {
+        if measured_mode() {
+            println!("bench run complete (measured mode)");
+        }
+    }
+}
+
+/// Prevent the optimiser from deleting a value (re-export parity).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[doc(hidden)]
+pub fn __noop_duration() -> Duration {
+    Duration::ZERO
+}
+
+/// Bundle benchmark functions into a runner, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Emit `main` running the listed groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut count = 0;
+        let mut c = Criterion::default();
+        c.bench_function("counted", |b| b.iter(|| count += 1));
+        assert_eq!(count, 1, "smoke mode must run the routine exactly once");
+    }
+
+    #[test]
+    fn groups_and_batched() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        let mut ran = false;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3],
+                |v| {
+                    assert_eq!(v.len(), 3);
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.bench_function("plain", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(ran);
+    }
+}
