@@ -82,7 +82,12 @@ pub fn parallel_apriori(
         level += 1;
     }
 
-    farm.finish();
+    let report = farm.finish();
+    assert!(
+        report.leaked.is_empty(),
+        "pear farm leaked tuples: {:?}",
+        report.leaked
+    );
     result
 }
 

@@ -61,6 +61,19 @@ fn bench_out_inp(c: &mut Criterion) {
         );
     });
 
+    // Trace-recorder overhead at the single-op level: the same cycle with
+    // a Recorder installed (every op appends an event under the recorder
+    // mutex) vs the default disabled path (one relaxed atomic load).
+    g.bench_function("out_inp_cycle_recording", |b| {
+        let ts = TupleSpace::new();
+        ts.set_recorder(Some(plinda::Recorder::new()));
+        let tmpl = Template::new(vec![field::val("t"), field::int()]);
+        b.iter(|| {
+            ts.out(tup!["t", 1]);
+            std::hint::black_box(ts.inp(&tmpl)).unwrap()
+        });
+    });
+
     g.bench_function("checkpoint_1000_tuples", |b| {
         let ts = TupleSpace::new();
         for i in 0..1000i64 {
@@ -216,6 +229,18 @@ fn bench_contended(c: &mut Criterion) {
     });
     g.bench_function("pairs_8x500_single_lock", |b| {
         b.iter(|| contended_workload(&SingleLockSpace::default(), STREAMS, MSGS));
+    });
+    // Checker overhead (EXPERIMENTS.md): the same contended workload with
+    // a trace Recorder installed — every visible-space event serialised
+    // through the recorder mutex — against the recording-off run above.
+    g.bench_function("pairs_8x500_sharded_recording", |b| {
+        b.iter(|| {
+            let ts = TupleSpace::new();
+            let rec = plinda::Recorder::new();
+            ts.set_recorder(Some(rec.clone()));
+            contended_workload(&ts, STREAMS, MSGS);
+            std::hint::black_box(rec.take().len())
+        });
     });
     g.bench_function("wakeup_storm_7_idle_sharded", |b| {
         b.iter(|| wakeup_storm(&TupleSpace::new(), STREAMS - 1, MSGS));

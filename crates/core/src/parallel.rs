@@ -30,7 +30,6 @@ use crate::problem::{MiningOutcome, MiningProblem, PatternCodec};
 use plinda::{FarmConfig, TaskFarm, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// Worker style for [`parallel_ett`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +58,9 @@ pub struct ParallelConfig {
     /// unaffected (PLinda's guarantee, exercised by the integration
     /// tests).
     pub kill_schedule: Vec<(std::time::Duration, usize)>,
+    /// Optional trace recorder, installed on the farm's tuple space so the
+    /// run can be audited with the `plinda::check` protocol checkers.
+    pub recorder: Option<plinda::Recorder>,
 }
 
 impl ParallelConfig {
@@ -69,6 +71,7 @@ impl ParallelConfig {
             strategy: WorkerStrategy::LoadBalanced,
             initial_task_level: 1,
             kill_schedule: Vec::new(),
+            recorder: None,
         }
     }
 
@@ -79,6 +82,7 @@ impl ParallelConfig {
             strategy: WorkerStrategy::Optimistic,
             initial_task_level: 1,
             kill_schedule: Vec::new(),
+            recorder: None,
         }
     }
 
@@ -94,6 +98,13 @@ impl ParallelConfig {
         self.initial_task_level = if self.workers >= 6 { 2 } else { 1 };
         self
     }
+
+    /// Record the run's tuple-space trace into `rec` for offline protocol
+    /// checking.
+    pub fn with_recorder(mut self, rec: plinda::Recorder) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
 }
 
 /// Ordinary evaluate-and-expand task (PLET) / evaluate task (PLED).
@@ -102,17 +113,30 @@ const NORMAL: i64 = 0;
 /// tuple instead of expanding in place).
 const EVAL: i64 = 2;
 
-/// Translate a `ParallelConfig`-style kill schedule into farm
-/// configuration, ignoring out-of-range worker indices as the previous
+/// Translate a [`ParallelConfig`] into farm configuration, ignoring
+/// out-of-range worker indices in the kill schedule as the previous
 /// implementation did.
-fn bag_config(workers: usize, kill_schedule: &[(Duration, usize)]) -> FarmConfig {
-    let mut cfg = FarmConfig::bag(workers);
-    for &(delay, index) in kill_schedule {
-        if index < workers {
+fn bag_config(config: &ParallelConfig) -> FarmConfig {
+    let mut cfg = FarmConfig::bag(config.workers);
+    for &(delay, index) in &config.kill_schedule {
+        if index < config.workers {
             cfg = cfg.kill_after(delay, index);
         }
     }
+    if let Some(rec) = &config.recorder {
+        cfg = cfg.with_recorder(rec.clone());
+    }
     cfg
+}
+
+/// Every farm in this module must drain its channels: anything left in
+/// the space at quiescence is a protocol leak.
+fn assert_drained(name: &str, report: &plinda::FarmReport) {
+    assert!(
+        report.leaked.is_empty(),
+        "{name} farm leaked tuples: {:?}",
+        report.leaked
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -187,7 +211,7 @@ where
         frontier = next_frontier;
     }
 
-    farm.finish();
+    assert_drained("pled", &farm.finish());
     outcome
 }
 
@@ -211,7 +235,7 @@ where
 {
     assert!(config.workers >= 1, "need at least one worker");
     assert!(config.initial_task_level >= 1);
-    let cfg = bag_config(config.workers, &config.kill_schedule);
+    let cfg = bag_config(config);
 
     // Master preamble shared by both strategies: traverse the first
     // `initial_task_level - 1` levels locally (the adaptive master of
@@ -273,7 +297,7 @@ where
                     outcome.good.insert(p, g);
                 }
             }
-            farm.finish();
+            assert_drained("plet-lb", &farm.finish());
         }
         WorkerStrategy::Optimistic => {
             // Fig. 4.5 worker: take one task, finish the whole subtree.
@@ -322,7 +346,7 @@ where
                     }
                 }
             }
-            farm.finish();
+            assert_drained("plet-opt", &farm.finish());
         }
     }
 
@@ -439,7 +463,7 @@ where
         }
     }
 
-    farm.finish();
+    assert_drained("hybrid", &farm.finish());
     outcome
 }
 

@@ -68,7 +68,12 @@ pub fn parallel_c45_trials(
             best = Some((acc, i));
         }
     }
-    farm.finish();
+    let report = farm.finish();
+    assert!(
+        report.leaked.is_empty(),
+        "pc45 farm leaked tuples: {:?}",
+        report.leaked
+    );
     let (_, idx) = best.unwrap();
     let tree = grown.lock()[idx as usize].take().unwrap();
     tree
@@ -119,7 +124,12 @@ pub fn parallel_nyuminer_rs(
     for _ in 0..trials {
         farm.recv();
     }
-    farm.finish();
+    let report = farm.finish();
+    assert!(
+        report.leaked.is_empty(),
+        "prs farm leaked tuples: {:?}",
+        report.leaked
+    );
 
     let trees: Vec<DecisionTree> = grown.lock().iter_mut().map(|t| t.take().unwrap()).collect();
     let mut candidates = Vec::new();

@@ -134,7 +134,18 @@ pub fn parallel_nyuminer_cv(
             totals[k] += *e as u64;
         }
     }
-    farm.finish();
+    // Withdraw the midpoint broadcast: every fold has reported, so no
+    // worker will read it again. Leaving it would leak one tuple per run
+    // (caught by the leak checker before this existed).
+    mids_chan
+        .try_recv(farm.space())
+        .expect("midpoint broadcast still in space");
+    let report = farm.finish();
+    assert!(
+        report.leaked.is_empty(),
+        "pcv farm leaked tuples: {:?}",
+        report.leaked
+    );
 
     let n = rows.len() as f64;
     let cv_errors: Vec<(f64, f64)> = seq

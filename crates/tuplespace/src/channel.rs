@@ -532,7 +532,7 @@ mod tests {
         let space = rt.space();
         let mut m = rt.master();
         let c = Chan::<i64>::new("x");
-        m.xstart();
+        m.xstart().unwrap();
         c.send_txn(&mut m, &5);
         assert_eq!(c.try_recv(&space), None);
         m.xcommit(None).unwrap();

@@ -1,0 +1,727 @@
+//! Offline checkers over completed run traces.
+//!
+//! Each checker replays a [`Trace`] and verifies one slice of the PLinda
+//! protocol contract:
+//!
+//! * [`check_atomicity`] — transactions are all-or-nothing: no buffered
+//!   `out` or tentative `in` is visible to another process before commit,
+//!   commits publish exactly the surviving outbox, and aborts restore
+//!   exactly the tentative withdrawals (so the net effect on the space is
+//!   byte-identical to the transaction never having run).
+//! * [`check_leaks`] — at quiescence, every tuple produced was consumed
+//!   (or is explicitly allowed, e.g. a deliberately persistent result);
+//!   leftovers are grouped by type signature.
+//! * [`check_deadlock`] — no process is still blocked on a template that
+//!   (a) matches a tuple sitting visibly in the space (a lost wakeup) or
+//!   (b) has no live producer whose out-shape can match (a wait-for-graph
+//!   deadlock).
+//!
+//! Together with the interleaving explorer's sequential-equivalence check
+//! these make the §7.1.2 guarantee — failure executions reach the same
+//! final state as failure-free ones — mechanically auditable.
+
+use super::trace::{Trace, TraceEvent};
+use crate::template::Template;
+use crate::value::{Tuple, TypeTag};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A violation of the transaction-atomicity contract found in a trace.
+#[derive(Debug, Clone)]
+pub struct AtomicityViolation {
+    /// Offending process (0 = anonymous space access).
+    pub pid: u64,
+    /// Index of the event where the violation was detected.
+    pub at_event: usize,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for AtomicityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pid {} @ event {}: {}",
+            self.pid, self.at_event, self.detail
+        )
+    }
+}
+
+/// Tuples left in the space at the end of a trace, grouped by signature.
+#[derive(Debug, Clone)]
+pub struct Leak {
+    /// The leaked tuples' type signature.
+    pub signature: Vec<TypeTag>,
+    /// The leaked tuples themselves.
+    pub tuples: Vec<Tuple>,
+}
+
+impl fmt::Display for Leak {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.signature.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]: {} tuple(s) leaked", self.tuples.len())?;
+        if let Some(t) = self.tuples.first() {
+            write!(f, ", e.g. {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of [`check_deadlock`].
+#[derive(Debug, Clone, Default)]
+pub struct DeadlockReport {
+    /// Processes still blocked at trace end on a template with no live
+    /// producer whose out-shape can match — a wait-for-graph deadlock.
+    pub deadlocked: Vec<(u64, Template)>,
+    /// Processes still blocked on a template that matches a tuple sitting
+    /// visibly in the space — a lost wakeup (must never happen with the
+    /// per-partition condvar protocol).
+    pub lost_wakeups: Vec<(u64, Template)>,
+}
+
+impl DeadlockReport {
+    /// No deadlock or lost wakeup detected.
+    pub fn is_clean(&self) -> bool {
+        self.deadlocked.is_empty() && self.lost_wakeups.is_empty()
+    }
+}
+
+/// Combined result of running every checker over one trace.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Atomicity violations ([`check_atomicity`]).
+    pub atomicity: Vec<AtomicityViolation>,
+    /// Tuple leaks at quiescence ([`check_leaks`]).
+    pub leaks: Vec<Leak>,
+    /// Deadlocks / lost wakeups ([`check_deadlock`]).
+    pub deadlock: DeadlockReport,
+}
+
+impl CheckReport {
+    /// Did every checker pass?
+    pub fn is_clean(&self) -> bool {
+        self.atomicity.is_empty() && self.leaks.is_empty() && self.deadlock.is_clean()
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(f, "trace clean");
+        }
+        for v in &self.atomicity {
+            writeln!(f, "atomicity: {v}")?;
+        }
+        for l in &self.leaks {
+            writeln!(f, "leak: {l}")?;
+        }
+        for (pid, tmpl) in &self.deadlock.lost_wakeups {
+            writeln!(f, "lost wakeup: pid {pid} blocked on {tmpl:?}")?;
+        }
+        for (pid, tmpl) in &self.deadlock.deadlocked {
+            writeln!(
+                f,
+                "deadlock: pid {pid} blocked on {tmpl:?} with no live producer"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Run atomicity, leak, and deadlock checkers over `trace`; tuples that
+/// match any template in `allowed_leftovers` are exempt from the leak
+/// check (deliberately persistent results).
+pub fn check_trace(trace: &Trace, allowed_leftovers: &[Template]) -> CheckReport {
+    CheckReport {
+        atomicity: check_atomicity(trace),
+        leaks: check_leaks(trace, allowed_leftovers),
+        deadlock: check_deadlock(trace),
+    }
+}
+
+/// A multiset of tuples with O(1) add/remove.
+#[derive(Default)]
+struct Multiset {
+    counts: HashMap<Tuple, usize>,
+}
+
+impl Multiset {
+    fn add(&mut self, t: &Tuple) {
+        *self.counts.entry(t.clone()).or_insert(0) += 1;
+    }
+
+    /// Remove one occurrence; false if absent.
+    fn remove(&mut self, t: &Tuple) -> bool {
+        match self.counts.get_mut(t) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                if *n == 0 {
+                    self.counts.remove(t);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn contains(&self, t: &Tuple) -> bool {
+        self.counts.contains_key(t)
+    }
+
+    fn clear(&mut self) {
+        self.counts.clear();
+    }
+
+    fn iter_tuples(&self) -> impl Iterator<Item = (&Tuple, usize)> {
+        self.counts.iter().map(|(t, n)| (t, *n))
+    }
+}
+
+/// Multiset equality of two tuple slices.
+fn multiset_eq(a: &[Tuple], b: &[Tuple]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut m = Multiset::default();
+    for t in a {
+        m.add(t);
+    }
+    b.iter().all(|t| m.remove(t))
+}
+
+/// Per-transaction bookkeeping replayed from the trace, used to verify
+/// the corresponding `XCommit`/`XAbort` summary events.
+struct OpenTxn {
+    txn: u64,
+    buffered: Vec<Tuple>,
+    consumed: Vec<Tuple>,
+}
+
+/// Verify the transaction-atomicity contract over `trace`.
+///
+/// Invariants checked (each failure yields one [`AtomicityViolation`]):
+///
+/// 1. **Conservation**: every `Take`/`Read` finds its tuple in the visible
+///    multiset built from prior `OutVisible`/`Take` events — a failure
+///    means a buffered or tentative tuple escaped a transaction.
+/// 2. **No pre-commit publication**: a process never makes a tuple
+///    visible while its own transaction is open (`Process::out` must
+///    buffer it).
+/// 3. **Commit exactness**: `XCommit.published` equals the transaction's
+///    surviving outbox and `XCommit.consumed` its tentative withdrawals,
+///    as multisets.
+/// 4. **Abort exactness**: `XAbort.restored` equals the tentative
+///    withdrawals and `XAbort.dropped` the buffered outs — the net effect
+///    of an aborted transaction on the space is nil.
+/// 5. **Lifecycle**: transaction events pair up (no buffered op outside a
+///    transaction, no unmatched commit/abort, no transaction left open at
+///    a `Done` or at trace end, no nested `xstart`).
+pub fn check_atomicity(trace: &Trace) -> Vec<AtomicityViolation> {
+    let mut violations = Vec::new();
+    let mut visible = Multiset::default();
+    let mut open: HashMap<u64, OpenTxn> = HashMap::new();
+    let fail = |pid: u64, at: usize, detail: String| AtomicityViolation {
+        pid,
+        at_event: at,
+        detail,
+    };
+
+    for (i, ev) in trace.events.iter().enumerate() {
+        match ev {
+            TraceEvent::OutVisible { actor, tuple } => {
+                if let Some(t) = open.get(actor) {
+                    violations.push(fail(
+                        *actor,
+                        i,
+                        format!(
+                            "tuple {tuple} became visible while transaction {} is open",
+                            t.txn
+                        ),
+                    ));
+                }
+                visible.add(tuple);
+            }
+            TraceEvent::Take { actor, tuple } => {
+                if !visible.remove(tuple) {
+                    violations.push(fail(
+                        *actor,
+                        i,
+                        format!("withdrew {tuple}, which was never visible"),
+                    ));
+                }
+            }
+            TraceEvent::Read { actor, tuple } => {
+                if !visible.contains(tuple) {
+                    violations.push(fail(
+                        *actor,
+                        i,
+                        format!("read {tuple}, which was never visible"),
+                    ));
+                }
+            }
+            TraceEvent::Reset { .. } => {
+                visible.clear();
+            }
+            TraceEvent::XStart { pid, txn } => {
+                if let Some(prev) = open.insert(
+                    *pid,
+                    OpenTxn {
+                        txn: *txn,
+                        buffered: Vec::new(),
+                        consumed: Vec::new(),
+                    },
+                ) {
+                    violations.push(fail(
+                        *pid,
+                        i,
+                        format!("transaction {} opened over still-open {}", txn, prev.txn),
+                    ));
+                }
+            }
+            TraceEvent::NestedXStart { pid } => {
+                violations.push(fail(*pid, i, "nested xstart".into()));
+            }
+            TraceEvent::BufferedOut { pid, txn, tuple } => match open.get_mut(pid) {
+                Some(t) if t.txn == *txn => t.buffered.push(tuple.clone()),
+                _ => violations.push(fail(
+                    *pid,
+                    i,
+                    format!("buffered out {tuple} outside transaction {txn}"),
+                )),
+            },
+            TraceEvent::SelfIn { pid, txn, tuple } => match open.get_mut(pid) {
+                Some(t) if t.txn == *txn => match t.buffered.iter().position(|b| b == tuple) {
+                    Some(idx) => {
+                        t.buffered.remove(idx);
+                    }
+                    None => violations.push(fail(
+                        *pid,
+                        i,
+                        format!("self-in of {tuple} not present in own outbox"),
+                    )),
+                },
+                _ => violations.push(fail(
+                    *pid,
+                    i,
+                    format!("self-in of {tuple} outside transaction {txn}"),
+                )),
+            },
+            TraceEvent::TentativeIn { pid, txn, tuple } => match open.get_mut(pid) {
+                Some(t) if t.txn == *txn => t.consumed.push(tuple.clone()),
+                _ => violations.push(fail(
+                    *pid,
+                    i,
+                    format!("tentative in of {tuple} outside transaction {txn}"),
+                )),
+            },
+            TraceEvent::XCommit {
+                pid,
+                txn,
+                published,
+                consumed,
+                ..
+            } => match open.remove(pid) {
+                Some(t) if t.txn == *txn => {
+                    if !multiset_eq(published, &t.buffered) {
+                        violations.push(fail(
+                            *pid,
+                            i,
+                            format!(
+                                "commit of txn {txn} published {} tuple(s) but buffered {}",
+                                published.len(),
+                                t.buffered.len()
+                            ),
+                        ));
+                    }
+                    if !multiset_eq(consumed, &t.consumed) {
+                        violations.push(fail(
+                            *pid,
+                            i,
+                            format!(
+                                "commit of txn {txn} finalised {} withdrawal(s) but trace shows {}",
+                                consumed.len(),
+                                t.consumed.len()
+                            ),
+                        ));
+                    }
+                }
+                _ => violations.push(fail(*pid, i, format!("commit of unopened txn {txn}"))),
+            },
+            TraceEvent::XAbort {
+                pid,
+                txn,
+                restored,
+                dropped,
+            } => match open.remove(pid) {
+                Some(t) if t.txn == *txn => {
+                    if !multiset_eq(restored, &t.consumed) {
+                        violations.push(fail(
+                            *pid,
+                            i,
+                            format!(
+                                "abort of txn {txn} restored {} tuple(s) but withdrew {}",
+                                restored.len(),
+                                t.consumed.len()
+                            ),
+                        ));
+                    }
+                    if !multiset_eq(dropped, &t.buffered) {
+                        violations.push(fail(
+                            *pid,
+                            i,
+                            format!(
+                                "abort of txn {txn} dropped {} tuple(s) but buffered {}",
+                                dropped.len(),
+                                t.buffered.len()
+                            ),
+                        ));
+                    }
+                }
+                _ => violations.push(fail(*pid, i, format!("abort of unopened txn {txn}"))),
+            },
+            TraceEvent::Done { pid } => {
+                if let Some(t) = open.remove(pid) {
+                    violations.push(fail(
+                        *pid,
+                        i,
+                        format!("process completed with transaction {} still open", t.txn),
+                    ));
+                }
+            }
+            TraceEvent::Miss { .. }
+            | TraceEvent::Block { .. }
+            | TraceEvent::Wake { .. }
+            | TraceEvent::WaitCancelled { .. }
+            | TraceEvent::XRecover { .. }
+            | TraceEvent::Kill { .. }
+            | TraceEvent::Respawn { .. } => {}
+        }
+        if violations.len() >= 100 {
+            break;
+        }
+    }
+    for (pid, t) in open {
+        violations.push(AtomicityViolation {
+            pid,
+            at_event: trace.events.len(),
+            detail: format!("transaction {} still open at trace end", t.txn),
+        });
+    }
+    violations
+}
+
+/// Tuples still visible at the end of `trace` that match none of the
+/// `allowed` templates, grouped by type signature. An empty result means
+/// the run reached quiescence with a clean space.
+pub fn check_leaks(trace: &Trace, allowed: &[Template]) -> Vec<Leak> {
+    let mut by_sig: HashMap<Vec<TypeTag>, Vec<Tuple>> = HashMap::new();
+    for t in trace.final_space() {
+        if allowed.iter().any(|tmpl| tmpl.matches(&t)) {
+            continue;
+        }
+        by_sig.entry(t.signature()).or_default().push(t);
+    }
+    let mut leaks: Vec<Leak> = by_sig
+        .into_iter()
+        .map(|(signature, tuples)| Leak { signature, tuples })
+        .collect();
+    leaks.sort_by(|a, b| a.signature.cmp(&b.signature));
+    leaks
+}
+
+/// Wait-for-graph deadlock and lost-wakeup detection.
+///
+/// A process is *blocked at trace end* if its last trace event is a
+/// `Block` (no subsequent event of its own — a woken or cancelled waiter
+/// always records one). For each such process:
+///
+/// * if its template matches a tuple in the final visible space, that is
+///   a **lost wakeup** — the condvar protocol failed to deliver;
+/// * otherwise, run a fixed point over the wait-for graph: a process is
+///   *productive* if it is running (not blocked, not done) or if some
+///   productive process has ever produced the signature it waits on
+///   (out-shape history as the producer relation). Blocked processes with
+///   no productive producer are reported **deadlocked**.
+pub fn check_deadlock(trace: &Trace) -> DeadlockReport {
+    let mut report = DeadlockReport::default();
+    // Last-state scan: who is blocked at trace end, who completed.
+    let mut blocked: HashMap<u64, Template> = HashMap::new();
+    let mut done: HashSet<u64> = HashSet::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    // Signatures each actor has ever produced (visible or buffered —
+    // buffered counts: a commit would make it visible).
+    let mut produces: HashMap<u64, HashSet<Vec<TypeTag>>> = HashMap::new();
+    for ev in &trace.events {
+        let actor = ev.actor();
+        seen.insert(actor);
+        match ev {
+            TraceEvent::Block {
+                actor, template, ..
+            } => {
+                blocked.insert(*actor, template.clone());
+            }
+            TraceEvent::Done { pid } => {
+                blocked.remove(pid);
+                done.insert(*pid);
+            }
+            TraceEvent::OutVisible { actor, tuple } => {
+                blocked.remove(actor);
+                produces
+                    .entry(*actor)
+                    .or_default()
+                    .insert(tuple.signature());
+            }
+            TraceEvent::BufferedOut { pid, tuple, .. } => {
+                blocked.remove(pid);
+                produces.entry(*pid).or_default().insert(tuple.signature());
+            }
+            _ => {
+                // Any other event by this actor means it is past the
+                // blocking operation.
+                blocked.remove(&actor);
+                done.remove(&actor);
+            }
+        }
+    }
+
+    let final_space = trace.final_space();
+    let mut waiting: Vec<(u64, Template)> = Vec::new();
+    for (pid, tmpl) in blocked {
+        if final_space.iter().any(|t| tmpl.matches(t)) {
+            report.lost_wakeups.push((pid, tmpl));
+        } else {
+            waiting.push((pid, tmpl));
+        }
+    }
+
+    // Fixed point over the wait-for graph.
+    let mut productive: HashSet<u64> = seen
+        .iter()
+        .filter(|a| !done.contains(a) && !waiting.iter().any(|(p, _)| p == *a))
+        .copied()
+        .collect();
+    loop {
+        let mut changed = false;
+        for (pid, tmpl) in &waiting {
+            if productive.contains(pid) {
+                continue;
+            }
+            let sig = tmpl.signature();
+            let fed = productive
+                .iter()
+                .any(|p| produces.get(p).is_some_and(|sigs| sigs.contains(&sig)));
+            if fed {
+                productive.insert(*pid);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    report.deadlocked = waiting
+        .into_iter()
+        .filter(|(pid, _)| !productive.contains(pid))
+        .collect();
+    report.deadlocked.sort_by_key(|(pid, _)| *pid);
+    report.lost_wakeups.sort_by_key(|(pid, _)| *pid);
+    report
+}
+
+/// Leftover visible tuples of the trace grouped by signature, regardless
+/// of allow-list — diagnostic companion to [`check_leaks`].
+pub fn leftover_by_signature(trace: &Trace) -> Vec<(Vec<TypeTag>, usize)> {
+    let mut m = Multiset::default();
+    for t in trace.final_space() {
+        m.add(&t);
+    }
+    let mut by_sig: HashMap<Vec<TypeTag>, usize> = HashMap::new();
+    for (t, n) in m.iter_tuples() {
+        *by_sig.entry(t.signature()).or_insert(0) += n;
+    }
+    let mut out: Vec<_> = by_sig.into_iter().collect();
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::trace::Recorder;
+    use crate::process::{ContinuationStore, Process, ProcessState};
+    use crate::space::TupleSpace;
+    use crate::template::field;
+    use crate::tup;
+    use std::sync::Arc;
+
+    fn recorded_space() -> (Arc<TupleSpace>, Recorder) {
+        let space = Arc::new(TupleSpace::new());
+        let rec = Recorder::new();
+        space.set_recorder(Some(rec.clone()));
+        (space, rec)
+    }
+
+    fn process(pid: u64, space: &Arc<TupleSpace>) -> Process {
+        Process::new(
+            pid,
+            Arc::clone(space),
+            Arc::new(ContinuationStore::new()),
+            Arc::new(ProcessState::new()),
+        )
+    }
+
+    fn t_task() -> Template {
+        Template::new(vec![field::val("task"), field::int()])
+    }
+
+    #[test]
+    fn clean_transactional_run_passes_all_checkers() {
+        let (space, rec) = recorded_space();
+        space.out(tup!["task", 1]);
+        let mut p = process(3, &space);
+        p.xstart().unwrap();
+        let t = p.in_(t_task()).unwrap();
+        p.out(tup!["done", t.int(1) * 2]);
+        p.xcommit(None).unwrap();
+        assert!(space
+            .inp(&Template::new(vec![field::val("done"), field::int()]))
+            .is_some());
+        let report = check_trace(&rec.take(), &[]);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn atomicity_flags_fabricated_precommit_publication() {
+        let (space, rec) = recorded_space();
+        let mut p = process(3, &space);
+        p.xstart().unwrap();
+        p.out(tup!["x", 1]);
+        // Simulate a buggy implementation leaking the buffered tuple to
+        // the shared space mid-transaction.
+        crate::check::trace::with_actor(3, || space.out(tup!["x", 1]));
+        p.xcommit(None).unwrap();
+        let violations = check_atomicity(&rec.take());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.pid == 3 && v.detail.contains("while transaction")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn atomicity_flags_take_of_invisible_tuple() {
+        let rec = Recorder::new();
+        rec.record(TraceEvent::Take {
+            actor: 1,
+            tuple: tup!["ghost"],
+        });
+        let violations = check_atomicity(&rec.take());
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].detail.contains("never visible"));
+    }
+
+    #[test]
+    fn abort_leaves_space_byte_identical() {
+        let (space, rec) = recorded_space();
+        space.out(tup!["task", 7]);
+        let before = space.checkpoint_bytes();
+        let state = Arc::new(ProcessState::new());
+        let mut p = Process::new(
+            4,
+            Arc::clone(&space),
+            Arc::new(ContinuationStore::new()),
+            Arc::clone(&state),
+        );
+        p.xstart().unwrap();
+        let _ = p.in_(t_task()).unwrap();
+        p.out(tup!["done", 1]);
+        state.kill();
+        assert!(p.xcommit(None).is_err());
+        assert_eq!(space.checkpoint_bytes(), before, "abort must be a no-op");
+        let report = check_trace(&rec.take(), &[t_task()]);
+        assert!(report.atomicity.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn leak_checker_groups_by_signature() {
+        let (space, rec) = recorded_space();
+        space.out(tup!["task", 1]);
+        space.out(tup!["task", 2]);
+        space.out(tup!["mids", 1.5]);
+        let leaks = check_leaks(&rec.take(), &[]);
+        assert_eq!(leaks.len(), 2);
+        let task_leak = leaks
+            .iter()
+            .find(|l| l.signature == vec![TypeTag::Str, TypeTag::Int])
+            .unwrap();
+        assert_eq!(task_leak.tuples.len(), 2);
+    }
+
+    #[test]
+    fn leak_checker_honours_allow_list() {
+        let (space, rec) = recorded_space();
+        space.out(tup!["result", 42]);
+        let allowed = Template::new(vec![field::val("result"), field::int()]);
+        assert!(check_leaks(&rec.take(), &[allowed]).is_empty());
+    }
+
+    #[test]
+    fn deadlock_checker_finds_unfed_waiter() {
+        let rec = Recorder::new();
+        rec.record(TraceEvent::Block {
+            actor: 5,
+            op: super::super::trace::OpKind::In,
+            template: t_task(),
+        });
+        rec.record(TraceEvent::Done { pid: 6 });
+        let report = check_deadlock(&rec.take());
+        assert_eq!(report.deadlocked.len(), 1);
+        assert_eq!(report.deadlocked[0].0, 5);
+        assert!(report.lost_wakeups.is_empty());
+    }
+
+    #[test]
+    fn deadlock_checker_accepts_fed_waiter() {
+        let rec = Recorder::new();
+        // pid 5 blocks on task; pid 6 is runnable and has produced tasks
+        // before, so 5 is considered fed (no deadlock).
+        rec.record(TraceEvent::OutVisible {
+            actor: 6,
+            tuple: tup!["task", 1],
+        });
+        rec.record(TraceEvent::Take {
+            actor: 5,
+            tuple: tup!["task", 1],
+        });
+        rec.record(TraceEvent::Block {
+            actor: 5,
+            op: super::super::trace::OpKind::In,
+            template: t_task(),
+        });
+        let report = check_deadlock(&rec.take());
+        assert!(report.deadlocked.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn deadlock_checker_flags_lost_wakeup() {
+        let rec = Recorder::new();
+        rec.record(TraceEvent::Block {
+            actor: 5,
+            op: super::super::trace::OpKind::In,
+            template: t_task(),
+        });
+        rec.record(TraceEvent::OutVisible {
+            actor: 6,
+            tuple: tup!["task", 1],
+        });
+        let report = check_deadlock(&rec.take());
+        assert_eq!(report.lost_wakeups.len(), 1);
+    }
+}

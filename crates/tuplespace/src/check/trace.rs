@@ -1,0 +1,382 @@
+//! The trace model: structured events describing one run of a tuple-space
+//! program, and the [`Recorder`] handle that collects them.
+//!
+//! Every Linda operation, transaction event, block/wake transition, and
+//! kill is appended to a per-run trace when a recorder is installed on the
+//! [`crate::TupleSpace`] (see [`crate::TupleSpace::set_recorder`]). Events
+//! that mutate the *visible* space are recorded while the owning partition
+//! lock is held, so for any single tuple the trace order agrees with the
+//! real order of its production and withdrawal; cross-partition order is
+//! the recorder's own append order. When no recorder is installed the
+//! instrumentation is a load of one relaxed atomic per operation.
+
+use crate::template::Template;
+use crate::value::Tuple;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Which Linda operation a [`TraceEvent::Block`] / [`TraceEvent::Miss`]
+/// refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Blocking withdrawal.
+    In,
+    /// Blocking read.
+    Rd,
+    /// Non-blocking withdrawal.
+    Inp,
+    /// Non-blocking read.
+    Rdp,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OpKind::In => "in",
+            OpKind::Rd => "rd",
+            OpKind::Inp => "inp",
+            OpKind::Rdp => "rdp",
+        })
+    }
+}
+
+/// One event of a run trace.
+///
+/// `actor`/`pid` is the logical process id of the [`crate::Process`] that
+/// performed the operation, or `0` for anonymous direct access to the
+/// space (the master side of the dissertation's programs drives the space
+/// without a transaction handle).
+#[derive(Debug, Clone)]
+pub enum TraceEvent {
+    /// A tuple became visible to every process: a direct `out`, a commit
+    /// publication, or an abort restoring a tentatively-withdrawn tuple.
+    OutVisible {
+        /// Producing actor.
+        actor: u64,
+        /// The tuple as published.
+        tuple: Tuple,
+    },
+    /// A visible tuple was withdrawn (`in`/`inp`).
+    Take {
+        /// Withdrawing actor.
+        actor: u64,
+        /// The tuple as withdrawn.
+        tuple: Tuple,
+    },
+    /// A visible tuple was read without withdrawal (`rd`/`rdp`).
+    Read {
+        /// Reading actor.
+        actor: u64,
+        /// The tuple as read.
+        tuple: Tuple,
+    },
+    /// A non-blocking operation found no match.
+    Miss {
+        /// Polling actor.
+        actor: u64,
+        /// Which operation missed.
+        op: OpKind,
+        /// The unmatched template.
+        template: Template,
+    },
+    /// A blocking operation parked on its partition's condition variable
+    /// (or, in the interleaving explorer, a virtual process became
+    /// unrunnable on this template).
+    Block {
+        /// Blocked actor.
+        actor: u64,
+        /// Which operation blocked.
+        op: OpKind,
+        /// The template being waited for.
+        template: Template,
+    },
+    /// A previously blocked operation found its match and resumed.
+    Wake {
+        /// Resumed actor.
+        actor: u64,
+    },
+    /// A blocked operation observed its cancellation flag (kill) and gave
+    /// up without a tuple.
+    WaitCancelled {
+        /// Cancelled actor.
+        actor: u64,
+    },
+    /// `xstart`: a transaction opened.
+    XStart {
+        /// Owning process.
+        pid: u64,
+        /// Per-process transaction sequence number (1-based).
+        txn: u64,
+    },
+    /// `out` inside an open transaction: buffered, invisible until commit.
+    BufferedOut {
+        /// Owning process.
+        pid: u64,
+        /// Enclosing transaction.
+        txn: u64,
+        /// The buffered tuple.
+        tuple: Tuple,
+    },
+    /// A withdrawal inside an open transaction became tentative (it will
+    /// be restored if the transaction aborts). The corresponding
+    /// [`TraceEvent::Take`] precedes this event.
+    TentativeIn {
+        /// Owning process.
+        pid: u64,
+        /// Enclosing transaction.
+        txn: u64,
+        /// The tentatively-withdrawn tuple.
+        tuple: Tuple,
+    },
+    /// A withdrawal inside an open transaction was satisfied from the
+    /// transaction's *own* outbox — the tuple was never visible.
+    SelfIn {
+        /// Owning process.
+        pid: u64,
+        /// Enclosing transaction.
+        txn: u64,
+        /// The tuple taken back out of the outbox.
+        tuple: Tuple,
+    },
+    /// `xcommit` succeeded: the buffered outs were published atomically.
+    XCommit {
+        /// Owning process.
+        pid: u64,
+        /// The committed transaction.
+        txn: u64,
+        /// Tuples published by the commit (the surviving outbox).
+        published: Vec<Tuple>,
+        /// Tuples the transaction had tentatively withdrawn (now final).
+        consumed: Vec<Tuple>,
+        /// Whether a continuation tuple was stored.
+        continuation: bool,
+    },
+    /// A transaction aborted (kill observed at or before the commit
+    /// point): withdrawn tuples restored, buffered tuples discarded.
+    XAbort {
+        /// Owning process.
+        pid: u64,
+        /// The aborted transaction.
+        txn: u64,
+        /// Tuples restored to the space (the tentative withdrawals).
+        restored: Vec<Tuple>,
+        /// Buffered tuples discarded unpublished.
+        dropped: Vec<Tuple>,
+    },
+    /// `xrecover` was called.
+    XRecover {
+        /// Recovering process.
+        pid: u64,
+        /// Whether a predecessor continuation was found.
+        found: bool,
+    },
+    /// `xstart` inside an open transaction — a protocol violation,
+    /// surfaced as [`crate::PlindaError::NestedTransaction`].
+    NestedXStart {
+        /// Offending process.
+        pid: u64,
+    },
+    /// The process was killed (workstation owner returned / injected
+    /// failure / explorer kill placement).
+    Kill {
+        /// Killed process.
+        pid: u64,
+    },
+    /// A killed process was re-spawned as a fresh incarnation.
+    Respawn {
+        /// Re-spawned logical process.
+        pid: u64,
+    },
+    /// The process completed normally.
+    Done {
+        /// Completed process.
+        pid: u64,
+    },
+    /// The visible space was wholesale replaced ([`crate::TupleSpace::
+    /// restore_bytes`]); replay state must reset. The restored tuples
+    /// follow as [`TraceEvent::OutVisible`] events.
+    Reset {
+        /// Restoring actor.
+        actor: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The actor / pid the event belongs to.
+    pub fn actor(&self) -> u64 {
+        match self {
+            TraceEvent::OutVisible { actor, .. }
+            | TraceEvent::Take { actor, .. }
+            | TraceEvent::Read { actor, .. }
+            | TraceEvent::Miss { actor, .. }
+            | TraceEvent::Block { actor, .. }
+            | TraceEvent::Wake { actor }
+            | TraceEvent::WaitCancelled { actor }
+            | TraceEvent::Reset { actor } => *actor,
+            TraceEvent::XStart { pid, .. }
+            | TraceEvent::BufferedOut { pid, .. }
+            | TraceEvent::TentativeIn { pid, .. }
+            | TraceEvent::SelfIn { pid, .. }
+            | TraceEvent::XCommit { pid, .. }
+            | TraceEvent::XAbort { pid, .. }
+            | TraceEvent::XRecover { pid, .. }
+            | TraceEvent::NestedXStart { pid }
+            | TraceEvent::Kill { pid }
+            | TraceEvent::Respawn { pid }
+            | TraceEvent::Done { pid } => *pid,
+        }
+    }
+}
+
+/// A completed run trace: the event sequence the checkers analyse.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    /// Events in record order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replay the visible-space events and return the multiset of tuples
+    /// visible at the end of the trace (sorted for determinism).
+    pub fn final_space(&self) -> Vec<Tuple> {
+        let mut space: Vec<Tuple> = Vec::new();
+        for ev in &self.events {
+            match ev {
+                TraceEvent::OutVisible { tuple, .. } => space.push(tuple.clone()),
+                TraceEvent::Take { tuple, .. } => {
+                    if let Some(i) = space.iter().position(|t| t == tuple) {
+                        space.swap_remove(i);
+                    }
+                }
+                TraceEvent::Reset { .. } => space.clear(),
+                _ => {}
+            }
+        }
+        space.sort_by_key(crate::codec::encode_tuple);
+        space
+    }
+}
+
+thread_local! {
+    /// Logical pid of the [`crate::Process`] currently driving the space on
+    /// this thread; `0` when the space is used directly.
+    static CURRENT_ACTOR: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Run `f` with trace events on this thread attributed to `actor`.
+pub(crate) fn with_actor<R>(actor: u64, f: impl FnOnce() -> R) -> R {
+    let prev = CURRENT_ACTOR.with(|c| c.replace(actor));
+    let r = f();
+    CURRENT_ACTOR.with(|c| c.set(prev));
+    r
+}
+
+/// The actor trace events on this thread are attributed to.
+pub(crate) fn current_actor() -> u64 {
+    CURRENT_ACTOR.with(|c| c.get())
+}
+
+/// A cloneable handle appending events to a shared per-run trace.
+///
+/// Install on a space with [`crate::TupleSpace::set_recorder`] (or through
+/// [`crate::FarmConfig::recorder`] / `ParallelConfig` in the mining
+/// crates), run the program, then [`Recorder::take`] the trace and hand it
+/// to the checkers in [`crate::check`].
+#[derive(Clone, Default)]
+pub struct Recorder {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Don't dump the event buffer — it can hold tens of thousands of
+        // tuples.
+        f.debug_struct("Recorder")
+            .field("events", &self.events.lock().len())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one event.
+    pub fn record(&self, ev: TraceEvent) {
+        self.events.lock().push(ev);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Has nothing been recorded?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain the recorded events into a [`Trace`], leaving the recorder
+    /// empty (ready for another run).
+    pub fn take(&self) -> Trace {
+        Trace {
+            events: std::mem::take(&mut *self.events.lock()),
+        }
+    }
+
+    /// Copy the events recorded so far without draining.
+    pub fn snapshot(&self) -> Trace {
+        Trace {
+            events: self.events.lock().clone(),
+        }
+    }
+}
+
+/// The per-space recorder slot: one relaxed atomic on the fast (disabled)
+/// path, a clone of the recorder handle behind a mutex when enabled.
+#[derive(Default)]
+pub(crate) struct RecorderSlot {
+    enabled: AtomicBool,
+    recorder: Mutex<Option<Recorder>>,
+}
+
+impl RecorderSlot {
+    /// Install or remove the recorder.
+    pub(crate) fn set(&self, rec: Option<Recorder>) {
+        let mut slot = self.recorder.lock();
+        self.enabled.store(rec.is_some(), Ordering::Release);
+        *slot = rec;
+    }
+
+    /// Record `ev` if a recorder is installed. The event is only *built*
+    /// when recording is on: call as `slot.record(|| TraceEvent::…)` so
+    /// tuple clones are free on the disabled path.
+    #[inline]
+    pub(crate) fn record(&self, ev: impl FnOnce() -> TraceEvent) {
+        if self.enabled.load(Ordering::Acquire) {
+            if let Some(rec) = &*self.recorder.lock() {
+                rec.record(ev());
+            }
+        }
+    }
+
+    /// Is a recorder installed?
+    #[inline]
+    pub(crate) fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+}

@@ -38,6 +38,7 @@
 //! tasks exactly.
 
 use crate::channel::{Chan, Payload};
+use crate::check::Recorder;
 use crate::process::{PlindaError, Process};
 use crate::runtime::{FaultPlan, Runtime};
 use crate::space::TupleSpace;
@@ -70,6 +71,9 @@ pub struct FarmConfig {
     pub dispatch: Dispatch,
     /// Fault injections: `(delay from farm start, worker index to kill)`.
     pub kill_schedule: Vec<(Duration, usize)>,
+    /// Optional trace recorder, installed on the farm's space at start so
+    /// the run can be audited with the `plinda::check` checkers.
+    pub recorder: Option<Recorder>,
 }
 
 impl FarmConfig {
@@ -79,6 +83,7 @@ impl FarmConfig {
             workers,
             dispatch: Dispatch::Bag,
             kill_schedule: Vec::new(),
+            recorder: None,
         }
     }
 
@@ -88,12 +93,19 @@ impl FarmConfig {
             workers,
             dispatch: Dispatch::PerWorker,
             kill_schedule: Vec::new(),
+            recorder: None,
         }
     }
 
     /// Add a kill of worker `index` after `delay`.
     pub fn kill_after(mut self, delay: Duration, index: usize) -> Self {
         self.kill_schedule.push((delay, index));
+        self
+    }
+
+    /// Record the farm's run into `rec` for offline protocol checking.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.recorder = Some(rec);
         self
     }
 }
@@ -114,6 +126,11 @@ pub struct FarmReport {
     pub worker_stats: Vec<WorkerStats>,
     /// Process re-spawns performed by the runtime (detected failures).
     pub respawns: u64,
+    /// Tuples still visible in the farm's space after every worker
+    /// exited. A well-behaved program drains its channels: anything here
+    /// is a leak unless the caller deliberately left it (e.g. a broadcast
+    /// it has yet to withdraw).
+    pub leaked: Vec<Tuple>,
 }
 
 struct StatsCell {
@@ -240,6 +257,9 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
     {
         let rt = Runtime::new();
         let space = rt.space();
+        if let Some(rec) = &cfg.recorder {
+            space.set_recorder(Some(rec.clone()));
+        }
         let tasks = TaskChan::<T>::new(name);
         let results = Chan::<R>::new(format!("{name}.result"));
         let counter = Chan::<i64>::new(format!("{name}.wcount"));
@@ -265,7 +285,7 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
             let body_w = Arc::clone(&body);
             pids.push(rt.spawn(name, move |proc| {
                 loop {
-                    proc.xstart();
+                    proc.xstart()?;
                     let t = proc.in_(tasks_w.template_for(key))?;
                     let flag = t.int(2);
                     if flag == POISON {
@@ -392,6 +412,7 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
                 })
                 .collect(),
             respawns: self.rt.respawns(),
+            leaked: self.space.snapshot(),
         }
     }
 }

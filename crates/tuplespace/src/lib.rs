@@ -50,7 +50,7 @@
 //! for _ in 0..3 {
 //!     rt.spawn("adder", |p| {
 //!         loop {
-//!             p.xstart();
+//!             p.xstart()?;
 //!             let t = p.in_(Template::new(vec![
 //!                 field::val("task"), field::int(), field::int(),
 //!             ]))?;
@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod check;
 pub mod codec;
 pub mod farm;
 pub mod process;
@@ -88,6 +89,7 @@ pub mod template;
 pub mod value;
 
 pub use channel::{Chan, KeyedChan, Payload, Wire};
+pub use check::{Recorder, Trace, TraceEvent};
 pub use farm::{Dispatch, FarmConfig, FarmReport, TaskFarm, WorkerScope, WorkerStats, POISON};
 pub use process::{PlindaError, Process, ProcessStatus};
 pub use runtime::{FaultPlan, Runtime};

@@ -18,6 +18,7 @@
 //! (restoring withdrawn tuples, discarding buffered ones) and re-spawns the
 //! process, which resumes from its last committed continuation.
 
+use crate::check::trace::{self, TraceEvent};
 use crate::space::TupleSpace;
 use crate::template::Template;
 use crate::value::Tuple;
@@ -180,6 +181,8 @@ pub struct Process {
     txn: Option<Txn>,
     /// Transactions committed by this incarnation (diagnostics).
     committed: u64,
+    /// Transactions ever opened by this incarnation (trace numbering).
+    txn_seq: u64,
 }
 
 impl Process {
@@ -196,7 +199,22 @@ impl Process {
             state,
             txn: None,
             committed: 0,
+            txn_seq: 0,
         }
+    }
+
+    /// Run a space operation with trace events attributed to this pid.
+    fn as_actor<R>(&self, f: impl FnOnce(&TupleSpace) -> R) -> R {
+        trace::with_actor(self.pid, || f(&self.space))
+    }
+
+    /// Would an `in`/`rd` be satisfied from the open transaction's own
+    /// outbox? Used by the interleaving explorer to decide enabledness
+    /// without executing the operation.
+    pub(crate) fn outbox_matches(&self, tmpl: &Template) -> bool {
+        self.txn
+            .as_ref()
+            .is_some_and(|t| t.outbox.iter().any(|x| tmpl.matches(x)))
     }
 
     /// Logical process id (stable across re-spawns).
@@ -223,19 +241,27 @@ impl Process {
     }
 
     /// Open a transaction. All subsequent ops run inside it until
-    /// [`Process::xcommit`].
-    pub fn xstart(&mut self) {
-        // Matching the pseudo-code ergonomics, xstart does not return a
-        // Result; a nested xstart is a programming error.
-        assert!(
-            self.txn.is_none(),
-            "xstart inside an open transaction (pid {})",
-            self.pid
-        );
+    /// [`Process::xcommit`]. An `xstart` while a transaction is already
+    /// open is a protocol violation: it returns
+    /// [`PlindaError::NestedTransaction`] (and records the violation in
+    /// the trace) instead of killing the worker thread, so both callers
+    /// and the `plinda::check` analyzers can observe it.
+    pub fn xstart(&mut self) -> Result<(), PlindaError> {
+        if self.txn.is_some() {
+            self.space
+                .record(|| TraceEvent::NestedXStart { pid: self.pid });
+            return Err(PlindaError::NestedTransaction);
+        }
+        self.txn_seq += 1;
+        self.space.record(|| TraceEvent::XStart {
+            pid: self.pid,
+            txn: self.txn_seq,
+        });
         self.txn = Some(Txn {
             consumed: Vec::new(),
             outbox: Vec::new(),
         });
+        Ok(())
     }
 
     /// Is a transaction currently open?
@@ -246,10 +272,17 @@ impl Process {
     /// `out` inside the open transaction: buffered until commit.
     pub fn out(&mut self, t: Tuple) {
         match &mut self.txn {
-            Some(txn) => txn.outbox.push(t),
+            Some(txn) => {
+                self.space.record(|| TraceEvent::BufferedOut {
+                    pid: self.pid,
+                    txn: self.txn_seq,
+                    tuple: t.clone(),
+                });
+                txn.outbox.push(t);
+            }
             // Outside a transaction, fall back to a direct (immediately
             // visible) out — PLinda masters use this for poison tuples.
-            None => self.space.out(t),
+            None => self.as_actor(|s| s.out(t)),
         }
     }
 
@@ -261,15 +294,26 @@ impl Process {
         // processes routinely `out` then `in` within one transaction).
         if let Some(txn) = &mut self.txn {
             if let Some(i) = txn.outbox.iter().position(|t| tmpl.matches(t)) {
-                return Ok(txn.outbox.remove(i));
+                let t = txn.outbox.remove(i);
+                self.space.record(|| TraceEvent::SelfIn {
+                    pid: self.pid,
+                    txn: self.txn_seq,
+                    tuple: t.clone(),
+                });
+                return Ok(t);
             }
         }
         self.state.set_status(ProcessStatus::Blocked);
-        let got = self.space.in_cancellable(&tmpl, Some(&self.state.killed));
+        let got = self.as_actor(|s| s.in_cancellable(&tmpl, Some(&self.state.killed)));
         self.state.set_status(ProcessStatus::Running);
         match got {
             Some(t) => {
                 if let Some(txn) = &mut self.txn {
+                    self.space.record(|| TraceEvent::TentativeIn {
+                        pid: self.pid,
+                        txn: self.txn_seq,
+                        tuple: t.clone(),
+                    });
                     txn.consumed.push(t.clone());
                 }
                 Ok(t)
@@ -283,11 +327,22 @@ impl Process {
         self.check_alive()?;
         if let Some(txn) = &mut self.txn {
             if let Some(i) = txn.outbox.iter().position(|t| tmpl.matches(t)) {
-                return Ok(Some(txn.outbox.remove(i)));
+                let t = txn.outbox.remove(i);
+                self.space.record(|| TraceEvent::SelfIn {
+                    pid: self.pid,
+                    txn: self.txn_seq,
+                    tuple: t.clone(),
+                });
+                return Ok(Some(t));
             }
         }
-        let got = self.space.inp(tmpl);
+        let got = self.as_actor(|s| s.inp(tmpl));
         if let (Some(t), Some(txn)) = (&got, &mut self.txn) {
+            self.space.record(|| TraceEvent::TentativeIn {
+                pid: self.pid,
+                txn: self.txn_seq,
+                tuple: t.clone(),
+            });
             txn.consumed.push(t.clone());
         }
         Ok(got)
@@ -302,7 +357,7 @@ impl Process {
             }
         }
         self.state.set_status(ProcessStatus::Blocked);
-        let got = self.space.rd_cancellable(&tmpl, Some(&self.state.killed));
+        let got = self.as_actor(|s| s.rd_cancellable(&tmpl, Some(&self.state.killed)));
         self.state.set_status(ProcessStatus::Running);
         match got {
             Some(t) => Ok(t),
@@ -318,7 +373,7 @@ impl Process {
                 return Ok(Some(t.clone()));
             }
         }
-        Ok(self.space.rdp(tmpl))
+        Ok(self.as_actor(|s| s.rdp(tmpl)))
     }
 
     /// Commit the open transaction: atomically publish buffered `out`s and
@@ -328,11 +383,26 @@ impl Process {
     pub fn xcommit(&mut self, continuation: Option<Tuple>) -> Result<(), PlindaError> {
         let txn = self.txn.take().ok_or(PlindaError::NoTransaction)?;
         if self.state.is_killed() {
-            // The failure happened before commit: abort.
-            self.space.out_all(txn.consumed);
+            // The failure happened before commit: abort. The XAbort event
+            // is recorded before the restoring out_all so the transaction
+            // is closed in the trace when the restores become visible.
+            self.space.record(|| TraceEvent::XAbort {
+                pid: self.pid,
+                txn: self.txn_seq,
+                restored: txn.consumed.clone(),
+                dropped: txn.outbox.clone(),
+            });
+            self.as_actor(|s| s.out_all(txn.consumed));
             return Err(PlindaError::Killed);
         }
-        self.space.out_all(txn.outbox);
+        self.space.record(|| TraceEvent::XCommit {
+            pid: self.pid,
+            txn: self.txn_seq,
+            published: txn.outbox.clone(),
+            consumed: txn.consumed.clone(),
+            continuation: continuation.is_some(),
+        });
+        self.as_actor(|s| s.out_all(txn.outbox));
         if let Some(c) = continuation {
             self.conts.put(self.pid, c);
         }
@@ -343,14 +413,26 @@ impl Process {
     /// Retrieve the continuation of the last committed transaction of this
     /// logical process, if a previous incarnation failed after committing.
     pub fn xrecover(&self) -> Option<Tuple> {
-        self.conts.get(self.pid)
+        let cont = self.conts.get(self.pid);
+        let found = cont.is_some();
+        self.space.record(|| TraceEvent::XRecover {
+            pid: self.pid,
+            found,
+        });
+        cont
     }
 
     /// Abort the open transaction (if any): restore withdrawn tuples,
     /// discard buffered ones. Called by the runtime after a kill.
     pub(crate) fn abort(&mut self) {
         if let Some(txn) = self.txn.take() {
-            self.space.out_all(txn.consumed);
+            self.space.record(|| TraceEvent::XAbort {
+                pid: self.pid,
+                txn: self.txn_seq,
+                restored: txn.consumed.clone(),
+                dropped: txn.outbox.clone(),
+            });
+            self.as_actor(|s| s.out_all(txn.consumed));
         }
     }
 }
@@ -376,7 +458,7 @@ mod tests {
     #[test]
     fn outs_invisible_until_commit() {
         let (mut p, space, _) = mk();
-        p.xstart();
+        p.xstart().unwrap();
         p.out(tup!["task", 1]);
         assert_eq!(space.len(), 0);
         p.xcommit(None).unwrap();
@@ -386,7 +468,7 @@ mod tests {
     #[test]
     fn own_outs_visible_within_txn() {
         let (mut p, space, _) = mk();
-        p.xstart();
+        p.xstart().unwrap();
         p.out(tup!["task", 5]);
         let got = p.inp(&t_task()).unwrap().unwrap();
         assert_eq!(got.int(1), 5);
@@ -399,7 +481,7 @@ mod tests {
     fn abort_restores_consumed_and_drops_outbox() {
         let (mut p, space, state) = mk();
         space.out(tup!["task", 1]);
-        p.xstart();
+        p.xstart().unwrap();
         let _ = p.in_(t_task()).unwrap();
         p.out(tup!["task", 99]);
         assert_eq!(space.len(), 0);
@@ -414,7 +496,7 @@ mod tests {
     fn kill_before_commit_aborts() {
         let (mut p, space, state) = mk();
         space.out(tup!["task", 1]);
-        p.xstart();
+        p.xstart().unwrap();
         let _ = p.in_(t_task()).unwrap();
         p.out(tup!["done", 1]);
         state.kill();
@@ -427,7 +509,7 @@ mod tests {
     fn continuation_roundtrip() {
         let (mut p, _, _) = mk();
         assert!(p.xrecover().is_none());
-        p.xstart();
+        p.xstart().unwrap();
         p.xcommit(Some(tup![42, "state"])).unwrap();
         let c = p.xrecover().unwrap();
         assert_eq!(c.int(0), 42);
@@ -445,5 +527,25 @@ mod tests {
     fn xcommit_without_xstart_errors() {
         let (mut p, _, _) = mk();
         assert_eq!(p.xcommit(None), Err(PlindaError::NoTransaction));
+    }
+
+    #[test]
+    fn nested_xstart_is_an_error_not_a_panic() {
+        let (mut p, space, _) = mk();
+        let rec = crate::check::Recorder::new();
+        space.set_recorder(Some(rec.clone()));
+        p.xstart().unwrap();
+        p.out(tup!["task", 1]);
+        // The violation is surfaced as an error and recorded in the trace;
+        // the open transaction is left intact and can still commit.
+        assert_eq!(p.xstart(), Err(PlindaError::NestedTransaction));
+        assert!(p.in_txn());
+        p.xcommit(None).unwrap();
+        assert_eq!(space.len(), 1);
+        let trace = rec.take();
+        assert!(trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::NestedXStart { pid: 7 })));
     }
 }

@@ -11,6 +11,7 @@
 //! guarantee (§7.1.2): a completed computation, with or without failures,
 //! reaches the same final state as a failure-free execution.
 
+use crate::check::trace::TraceEvent;
 use crate::process::{ContinuationStore, PlindaError, Process, ProcessState, ProcessStatus};
 use crate::space::TupleSpace;
 use parking_lot::Mutex;
@@ -118,20 +119,35 @@ impl Runtime {
                     Ok(()) => {
                         conts.clear(pid);
                         thread_state.set_status(ProcessStatus::Done);
+                        space.record(|| TraceEvent::Done { pid });
                         return;
                     }
                     Err(PlindaError::Killed) => {
                         proc.abort();
                         if shutdown.load(Ordering::SeqCst) {
+                            space.record(|| TraceEvent::Done { pid });
                             return;
                         }
                         respawns.fetch_add(1, Ordering::SeqCst);
                         // "Re-spawned on another machine": same logical
                         // pid, fresh incarnation.
                         thread_state.revive();
+                        space.record(|| TraceEvent::Respawn { pid });
                         space.kick();
                     }
-                    Err(other) => panic!("worker {pid} failed: {other}"),
+                    Err(other) => {
+                        // A protocol violation (nested xstart, commit
+                        // outside a transaction) is not a machine failure:
+                        // abort the open transaction so no partial effects
+                        // remain, leave the violation in the trace for the
+                        // checkers, and retire the worker rather than
+                        // killing the whole test process.
+                        eprintln!("plinda: worker {pid} protocol violation: {other}");
+                        proc.abort();
+                        thread_state.set_status(ProcessStatus::Done);
+                        space.record(|| TraceEvent::Done { pid });
+                        return;
+                    }
                 }
             })
             .expect("failed to spawn worker thread");
@@ -159,6 +175,7 @@ impl Runtime {
         match reg.procs.get(&pid) {
             Some(state) => {
                 state.kill();
+                self.space.record(|| TraceEvent::Kill { pid });
                 self.space.kick();
                 true
             }
@@ -271,6 +288,7 @@ impl Runtime {
                     }
                     if let Some((_, st)) = reg_states.iter().find(|(p, _)| *p == pid) {
                         st.kill();
+                        space.record(|| TraceEvent::Kill { pid });
                         space.kick();
                     }
                 }
@@ -326,7 +344,7 @@ mod tests {
     /// Worker: squares task payloads; negative payload is the poison pill.
     fn square_worker(p: &mut Process) -> WorkerResult {
         loop {
-            p.xstart();
+            p.xstart()?;
             let t = p.in_(t_task())?;
             let v = t.int(1);
             if v < 0 {
@@ -400,7 +418,7 @@ mod tests {
                 None => 0,
             };
             while i < 5 {
-                p.xstart();
+                p.xstart()?;
                 let t = p.in_(Template::new(vec![field::val("tick"), field::int()]))?;
                 p.out(tup!["tock", t.int(1)]);
                 i += 1;
@@ -442,7 +460,7 @@ mod monitor_tests {
     fn monitor_reports_lifecycle() {
         let rt = Runtime::new();
         let pid = rt.spawn("watcher", |p| {
-            p.xstart();
+            p.xstart()?;
             let _ = p.in_(Template::new(vec![field::val("go")]))?;
             p.xcommit(None)?;
             Ok(())

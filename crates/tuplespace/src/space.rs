@@ -15,6 +15,7 @@
 //! `restore_bytes`) acquire partition locks in sorted-signature order, so
 //! the lock graph is acyclic.
 
+use crate::check::trace::{self, OpKind, Recorder, RecorderSlot, TraceEvent};
 use crate::codec;
 use crate::template::Template;
 use crate::value::{Tuple, TypeTag};
@@ -30,21 +31,6 @@ struct Partition {
     cond: Condvar,
 }
 
-impl Partition {
-    fn take(&self, tmpl: &Template) -> Option<Tuple> {
-        let mut part = self.tuples.lock();
-        let idx = part.iter().position(|t| tmpl.matches(t))?;
-        // Order within a partition is not part of the Linda contract;
-        // swap_remove keeps withdrawal O(1).
-        Some(part.swap_remove(idx))
-    }
-
-    fn read(&self, tmpl: &Template) -> Option<Tuple> {
-        let part = self.tuples.lock();
-        part.iter().find(|t| tmpl.matches(t)).cloned()
-    }
-}
-
 /// The generative shared memory all PLinda processes coordinate through.
 ///
 /// Operations are linearizable per signature partition (each partition has
@@ -57,6 +43,8 @@ pub struct TupleSpace {
     registry: Mutex<HashMap<Vec<TypeTag>, Arc<Partition>>>,
     /// Total visible tuples (kept in sync under partition locks).
     len: AtomicUsize,
+    /// Optional trace recorder; one relaxed load per op when disabled.
+    rec: RecorderSlot,
 }
 
 impl Default for TupleSpace {
@@ -71,7 +59,29 @@ impl TupleSpace {
         TupleSpace {
             registry: Mutex::new(HashMap::new()),
             len: AtomicUsize::new(0),
+            rec: RecorderSlot::default(),
         }
+    }
+
+    /// Install (or, with `None`, remove) a trace [`Recorder`]. Every Linda
+    /// operation on this space is appended to the recorder's trace; the
+    /// `plinda::check` checkers analyse the result. Recording is a single
+    /// atomic load per operation when disabled.
+    pub fn set_recorder(&self, rec: Option<Recorder>) {
+        self.rec.set(rec);
+    }
+
+    /// Is a trace recorder currently installed?
+    pub fn recording(&self) -> bool {
+        self.rec.is_enabled()
+    }
+
+    /// Record a trace event if a recorder is installed (crate-internal:
+    /// used by `Process`, `Runtime`, and the interleaving explorer to add
+    /// transaction / lifecycle events to the same trace as the space ops).
+    #[inline]
+    pub(crate) fn record(&self, ev: impl FnOnce() -> TraceEvent) {
+        self.rec.record(ev);
     }
 
     /// Get-or-create the partition for `sig`. Partitions are never removed
@@ -103,6 +113,12 @@ impl TupleSpace {
     pub fn out(&self, t: Tuple) {
         let part = self.partition(t.signature());
         let mut tuples = part.tuples.lock();
+        // Record under the partition lock so the trace order of this
+        // tuple's production agrees with its real visibility order.
+        self.rec.record(|| TraceEvent::OutVisible {
+            actor: trace::current_actor(),
+            tuple: t.clone(),
+        });
         tuples.push(t);
         self.len.fetch_add(1, Ordering::SeqCst);
         drop(tuples);
@@ -130,6 +146,12 @@ impl TupleSpace {
         let mut guards: Vec<MutexGuard<'_, Vec<Tuple>>> =
             parts.iter().map(|p| p.tuples.lock()).collect();
         for (guard, batch) in guards.iter_mut().zip(batches.iter_mut()) {
+            for t in batch.iter() {
+                self.rec.record(|| TraceEvent::OutVisible {
+                    actor: trace::current_actor(),
+                    tuple: t.clone(),
+                });
+            }
             self.len.fetch_add(batch.len(), Ordering::SeqCst);
             guard.append(batch);
         }
@@ -141,14 +163,57 @@ impl TupleSpace {
 
     /// `inp`: withdraw a matching tuple if one exists, without blocking.
     pub fn inp(&self, tmpl: &Template) -> Option<Tuple> {
-        let t = self.existing(&tmpl.signature())?.take(tmpl)?;
-        self.len.fetch_sub(1, Ordering::SeqCst);
-        Some(t)
+        if let Some(part) = self.existing(&tmpl.signature()) {
+            let mut tuples = part.tuples.lock();
+            // Order within a partition is not part of the Linda contract;
+            // swap_remove keeps withdrawal O(1).
+            if let Some(idx) = tuples.iter().position(|t| tmpl.matches(t)) {
+                let t = tuples.swap_remove(idx);
+                self.rec.record(|| TraceEvent::Take {
+                    actor: trace::current_actor(),
+                    tuple: t.clone(),
+                });
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+        self.rec.record(|| TraceEvent::Miss {
+            actor: trace::current_actor(),
+            op: OpKind::Inp,
+            template: tmpl.clone(),
+        });
+        None
     }
 
     /// `rdp`: copy a matching tuple if one exists, without blocking.
     pub fn rdp(&self, tmpl: &Template) -> Option<Tuple> {
-        self.existing(&tmpl.signature())?.read(tmpl)
+        if let Some(part) = self.existing(&tmpl.signature()) {
+            let tuples = part.tuples.lock();
+            if let Some(t) = tuples.iter().find(|t| tmpl.matches(t)) {
+                let t = t.clone();
+                self.rec.record(|| TraceEvent::Read {
+                    actor: trace::current_actor(),
+                    tuple: t.clone(),
+                });
+                return Some(t);
+            }
+        }
+        self.rec.record(|| TraceEvent::Miss {
+            actor: trace::current_actor(),
+            op: OpKind::Rdp,
+            template: tmpl.clone(),
+        });
+        None
+    }
+
+    /// Would `tmpl` match some visible tuple right now? A non-recording
+    /// probe used by the interleaving explorer to decide enabledness
+    /// without perturbing the trace.
+    pub(crate) fn has_match(&self, tmpl: &Template) -> bool {
+        match self.existing(&tmpl.signature()) {
+            Some(part) => part.tuples.lock().iter().any(|t| tmpl.matches(t)),
+            None => false,
+        }
     }
 
     /// `in`: withdraw a matching tuple, blocking until one is available.
@@ -186,17 +251,44 @@ impl TupleSpace {
         // (empty) partition, so the eventual `out` finds our condvar.
         let part = self.partition(tmpl.signature());
         let mut tuples = part.tuples.lock();
+        let mut parked = false;
         loop {
             if let Some(c) = cancel {
                 if c.load(Ordering::SeqCst) {
+                    self.rec.record(|| TraceEvent::WaitCancelled {
+                        actor: trace::current_actor(),
+                    });
                     return None;
                 }
             }
             if let Some(idx) = tuples.iter().position(|t| tmpl.matches(t)) {
-                return Some(if withdraw {
+                if parked {
+                    self.rec.record(|| TraceEvent::Wake {
+                        actor: trace::current_actor(),
+                    });
+                }
+                let t = if withdraw {
                     tuples.swap_remove(idx)
                 } else {
                     tuples[idx].clone()
+                };
+                self.rec.record(|| {
+                    let actor = trace::current_actor();
+                    let tuple = t.clone();
+                    if withdraw {
+                        TraceEvent::Take { actor, tuple }
+                    } else {
+                        TraceEvent::Read { actor, tuple }
+                    }
+                });
+                return Some(t);
+            }
+            if !parked {
+                parked = true;
+                self.rec.record(|| TraceEvent::Block {
+                    actor: trace::current_actor(),
+                    op: if withdraw { OpKind::In } else { OpKind::Rd },
+                    template: tmpl.clone(),
                 });
             }
             // Unbounded wait: an `out` into this partition notifies its
@@ -266,6 +358,9 @@ impl TupleSpace {
         let parts = self.sorted_partitions();
         let mut guards: Vec<MutexGuard<'_, Vec<Tuple>>> =
             parts.iter().map(|(_, p)| p.tuples.lock()).collect();
+        self.rec.record(|| TraceEvent::Reset {
+            actor: trace::current_actor(),
+        });
         for g in guards.iter_mut() {
             g.clear();
         }
@@ -278,10 +373,15 @@ impl TupleSpace {
             let sig = t.signature();
             for (i, (k, _)) in parts.iter().enumerate() {
                 if *k == sig {
+                    self.rec.record(|| TraceEvent::OutVisible {
+                        actor: trace::current_actor(),
+                        tuple: t.clone(),
+                    });
                     guards[i].push(t);
                     continue 'tuple;
                 }
             }
+            // `self.out` below records OutVisible for these itself.
             leftover.push(t);
         }
         self.len.store(total - leftover.len(), Ordering::SeqCst);

@@ -1,0 +1,706 @@
+//! `xtask` — workspace maintenance tasks, chiefly **`lint-templates`**:
+//! a static shape lint for tuple-space programs.
+//!
+//! Linda decouples producers from consumers: an `in`/`rd` names only a
+//! [`Template`] shape, and nothing at compile time ties that shape to any
+//! `out`. A one-field typo — wrong arity, `int()` where the producer sends
+//! a real, a misspelled channel head — compiles fine and then blocks
+//! forever at runtime. This lint closes that gap textually: it scans every
+//! `.rs` file in the workspace, extracts the *shape* of each literal
+//! `Template::new(vec![...])` site and each `tup![...]` / `Tuple::new`
+//! production site, and fails on any template whose shape no production in
+//! the entire workspace could ever match.
+//!
+//! The lint is deliberately conservative, in the direction of no false
+//! positives:
+//!
+//! * Non-literal constructions (`Template::new(fs)` in the channel layer,
+//!   heads built with `format!`) are counted but skipped — dynamic shapes
+//!   are the runtime trace checkers' job (`plinda::check`).
+//! * Any field or element the lint cannot classify is a wildcard that
+//!   matches everything.
+//! * Productions that no template matches are reported as a count, not a
+//!   failure: many `out`s are consumed through dynamically-built channel
+//!   templates.
+//!
+//! Run it with `cargo run -p xtask -- lint-templates`.
+//!
+//! [`Template`]: https://docs.rs/plinda — see `crates/tuplespace`.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A concrete tuple-field type, mirroring `plinda::TypeTag`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tag {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Real,
+    /// String.
+    Str,
+    /// Byte array (also the packed form of numeric vectors).
+    Bytes,
+    /// Nested list of values.
+    List,
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tag::Int => "int",
+            Tag::Real => "real",
+            Tag::Str => "str",
+            Tag::Bytes => "bytes",
+            Tag::List => "list",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The shape of one field of a template site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldShape {
+    /// `field::val("head")` — an exact string the producer must emit.
+    LitStr(String),
+    /// `field::val(7)` — an exact integer (value not tracked, tag is).
+    LitInt,
+    /// A formal field: `field::int()`, `field::of(TypeTag::Real)`, …
+    Tag(Tag),
+    /// Unclassifiable (an expression): matches anything.
+    Any,
+}
+
+impl fmt::Display for FieldShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldShape::LitStr(s) => write!(f, "{s:?}"),
+            FieldShape::LitInt => f.write_str("=int"),
+            FieldShape::Tag(t) => write!(f, "{t}"),
+            FieldShape::Any => f.write_str("_"),
+        }
+    }
+}
+
+/// The shape of one element of a production site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElemShape {
+    /// A string literal — the produced tuple's head/content is known.
+    LitStr(String),
+    /// A literal whose type tag is known but value is not tracked.
+    Tag(Tag),
+    /// An arbitrary expression: could produce any value.
+    Any,
+}
+
+impl fmt::Display for ElemShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemShape::LitStr(s) => write!(f, "{s:?}"),
+            ElemShape::Tag(t) => write!(f, "{t}"),
+            ElemShape::Any => f.write_str("_"),
+        }
+    }
+}
+
+/// One extracted site: where it is and what shape it has.
+#[derive(Debug, Clone)]
+pub struct Site<S> {
+    /// Source file, relative to the lint root.
+    pub file: PathBuf,
+    /// 1-based line of the construction.
+    pub line: usize,
+    /// Extracted field/element shapes.
+    pub shape: Vec<S>,
+}
+
+impl<S: fmt::Display> Site<S> {
+    fn render(&self) -> String {
+        let fields: Vec<String> = self.shape.iter().map(|s| s.to_string()).collect();
+        format!(
+            "{}:{} ({})",
+            self.file.display(),
+            self.line,
+            fields.join(", ")
+        )
+    }
+}
+
+/// Result of [`lint_dir`].
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Literal template sites that were shape-checked.
+    pub templates: usize,
+    /// Template sites skipped because their construction is dynamic.
+    pub dynamic_templates: usize,
+    /// Production sites extracted.
+    pub productions: usize,
+    /// Templates that **no** production in the tree could match — the
+    /// failure condition.
+    pub unmatched: Vec<Site<FieldShape>>,
+    /// Productions no literal template matches (informational: most are
+    /// consumed via dynamically-built channel templates).
+    pub orphan_productions: usize,
+}
+
+impl LintReport {
+    /// Did every checked template have at least one compatible producer?
+    pub fn is_clean(&self) -> bool {
+        self.unmatched.is_empty()
+    }
+
+    /// Human-readable summary (one line per unmatched template).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "lint-templates: {} template site(s) checked ({} dynamic skipped), \
+             {} production site(s), {} orphan production(s)\n",
+            self.templates, self.dynamic_templates, self.productions, self.orphan_productions
+        );
+        if self.unmatched.is_empty() {
+            out.push_str("OK: every template shape has a compatible producer\n");
+        } else {
+            for t in &self.unmatched {
+                out.push_str(&format!(
+                    "ERROR: template at {} matches no production in the workspace\n",
+                    t.render()
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Can a tuple produced at `e` satisfy template field `f`?
+fn field_matches(f: &FieldShape, e: &ElemShape) -> bool {
+    match (f, e) {
+        (FieldShape::Any, _) | (_, ElemShape::Any) => true,
+        (FieldShape::LitStr(a), ElemShape::LitStr(b)) => a == b,
+        (FieldShape::LitStr(_), ElemShape::Tag(_)) => false,
+        (FieldShape::LitInt, ElemShape::Tag(Tag::Int)) => true,
+        (FieldShape::LitInt, _) => false,
+        (FieldShape::Tag(t), ElemShape::LitStr(_)) => *t == Tag::Str,
+        (FieldShape::Tag(t), ElemShape::Tag(u)) => t == u,
+    }
+}
+
+/// Can production `p` ever satisfy template `t`? (Same arity, every field
+/// compatible.)
+pub fn shapes_compatible(t: &[FieldShape], p: &[ElemShape]) -> bool {
+    t.len() == p.len() && t.iter().zip(p).all(|(f, e)| field_matches(f, e))
+}
+
+// ---------------------------------------------------------------------------
+// Source scanning
+// ---------------------------------------------------------------------------
+
+/// Blank out `//`/`/* */` comments (preserving newlines so line numbers
+/// survive) while leaving string literals intact.
+fn strip_comments(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                // String literal: copy verbatim through the closing quote.
+                out.push(bytes[i]);
+                i += 1;
+                while i < bytes.len() {
+                    out.push(bytes[i]);
+                    match bytes[i] {
+                        b'\\' if i + 1 < bytes.len() => {
+                            out.push(bytes[i + 1]);
+                            i += 2;
+                            continue;
+                        }
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if bytes[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Index just past the delimiter that balances the one at `open` (which
+/// must be `(`/`[`/`{`), skipping string literals.
+fn balanced_end(src: &str, open: usize) -> Option<usize> {
+    let bytes = src.as_bytes();
+    let (oc, cc) = match bytes[open] {
+        b'(' => (b'(', b')'),
+        b'[' => (b'[', b']'),
+        b'{' => (b'{', b'}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 1,
+                        b'"' => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            b if b == oc => depth += 1,
+            b if b == cc => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i + 1);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Split `src` on commas at bracket depth zero, skipping string literals.
+fn split_top_commas(src: &str) -> Vec<&str> {
+    let bytes = src.as_bytes();
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 1,
+                        b'"' => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth = depth.saturating_sub(1),
+            b',' if depth == 0 => {
+                parts.push(&src[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if start < src.len() {
+        parts.push(&src[start..]);
+    }
+    parts.into_iter().filter(|p| !p.trim().is_empty()).collect()
+}
+
+fn is_string_literal(s: &str) -> Option<String> {
+    let s = s.trim();
+    let s = s.strip_suffix(".to_string()").unwrap_or(s);
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    // Reject `"a" + x + "b"`-style expressions: no bare quote inside.
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => {
+                chars.next();
+            }
+            '"' => return None,
+            _ => {}
+        }
+    }
+    Some(inner.to_string())
+}
+
+fn is_int_literal(s: &str) -> bool {
+    let s = s.trim();
+    let s = s.strip_prefix('-').unwrap_or(s).trim();
+    for suffix in ["i64", "i32", "usize", "u64", "u32", "u8"] {
+        if let Some(head) = s.strip_suffix(suffix) {
+            return !head.is_empty() && head.bytes().all(|b| b.is_ascii_digit() || b == b'_');
+        }
+    }
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit() || b == b'_')
+}
+
+fn is_float_literal(s: &str) -> bool {
+    let s = s.trim();
+    let s = s.strip_prefix('-').unwrap_or(s).trim();
+    let s = s.strip_suffix("f64").unwrap_or(s);
+    match s.split_once('.') {
+        Some((a, b)) => {
+            !a.is_empty()
+                && a.bytes().all(|c| c.is_ascii_digit() || c == b'_')
+                && b.bytes().all(|c| c.is_ascii_digit() || c == b'_')
+        }
+        None => false,
+    }
+}
+
+/// Classify one element of a `Template::new(vec![...])` field list.
+fn template_field(elem: &str) -> FieldShape {
+    let e = elem.trim();
+    // Tolerate path prefixes: `crate::field::int()`, `plinda::field::...`.
+    let e = match e.find("field::") {
+        Some(pos) => &e[pos..],
+        None => return FieldShape::Any,
+    };
+    if let Some(rest) = e.strip_prefix("field::val(") {
+        let inner = rest.strip_suffix(')').unwrap_or(rest);
+        if let Some(s) = is_string_literal(inner) {
+            return FieldShape::LitStr(s);
+        }
+        if is_int_literal(inner) {
+            return FieldShape::LitInt;
+        }
+        return FieldShape::Any;
+    }
+    if let Some(rest) = e.strip_prefix("field::of(") {
+        for (name, tag) in [
+            ("Int", Tag::Int),
+            ("Real", Tag::Real),
+            ("Str", Tag::Str),
+            ("Bytes", Tag::Bytes),
+            ("List", Tag::List),
+        ] {
+            if rest.contains(name) {
+                return FieldShape::Tag(tag);
+            }
+        }
+        return FieldShape::Any;
+    }
+    match e.trim() {
+        "field::int()" => FieldShape::Tag(Tag::Int),
+        "field::real()" => FieldShape::Tag(Tag::Real),
+        "field::str()" => FieldShape::Tag(Tag::Str),
+        "field::bytes()" => FieldShape::Tag(Tag::Bytes),
+        "field::list()" => FieldShape::Tag(Tag::List),
+        _ => FieldShape::Any,
+    }
+}
+
+/// Classify one element of a `tup![...]` / `Tuple::new(vec![...])` body.
+fn production_elem(elem: &str) -> ElemShape {
+    let e = elem.trim();
+    if let Some(s) = is_string_literal(e) {
+        return ElemShape::LitStr(s);
+    }
+    if is_int_literal(e) {
+        return ElemShape::Tag(Tag::Int);
+    }
+    if is_float_literal(e) {
+        return ElemShape::Tag(Tag::Real);
+    }
+    // Explicit Value constructors (used by direct `Tuple::new` sites).
+    for (name, tag) in [
+        ("Value::Int", Tag::Int),
+        ("Value::Real", Tag::Real),
+        ("Value::Str", Tag::Str),
+        ("Value::Bytes", Tag::Bytes),
+        ("Value::List", Tag::List),
+    ] {
+        if e.contains(name) {
+            return ElemShape::Tag(tag);
+        }
+    }
+    if e.starts_with("vec![") {
+        // `Vec<u8>` converts to Bytes; anything else we leave open.
+        if e.contains("u8") {
+            return ElemShape::Tag(Tag::Bytes);
+        }
+        return ElemShape::Any;
+    }
+    ElemShape::Any
+}
+
+fn line_of(src: &str, offset: usize) -> usize {
+    src[..offset].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileSites {
+    /// Literal template sites.
+    pub templates: Vec<Site<FieldShape>>,
+    /// Template sites whose argument is not a `vec![...]` literal.
+    pub dynamic_templates: usize,
+    /// Production sites.
+    pub productions: Vec<Site<ElemShape>>,
+}
+
+/// Extract template and production sites from one file's source text.
+pub fn scan_source(rel: &Path, src: &str) -> FileSites {
+    let clean = strip_comments(src);
+    let mut sites = FileSites::default();
+
+    // Template::new(vec![ ... ])
+    let mut from = 0;
+    while let Some(pos) = clean[from..].find("Template::new(") {
+        let at = from + pos;
+        let open = at + "Template::new".len();
+        from = open;
+        let Some(end) = balanced_end(&clean, open) else {
+            continue;
+        };
+        let arg = clean[open + 1..end - 1].trim();
+        let Some(rest) = arg.strip_prefix("vec!") else {
+            sites.dynamic_templates += 1;
+            continue;
+        };
+        let body = rest
+            .trim()
+            .strip_prefix('[')
+            .and_then(|r| r.strip_suffix(']'));
+        let Some(body) = body else {
+            sites.dynamic_templates += 1;
+            continue;
+        };
+        let shape: Vec<FieldShape> = split_top_commas(body)
+            .iter()
+            .map(|e| template_field(e))
+            .collect();
+        sites.templates.push(Site {
+            file: rel.to_path_buf(),
+            line: line_of(&clean, at),
+            shape,
+        });
+    }
+
+    // tup![ ... ]
+    let mut from = 0;
+    while let Some(pos) = clean[from..].find("tup!") {
+        let at = from + pos;
+        from = at + 4;
+        // Require a macro-name boundary so e.g. `setup!` is not matched.
+        if at > 0 && clean.as_bytes()[at - 1].is_ascii_alphanumeric() {
+            continue;
+        }
+        let Some(open) = clean[at + 4..].find('[').map(|o| at + 4 + o) else {
+            continue;
+        };
+        if !clean[at + 4..open].trim().is_empty() {
+            continue; // something other than whitespace before the bracket
+        }
+        let Some(end) = balanced_end(&clean, open) else {
+            continue;
+        };
+        let body = &clean[open + 1..end - 1];
+        let shape: Vec<ElemShape> = split_top_commas(body)
+            .iter()
+            .map(|e| production_elem(e))
+            .collect();
+        sites.productions.push(Site {
+            file: rel.to_path_buf(),
+            line: line_of(&clean, at),
+            shape,
+        });
+    }
+
+    // Tuple::new(vec![ ... ])
+    let mut from = 0;
+    while let Some(pos) = clean[from..].find("Tuple::new(") {
+        let at = from + pos;
+        let open = at + "Tuple::new".len();
+        from = open;
+        let Some(end) = balanced_end(&clean, open) else {
+            continue;
+        };
+        let arg = clean[open + 1..end - 1].trim();
+        let Some(body) = arg
+            .strip_prefix("vec!")
+            .and_then(|r| r.trim().strip_prefix('['))
+            .and_then(|r| r.strip_suffix(']'))
+        else {
+            continue; // dynamic construction; not a checkable producer
+        };
+        let shape: Vec<ElemShape> = split_top_commas(body)
+            .iter()
+            .map(|e| production_elem(e))
+            .collect();
+        sites.productions.push(Site {
+            file: rel.to_path_buf(),
+            line: line_of(&clean, at),
+            shape,
+        });
+    }
+
+    sites
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // The linter exempts itself: its sources and tests quote
+            // template/production syntax inside string fixtures.
+            if name == "target" || name == "vendor" || name.starts_with('.') || name == "xtask" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `.rs` file under `root` (skipping `target/`, `vendor/`,
+/// hidden directories, and the linter's own sources).
+pub fn lint_dir(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+
+    let mut templates: Vec<Site<FieldShape>> = Vec::new();
+    let mut productions: Vec<Site<ElemShape>> = Vec::new();
+    let mut report = LintReport::default();
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        let sites = scan_source(rel, &src);
+        report.dynamic_templates += sites.dynamic_templates;
+        templates.extend(sites.templates);
+        productions.extend(sites.productions);
+    }
+    report.templates = templates.len();
+    report.productions = productions.len();
+
+    let mut matched_prod = vec![false; productions.len()];
+    for t in &templates {
+        let mut matched = false;
+        for (i, p) in productions.iter().enumerate() {
+            if shapes_compatible(&t.shape, &p.shape) {
+                matched = true;
+                matched_prod[i] = true;
+            }
+        }
+        if !matched {
+            report.unmatched.push(t.clone());
+        }
+    }
+    report.orphan_productions = matched_prod.iter().filter(|&&m| !m).count();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_template_fields() {
+        assert_eq!(
+            template_field(r#" field::val("task") "#),
+            FieldShape::LitStr("task".into())
+        );
+        assert_eq!(template_field(" field::val(3) "), FieldShape::LitInt);
+        assert_eq!(template_field("field::int()"), FieldShape::Tag(Tag::Int));
+        assert_eq!(
+            template_field("crate::field::real()"),
+            FieldShape::Tag(Tag::Real)
+        );
+        assert_eq!(
+            template_field("field::of(TypeTag::Bytes)"),
+            FieldShape::Tag(Tag::Bytes)
+        );
+        assert_eq!(template_field("field::val(name)"), FieldShape::Any);
+        assert_eq!(template_field("mystery()"), FieldShape::Any);
+    }
+
+    #[test]
+    fn classifies_production_elems() {
+        assert_eq!(
+            production_elem(r#" "task" "#),
+            ElemShape::LitStr("task".into())
+        );
+        assert_eq!(production_elem("-1i64"), ElemShape::Tag(Tag::Int));
+        assert_eq!(production_elem("3.25"), ElemShape::Tag(Tag::Real));
+        assert_eq!(production_elem("vec![9u8]"), ElemShape::Tag(Tag::Bytes));
+        assert_eq!(production_elem("100 - i"), ElemShape::Any);
+        assert_eq!(production_elem("t.int(1)"), ElemShape::Any);
+    }
+
+    #[test]
+    fn compatibility_respects_heads_arity_and_tags() {
+        let t = vec![FieldShape::LitStr("task".into()), FieldShape::Tag(Tag::Int)];
+        let good = vec![ElemShape::LitStr("task".into()), ElemShape::Tag(Tag::Int)];
+        let wild = vec![ElemShape::LitStr("task".into()), ElemShape::Any];
+        let wrong_head = vec![ElemShape::LitStr("done".into()), ElemShape::Tag(Tag::Int)];
+        let wrong_tag = vec![ElemShape::LitStr("task".into()), ElemShape::Tag(Tag::Real)];
+        let wrong_arity = vec![ElemShape::LitStr("task".into())];
+        assert!(shapes_compatible(&t, &good));
+        assert!(shapes_compatible(&t, &wild));
+        assert!(!shapes_compatible(&t, &wrong_head));
+        assert!(!shapes_compatible(&t, &wrong_tag));
+        assert!(!shapes_compatible(&t, &wrong_arity));
+    }
+
+    #[test]
+    fn scans_multiline_sites_and_ignores_comments() {
+        let src = r#"
+            // Template::new(vec![field::val("commented-out")])
+            let t = Template::new(vec![
+                field::val("job"),
+                field::int(),
+            ]);
+            space.out(tup!["job", 7]);
+        "#;
+        let sites = scan_source(Path::new("x.rs"), src);
+        assert_eq!(sites.templates.len(), 1);
+        assert_eq!(sites.templates[0].line, 3);
+        assert_eq!(sites.productions.len(), 1);
+        assert!(shapes_compatible(
+            &sites.templates[0].shape,
+            &sites.productions[0].shape
+        ));
+    }
+
+    #[test]
+    fn dynamic_template_construction_is_skipped_not_flagged() {
+        let src = "let t = Template::new(fs);";
+        let sites = scan_source(Path::new("x.rs"), src);
+        assert!(sites.templates.is_empty());
+        assert_eq!(sites.dynamic_templates, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Workspace task runner. Currently one task:
+//!
+//! ```text
+//! cargo run -p xtask -- lint-templates [ROOT]
+//! ```
+//!
+//! Exits non-zero if any tuple-space template in the tree is unmatchable
+//! (see the crate docs for the analysis).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint-templates") => {
+            let root = args
+                .get(1)
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+            match xtask::lint_dir(&root) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if report.is_clean() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("lint-templates: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint-templates [ROOT]");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end tests for `lint-templates`: the real workspace must pass,
+//! and a deliberately unmatchable template must fail.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::lint_dir;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn the_workspace_has_no_unmatchable_templates() {
+    let report = lint_dir(&workspace_root()).unwrap();
+    assert!(report.is_clean(), "{}", report.render());
+    // Sanity: the scan actually saw the tree (templates in the tuplespace
+    // crate, productions across the workspace).
+    assert!(report.templates > 10, "{}", report.render());
+    assert!(report.productions > 20, "{}", report.render());
+}
+
+#[test]
+fn an_unmatchable_template_fails_the_lint() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_negative");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    // The consumer waits on ("nine.lives", int, real) but the only
+    // producer emits ("nine.lives", int) — wrong arity, never matchable.
+    fs::write(
+        dir.join("broken.rs"),
+        r#"
+        fn consumer(space: &TupleSpace) {
+            let t = space.in_blocking(Template::new(vec![
+                field::val("nine.lives"),
+                field::int(),
+                field::real(),
+            ]));
+        }
+        fn producer(space: &TupleSpace) {
+            space.out(tup!["nine.lives", 9]);
+        }
+        "#,
+    )
+    .unwrap();
+    let report = lint_dir(&dir).unwrap();
+    assert!(!report.is_clean());
+    assert_eq!(report.unmatched.len(), 1);
+    assert_eq!(report.unmatched[0].file, Path::new("broken.rs"));
+    assert!(report.render().contains("nine.lives"));
+}
+
+#[test]
+fn a_matching_producer_satisfies_the_lint() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint_positive");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(
+        dir.join("ok.rs"),
+        r#"
+        fn consumer(space: &TupleSpace) {
+            let t = space.in_blocking(Template::new(vec![
+                field::val("nine.lives"),
+                field::int(),
+            ]));
+        }
+        fn producer(space: &TupleSpace, n: i64) {
+            space.out(tup!["nine.lives", n]);
+        }
+        "#,
+    )
+    .unwrap();
+    let report = lint_dir(&dir).unwrap();
+    assert!(report.is_clean(), "{}", report.render());
+    assert_eq!(report.templates, 1);
+}

@@ -41,7 +41,7 @@ fn main() {
     for _ in 0..3 {
         let problem = Arc::clone(&problem);
         pids.push(rt.spawn("miner", move |proc| loop {
-            proc.xstart();
+            proc.xstart()?;
             let t = proc.in_(t_task())?;
             if t.int(1) == 1 {
                 proc.xcommit(None)?;

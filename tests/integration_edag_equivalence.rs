@@ -65,6 +65,7 @@ proptest! {
                 strategy,
                 initial_task_level: 1,
                 kill_schedule: Vec::new(),
+                recorder: None,
             };
             let plet = parallel_ett(Arc::clone(&p), &cfg);
             prop_assert_eq!(&reference.good, &plet.good);

@@ -43,6 +43,7 @@ fn optimistic_survives_worker_kills() {
         strategy: WorkerStrategy::Optimistic,
         initial_task_level: 1,
         kill_schedule: vec![(Duration::from_millis(1), 2), (Duration::from_millis(4), 0)],
+        recorder: None,
     };
     let got = parallel_ett(Arc::clone(&p), &cfg);
     assert_eq!(reference.good, got.good);
@@ -62,6 +63,32 @@ fn repeated_kills_of_every_worker() {
     }
     let got = parallel_ett(Arc::clone(&p), &cfg);
     assert_eq!(reference.good, got.good);
+}
+
+#[test]
+fn killed_runs_pass_the_protocol_checkers() {
+    // Record a kill-heavy run and feed the trace to the offline protocol
+    // analyzers: every transaction must be atomic, nothing may leak at
+    // quiescence, and nobody may end the run blocked. (The deterministic
+    // schedule-space version of this — a kill at *every* commit boundary
+    // of the Fig. 2.6/2.7 vector-add program — is
+    // `crates/tuplespace/tests/explore_vecadd.rs`.)
+    use fpdm::plinda::check::check_trace;
+    use fpdm::plinda::Recorder;
+    let p = Arc::new(workload());
+    let reference = sequential_ett(&*p);
+    let rec = Recorder::new();
+    let cfg = ParallelConfig::load_balanced(3)
+        .kill_after(Duration::from_millis(2), 0)
+        .kill_after(Duration::from_millis(6), 1)
+        .with_recorder(rec.clone());
+    let got = parallel_ett(Arc::clone(&p), &cfg);
+    assert_eq!(reference.good, got.good);
+
+    let trace = rec.take();
+    assert!(!trace.events.is_empty(), "recorder captured the run");
+    let report = check_trace(&trace, &[]);
+    assert!(report.is_clean(), "{report}");
 }
 
 #[test]

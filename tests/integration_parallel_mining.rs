@@ -105,6 +105,31 @@ fn episode_discovery_parallel_equals_sequential() {
 }
 
 #[test]
+fn protein_discovery_trace_passes_protocol_checkers() {
+    // Same discovery run as above, but recorded: the full tuple-space
+    // trace of the mining farm — including two injected worker kills —
+    // must satisfy the atomicity, leak, and deadlock checkers.
+    use fpdm::plinda::check::check_trace;
+    use fpdm::plinda::Recorder;
+    use std::time::Duration;
+    let family = protein_family(9, 20, 80, 10, &[PlantedMotif::exact("WWHHKK", 0.6)]);
+    let params = DiscoveryParams::new(4, 8, 8, 1).with_sample_occurrence(2);
+    let reference = discover(family.clone(), params.clone());
+    let rec = Recorder::new();
+    let cfg = ParallelConfig::load_balanced(3)
+        .kill_after(Duration::from_millis(1), 1)
+        .kill_after(Duration::from_millis(3), 0)
+        .with_recorder(rec.clone());
+    let got = discover_parallel(family, params, &cfg);
+    assert_eq!(reference, got);
+
+    let trace = rec.take();
+    assert!(!trace.events.is_empty(), "recorder captured the run");
+    let report = check_trace(&trace, &[]);
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
 fn classification_rule_mining_parallel_equals_sequential() {
     use fpdm::classify::rulemine::RuleMiningProblem;
     use fpdm::core::{parallel_ett, parallel_hybrid, sequential_ett};
