@@ -1,9 +1,12 @@
 //! Whole-tree growth: NyuMiner (K = 4), CART (binary Gini), and C4.5
-//! (gain ratio) on the same training data, plus cost-complexity pruning.
+//! (gain ratio) on the same training data, plus cost-complexity pruning,
+//! plus end-to-end induction over every Table 5.1 dataset through the
+//! presort-once columnar engine (`bench_classify` records the same
+//! workload into `BENCH_classify.json` for the CI perf gate).
 
 use classify::prune::ccp_sequence;
 use classify::tree::{DecisionTree, GrowConfig, GrowRule};
-use classify::Gini;
+use classify::{ColumnarIndex, Gini};
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::benchmark;
 
@@ -41,5 +44,50 @@ fn bench_trees(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_trees);
+/// End-to-end induction per benchmark dataset: one shared columnar
+/// ingest, then a full tree per learner rule over all rows.
+fn bench_induction(c: &mut Criterion) {
+    let cfg = GrowConfig::default();
+    let mut g = c.benchmark_group("induction");
+    g.sample_size(5);
+    for name in [
+        "diabetes",
+        "german",
+        "mushrooms",
+        "satimage",
+        "smoking",
+        "vote",
+        "yeast",
+    ] {
+        let data = benchmark(name, 7);
+        let rows = data.all_rows();
+        g.bench_function(format!("{name}/index_build"), |b| {
+            b.iter(|| std::hint::black_box(ColumnarIndex::build(&data)))
+        });
+        let index = ColumnarIndex::build(&data);
+        let rules: [(&str, GrowRule); 3] = [
+            ("c45", GrowRule::C45),
+            ("cart", GrowRule::Cart),
+            (
+                "nyuminer_k3",
+                GrowRule::NyuMiner {
+                    max_branches: 3,
+                    impurity: &Gini,
+                },
+            ),
+        ];
+        for (rule_name, rule) in rules {
+            g.bench_function(format!("{name}/{rule_name}"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(DecisionTree::grow_indexed(
+                        &data, &index, &rows, &rule, &cfg,
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trees, bench_induction);
 criterion_main!(benches);

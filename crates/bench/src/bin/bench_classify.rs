@@ -1,0 +1,240 @@
+//! End-to-end tree-induction benchmark with a machine-readable baseline.
+//!
+//! Measures, per Table 5.1 dataset: the one-time columnar ingest
+//! (`ColumnarIndex::build`) and a full tree growth per learner rule
+//! (C4.5 gain ratio, CART binary Gini, NyuMiner K=3 Gini) over the
+//! shared index. Two tiers:
+//!
+//! * **fast** — row-capped datasets, enough for a CI smoke gate;
+//! * **full** — all rows, plus the wall time of the whole
+//!   `experiments -- t5.3` harness (invoked as a sibling binary).
+//!
+//! ```text
+//! bench_classify                      # measure fast+full+t5.3, write BENCH_classify.json
+//! bench_classify --fast               # measure and print the fast tier only
+//! bench_classify --check <baseline>   # fast tier vs baseline; exit 1 on >25% regression
+//! ```
+//!
+//! The baseline file is a flat JSON object (`"tier.dataset.metric": ms`)
+//! so the checker — and any future PR wanting to gate on induction cost —
+//! can parse it with a line scanner instead of a JSON library.
+
+use classify::tree::{DecisionTree, GrowConfig, GrowRule};
+use classify::{ColumnarIndex, Dataset, Gini};
+use datagen::benchmark;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const DATASETS: [&str; 7] = [
+    "diabetes",
+    "german",
+    "mushrooms",
+    "satimage",
+    "smoking",
+    "vote",
+    "yeast",
+];
+const DATA_SEED: u64 = 7;
+/// Row cap for the fast tier (CI smoke).
+const FAST_ROWS: usize = 600;
+/// Default regression tolerance for `--check`, in percent.
+const TOLERANCE_PCT: f64 = 25.0;
+
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup, untimed
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn rules() -> Vec<(&'static str, GrowRule<'static>)> {
+    vec![
+        ("c45", GrowRule::C45),
+        ("cart", GrowRule::Cart),
+        (
+            "nyuminer",
+            GrowRule::NyuMiner {
+                max_branches: 3,
+                impurity: &Gini,
+            },
+        ),
+    ]
+}
+
+/// Measure one tier into `out` under `tier.` key prefixes.
+fn measure_tier(tier: &str, row_cap: Option<usize>, reps: usize, out: &mut BTreeMap<String, f64>) {
+    let cfg = GrowConfig::default();
+    for name in DATASETS {
+        let data: Dataset = benchmark(name, DATA_SEED);
+        let n = row_cap.map_or(data.len(), |cap| data.len().min(cap));
+        let rows: Vec<usize> = (0..n).collect();
+        let build_ms = median_ms(reps, || {
+            std::hint::black_box(ColumnarIndex::build(&data));
+        });
+        out.insert(format!("{tier}.{name}.index_build_ms"), build_ms);
+        let index = ColumnarIndex::build(&data);
+        for (rule_name, rule) in rules() {
+            let ms = median_ms(reps, || {
+                std::hint::black_box(DecisionTree::grow_indexed(
+                    &data, &index, &rows, &rule, &cfg,
+                ));
+            });
+            out.insert(format!("{tier}.{name}.{rule_name}_ms"), ms);
+            eprintln!("  {tier:<5} {name:<10} {rule_name:<9} {ms:9.2} ms ({n} rows)");
+        }
+    }
+}
+
+/// Wall time of the whole Table 5.3 harness, via the sibling
+/// `experiments` binary (same build profile). `None` if it is not built.
+fn t53_wall_s() -> Option<f64> {
+    let exe = std::env::current_exe().ok()?;
+    let experiments = exe.with_file_name("experiments");
+    if !experiments.exists() {
+        eprintln!("  [t5.3 skipped: {} not built]", experiments.display());
+        return None;
+    }
+    eprintln!("  running {} t5.3 ...", experiments.display());
+    let t0 = Instant::now();
+    let status = std::process::Command::new(&experiments)
+        .arg("t5.3")
+        .stdout(std::process::Stdio::null())
+        .status()
+        .ok()?;
+    if !status.success() {
+        eprintln!("  [t5.3 failed: {status}]");
+        return None;
+    }
+    Some(t0.elapsed().as_secs_f64())
+}
+
+fn write_json(path: &str, metrics: &BTreeMap<String, f64>) -> std::io::Result<()> {
+    let mut body = String::from("{\n  \"schema\": 1,\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        body.push_str(&format!("  \"{k}\": {v:.3}{sep}\n"));
+    }
+    body.push_str("}\n");
+    std::fs::write(path, body)
+}
+
+/// Parse the flat `"key": number` pairs back out of a baseline file.
+fn read_json(path: &str) -> std::io::Result<BTreeMap<String, f64>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.insert(key.to_string(), v);
+        }
+    }
+    Ok(out)
+}
+
+/// Below this absolute delta a percentage regression is treated as timer
+/// noise (the smallest tracked metrics are ~10 µs).
+const SLACK_MS: f64 = 0.1;
+
+/// Compare a fresh fast-tier run against the committed baseline; returns
+/// the metrics that regressed beyond `tol_pct` (and beyond timer noise).
+fn check(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    tol_pct: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (key, &new_ms) in fresh {
+        let Some(&old_ms) = baseline.get(key) else {
+            eprintln!("  [new metric {key}: {new_ms:.2} ms, no baseline — skipped]");
+            continue;
+        };
+        let delta_pct = (new_ms - old_ms) / old_ms * 100.0;
+        let regressed = delta_pct > tol_pct && new_ms - old_ms > SLACK_MS;
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        eprintln!("  {key:<40} {old_ms:9.2} -> {new_ms:9.2} ms  {delta_pct:+6.1}%  {verdict}");
+        if regressed {
+            failures.push(format!(
+                "{key}: {old_ms:.2} -> {new_ms:.2} ms ({delta_pct:+.1}%)"
+            ));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fast_only = false;
+    let mut baseline_path: Option<String> = None;
+    let mut out_path = "BENCH_classify.json".to_string();
+    let mut tolerance = TOLERANCE_PCT;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fast" => fast_only = true,
+            "--check" => baseline_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned().unwrap_or(out_path),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(TOLERANCE_PCT)
+            }
+            other => {
+                eprintln!("usage: bench_classify [--fast] [--check BASELINE] [--out PATH] [--tolerance PCT]");
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = baseline_path {
+        let baseline = match read_json(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("perf smoke: fast tier vs {path} (tolerance {tolerance}%)");
+        let mut fresh = BTreeMap::new();
+        measure_tier("fast", Some(FAST_ROWS), 5, &mut fresh);
+        let failures = check(&baseline, &fresh, tolerance);
+        if failures.is_empty() {
+            eprintln!("perf smoke passed ({} metrics)", fresh.len());
+        } else {
+            eprintln!("perf smoke FAILED — regressions over {tolerance}%:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut metrics = BTreeMap::new();
+    eprintln!("fast tier (rows capped at {FAST_ROWS}):");
+    measure_tier("fast", Some(FAST_ROWS), 5, &mut metrics);
+    if !fast_only {
+        eprintln!("full tier (all rows):");
+        measure_tier("full", None, 5, &mut metrics);
+        if let Some(wall) = t53_wall_s() {
+            eprintln!("  full  t5.3 harness wall {wall:9.1} s");
+            metrics.insert("full.t5_3_wall_s".to_string(), wall);
+        }
+        if let Err(e) = write_json(&out_path, &metrics) {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {out_path} ({} metrics)", metrics.len());
+    }
+}

@@ -15,6 +15,7 @@
 //!   across `trials` windows, keep the tree with the lowest error on the
 //!   full training set.
 
+use crate::columnar::ColumnarIndex;
 use crate::data::{Classifier, Dataset};
 use crate::tree::{DecisionTree, GrowConfig, GrowRule};
 use rand::rngs::StdRng;
@@ -160,7 +161,18 @@ pub struct C45 {
 impl C45 {
     /// Train on `rows` of `data` (single tree, no windowing).
     pub fn fit(data: &Dataset, rows: &[usize], config: &C45Config) -> Self {
-        let mut tree = DecisionTree::grow(data, rows, &GrowRule::C45, &config.grow);
+        let index = ColumnarIndex::build(data);
+        Self::fit_indexed(data, &index, rows, config)
+    }
+
+    /// [`C45::fit`] over a prebuilt [`ColumnarIndex`].
+    pub fn fit_indexed(
+        data: &Dataset,
+        index: &ColumnarIndex,
+        rows: &[usize],
+        config: &C45Config,
+    ) -> Self {
+        let mut tree = DecisionTree::grow_indexed(data, index, rows, &GrowRule::C45, &config.grow);
         pessimistic_prune(&mut tree, config.cf);
         C45 { tree }
     }
@@ -181,10 +193,25 @@ impl C45 {
         trials: usize,
         seed: u64,
     ) -> Self {
+        let index = ColumnarIndex::build(data);
+        Self::fit_trials_indexed(data, &index, rows, config, trials, seed)
+    }
+
+    /// [`C45::fit_trials`] over a prebuilt [`ColumnarIndex`]: all windows
+    /// of all trials share the dataset's presorted columns.
+    pub fn fit_trials_indexed(
+        data: &Dataset,
+        index: &ColumnarIndex,
+        rows: &[usize],
+        config: &C45Config,
+        trials: usize,
+        seed: u64,
+    ) -> Self {
         assert!(trials >= 1);
         let mut best: Option<(f64, DecisionTree)> = None;
         for t in 0..trials {
-            let tree = grow_windowed(data, rows, config, seed.wrapping_add(t as u64));
+            let tree =
+                grow_windowed_indexed(data, index, rows, config, seed.wrapping_add(t as u64));
             let acc = tree.accuracy(data, rows);
             if best.as_ref().is_none_or(|(ba, _)| acc > *ba) {
                 best = Some((acc, tree));
@@ -203,6 +230,19 @@ pub fn grow_windowed(
     config: &C45Config,
     seed: u64,
 ) -> DecisionTree {
+    let index = ColumnarIndex::build(data);
+    grow_windowed_indexed(data, &index, rows, config, seed)
+}
+
+/// [`grow_windowed`] over a prebuilt [`ColumnarIndex`]: every window
+/// iteration grows from the same presorted columns.
+pub fn grow_windowed_indexed(
+    data: &Dataset,
+    index: &ColumnarIndex,
+    rows: &[usize],
+    config: &C45Config,
+    seed: u64,
+) -> DecisionTree {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut shuffled = rows.to_vec();
     shuffled.shuffle(&mut rng);
@@ -215,7 +255,8 @@ pub fn grow_windowed(
     let mut outside: Vec<usize> = shuffled[init..].to_vec();
 
     loop {
-        let mut tree = DecisionTree::grow(data, &window, &GrowRule::C45, &config.grow);
+        let mut tree =
+            DecisionTree::grow_indexed(data, index, &window, &GrowRule::C45, &config.grow);
         pessimistic_prune(&mut tree, config.cf);
         let misclassified: Vec<usize> = outside
             .iter()

@@ -13,6 +13,14 @@ pub trait Impurity {
     /// Impurity of a node with the given class counts (0 for empty/pure).
     fn of(&self, counts: &[usize]) -> f64;
 
+    /// The concrete value behind the trait object, for implementations
+    /// that opt in. Hot loops (the interval DP's `O(B²)` cost triangle)
+    /// downcast through this to dispatch to monomorphised kernels with
+    /// the exact same arithmetic; `None` keeps the generic virtual path.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Aggregate impurity of a split: the weighted sum
     /// `Σ (n_i / N) · φ(s_i)` over its partitions.
     fn aggregate(&self, parts: &[Vec<usize>]) -> f64 {
@@ -49,6 +57,10 @@ impl Impurity for Gini {
             })
             .sum::<f64>()
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// Class entropy `info(T) = -Σ p_j log2 p_j` (§2.1.5).
@@ -70,6 +82,10 @@ impl Impurity for Entropy {
                 p * p.log2()
             })
             .sum::<f64>()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod c45;
+pub mod columnar;
 pub mod complement;
 pub mod data;
 pub mod forex;
@@ -49,6 +50,7 @@ pub mod split;
 pub mod tree;
 
 pub use c45::{C45Config, C45};
+pub use columnar::ColumnarIndex;
 pub use complement::{complementarity, ComplementarityReport};
 pub use data::{AttrValue, Attribute, Classifier, Dataset};
 pub use impurity::{Entropy, Gini, Impurity};

@@ -12,9 +12,10 @@
 //!   alternative to pruning, and the mechanism behind the foreign-exchange
 //!   application of §5.6.
 
+use crate::columnar::ColumnarIndex;
 use crate::data::{Classifier, Dataset};
 use crate::impurity::{Entropy, Gini, Impurity};
-use crate::prune::{grow_with_cv_pruning, CvPruned};
+use crate::prune::{grow_with_cv_pruning_indexed, CvPruned};
 use crate::split::SplitTest;
 use crate::tree::{DecisionTree, GrowConfig, GrowRule};
 use rand::rngs::StdRng;
@@ -67,7 +68,8 @@ impl Default for NyuConfig {
 }
 
 impl NyuConfig {
-    fn rule(&self) -> GrowRule<'static> {
+    /// The [`GrowRule`] this configuration selects splits with.
+    pub fn rule(&self) -> GrowRule<'static> {
         GrowRule::NyuMiner {
             max_branches: self.max_branches,
             impurity: self.impurity.as_dyn(),
@@ -92,8 +94,22 @@ impl NyuMinerCV {
     /// Train on `rows` with `v`-fold CV pruning (`v = 0` skips pruning —
     /// the Table 6.1 baseline).
     pub fn fit(data: &Dataset, rows: &[usize], config: &NyuConfig, v: usize, seed: u64) -> Self {
+        let index = ColumnarIndex::build(data);
+        Self::fit_indexed(data, &index, rows, config, v, seed)
+    }
+
+    /// [`NyuMinerCV::fit`] over a prebuilt [`ColumnarIndex`]: the main
+    /// and fold trees share the dataset's presorted columns.
+    pub fn fit_indexed(
+        data: &Dataset,
+        index: &ColumnarIndex,
+        rows: &[usize],
+        config: &NyuConfig,
+        v: usize,
+        seed: u64,
+    ) -> Self {
         let CvPruned { tree, alpha, .. } =
-            grow_with_cv_pruning(data, rows, &config.rule(), &config.grow, v, seed);
+            grow_with_cv_pruning_indexed(data, index, rows, &config.rule(), &config.grow, v, seed);
         NyuMinerCV { tree, alpha }
     }
 }
@@ -270,6 +286,19 @@ pub fn grow_incremental(
     config: &NyuConfig,
     seed: u64,
 ) -> DecisionTree {
+    let index = ColumnarIndex::build(data);
+    grow_incremental_indexed(data, &index, rows, config, seed)
+}
+
+/// [`grow_incremental`] over a prebuilt [`ColumnarIndex`]: every rebuild
+/// grows from the same presorted columns.
+pub fn grow_incremental_indexed(
+    data: &Dataset,
+    index: &ColumnarIndex,
+    rows: &[usize],
+    config: &NyuConfig,
+    seed: u64,
+) -> DecisionTree {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut shuffled = rows.to_vec();
     shuffled.shuffle(&mut rng);
@@ -278,7 +307,7 @@ pub fn grow_incremental(
     let mut window: Vec<usize> = shuffled[..init].to_vec();
     let mut outside: Vec<usize> = shuffled[init..].to_vec();
     loop {
-        let tree = DecisionTree::grow(data, &window, &config.rule(), &config.grow);
+        let tree = DecisionTree::grow_indexed(data, index, &window, &config.rule(), &config.grow);
         let misclassified: Vec<usize> = outside
             .iter()
             .copied()
@@ -306,11 +335,34 @@ impl NyuMinerRS {
         smin: f64,
         seed: u64,
     ) -> Self {
+        let index = ColumnarIndex::build(data);
+        Self::fit_indexed(data, &index, rows, config, trials, cmin, smin, seed)
+    }
+
+    /// [`NyuMinerRS::fit`] over a prebuilt [`ColumnarIndex`]: all trials
+    /// share the dataset's presorted columns.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_indexed(
+        data: &Dataset,
+        index: &ColumnarIndex,
+        rows: &[usize],
+        config: &NyuConfig,
+        trials: usize,
+        cmin: f64,
+        smin: f64,
+        seed: u64,
+    ) -> Self {
         assert!(trials >= 1);
         let mut trees = Vec::with_capacity(trials);
         let mut candidates = Vec::new();
         for t in 0..trials {
-            let tree = grow_incremental(data, rows, config, seed.wrapping_add(t as u64 * 7919));
+            let tree = grow_incremental_indexed(
+                data,
+                index,
+                rows,
+                config,
+                seed.wrapping_add(t as u64 * 7919),
+            );
             candidates.extend(extract_rules(&tree, rows.len()));
             trees.push(tree);
         }

@@ -9,6 +9,7 @@
 //! trees grown on the folds, evaluated at the geometric midpoints
 //! `α'_k = √(α_k·α_{k+1})`, and the best `T_k` is selected.
 
+use crate::columnar::ColumnarIndex;
 use crate::data::{Classifier, Dataset};
 use crate::tree::{DecisionTree, GrowConfig, GrowRule};
 use std::collections::HashSet;
@@ -161,7 +162,23 @@ pub fn grow_with_cv_pruning(
     v: usize,
     seed: u64,
 ) -> CvPruned {
-    let main = DecisionTree::grow(data, rows, rule, config);
+    let index = ColumnarIndex::build(data);
+    grow_with_cv_pruning_indexed(data, &index, rows, rule, config, v, seed)
+}
+
+/// [`grow_with_cv_pruning`] over a prebuilt [`ColumnarIndex`]: the main
+/// tree and all `v` fold trees share the dataset's presorted columns, so
+/// the per-fold ingest cost disappears.
+pub fn grow_with_cv_pruning_indexed(
+    data: &Dataset,
+    index: &ColumnarIndex,
+    rows: &[usize],
+    rule: &GrowRule,
+    config: &GrowConfig,
+    v: usize,
+    seed: u64,
+) -> CvPruned {
+    let main = DecisionTree::grow_indexed(data, index, rows, rule, config);
     if v == 0 {
         return CvPruned {
             tree: main,
@@ -190,7 +207,7 @@ pub fn grow_with_cv_pruning(
             .filter(|(j, _)| *j != i)
             .flat_map(|(_, f)| f.iter().copied())
             .collect();
-        let t = DecisionTree::grow(data, &train, rule, config);
+        let t = DecisionTree::grow_indexed(data, index, &train, rule, config);
         aux.push((test_fold.clone(), ccp_sequence(&t)));
     }
 

@@ -22,7 +22,7 @@
 //! share one split vocabulary ([`SplitTest`]).
 
 use crate::data::{AttrValue, Dataset};
-use crate::impurity::{gain_ratio, Impurity};
+use crate::impurity::{gain_ratio, Entropy, Gini, Impurity};
 
 /// A decision-node test. Branches are numbered `0..arity`.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,7 +136,7 @@ pub struct Basket {
     pub counts: Vec<usize>,
 }
 
-fn pure_class(counts: &[usize]) -> Option<usize> {
+pub(crate) fn pure_class(counts: &[usize]) -> Option<usize> {
     let mut found = None;
     for (c, &n) in counts.iter().enumerate() {
         if n > 0 {
@@ -217,60 +217,382 @@ pub fn optimal_interval_split(
     max_branches: usize,
     imp: &dyn Impurity,
 ) -> Option<IntervalSplit> {
-    let b = baskets.len();
+    if baskets.is_empty() {
+        return None;
+    }
+    let n_classes = baskets[0].counts.len();
+    let mut counts = Vec::with_capacity(baskets.len() * n_classes);
+    for bk in baskets {
+        counts.extend_from_slice(&bk.counts);
+    }
+    interval_split_flat(&counts, n_classes, max_branches, imp)
+}
+
+/// The concrete impurity behind a `&dyn Impurity`, resolved once per DP
+/// call so the per-cell kernel dispatches on a copyable tag instead of a
+/// virtual call.
+#[derive(Clone, Copy)]
+enum CellKind {
+    Gini,
+    Entropy,
+    Dyn,
+}
+
+impl CellKind {
+    fn of(imp: &dyn Impurity) -> CellKind {
+        match imp.as_any() {
+            Some(a) if a.is::<Gini>() => CellKind::Gini,
+            Some(a) if a.is::<Entropy>() => CellKind::Entropy,
+            _ => CellKind::Dyn,
+        }
+    }
+}
+
+/// Weighted impurity `n/total · imp.of(cnt)` of a basket range whose class
+/// histogram is `cnt` (summing to `n`). The Gini/Entropy arms replicate
+/// `Impurity::of` term by term — same fold order, same operations, so the
+/// result is bit-identical to the virtual call; they only skip `of`'s
+/// redundant count re-sum (`n` is exactly that usize) and the dispatch,
+/// which dominate the O(B²) cost triangle.
+#[inline]
+fn range_cost(kind: CellKind, imp: &dyn Impurity, cnt: &[usize], n: usize, total: usize) -> f64 {
+    match kind {
+        CellKind::Gini => {
+            if n == 0 {
+                return 0.0;
+            }
+            let nf = n as f64;
+            let mut s = 0.0f64;
+            for &c in cnt {
+                // No absent-class branch: the term is p = 0/n = +0.0 and
+                // adding +0.0 to the non-negative running sum is the
+                // identity on its bit pattern — exactly `Gini::of`.
+                let p = c as f64 / nf;
+                s += p * p;
+            }
+            n as f64 / total as f64 * (1.0 - s)
+        }
+        CellKind::Entropy => {
+            if n == 0 {
+                return 0.0;
+            }
+            let nf = n as f64;
+            let mut s = 0.0f64;
+            for &c in cnt {
+                if c > 0 {
+                    let p = c as f64 / nf;
+                    s += p * p.log2();
+                }
+            }
+            n as f64 / total as f64 * (-s)
+        }
+        CellKind::Dyn => n as f64 / total as f64 * imp.of(cnt),
+    }
+}
+
+/// Reusable buffers for [`interval_split_flat_in`]. The columnar engine
+/// owns one per tree grow, so the DP — called once per (node, numeric
+/// attribute) — performs no allocation at all in steady state.
+#[derive(Default)]
+pub(crate) struct DpScratch {
+    countsf: Vec<f64>,
+    rowsum: Vec<f64>,
+    cntf: Vec<f64>,
+    dp: Vec<f64>,
+    back: Vec<u32>,
+    dyn_cnt: Vec<usize>,
+    cnt2: Vec<usize>,
+}
+
+/// Fold basket row `row` into the running range histogram `cnt` and
+/// return the weighted impurity `n/total · imp.of(cnt)` of the extended
+/// range. `cnt` and `row` hold exact integers as f64 (far below 2^53, so
+/// every add is exact and `cnt[c]` stays bit-identical to `count as f64`).
+/// The Gini/Entropy arms replicate `Impurity::of` term by term — same
+/// fold order, same operations — so the result matches the virtual call
+/// bit for bit; absent-class terms are skipped (+0.0 into a non-negative
+/// sum is the identity on its bit pattern). The `Dyn` arm round-trips
+/// through `dyn_cnt` to call the virtual `of` on the usize histogram it
+/// expects.
+#[inline]
+fn cell_cost(
+    kind: CellKind,
+    imp: &dyn Impurity,
+    row: &[f64],
+    cnt: &mut [f64],
+    n: f64,
+    total: f64,
+    dyn_cnt: &mut Vec<usize>,
+) -> f64 {
+    match kind {
+        CellKind::Gini => {
+            // Unconditional fold, exactly like `Gini::of`: an absent
+            // class contributes p = 0/n = +0.0 and p·p = +0.0, so no
+            // branch is needed in the inner loop.
+            let mut s = 0.0f64;
+            for c in 0..row.len() {
+                let t = cnt[c] + row[c];
+                cnt[c] = t;
+                let p = t / n;
+                s += p * p;
+            }
+            n / total * (1.0 - s)
+        }
+        CellKind::Entropy => {
+            let mut s = 0.0f64;
+            for c in 0..row.len() {
+                let t = cnt[c] + row[c];
+                cnt[c] = t;
+                if t > 0.0 {
+                    let p = t / n;
+                    s += p * p.log2();
+                }
+            }
+            n / total * (-s)
+        }
+        CellKind::Dyn => {
+            dyn_cnt.clear();
+            for c in 0..row.len() {
+                cnt[c] += row[c];
+                dyn_cnt.push(cnt[c] as usize);
+            }
+            n / total * imp.of(dyn_cnt)
+        }
+    }
+}
+
+/// The fused triangle-sweep + DP fold of [`interval_split_flat_in`],
+/// monomorphised on the histogram width `M`, Gini only: the per-cell
+/// class loop is a compile-time-bounded unroll with the running histogram
+/// in registers. Cell for cell this performs the exact operations of
+/// [`cell_cost`]'s Gini arm in the same order, and folds candidates into
+/// `dp`/`back` exactly as the generic loop does, so the outcome is
+/// bit-identical. Returns `true` (for use in the caller's width
+/// dispatch).
+fn fused_gini_dp<const M: usize>(
+    countsf: &[f64],
+    rowsum: &[f64],
+    dp: &mut [f64],
+    back: &mut [u32],
+    b: usize,
+    k_max: usize,
+    totalf: f64,
+) -> bool {
+    let stride = b + 1;
+    for i in 0..b {
+        let mut cnt = [0.0f64; M];
+        let mut nf = 0.0f64;
+        for (off, (row, &rs)) in countsf[i * M..b * M]
+            .chunks_exact(M)
+            .zip(&rowsum[i..b])
+            .enumerate()
+        {
+            let j = i + 1 + off;
+            nf += rs;
+            let mut s = 0.0f64;
+            for c in 0..M {
+                cnt[c] += row[c];
+                let p = cnt[c] / nf;
+                s += p * p;
+            }
+            let cell = nf / totalf * (1.0 - s);
+            if i == 0 {
+                dp[stride + j] = cell;
+            } else {
+                for k in 2..=k_max {
+                    let cand = dp[(k - 1) * stride + i] + cell;
+                    if cand < dp[k * stride + j] - 1e-15 {
+                        dp[k * stride + j] = cand;
+                        back[k * stride + j] = i as u32;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Flat-counts core of [`optimal_interval_split`]: `counts` is a row-major
+/// `B × n_classes` basket histogram. The columnar engine calls this
+/// directly so the basket list never materialises per-basket `Vec`s.
+pub(crate) fn interval_split_flat(
+    counts: &[usize],
+    n_classes: usize,
+    max_branches: usize,
+    imp: &dyn Impurity,
+) -> Option<IntervalSplit> {
+    interval_split_flat_in(
+        counts,
+        n_classes,
+        max_branches,
+        imp,
+        &mut DpScratch::default(),
+    )
+}
+
+/// [`interval_split_flat`] with caller-provided scratch buffers.
+pub(crate) fn interval_split_flat_in(
+    counts: &[usize],
+    n_classes: usize,
+    max_branches: usize,
+    imp: &dyn Impurity,
+    scr: &mut DpScratch,
+) -> Option<IntervalSplit> {
+    debug_assert!(n_classes > 0 && counts.len().is_multiple_of(n_classes));
+    let b = counts.len() / n_classes;
     if b == 0 {
         return None;
     }
     let k_max = max_branches.min(b).max(1);
-    let n_classes = baskets[0].counts.len();
-    let total: usize = baskets
-        .iter()
-        .map(|bk| bk.counts.iter().sum::<usize>())
-        .sum();
+    let total: usize = counts.iter().sum();
     if total == 0 {
         return None;
     }
 
-    // Prefix class sums (flat, row-major) for O(1) range histograms.
-    let mut prefix = vec![0usize; (b + 1) * n_classes];
-    for (i, bk) in baskets.iter().enumerate() {
-        for c in 0..n_classes {
-            prefix[(i + 1) * n_classes + c] = prefix[i * n_classes + c] + bk.counts[c];
-        }
-    }
-    // Precompute cost(i, j) — the weighted impurity of baskets [i, j) —
-    // for all pairs once, into a flat triangle, reusing one scratch
-    // histogram (the DP revisits each pair up to K times and a per-cell
-    // allocation here dominates large-node growth).
-    let mut scratch = vec![0usize; n_classes];
-    let mut cost = vec![0.0f64; (b + 1) * (b + 1)];
-    for i in 0..b {
-        for j in i + 1..=b {
-            let mut n = 0usize;
-            for c in 0..n_classes {
-                let v = prefix[j * n_classes + c] - prefix[i * n_classes + c];
-                scratch[c] = v;
-                n += v;
-            }
-            cost[i * (b + 1) + j] = n as f64 / total as f64 * imp.of(&scratch);
-        }
-    }
-    let cost = |i: usize, j: usize| cost[i * (b + 1) + j];
+    // Monomorphic cost kernel: `range_cost(kind, …)` is `n/total ·
+    // imp.of(cnt)` with the virtual call replaced by an inlined copy for
+    // the two stock impurities (bit-identical; see [`range_cost`]).
+    let kind = CellKind::of(imp);
 
-    // dp[k][j]: best cost splitting baskets [0, j) into exactly k parts.
-    let mut dp = vec![vec![f64::INFINITY; b + 1]; k_max + 1];
-    let mut back = vec![vec![usize::MAX; b + 1]; k_max + 1];
-    #[allow(clippy::needless_range_loop)]
-    for j in 1..=b {
-        dp[1][j] = cost(0, j);
+    if k_max <= 2 {
+        // Binary (CART) fast path: a single interior cut only ever needs
+        // the prefix-cost row `cost(0, ·)` and suffix-cost row `cost(·, b)`
+        // — O(B) cost cells instead of the O(B²) triangle. Same cell
+        // arithmetic and tie rules as the general DP below. The left
+        // histogram accumulates incrementally, the right is whole − left
+        // (exact usize arithmetic, so each cell sees the very histogram a
+        // from-scratch range sum would produce).
+        let right = &mut scr.cnt2;
+        right.clear();
+        right.resize(n_classes, 0);
+        for i in 0..b {
+            for c in 0..n_classes {
+                right[c] += counts[i * n_classes + c];
+            }
+        }
+        let whole = range_cost(kind, imp, right, total, total);
+        if k_max == 1 || b < 2 {
+            return Some(IntervalSplit {
+                impurity: whole,
+                arity: 1,
+                cut_after: Vec::new(),
+            });
+        }
+        let left = &mut scr.dyn_cnt;
+        left.clear();
+        left.resize(n_classes, 0);
+        let mut n_left = 0usize;
+        let mut best2 = f64::INFINITY;
+        let mut back2 = usize::MAX;
+        for split in 1..b {
+            let row = &counts[(split - 1) * n_classes..split * n_classes];
+            for c in 0..n_classes {
+                let v = row[c];
+                left[c] += v;
+                right[c] -= v;
+                n_left += v;
+            }
+            let c = range_cost(kind, imp, left, n_left, total)
+                + range_cost(kind, imp, right, total - n_left, total);
+            if c < best2 - 1e-15 {
+                best2 = c;
+                back2 = split;
+            }
+        }
+        // Ties go to fewer branches (Definition 7).
+        return Some(if best2 < whole - 1e-12 {
+            IntervalSplit {
+                impurity: best2,
+                arity: 2,
+                cut_after: vec![back2 - 1],
+            }
+        } else {
+            IntervalSplit {
+                impurity: whole,
+                arity: 1,
+                cut_after: Vec::new(),
+            }
+        });
     }
-    for k in 2..=k_max {
-        for j in k..=b {
-            for split in (k - 1)..j {
-                let c = dp[k - 1][split] + cost(split, j);
-                if c < dp[k][j] - 1e-15 {
-                    dp[k][j] = c;
-                    back[k][j] = split;
+
+    let DpScratch {
+        countsf,
+        rowsum,
+        cntf,
+        dp,
+        back,
+        dyn_cnt,
+        ..
+    } = scr;
+
+    // Class counts as f64 (exact: integer-valued, far below 2^53), so
+    // the triangle's running histogram adds need no per-cell int→float
+    // conversion; per-basket weights likewise, so each cell's range size
+    // is one add instead of a class loop (exact integer arithmetic, so
+    // the accumulated `nf` is bit-identical to the usize sum cast once).
+    countsf.clear();
+    countsf.extend(counts.iter().map(|&c| c as f64));
+    rowsum.clear();
+    rowsum.extend(
+        countsf
+            .chunks_exact(n_classes)
+            .map(|r| r.iter().sum::<f64>()),
+    );
+    let totalf = total as f64;
+
+    // dp[k][j]: best cost splitting baskets [0, j) into exactly k parts
+    // (flattened, stride b + 1). The O(B²) cost triangle and the layered
+    // DP are fused: triangle row `i` (cells cost(i, j), j ∈ i+1..=b) is
+    // one incremental-histogram sweep, and each cell folds into every
+    // layer the moment it is produced — dp[k][j] gains the candidate
+    // dp[k−1][i] + cost(i, j), so no cell is ever materialised. When row
+    // `i` runs, dp[k−1][i] has received every candidate (all come from
+    // rows < i), so it is final, exactly as in the layered form; and for
+    // fixed (k, j) candidates still arrive in ascending split order under
+    // the same `1e-15` tie rule, so dp, back, and the reconstructed cuts
+    // are bit-identical to the layered form. (Candidates i < k−1 have
+    // dp[k−1][i] = ∞ — a k−1-way split needs k−1 baskets — and ∞ never
+    // beats anything, matching the layered form's split range.)
+    let stride = b + 1;
+    dp.clear();
+    dp.resize((k_max + 1) * stride, f64::INFINITY);
+    back.clear();
+    back.resize((k_max + 1) * stride, u32::MAX);
+    // Gini calls dispatch once to a width-monomorphised sweep (same
+    // arithmetic; the class loop fully unrolls and the histogram lives in
+    // registers). Other impurities take the generic per-cell kernel.
+    let monomorphised = matches!(kind, CellKind::Gini)
+        && match n_classes {
+            1 => fused_gini_dp::<1>(countsf, rowsum, dp, back, b, k_max, totalf),
+            2 => fused_gini_dp::<2>(countsf, rowsum, dp, back, b, k_max, totalf),
+            3 => fused_gini_dp::<3>(countsf, rowsum, dp, back, b, k_max, totalf),
+            4 => fused_gini_dp::<4>(countsf, rowsum, dp, back, b, k_max, totalf),
+            5 => fused_gini_dp::<5>(countsf, rowsum, dp, back, b, k_max, totalf),
+            6 => fused_gini_dp::<6>(countsf, rowsum, dp, back, b, k_max, totalf),
+            7 => fused_gini_dp::<7>(countsf, rowsum, dp, back, b, k_max, totalf),
+            8 => fused_gini_dp::<8>(countsf, rowsum, dp, back, b, k_max, totalf),
+            _ => false,
+        };
+    if !monomorphised {
+        cntf.clear();
+        cntf.resize(n_classes, 0.0);
+        for i in 0..b {
+            cntf.iter_mut().for_each(|c| *c = 0.0);
+            let mut nf = 0.0f64;
+            for j in i + 1..=b {
+                nf += rowsum[j - 1];
+                let row = &countsf[(j - 1) * n_classes..j * n_classes];
+                let cell = cell_cost(kind, imp, row, cntf, nf, totalf, dyn_cnt);
+                if i == 0 {
+                    dp[stride + j] = cell;
+                } else {
+                    for k in 2..=k_max {
+                        let cand = dp[(k - 1) * stride + i] + cell;
+                        if cand < dp[k * stride + j] - 1e-15 {
+                            dp[k * stride + j] = cand;
+                            back[k * stride + j] = i as u32;
+                        }
+                    }
                 }
             }
         }
@@ -280,7 +602,7 @@ pub fn optimal_interval_split(
     // (Definition 7).
     let mut best_k = 1;
     for k in 2..=k_max {
-        if dp[k][b] < dp[best_k][b] - 1e-12 {
+        if dp[k * stride + b] < dp[best_k * stride + b] - 1e-12 {
             best_k = k;
         }
     }
@@ -288,14 +610,14 @@ pub fn optimal_interval_split(
     let mut cut_after = Vec::new();
     let (mut k, mut j) = (best_k, b);
     while k > 1 {
-        let split = back[k][j];
+        let split = back[k * stride + j] as usize;
         cut_after.push(split - 1);
         j = split;
         k -= 1;
     }
     cut_after.reverse();
     Some(IntervalSplit {
-        impurity: dp[best_k][b],
+        impurity: dp[best_k * stride + b],
         arity: best_k,
         cut_after,
     })
@@ -307,7 +629,7 @@ pub fn optimal_interval_split(
 /// numeric nodes (the guarantee is exact whenever `B ≤ 256`, which covers
 /// every modest node exactly; only large
 /// largest nodes are coarsened).
-const MAX_DP_BASKETS: usize = 160;
+pub(crate) const MAX_DP_BASKETS: usize = 160;
 
 /// Merge adjacent baskets into at most `max` groups of near-equal weight.
 fn coarsen(baskets: Vec<Basket>, max: usize) -> Vec<Basket> {
@@ -367,7 +689,7 @@ pub fn optimal_numeric_split(
     Some((SplitTest::NumRanges { attr, cuts }, s.impurity))
 }
 
-fn midpoint(a: f64, b: f64) -> f64 {
+pub(crate) fn midpoint(a: f64, b: f64) -> f64 {
     a + (b - a) / 2.0
 }
 
@@ -401,10 +723,24 @@ pub fn optimal_categorical_split(
             hist[v as usize][data.class(r) as usize] += 1;
         }
     }
+    optimal_categorical_split_hist(attr, &hist, data.n_classes(), max_branches, imp)
+}
+
+/// Histogram core of [`optimal_categorical_split`]: the search given the
+/// per-value class histograms (`hist[v][class]`). The columnar engine
+/// computes the histograms from its code columns and calls this directly.
+pub(crate) fn optimal_categorical_split_hist(
+    attr: usize,
+    hist: &[Vec<usize>],
+    n_classes: usize,
+    max_branches: usize,
+    imp: &dyn Impurity,
+) -> Option<(SplitTest, f64)> {
+    let cardinality = hist.len();
     // Logical values: all pure values of one class merge (provably
     // together in an optimal split, §5.3.2).
     let mut logical: Vec<(Vec<u16>, Vec<usize>)> = Vec::new(); // (values, counts)
-    let mut pure_slot: Vec<Option<usize>> = vec![None; data.n_classes()];
+    let mut pure_slot: Vec<Option<usize>> = vec![None; n_classes];
     #[allow(clippy::needless_range_loop)]
     for v in 0..cardinality {
         let counts = &hist[v];
@@ -431,12 +767,12 @@ pub fn optimal_categorical_split(
         return None;
     }
 
-    let orderings: Vec<Vec<usize>> =
-        if data.n_classes() > 2 && logical.len() <= MAX_EXHAUSTIVE_CATEGORICAL {
-            permutations(logical.len())
-        } else {
-            vec![ratio_ordering(&logical)]
-        };
+    let orderings: Vec<Vec<usize>> = if n_classes > 2 && logical.len() <= MAX_EXHAUSTIVE_CATEGORICAL
+    {
+        permutations(logical.len())
+    } else {
+        vec![ratio_ordering(&logical)]
+    };
 
     let mut best: Option<(Vec<Vec<u16>>, f64, usize)> = None;
     for order in orderings {

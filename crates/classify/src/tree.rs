@@ -7,6 +7,7 @@
 //! branch (a simple, documented policy; C4.5's fractional-case weighting
 //! is not reproduced).
 
+use crate::columnar::{self, ColumnarIndex};
 use crate::data::{Classifier, Dataset};
 use crate::impurity::{Gini, Impurity};
 use crate::split::{best_split, c45_split, SplitTest};
@@ -45,7 +46,7 @@ impl Default for GrowConfig {
 }
 
 /// One node of a grown tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TreeNode {
     /// Class histogram of the training rows at this node.
     pub class_counts: Vec<usize>,
@@ -74,7 +75,7 @@ impl TreeNode {
 }
 
 /// A grown classification tree (arena of nodes, root at index 0).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
     /// The nodes; children referenced by index.
     pub nodes: Vec<TreeNode>,
@@ -84,7 +85,37 @@ pub struct DecisionTree {
 
 impl DecisionTree {
     /// Grow a tree on `rows` of `data` with the given rule.
+    ///
+    /// Ingests `data` into a fresh [`ColumnarIndex`] first; when growing
+    /// many trees over one dataset (cross-validation, windowing trials),
+    /// build the index once and use [`DecisionTree::grow_indexed`].
     pub fn grow(data: &Dataset, rows: &[usize], rule: &GrowRule, config: &GrowConfig) -> Self {
+        let index = ColumnarIndex::build(data);
+        columnar::grow(data, &index, rows, rule, config)
+    }
+
+    /// Grow a tree over a prebuilt [`ColumnarIndex`] of `data` — the
+    /// presort-once columnar engine. Produces exactly the tree
+    /// [`DecisionTree::grow_reference`] would.
+    pub fn grow_indexed(
+        data: &Dataset,
+        index: &ColumnarIndex,
+        rows: &[usize],
+        rule: &GrowRule,
+        config: &GrowConfig,
+    ) -> Self {
+        columnar::grow(data, index, rows, rule, config)
+    }
+
+    /// The classic row-materialising growth path, which re-sorts numeric
+    /// attributes at every node. Kept as the reference implementation the
+    /// golden-equivalence suite compares the columnar engine against.
+    pub fn grow_reference(
+        data: &Dataset,
+        rows: &[usize],
+        rule: &GrowRule,
+        config: &GrowConfig,
+    ) -> Self {
         let mut tree = DecisionTree {
             nodes: Vec::new(),
             n_train: rows.len(),

@@ -9,13 +9,13 @@
 //! as the original workers kept them in their own address spaces and
 //! published only summary tuples.
 
-use classify::c45::{grow_windowed, C45Config};
+use classify::c45::{grow_windowed_indexed, C45Config};
 use classify::data::Dataset;
 use classify::nyuminer::{
-    extract_rules, grow_incremental, reevaluate_rules, NyuConfig, NyuMinerRS, RuleList,
+    extract_rules, grow_incremental_indexed, reevaluate_rules, NyuConfig, NyuMinerRS, RuleList,
 };
 use classify::tree::DecisionTree;
-use classify::Classifier;
+use classify::{Classifier, ColumnarIndex};
 use parking_lot::Mutex;
 use plinda::{FarmConfig, TaskFarm};
 use std::sync::Arc;
@@ -35,16 +35,25 @@ pub fn parallel_c45_trials(
     assert!(trials >= 1 && workers >= 1);
     let grown: Arc<Mutex<Vec<Option<DecisionTree>>>> =
         Arc::new(Mutex::new((0..trials).map(|_| None).collect()));
+    // One columnar ingest, shared by every trial on every worker.
+    let index: Arc<ColumnarIndex> = Arc::new(ColumnarIndex::build(&data));
 
     let w_data = Arc::clone(&data);
     let w_rows = Arc::clone(&rows);
+    let w_index = Arc::clone(&index);
     let w_grown = Arc::clone(&grown);
     let w_config = config.clone();
     let farm = TaskFarm::<i64, (i64, f64)>::start(
         "pc45",
         FarmConfig::bag(workers),
         move |scope, _flag, i| {
-            let tree = grow_windowed(&w_data, &w_rows, &w_config, seed.wrapping_add(i as u64));
+            let tree = grow_windowed_indexed(
+                &w_data,
+                &w_index,
+                &w_rows,
+                &w_config,
+                seed.wrapping_add(i as u64),
+            );
             let acc = tree.accuracy(&w_data, &w_rows);
             w_grown.lock()[i as usize] = Some(tree);
             scope.result(&(i, acc));
@@ -96,9 +105,12 @@ pub fn parallel_nyuminer_rs(
     assert!(trials >= 1 && workers >= 1);
     let grown: Arc<Mutex<Vec<Option<DecisionTree>>>> =
         Arc::new(Mutex::new((0..trials).map(|_| None).collect()));
+    // One columnar ingest, shared by every trial on every worker.
+    let index: Arc<ColumnarIndex> = Arc::new(ColumnarIndex::build(&data));
 
     let w_data = Arc::clone(&data);
     let w_rows = Arc::clone(&rows);
+    let w_index = Arc::clone(&index);
     let w_grown = Arc::clone(&grown);
     let w_config = config.clone();
     let farm = TaskFarm::<i64, (i64, f64)>::start(
@@ -106,8 +118,9 @@ pub fn parallel_nyuminer_rs(
         FarmConfig::bag(workers),
         move |scope, _flag, i| {
             // Same per-trial seed schedule as the sequential fit.
-            let tree = grow_incremental(
+            let tree = grow_incremental_indexed(
                 &w_data,
+                &w_index,
                 &w_rows,
                 &w_config,
                 seed.wrapping_add(i as u64 * 7919),

@@ -21,7 +21,7 @@
 use classify::data::Dataset;
 use classify::prune::{ccp_sequence, select_for_alpha};
 use classify::tree::{DecisionTree, GrowRule};
-use classify::{Classifier, NyuConfig};
+use classify::{Classifier, ColumnarIndex, NyuConfig};
 use plinda::{Chan, FarmConfig, TaskFarm};
 use std::sync::Arc;
 
@@ -49,6 +49,8 @@ pub fn parallel_nyuminer_cv(
 ) -> ParallelCv {
     assert!(v >= 2 && workers >= 1);
     let folds: Arc<Vec<Vec<usize>>> = Arc::new(data.folds(&rows, v, seed));
+    // One columnar ingest, shared by the main tree and every fold worker.
+    let index: Arc<ColumnarIndex> = Arc::new(ColumnarIndex::build(&data));
 
     let max_branches = config.max_branches;
     let impurity = config.impurity;
@@ -60,6 +62,7 @@ pub fn parallel_nyuminer_cv(
     // midpoints, report the fold's per-α error vector.
     let w_data = Arc::clone(&data);
     let w_folds = Arc::clone(&folds);
+    let w_index = Arc::clone(&index);
     let w_grow = grow.clone();
     let w_mids = mids_chan.clone();
     let farm = TaskFarm::<i64, (i64, Vec<u32>)>::start(
@@ -78,7 +81,7 @@ pub fn parallel_nyuminer_cv(
                 max_branches,
                 impurity: impurity.as_dyn(),
             };
-            let aux = DecisionTree::grow(&w_data, &train, &rule, &w_grow);
+            let aux = DecisionTree::grow_indexed(&w_data, &w_index, &train, &rule, &w_grow);
             let seq = ccp_sequence(&aux);
             // Broadcast read: every worker reads the same midpoints.
             let mids = w_mids.read_txn(scope.proc())?;
@@ -105,7 +108,7 @@ pub fn parallel_nyuminer_cv(
         max_branches,
         impurity: impurity.as_dyn(),
     };
-    let main = DecisionTree::grow(&data, &rows, &rule, &grow);
+    let main = DecisionTree::grow_indexed(&data, &index, &rows, &rule, &grow);
     let seq = ccp_sequence(&main);
 
     // Midpoints α'_k of the main sequence (same formula as the sequential

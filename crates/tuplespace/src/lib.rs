@@ -95,4 +95,4 @@ pub use process::{PlindaError, Process, ProcessStatus};
 pub use runtime::{FaultPlan, Runtime};
 pub use space::TupleSpace;
 pub use template::{field, Field, Template};
-pub use value::{Tuple, TypeTag, Value};
+pub use value::{Sig, Tuple, TypeTag, Value};

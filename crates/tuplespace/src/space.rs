@@ -18,7 +18,7 @@
 use crate::check::trace::{self, OpKind, Recorder, RecorderSlot, TraceEvent};
 use crate::codec;
 use crate::template::Template;
-use crate::value::{Tuple, TypeTag};
+use crate::value::{Sig, Tuple};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -40,7 +40,7 @@ struct Partition {
 /// process that is parked inside `in` — the PLinda server does exactly this
 /// when a workstation owner returns (§7.1.1).
 pub struct TupleSpace {
-    registry: Mutex<HashMap<Vec<TypeTag>, Arc<Partition>>>,
+    registry: Mutex<HashMap<Sig, Arc<Partition>>>,
     /// Total visible tuples (kept in sync under partition locks).
     len: AtomicUsize,
     /// Optional trace recorder; one relaxed load per op when disabled.
@@ -87,18 +87,20 @@ impl TupleSpace {
     /// Get-or-create the partition for `sig`. Partitions are never removed
     /// once created, so producer and consumer always converge on the same
     /// `Arc` even when the signature first appears as a *template*.
-    fn partition(&self, sig: Vec<TypeTag>) -> Arc<Partition> {
+    fn partition(&self, sig: Sig) -> Arc<Partition> {
         Arc::clone(self.registry.lock().entry(sig).or_default())
     }
 
     /// Existing partition for `sig`, if any tuple or waiter ever used it.
-    fn existing(&self, sig: &[TypeTag]) -> Option<Arc<Partition>> {
+    fn existing(&self, sig: &Sig) -> Option<Arc<Partition>> {
         self.registry.lock().get(sig).cloned()
     }
 
     /// Sorted `(signature, partition)` pairs — the deterministic iteration
-    /// order every multi-partition operation uses.
-    fn sorted_partitions(&self) -> Vec<(Vec<TypeTag>, Arc<Partition>)> {
+    /// order every multi-partition operation uses. `Sig`'s order agrees
+    /// with lexicographic tag order, so this matches the order the space
+    /// produced when signatures were stored as tag vectors.
+    fn sorted_partitions(&self) -> Vec<(Sig, Arc<Partition>)> {
         let reg = self.registry.lock();
         let mut parts: Vec<_> = reg
             .iter()
@@ -111,7 +113,7 @@ impl TupleSpace {
     /// `out`: make `t` visible to every process. Never blocks. Wakes only
     /// waiters parked on `t`'s signature partition.
     pub fn out(&self, t: Tuple) {
-        let part = self.partition(t.signature());
+        let part = self.partition(t.sig());
         let mut tuples = part.tuples.lock();
         // Record under the partition lock so the trace order of this
         // tuple's production agrees with its real visibility order.
@@ -132,9 +134,9 @@ impl TupleSpace {
         if ts.is_empty() {
             return;
         }
-        let mut by_sig: HashMap<Vec<TypeTag>, Vec<Tuple>> = HashMap::new();
+        let mut by_sig: HashMap<Sig, Vec<Tuple>> = HashMap::new();
         for t in ts {
-            by_sig.entry(t.signature()).or_default().push(t);
+            by_sig.entry(t.sig()).or_default().push(t);
         }
         let mut sigs: Vec<_> = by_sig.keys().cloned().collect();
         sigs.sort();
@@ -163,7 +165,7 @@ impl TupleSpace {
 
     /// `inp`: withdraw a matching tuple if one exists, without blocking.
     pub fn inp(&self, tmpl: &Template) -> Option<Tuple> {
-        if let Some(part) = self.existing(&tmpl.signature()) {
+        if let Some(part) = self.existing(&tmpl.sig()) {
             let mut tuples = part.tuples.lock();
             // Order within a partition is not part of the Linda contract;
             // swap_remove keeps withdrawal O(1).
@@ -187,7 +189,7 @@ impl TupleSpace {
 
     /// `rdp`: copy a matching tuple if one exists, without blocking.
     pub fn rdp(&self, tmpl: &Template) -> Option<Tuple> {
-        if let Some(part) = self.existing(&tmpl.signature()) {
+        if let Some(part) = self.existing(&tmpl.sig()) {
             let tuples = part.tuples.lock();
             if let Some(t) = tuples.iter().find(|t| tmpl.matches(t)) {
                 let t = t.clone();
@@ -210,7 +212,7 @@ impl TupleSpace {
     /// probe used by the interleaving explorer to decide enabledness
     /// without perturbing the trace.
     pub(crate) fn has_match(&self, tmpl: &Template) -> bool {
-        match self.existing(&tmpl.signature()) {
+        match self.existing(&tmpl.sig()) {
             Some(part) => part.tuples.lock().iter().any(|t| tmpl.matches(t)),
             None => false,
         }
@@ -249,7 +251,7 @@ impl TupleSpace {
     ) -> Option<Tuple> {
         // Waiting on a signature nobody has produced yet creates its
         // (empty) partition, so the eventual `out` finds our condvar.
-        let part = self.partition(tmpl.signature());
+        let part = self.partition(tmpl.sig());
         let mut tuples = part.tuples.lock();
         let mut parked = false;
         loop {
@@ -322,7 +324,7 @@ impl TupleSpace {
 
     /// Count visible tuples matching `tmpl` (diagnostics / tests).
     pub fn count(&self, tmpl: &Template) -> usize {
-        match self.existing(&tmpl.signature()) {
+        match self.existing(&tmpl.sig()) {
             Some(part) => part
                 .tuples
                 .lock()
@@ -370,7 +372,7 @@ impl TupleSpace {
         let mut leftover = Vec::new();
         let total = tuples.len();
         'tuple: for t in tuples {
-            let sig = t.signature();
+            let sig = t.sig();
             for (i, (k, _)) in parts.iter().enumerate() {
                 if *k == sig {
                     self.rec.record(|| TraceEvent::OutVisible {

@@ -6,7 +6,7 @@
 //! `rd(template)` reads any tuple whose arity, field types, and actual
 //! fields all agree with the template.
 
-use crate::value::{Tuple, TypeTag, Value};
+use crate::value::{Sig, Tuple, TypeTag, Value};
 
 /// One field of a [`Template`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -83,6 +83,12 @@ impl Template {
     /// this is what makes signature partitioning of the space sound.
     pub fn signature(&self) -> Vec<TypeTag> {
         self.0.iter().map(Field::tag).collect()
+    }
+
+    /// The packed form of [`Template::signature`] — what the space keys
+    /// its partitions on. Allocation-free for arity ≤ 32.
+    pub fn sig(&self) -> Sig {
+        Sig::from_tags(self.0.iter().map(Field::tag))
     }
 
     /// Does `tuple` satisfy this template?

@@ -39,6 +39,133 @@ impl fmt::Display for TypeTag {
     }
 }
 
+/// Signatures of up to this many fields pack into a single `u128`.
+const SIG_PACK_MAX: usize = 32;
+
+#[inline]
+fn tag_code(t: TypeTag) -> u8 {
+    t as u8 + 1 // 0 is reserved for "no field" so arity is encoded too
+}
+
+#[inline]
+fn tag_from_code(c: u8) -> TypeTag {
+    match c {
+        1 => TypeTag::Int,
+        2 => TypeTag::Real,
+        3 => TypeTag::Str,
+        4 => TypeTag::Bytes,
+        _ => TypeTag::List,
+    }
+}
+
+/// A tuple's type signature in the form the space partitions on.
+///
+/// Signatures are computed on every Linda operation, so the common case
+/// (arity ≤ 32) packs the whole tag sequence into one `u128` — one nibble
+/// per field, first field in the highest nibble — and costs nothing to
+/// build, hash, or compare. Longer signatures fall back to a shared slice.
+///
+/// The big-endian nibble layout makes the raw `u128` order coincide with
+/// lexicographic order on the tag sequence (unused low nibbles are zero,
+/// below every real tag code), so sorting [`Sig`]s reproduces the exact
+/// partition order the space used when it sorted `Vec<TypeTag>` keys —
+/// checkpoint byte streams are unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Sig {
+    /// Up to [`SIG_PACK_MAX`] tags, one 4-bit code each.
+    Packed(u128),
+    /// Signatures longer than [`SIG_PACK_MAX`] fields (rare).
+    Heap(std::sync::Arc<[TypeTag]>),
+}
+
+impl Sig {
+    /// Build a signature from a tag sequence of known length.
+    pub fn from_tags<I>(tags: I) -> Sig
+    where
+        I: IntoIterator<Item = TypeTag>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let it = tags.into_iter();
+        if it.len() <= SIG_PACK_MAX {
+            let mut bits = 0u128;
+            for (i, t) in it.enumerate() {
+                bits |= (tag_code(t) as u128) << (124 - 4 * i);
+            }
+            Sig::Packed(bits)
+        } else {
+            Sig::Heap(it.collect())
+        }
+    }
+
+    /// The tag sequence this signature encodes.
+    pub fn tags(&self) -> SigTags<'_> {
+        SigTags {
+            inner: match self {
+                Sig::Packed(bits) => SigTagsInner::Packed(*bits),
+                Sig::Heap(tags) => SigTagsInner::Heap(tags.iter()),
+            },
+        }
+    }
+}
+
+impl PartialOrd for Sig {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sig {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            // Big-endian nibbles: raw order == lexicographic tag order.
+            (Sig::Packed(a), Sig::Packed(b)) => a.cmp(b),
+            _ => self.tags().cmp(other.tags()),
+        }
+    }
+}
+
+impl fmt::Display for Sig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, t) in self.tags().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Iterator over the tags of a [`Sig`].
+pub struct SigTags<'a> {
+    inner: SigTagsInner<'a>,
+}
+
+enum SigTagsInner<'a> {
+    Packed(u128),
+    Heap(std::slice::Iter<'a, TypeTag>),
+}
+
+impl Iterator for SigTags<'_> {
+    type Item = TypeTag;
+
+    fn next(&mut self) -> Option<TypeTag> {
+        match &mut self.inner {
+            SigTagsInner::Packed(bits) => {
+                let nib = (*bits >> 124) as u8 & 0xF;
+                if nib == 0 {
+                    None
+                } else {
+                    *bits <<= 4;
+                    Some(tag_from_code(nib))
+                }
+            }
+            SigTagsInner::Heap(it) => it.next().copied(),
+        }
+    }
+}
+
 /// A single field of a tuple.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -189,6 +316,12 @@ impl Tuple {
         self.0.iter().map(Value::tag).collect()
     }
 
+    /// The packed form of [`Tuple::signature`] — what the space actually
+    /// keys its partitions on. Allocation-free for arity ≤ 32.
+    pub fn sig(&self) -> Sig {
+        Sig::from_tags(self.0.iter().map(Value::tag))
+    }
+
     /// Field accessor; panics if out of range.
     pub fn get(&self, i: usize) -> &Value {
         &self.0[i]
@@ -307,5 +440,70 @@ mod tests {
     fn display_forms() {
         let t = tup!["m", 1, 2.5];
         assert_eq!(format!("{t}"), "(\"m\", 1, 2.5)");
+    }
+
+    #[test]
+    fn sig_roundtrips_tags() {
+        let t = tup!["task", 3, 4.5];
+        let sig = t.sig();
+        assert!(matches!(sig, Sig::Packed(_)));
+        assert_eq!(sig.tags().collect::<Vec<_>>(), t.signature());
+        assert_eq!(format!("{sig}"), "(str, int, real)");
+        assert_eq!(Tuple::new(vec![]).sig().tags().count(), 0);
+    }
+
+    #[test]
+    fn sig_equality_matches_signature_equality() {
+        let a = tup!["x", 1, 2.0];
+        let b = tup!["yy", -5, 0.25];
+        let c = tup!["x", 1];
+        assert_eq!(a.sig(), b.sig());
+        assert_ne!(a.sig(), c.sig());
+    }
+
+    #[test]
+    fn sig_order_agrees_with_tag_vector_order() {
+        // The space sorts partitions by signature; Sig's order must
+        // reproduce the lexicographic Vec<TypeTag> order exactly,
+        // including the shorter-prefix-first rule.
+        use TypeTag::*;
+        let seqs: Vec<Vec<TypeTag>> = vec![
+            vec![],
+            vec![Int],
+            vec![Int, Int],
+            vec![Int, List],
+            vec![Real],
+            vec![Str, Int],
+            vec![Str, Int, Real],
+            vec![Str, Real],
+            vec![Bytes],
+            vec![List, Bytes],
+        ];
+        let mut by_vec = seqs.clone();
+        by_vec.sort();
+        let mut by_sig: Vec<Sig> = seqs
+            .iter()
+            .map(|s| Sig::from_tags(s.iter().copied()))
+            .collect();
+        by_sig.sort();
+        let decoded: Vec<Vec<TypeTag>> = by_sig.iter().map(|s| s.tags().collect()).collect();
+        assert_eq!(decoded, by_vec);
+    }
+
+    #[test]
+    fn sig_heap_fallback_for_wide_tuples() {
+        use TypeTag::*;
+        let tags: Vec<TypeTag> = (0..40)
+            .map(|i| if i % 2 == 0 { Int } else { Str })
+            .collect();
+        let sig = Sig::from_tags(tags.iter().copied());
+        assert!(matches!(sig, Sig::Heap(_)));
+        assert_eq!(sig.tags().collect::<Vec<_>>(), tags);
+        // A packed 32-wide sig sorts below any 33+-wide sig sharing its
+        // prefix (prefix rule holds across the representation boundary).
+        let wide = Sig::from_tags(std::iter::repeat_n(Int, 33));
+        let narrow = Sig::from_tags(std::iter::repeat_n(Int, 32));
+        assert!(narrow < wide);
+        assert!(sig.cmp(&sig.clone()) == std::cmp::Ordering::Equal);
     }
 }
