@@ -26,15 +26,31 @@ pub fn parallel_apriori(
     min_support: usize,
     workers: usize,
 ) -> FrequentItemsets {
+    parallel_apriori_metered(db, min_support, workers, None)
+}
+
+/// [`parallel_apriori`] with an optional metrics registry installed on
+/// the farm's tuple space; the farm folds per-worker accounting into it
+/// at teardown — snapshot after this returns for the run's ledger.
+pub fn parallel_apriori_metered(
+    db: Arc<TransactionDb>,
+    min_support: usize,
+    workers: usize,
+    metrics: Option<plinda::MetricsRegistry>,
+) -> FrequentItemsets {
     assert!(workers >= 1);
     let n = db.len();
 
     // Workers: count local supports for broadcast candidate sets. Each
     // worker's horizontal partition is derived from its farm index.
     let w_db = Arc::clone(&db);
+    let mut cfg = FarmConfig::per_worker(workers);
+    if let Some(reg) = metrics {
+        cfg = cfg.with_metrics(reg);
+    }
     let farm = TaskFarm::<Vec<Itemset>, (i64, i64, Vec<u32>)>::start(
         "pear",
-        FarmConfig::per_worker(workers),
+        cfg,
         move |scope, level, cands| {
             let w = scope.index();
             let (from, to) = (w * n / workers, (w + 1) * n / workers);

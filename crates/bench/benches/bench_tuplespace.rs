@@ -74,6 +74,30 @@ fn bench_out_inp(c: &mut Criterion) {
         });
     });
 
+    // Metrics overhead at the single-op level, both sides of the switch:
+    // with a registry installed (per-partition cached handles, ~3 relaxed
+    // atomic RMWs per op) and the disabled default (one relaxed atomic
+    // load per op — must sit within noise of the plain out_inp_cycle).
+    g.bench_function("out_inp_cycle_metrics", |b| {
+        let ts = TupleSpace::new();
+        ts.set_metrics(Some(plinda::MetricsRegistry::new()));
+        let tmpl = Template::new(vec![field::val("t"), field::int()]);
+        b.iter(|| {
+            ts.out(tup!["t", 1]);
+            std::hint::black_box(ts.inp(&tmpl)).unwrap()
+        });
+    });
+    g.bench_function("out_inp_cycle_metrics_off", |b| {
+        let ts = TupleSpace::new();
+        ts.set_metrics(Some(plinda::MetricsRegistry::new()));
+        ts.set_metrics(None); // installed then removed: the gated path
+        let tmpl = Template::new(vec![field::val("t"), field::int()]);
+        b.iter(|| {
+            ts.out(tup!["t", 1]);
+            std::hint::black_box(ts.inp(&tmpl)).unwrap()
+        });
+    });
+
     g.bench_function("checkpoint_1000_tuples", |b| {
         let ts = TupleSpace::new();
         for i in 0..1000i64 {

@@ -61,6 +61,10 @@ pub struct ParallelConfig {
     /// Optional trace recorder, installed on the farm's tuple space so the
     /// run can be audited with the `plinda::check` protocol checkers.
     pub recorder: Option<plinda::Recorder>,
+    /// Optional metrics registry, installed on the farm's tuple space.
+    /// The farm folds per-worker accounting into it at teardown; snapshot
+    /// it after the driver returns for the run's complete ledger.
+    pub metrics: Option<plinda::MetricsRegistry>,
 }
 
 impl ParallelConfig {
@@ -72,6 +76,7 @@ impl ParallelConfig {
             initial_task_level: 1,
             kill_schedule: Vec::new(),
             recorder: None,
+            metrics: None,
         }
     }
 
@@ -83,6 +88,7 @@ impl ParallelConfig {
             initial_task_level: 1,
             kill_schedule: Vec::new(),
             recorder: None,
+            metrics: None,
         }
     }
 
@@ -105,6 +111,13 @@ impl ParallelConfig {
         self.recorder = Some(rec);
         self
     }
+
+    /// Meter the run into `reg`: live tuple-space/transaction metrics
+    /// while running, per-worker accounting folded in at farm teardown.
+    pub fn with_metrics(mut self, reg: plinda::MetricsRegistry) -> Self {
+        self.metrics = Some(reg);
+        self
+    }
 }
 
 /// Ordinary evaluate-and-expand task (PLET) / evaluate task (PLED).
@@ -125,6 +138,9 @@ fn bag_config(config: &ParallelConfig) -> FarmConfig {
     }
     if let Some(rec) = &config.recorder {
         cfg = cfg.with_recorder(rec.clone());
+    }
+    if let Some(reg) = &config.metrics {
+        cfg = cfg.with_metrics(reg.clone());
     }
     cfg
 }
@@ -151,13 +167,23 @@ pub fn parallel_edt<P>(problem: Arc<P>, workers: usize) -> MiningOutcome<P::Patt
 where
     P: MiningProblem + PatternCodec + Send + Sync + 'static,
 {
-    assert!(workers >= 1, "need at least one worker");
+    parallel_edt_cfg(problem, &ParallelConfig::load_balanced(workers))
+}
+
+/// [`parallel_edt`] with full [`ParallelConfig`] control (kill schedule,
+/// trace recorder, metrics registry; the strategy and task-level fields
+/// are ignored — PLED is inherently level-synchronised).
+pub fn parallel_edt_cfg<P>(problem: Arc<P>, config: &ParallelConfig) -> MiningOutcome<P::Pattern>
+where
+    P: MiningProblem + PatternCodec + Send + Sync + 'static,
+{
+    assert!(config.workers >= 1, "need at least one worker");
 
     // PLED worker (Fig. 3.5): evaluate goodness of task patterns.
     let wp = Arc::clone(&problem);
     let farm = TaskFarm::<Vec<u8>, (Vec<u8>, f64)>::start(
         "pled",
-        FarmConfig::bag(workers),
+        bag_config(config),
         move |scope, _flag, enc| {
             let p = wp.decode_pattern(&enc);
             let g = wp.goodness(&p);
@@ -372,7 +398,25 @@ pub fn parallel_hybrid<P>(
 where
     P: MiningProblem + PatternCodec + Send + Sync + 'static,
 {
-    assert!(workers >= 1, "need at least one worker");
+    parallel_hybrid_cfg(
+        problem,
+        &ParallelConfig::load_balanced(workers),
+        switch_level,
+    )
+}
+
+/// [`parallel_hybrid`] with full [`ParallelConfig`] control (kill
+/// schedule, trace recorder, metrics registry; the strategy field is
+/// ignored — the hybrid's PLET phase is always load-balanced).
+pub fn parallel_hybrid_cfg<P>(
+    problem: Arc<P>,
+    config: &ParallelConfig,
+    switch_level: usize,
+) -> MiningOutcome<P::Pattern>
+where
+    P: MiningProblem + PatternCodec + Send + Sync + 'static,
+{
+    assert!(config.workers >= 1, "need at least one worker");
     assert!(switch_level >= 1, "switch level starts at 1");
 
     // One worker program serving both protocols, selected per task flag:
@@ -383,7 +427,7 @@ where
     let wp = Arc::clone(&problem);
     let farm = TaskFarm::<Vec<u8>, DoneReport>::start(
         "hybrid",
-        FarmConfig::bag(workers),
+        bag_config(config),
         move |scope, flag, enc| {
             let p = wp.decode_pattern(&enc);
             let g = wp.goodness(&p);
@@ -556,6 +600,24 @@ mod tests {
         let hybrid = parallel_hybrid(Arc::clone(&p), 2, 64);
         assert_eq!(seq.good, hybrid.good);
         assert_eq!(seq.tested, hybrid.tested);
+    }
+
+    #[test]
+    fn metered_run_ledger_is_consistent() {
+        let p = itemset_problem();
+        let reg = plinda::MetricsRegistry::new();
+        let cfg = ParallelConfig::load_balanced(3).with_metrics(reg.clone());
+        let par = parallel_ett(Arc::clone(&p), &cfg);
+        assert_eq!(sequential_ett(&*p).good, par.good);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.sum_counters(|k| k.starts_with("farm.plet-lb.worker.") && k.ends_with(".tasks")),
+            par.tested,
+            "every tested pattern is one committed task"
+        );
+        assert_eq!(snap.counter("farm.plet-lb.leaked"), 0);
+        let violations = plinda::metrics::check_snapshot(&snap);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

@@ -43,8 +43,16 @@
 
 #![warn(missing_docs)]
 
+use plinda::metrics::{Counter, Gauge, Histogram};
+use plinda::MetricsRegistry;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Simulated seconds → integer nanoseconds, the unit every duration
+/// metric uses so simulated and real ledgers share one schema.
+fn secs_to_ns(s: f64) -> u64 {
+    (s.max(0.0) * 1e9).round() as u64
+}
 
 /// One simulated workstation.
 #[derive(Debug, Clone)]
@@ -264,18 +272,45 @@ impl Ord for Event {
 #[derive(Debug, Clone, PartialEq)]
 enum MachineState {
     Idle,
-    /// Running `task_seq`; the matching finish event is invalidated if the
-    /// run is aborted first.
+    /// Running `task_seq` since `started_at`; the matching finish event is
+    /// invalidated if the run is aborted first.
     Running {
         task_seq: usize,
+        started_at: f64,
     },
     OwnerBusy,
     Dead,
 }
 
+/// Cached live-ledger handles (see [`plinda::metrics`]); updates through
+/// them are lock-free, so metering does not perturb the event loop.
+struct SimMeter {
+    admitted: Counter,
+    requeued: Counter,
+    aborted: Counter,
+    completed: Counter,
+    depth: Gauge,
+    duration: Histogram,
+}
+
+impl SimMeter {
+    fn new(reg: &MetricsRegistry) -> Self {
+        SimMeter {
+            admitted: reg.counter("sim.tasks.admitted"),
+            requeued: reg.counter("sim.tasks.requeued"),
+            aborted: reg.counter("sim.tasks.aborted"),
+            completed: reg.counter("sim.tasks.completed"),
+            depth: reg.gauge("sim.bag.depth"),
+            duration: reg.histogram("sim.task.duration_ns"),
+        }
+    }
+}
+
 struct Engine<'a> {
     machines: &'a [MachineSpec],
     config: &'a SimConfig,
+    reg: Option<&'a MetricsRegistry>,
+    met: Option<SimMeter>,
     heap: BinaryHeap<Reverse<Event>>,
     seq: u64,
     tasks: Vec<SimTask>,
@@ -286,16 +321,23 @@ struct Engine<'a> {
     busy_time: Vec<f64>,
     completed: u64,
     aborted: u64,
+    admitted: u64,
     outstanding: u64,
     makespan: f64,
 }
 
 impl<'a> Engine<'a> {
-    fn new(machines: &'a [MachineSpec], config: &'a SimConfig) -> Self {
+    fn new(
+        machines: &'a [MachineSpec],
+        config: &'a SimConfig,
+        reg: Option<&'a MetricsRegistry>,
+    ) -> Self {
         let n = machines.len();
         let mut e = Engine {
             machines,
             config,
+            reg,
+            met: reg.map(SimMeter::new),
             heap: BinaryHeap::new(),
             seq: 0,
             tasks: Vec::new(),
@@ -306,6 +348,7 @@ impl<'a> Engine<'a> {
             busy_time: vec![0.0; n],
             completed: 0,
             aborted: 0,
+            admitted: 0,
             outstanding: 0,
             makespan: 0.0,
         };
@@ -338,6 +381,10 @@ impl<'a> Engine<'a> {
             let task_seq = self.tasks.len();
             self.tasks.push(t);
             self.outstanding += 1;
+            self.admitted += 1;
+            if let Some(m) = &self.met {
+                m.admitted.inc();
+            }
             self.push(visible_at, EventKind::TaskVisible { task_seq });
         }
     }
@@ -345,10 +392,22 @@ impl<'a> Engine<'a> {
     /// Re-insert an aborted task directly into the bag after the requeue
     /// delay (it already passed through the master once).
     fn requeue(&mut self, now: f64, task_seq: usize) {
+        if let Some(m) = &self.met {
+            m.requeued.inc();
+        }
         self.push(
             now + self.config.requeue_delay,
             EventKind::TaskVisible { task_seq },
         );
+    }
+
+    /// Update the bag-depth gauge (its high-water mark is the ledger's
+    /// queue watermark) to the count of visible, unassigned tasks.
+    fn note_depth(&self) {
+        if let Some(m) = &self.met {
+            let d = self.bag.len() + self.pinned.iter().map(VecDeque::len).sum::<usize>();
+            m.depth.set(d as i64);
+        }
     }
 
     fn try_assign(&mut self, now: f64, m: usize) {
@@ -371,8 +430,10 @@ impl<'a> Engine<'a> {
         if let Some(task_seq) = next {
             let dur = (self.tasks[task_seq].cost + self.config.dispatch_overhead)
                 / self.machines[m].speed;
-            self.state[m] = MachineState::Running { task_seq };
-            self.busy_time[m] += dur;
+            self.state[m] = MachineState::Running {
+                task_seq,
+                started_at: now,
+            };
             self.push(
                 now + dur,
                 EventKind::Finish {
@@ -380,6 +441,7 @@ impl<'a> Engine<'a> {
                     task_seq,
                 },
             );
+            self.note_depth();
         }
     }
 
@@ -401,20 +463,26 @@ impl<'a> Engine<'a> {
                         Some(p) => self.pinned[p].push_back(task_seq),
                         None => self.bag.push_back(task_seq),
                     }
+                    self.note_depth();
                     self.assign_all(now);
                 }
                 EventKind::Finish { machine, task_seq } => {
-                    let valid = matches!(
-                        self.state[machine],
-                        MachineState::Running { task_seq: ts } if ts == task_seq
-                    );
-                    if !valid {
-                        continue; // stale finish from an aborted run
-                    }
+                    let started_at = match self.state[machine] {
+                        MachineState::Running {
+                            task_seq: ts,
+                            started_at,
+                        } if ts == task_seq => started_at,
+                        _ => continue, // stale finish from an aborted run
+                    };
                     self.state[machine] = MachineState::Idle;
+                    self.busy_time[machine] += now - started_at;
                     self.completed += 1;
                     self.outstanding -= 1;
                     self.makespan = self.makespan.max(now);
+                    if let Some(m) = &self.met {
+                        m.completed.inc();
+                        m.duration.observe(secs_to_ns(now - started_at));
+                    }
                     let spawned = program.on_complete(&self.tasks[task_seq]);
                     self.admit(now, spawned);
                     self.assign_all(now);
@@ -424,8 +492,19 @@ impl<'a> Engine<'a> {
                 }
                 EventKind::OwnerArrive { machine } | EventKind::Crash { machine } => {
                     let crash = matches!(ev.kind, EventKind::Crash { .. });
-                    if let MachineState::Running { task_seq } = self.state[machine] {
+                    if let MachineState::Running {
+                        task_seq,
+                        started_at,
+                    } = self.state[machine]
+                    {
+                        // Only the executed prefix counts as busy time, so
+                        // per-machine utilisation stays within [0, 1] even
+                        // on abort-heavy runs.
+                        self.busy_time[machine] += now - started_at;
                         self.aborted += 1;
+                        if let Some(m) = &self.met {
+                            m.aborted.inc();
+                        }
                         self.requeue(now, task_seq);
                     }
                     self.state[machine] = if crash {
@@ -448,6 +527,26 @@ impl<'a> Engine<'a> {
             "simulation deadlocked (all machines dead, or tasks pinned to \
              a dead machine?)"
         );
+
+        // Fold the per-machine/master summary into the ledger, mirroring
+        // what `TaskFarm::finish` does for real runs.
+        if let Some(reg) = self.reg {
+            for (m, &b) in self.busy_time.iter().enumerate() {
+                reg.counter(&format!("sim.machine.{m}.busy_ns"))
+                    .add(secs_to_ns(b));
+                let util = if self.makespan > 0.0 {
+                    ((b / self.makespan * 1e6).round() as i64).min(1_000_000)
+                } else {
+                    0
+                };
+                reg.gauge(&format!("sim.machine.{m}.util_ppm")).set(util);
+            }
+            reg.counter("sim.master.busy_ns").add(secs_to_ns(
+                self.admitted as f64 * self.config.master_overhead,
+            ));
+            reg.counter("sim.makespan_ns")
+                .add(secs_to_ns(self.makespan));
+        }
 
         SimReport {
             makespan: self.makespan,
@@ -478,8 +577,23 @@ impl Simulator {
         machines: &[MachineSpec],
         config: &SimConfig,
     ) -> SimReport {
+        Self::run_metered(program, machines, config, None)
+    }
+
+    /// [`Simulator::run`] with an optional metrics registry: live
+    /// `sim.tasks.*` counters, a `sim.bag.depth` gauge and a
+    /// `sim.task.duration_ns` histogram during the run, plus per-machine
+    /// `busy_ns`/`util_ppm` and master/makespan totals folded in at the
+    /// end — the simulated twin of the ledger a real [`plinda::TaskFarm`]
+    /// run produces, in the same snapshot schema.
+    pub fn run_metered(
+        program: &mut dyn SimProgram,
+        machines: &[MachineSpec],
+        config: &SimConfig,
+        metrics: Option<&MetricsRegistry>,
+    ) -> SimReport {
         assert!(!machines.is_empty(), "need at least one machine");
-        Engine::new(machines, config).run(program)
+        Engine::new(machines, config, metrics).run(program)
     }
 }
 
@@ -642,6 +756,55 @@ mod tests {
     #[should_panic(expected = "at least one machine")]
     fn no_machines_panics() {
         Simulator::run_static(&[1.0], &[], &SimConfig::zero_overhead());
+    }
+
+    #[test]
+    fn metered_run_ledger_matches_report() {
+        let reg = plinda::MetricsRegistry::new();
+        let cfg = SimConfig {
+            master_overhead: 0.25,
+            dispatch_overhead: 0.0,
+            requeue_delay: 0.5,
+        };
+        let machines = [
+            MachineSpec::ideal().busy_between(2.0, 100.0),
+            MachineSpec::ideal(),
+        ];
+        let mut prog = StaticProgram::new(vec![
+            SimTask::new(0, 10.0),
+            SimTask::new(1, 1.0),
+            SimTask::new(2, 1.0),
+        ]);
+        let r = Simulator::run_metered(&mut prog, &machines, &cfg, Some(&reg));
+        let snap = reg.snapshot();
+
+        assert_eq!(snap.counter("sim.tasks.admitted"), 3);
+        assert_eq!(snap.counter("sim.tasks.completed"), r.completed);
+        assert_eq!(snap.counter("sim.tasks.aborted"), r.aborted);
+        assert_eq!(
+            snap.counter("sim.tasks.requeued"),
+            snap.counter("sim.tasks.aborted"),
+            "every abort requeues exactly once"
+        );
+        let durations = snap.histogram("sim.task.duration_ns").unwrap();
+        assert_eq!(durations.count, r.completed);
+        for m in 0..machines.len() {
+            let busy = snap.counter(&format!("sim.machine.{m}.busy_ns"));
+            assert_eq!(busy, super::secs_to_ns(r.busy_time[m]));
+            let util = snap.gauge(&format!("sim.machine.{m}.util_ppm")).unwrap();
+            assert!((0..=1_000_000).contains(&util.value), "util {}", util.value);
+        }
+        assert_eq!(
+            snap.counter("sim.makespan_ns"),
+            super::secs_to_ns(r.makespan)
+        );
+        // Master was occupied for one overhead slot per admitted task.
+        assert_eq!(
+            snap.counter("sim.master.busy_ns"),
+            super::secs_to_ns(3.0 * cfg.master_overhead)
+        );
+        let violations = plinda::metrics::check_snapshot(&snap);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 }
 

@@ -25,6 +25,9 @@ pub mod pc45;
 pub mod pcv;
 pub mod sim;
 
-pub use pc45::{parallel_c45_trials, parallel_nyuminer_rs};
-pub use pcv::{parallel_nyuminer_cv, ParallelCv};
+pub use pc45::{
+    parallel_c45_trials, parallel_c45_trials_metered, parallel_nyuminer_rs,
+    parallel_nyuminer_rs_metered,
+};
+pub use pcv::{parallel_nyuminer_cv, parallel_nyuminer_cv_metered, ParallelCv};
 pub use sim::{simulate_parallel_cv, simulate_parallel_trials, speedup};

@@ -32,6 +32,22 @@ pub fn parallel_c45_trials(
     workers: usize,
     seed: u64,
 ) -> DecisionTree {
+    parallel_c45_trials_metered(data, rows, config, trials, workers, seed, None)
+}
+
+/// [`parallel_c45_trials`] with an optional metrics registry installed
+/// on the farm's tuple space; the farm folds per-worker accounting into
+/// it at teardown — snapshot after this returns for the run's ledger.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_c45_trials_metered(
+    data: Arc<Dataset>,
+    rows: Arc<Vec<usize>>,
+    config: &C45Config,
+    trials: usize,
+    workers: usize,
+    seed: u64,
+    metrics: Option<plinda::MetricsRegistry>,
+) -> DecisionTree {
     assert!(trials >= 1 && workers >= 1);
     let grown: Arc<Mutex<Vec<Option<DecisionTree>>>> =
         Arc::new(Mutex::new((0..trials).map(|_| None).collect()));
@@ -43,23 +59,23 @@ pub fn parallel_c45_trials(
     let w_index = Arc::clone(&index);
     let w_grown = Arc::clone(&grown);
     let w_config = config.clone();
-    let farm = TaskFarm::<i64, (i64, f64)>::start(
-        "pc45",
-        FarmConfig::bag(workers),
-        move |scope, _flag, i| {
-            let tree = grow_windowed_indexed(
-                &w_data,
-                &w_index,
-                &w_rows,
-                &w_config,
-                seed.wrapping_add(i as u64),
-            );
-            let acc = tree.accuracy(&w_data, &w_rows);
-            w_grown.lock()[i as usize] = Some(tree);
-            scope.result(&(i, acc));
-            Ok(())
-        },
-    );
+    let mut cfg = FarmConfig::bag(workers);
+    if let Some(reg) = metrics {
+        cfg = cfg.with_metrics(reg);
+    }
+    let farm = TaskFarm::<i64, (i64, f64)>::start("pc45", cfg, move |scope, _flag, i| {
+        let tree = grow_windowed_indexed(
+            &w_data,
+            &w_index,
+            &w_rows,
+            &w_config,
+            seed.wrapping_add(i as u64),
+        );
+        let acc = tree.accuracy(&w_data, &w_rows);
+        w_grown.lock()[i as usize] = Some(tree);
+        scope.result(&(i, acc));
+        Ok(())
+    });
 
     for i in 0..trials {
         farm.send(0, &(i as i64));
@@ -102,6 +118,24 @@ pub fn parallel_nyuminer_rs(
     workers: usize,
     seed: u64,
 ) -> NyuMinerRS {
+    parallel_nyuminer_rs_metered(data, rows, config, trials, cmin, smin, workers, seed, None)
+}
+
+/// [`parallel_nyuminer_rs`] with an optional metrics registry installed
+/// on the farm's tuple space; the farm folds per-worker accounting into
+/// it at teardown — snapshot after this returns for the run's ledger.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_nyuminer_rs_metered(
+    data: Arc<Dataset>,
+    rows: Arc<Vec<usize>>,
+    config: &NyuConfig,
+    trials: usize,
+    cmin: f64,
+    smin: f64,
+    workers: usize,
+    seed: u64,
+    metrics: Option<plinda::MetricsRegistry>,
+) -> NyuMinerRS {
     assert!(trials >= 1 && workers >= 1);
     let grown: Arc<Mutex<Vec<Option<DecisionTree>>>> =
         Arc::new(Mutex::new((0..trials).map(|_| None).collect()));
@@ -113,23 +147,23 @@ pub fn parallel_nyuminer_rs(
     let w_index = Arc::clone(&index);
     let w_grown = Arc::clone(&grown);
     let w_config = config.clone();
-    let farm = TaskFarm::<i64, (i64, f64)>::start(
-        "prs",
-        FarmConfig::bag(workers),
-        move |scope, _flag, i| {
-            // Same per-trial seed schedule as the sequential fit.
-            let tree = grow_incremental_indexed(
-                &w_data,
-                &w_index,
-                &w_rows,
-                &w_config,
-                seed.wrapping_add(i as u64 * 7919),
-            );
-            w_grown.lock()[i as usize] = Some(tree);
-            scope.result(&(i, 0.0f64));
-            Ok(())
-        },
-    );
+    let mut cfg = FarmConfig::bag(workers);
+    if let Some(reg) = metrics {
+        cfg = cfg.with_metrics(reg);
+    }
+    let farm = TaskFarm::<i64, (i64, f64)>::start("prs", cfg, move |scope, _flag, i| {
+        // Same per-trial seed schedule as the sequential fit.
+        let tree = grow_incremental_indexed(
+            &w_data,
+            &w_index,
+            &w_rows,
+            &w_config,
+            seed.wrapping_add(i as u64 * 7919),
+        );
+        w_grown.lock()[i as usize] = Some(tree);
+        scope.result(&(i, 0.0f64));
+        Ok(())
+    });
 
     for i in 0..trials {
         farm.send(0, &(i as i64));

@@ -47,6 +47,22 @@ pub fn parallel_nyuminer_cv(
     workers: usize,
     seed: u64,
 ) -> ParallelCv {
+    parallel_nyuminer_cv_metered(data, rows, config, v, workers, seed, None)
+}
+
+/// [`parallel_nyuminer_cv`] with an optional metrics registry installed
+/// on the farm's tuple space; the farm folds per-worker accounting into
+/// it at teardown — snapshot after this returns for the run's ledger.
+#[allow(clippy::too_many_arguments)]
+pub fn parallel_nyuminer_cv_metered(
+    data: Arc<Dataset>,
+    rows: Arc<Vec<usize>>,
+    config: &NyuConfig,
+    v: usize,
+    workers: usize,
+    seed: u64,
+    metrics: Option<plinda::MetricsRegistry>,
+) -> ParallelCv {
     assert!(v >= 2 && workers >= 1);
     let folds: Arc<Vec<Vec<usize>>> = Arc::new(data.folds(&rows, v, seed));
     // One columnar ingest, shared by the main tree and every fold worker.
@@ -65,40 +81,40 @@ pub fn parallel_nyuminer_cv(
     let w_index = Arc::clone(&index);
     let w_grow = grow.clone();
     let w_mids = mids_chan.clone();
-    let farm = TaskFarm::<i64, (i64, Vec<u32>)>::start(
-        "pcv",
-        FarmConfig::bag(workers),
-        move |scope, _flag, fold| {
-            let i = fold as usize;
-            // Learning set V(i) = all folds but fold i.
-            let train: Vec<usize> = w_folds
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != i)
-                .flat_map(|(_, f)| f.iter().copied())
-                .collect();
-            let rule = GrowRule::NyuMiner {
-                max_branches,
-                impurity: impurity.as_dyn(),
-            };
-            let aux = DecisionTree::grow_indexed(&w_data, &w_index, &train, &rule, &w_grow);
-            let seq = ccp_sequence(&aux);
-            // Broadcast read: every worker reads the same midpoints.
-            let mids = w_mids.read_txn(scope.proc())?;
-            let errs: Vec<u32> = mids
-                .iter()
-                .map(|&alpha| {
-                    let pruned = select_for_alpha(&seq, alpha);
-                    w_folds[i]
-                        .iter()
-                        .filter(|&&r| pruned.predict(&w_data, r) != w_data.class(r))
-                        .count() as u32
-                })
-                .collect();
-            scope.result(&(fold, errs));
-            Ok(())
-        },
-    );
+    let mut cfg = FarmConfig::bag(workers);
+    if let Some(reg) = metrics {
+        cfg = cfg.with_metrics(reg);
+    }
+    let farm = TaskFarm::<i64, (i64, Vec<u32>)>::start("pcv", cfg, move |scope, _flag, fold| {
+        let i = fold as usize;
+        // Learning set V(i) = all folds but fold i.
+        let train: Vec<usize> = w_folds
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .flat_map(|(_, f)| f.iter().copied())
+            .collect();
+        let rule = GrowRule::NyuMiner {
+            max_branches,
+            impurity: impurity.as_dyn(),
+        };
+        let aux = DecisionTree::grow_indexed(&w_data, &w_index, &train, &rule, &w_grow);
+        let seq = ccp_sequence(&aux);
+        // Broadcast read: every worker reads the same midpoints.
+        let mids = w_mids.read_txn(scope.proc())?;
+        let errs: Vec<u32> = mids
+            .iter()
+            .map(|&alpha| {
+                let pruned = select_for_alpha(&seq, alpha);
+                w_folds[i]
+                    .iter()
+                    .filter(|&&r| pruned.predict(&w_data, r) != w_data.class(r))
+                    .count() as u32
+            })
+            .collect();
+        scope.result(&(fold, errs));
+        Ok(())
+    });
 
     // Emit fold tasks, then grow the main tree concurrently.
     for i in 0..v {

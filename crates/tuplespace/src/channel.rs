@@ -320,36 +320,67 @@ impl<T: Payload> Chan<T> {
         T::from_values(&t.0[1..])
     }
 
+    /// Update this channel's `chan.<name>.{sent,recv}` counters and its
+    /// `chan.<name>.depth` gauge (whose high-water mark is the channel's
+    /// depth watermark). The depth is sampled *before* entering the
+    /// registry closure — metric closures must never re-enter the space
+    /// (see the lock-order rule on `TupleSpace::metric`).
+    fn note(&self, space: &TupleSpace, dir: &'static str) {
+        if !space.metrics_enabled() {
+            return;
+        }
+        let depth = space.count(&self.template()) as i64;
+        space.metric(|reg| {
+            reg.counter(&format!("chan.{}.{dir}", self.name)).inc();
+            reg.gauge(&format!("chan.{}.depth", self.name)).set(depth);
+        });
+    }
+
     // ---- space-side (master, outside transactions) ----
 
     /// `out` a payload directly into the space.
     pub fn send(&self, space: &TupleSpace, payload: &T) {
         space.out(self.tuple(payload));
+        self.note(space, "sent");
     }
 
     /// Blocking withdrawal of the next payload.
     pub fn recv(&self, space: &TupleSpace) -> T {
-        self.unwrap(&space.in_blocking(self.template()))
+        let got = self.unwrap(&space.in_blocking(self.template()));
+        self.note(space, "recv");
+        got
     }
 
     /// Non-blocking withdrawal.
     pub fn try_recv(&self, space: &TupleSpace) -> Option<T> {
-        space.inp(&self.template()).map(|t| self.unwrap(&t))
+        let got = space.inp(&self.template()).map(|t| self.unwrap(&t));
+        if got.is_some() {
+            self.note(space, "recv");
+        }
+        got
     }
 
     /// Blocking read (copy) of a payload without withdrawing it.
     pub fn read(&self, space: &TupleSpace) -> T {
-        self.unwrap(&space.rd_blocking(self.template()))
+        let got = self.unwrap(&space.rd_blocking(self.template()));
+        self.note(space, "read");
+        got
     }
 
     /// Blocking withdrawal of a tuple carrying exactly `payload`.
     pub fn recv_eq(&self, space: &TupleSpace, payload: &T) -> T {
-        self.unwrap(&space.in_blocking(self.template_eq(payload)))
+        let got = self.unwrap(&space.in_blocking(self.template_eq(payload)));
+        self.note(space, "recv");
+        got
     }
 
     // ---- process-side (workers, inside transactions) ----
 
     /// Transactional `out` (buffered until the enclosing commit).
+    ///
+    /// Buffered sends are invisible until commit, so they update neither
+    /// the channel counters nor the depth gauge; the commit's `out_all`
+    /// contributes to the partition occupancy metrics instead.
     pub fn send_txn(&self, proc: &mut Process, payload: &T) {
         proc.out(self.tuple(payload));
     }
@@ -422,19 +453,46 @@ impl<T: Payload> KeyedChan<T> {
         T::from_values(&t.0[2..])
     }
 
+    /// Receive template matching any key (metrics depth sampling).
+    fn template_any(&self) -> Template {
+        let mut fs = vec![field::val(self.name.as_str()), field::int()];
+        fs.extend(T::tags().into_iter().map(field::of));
+        Template::new(fs)
+    }
+
+    /// Keyed twin of [`Chan::note`]: depth counts tuples across *all*
+    /// keys, sampled before the registry closure (lock-order rule).
+    fn note(&self, space: &TupleSpace, dir: &'static str) {
+        if !space.metrics_enabled() {
+            return;
+        }
+        let depth = space.count(&self.template_any()) as i64;
+        space.metric(|reg| {
+            reg.counter(&format!("chan.{}.{dir}", self.name)).inc();
+            reg.gauge(&format!("chan.{}.depth", self.name)).set(depth);
+        });
+    }
+
     /// `out` a payload addressed to `key`.
     pub fn send_to(&self, space: &TupleSpace, key: i64, payload: &T) {
         space.out(self.tuple(key, payload));
+        self.note(space, "sent");
     }
 
     /// Blocking withdrawal of the next payload addressed to `key`.
     pub fn recv_for(&self, space: &TupleSpace, key: i64) -> T {
-        self.unwrap(&space.in_blocking(self.template_for(key)))
+        let got = self.unwrap(&space.in_blocking(self.template_for(key)));
+        self.note(space, "recv");
+        got
     }
 
     /// Non-blocking withdrawal for `key`.
     pub fn try_recv_for(&self, space: &TupleSpace, key: i64) -> Option<T> {
-        space.inp(&self.template_for(key)).map(|t| self.unwrap(&t))
+        let got = space.inp(&self.template_for(key)).map(|t| self.unwrap(&t));
+        if got.is_some() {
+            self.note(space, "recv");
+        }
+        got
     }
 
     /// Transactional `out` addressed to `key`.
@@ -537,6 +595,43 @@ mod tests {
         assert_eq!(c.try_recv(&space), None);
         m.xcommit(None).unwrap();
         assert_eq!(c.try_recv(&space), Some(5));
+    }
+
+    #[test]
+    fn channel_metrics_track_counts_and_depth_watermark() {
+        let space = TupleSpace::new();
+        let reg = crate::metrics::MetricsRegistry::new();
+        space.set_metrics(Some(reg.clone()));
+        let c = Chan::<i64>::new("q");
+        c.send(&space, &1);
+        c.send(&space, &2);
+        c.send(&space, &3);
+        // Withdrawal order within a partition is unspecified; just take two.
+        let first = c.recv(&space);
+        let second = c.try_recv(&space).unwrap();
+        assert_ne!(first, second);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("chan.q.sent"), 3);
+        assert_eq!(snap.counter("chan.q.recv"), 2);
+        let depth = snap.gauge("chan.q.depth").expect("depth gauge");
+        assert_eq!(depth.value, 1);
+        assert_eq!(depth.hi, 3, "watermark peaks at three queued payloads");
+    }
+
+    #[test]
+    fn keyed_channel_metrics_span_all_keys() {
+        let space = TupleSpace::new();
+        let reg = crate::metrics::MetricsRegistry::new();
+        space.set_metrics(Some(reg.clone()));
+        let c = KeyedChan::<i64>::new("t");
+        c.send_to(&space, 0, &10);
+        c.send_to(&space, 1, &20);
+        assert_eq!(c.recv_for(&space, 1), 20);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("chan.t.sent"), 2);
+        assert_eq!(snap.counter("chan.t.recv"), 1);
+        let depth = snap.gauge("chan.t.depth").expect("depth gauge");
+        assert_eq!(depth.hi, 2, "depth counts both keys");
     }
 
     #[test]

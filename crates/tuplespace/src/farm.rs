@@ -39,6 +39,7 @@
 
 use crate::channel::{Chan, Payload};
 use crate::check::Recorder;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::process::{PlindaError, Process};
 use crate::runtime::{FaultPlan, Runtime};
 use crate::space::TupleSpace;
@@ -74,6 +75,10 @@ pub struct FarmConfig {
     /// Optional trace recorder, installed on the farm's space at start so
     /// the run can be audited with the `plinda::check` checkers.
     pub recorder: Option<Recorder>,
+    /// Optional metrics registry, installed on the farm's space at start;
+    /// [`TaskFarm::finish`] folds per-worker statistics into it and
+    /// attaches a [`MetricsSnapshot`] to the [`FarmReport`].
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl FarmConfig {
@@ -84,6 +89,7 @@ impl FarmConfig {
             dispatch: Dispatch::Bag,
             kill_schedule: Vec::new(),
             recorder: None,
+            metrics: None,
         }
     }
 
@@ -94,6 +100,7 @@ impl FarmConfig {
             dispatch: Dispatch::PerWorker,
             kill_schedule: Vec::new(),
             recorder: None,
+            metrics: None,
         }
     }
 
@@ -108,15 +115,39 @@ impl FarmConfig {
         self.recorder = Some(rec);
         self
     }
+
+    /// Meter the farm's run into `reg` (live op counts while running,
+    /// per-worker accounting folded in at [`TaskFarm::finish`]).
+    pub fn with_metrics(mut self, reg: MetricsRegistry) -> Self {
+        self.metrics = Some(reg);
+        self
+    }
 }
 
-/// Completed-task statistics of one worker.
+/// Whole-lifetime statistics of one worker, accumulated across every
+/// incarnation (kills and re-spawns do not reset them — the cells live in
+/// the farm, not the worker thread).
 #[derive(Debug, Clone, Copy)]
 pub struct WorkerStats {
     /// Tasks whose transaction committed.
     pub tasks: u64,
     /// Wall-clock time spent inside committed task bodies.
     pub busy: Duration,
+    /// Wall-clock time spent blocked withdrawing tasks (including waits
+    /// that ended in a kill rather than a task).
+    pub blocked: Duration,
+    /// Wall-clock lifetime of the worker, from farm start to its exit.
+    pub wall: Duration,
+    /// Times this worker was killed and re-spawned.
+    pub respawns: u64,
+}
+
+impl WorkerStats {
+    /// Lifetime not spent computing or blocked on the task channel
+    /// (scheduling overhead, transaction bookkeeping, abort/recovery).
+    pub fn idle(&self) -> Duration {
+        self.wall.saturating_sub(self.busy + self.blocked)
+    }
 }
 
 /// Final report returned by [`TaskFarm::finish`].
@@ -131,11 +162,19 @@ pub struct FarmReport {
     /// is a leak unless the caller deliberately left it (e.g. a broadcast
     /// it has yet to withdraw).
     pub leaked: Vec<Tuple>,
+    /// Snapshot of the farm's metrics registry, taken after the worker
+    /// statistics were folded in. `None` unless the farm was configured
+    /// with [`FarmConfig::with_metrics`].
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 struct StatsCell {
     tasks: AtomicU64,
     nanos: AtomicU64,
+    blocked_nanos: AtomicU64,
+    wall_nanos: AtomicU64,
+    /// Incarnations started (1 for an unkilled worker; respawns + 1).
+    spawns: AtomicU64,
 }
 
 /// The task channel: hand-rolled rather than a [`crate::channel::KeyedChan`]
@@ -238,6 +277,9 @@ pub struct TaskFarm<T: Payload, R: Payload> {
     rt: Runtime,
     space: Arc<TupleSpace>,
     cfg: FarmConfig,
+    name: String,
+    pids: Vec<u64>,
+    epoch: Instant,
     tasks: TaskChan<T>,
     results: Chan<R>,
     counter: Chan<i64>,
@@ -260,6 +302,9 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
         if let Some(rec) = &cfg.recorder {
             space.set_recorder(Some(rec.clone()));
         }
+        if let Some(reg) = &cfg.metrics {
+            space.set_metrics(Some(reg.clone()));
+        }
         let tasks = TaskChan::<T>::new(name);
         let results = Chan::<R>::new(format!("{name}.result"));
         let counter = Chan::<i64>::new(format!("{name}.wcount"));
@@ -268,9 +313,13 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
                 .map(|_| StatsCell {
                     tasks: AtomicU64::new(0),
                     nanos: AtomicU64::new(0),
+                    blocked_nanos: AtomicU64::new(0),
+                    wall_nanos: AtomicU64::new(0),
+                    spawns: AtomicU64::new(0),
                 })
                 .collect(),
         );
+        let epoch = Instant::now();
         let body = Arc::new(body);
         let mut pids = Vec::with_capacity(cfg.workers);
         for index in 0..cfg.workers {
@@ -284,12 +333,26 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
             let stats_w = Arc::clone(&stats);
             let body_w = Arc::clone(&body);
             pids.push(rt.spawn(name, move |proc| {
+                // The runtime re-invokes this closure on every re-spawn;
+                // the stats cells live in the farm, so each incarnation
+                // accumulates into the same whole-lifetime totals.
+                let cell = &stats_w[index];
+                cell.spawns.fetch_add(1, Ordering::Relaxed);
                 loop {
                     proc.xstart()?;
-                    let t = proc.in_(tasks_w.template_for(key))?;
+                    // Measure the blocked wait *before* propagating a kill,
+                    // so time spent parked by a wait that ends in a kill
+                    // still counts as blocked time.
+                    let wait = Instant::now();
+                    let got = proc.in_(tasks_w.template_for(key));
+                    cell.blocked_nanos
+                        .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    let t = got?;
                     let flag = t.int(2);
                     if flag == POISON {
                         proc.xcommit(None)?;
+                        cell.wall_nanos
+                            .store(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         return Ok(());
                     }
                     let payload = T::from_values(&t.0[3..]);
@@ -307,7 +370,6 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
                     proc.xcommit(None)?;
                     // Only committed tasks count: an aborted body's time
                     // belongs to the failure, not the work.
-                    let cell = &stats_w[index];
                     cell.tasks.fetch_add(1, Ordering::Relaxed);
                     cell.nanos
                         .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -325,6 +387,9 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
             rt,
             space,
             cfg,
+            name: name.to_owned(),
+            pids,
+            epoch,
             tasks,
             results,
             counter,
@@ -391,7 +456,21 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
         self.rt.respawns()
     }
 
+    /// Kill worker `index`'s current incarnation (the runtime re-spawns
+    /// it). Complements the time-based [`FarmConfig::kill_after`] schedule
+    /// with a deterministic, caller-sequenced kill for tests.
+    pub fn kill_worker(&self, index: usize) -> bool {
+        self.rt.kill(self.pids[index])
+    }
+
     /// Poison every worker, wait for them to exit, and report statistics.
+    ///
+    /// When the farm was configured with [`FarmConfig::with_metrics`],
+    /// the per-worker totals are folded into the registry as
+    /// `farm.<name>.worker.<i>.{tasks,busy_ns,blocked_ns,wall_ns,respawns}`
+    /// counters plus a `farm.<name>.leaked` counter, and the report
+    /// carries a snapshot taken after the fold (so the snapshot is a
+    /// complete, quiescent ledger of the run).
     pub fn finish(self) -> FarmReport {
         let pill = T::placeholder();
         for index in 0..self.cfg.workers {
@@ -402,17 +481,48 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
             self.space.out(self.tasks.tuple(key, POISON, &pill));
         }
         self.rt.join();
-        FarmReport {
-            worker_stats: self
-                .stats
-                .iter()
-                .map(|c| WorkerStats {
+        let finished = self.epoch.elapsed().as_nanos() as u64;
+        let worker_stats: Vec<WorkerStats> = self
+            .stats
+            .iter()
+            .map(|c| {
+                // A worker that exited through the runtime's shutdown path
+                // (killed during teardown) never stored its wall time; it
+                // lived until the join we just completed.
+                if c.wall_nanos.load(Ordering::Relaxed) == 0 {
+                    c.wall_nanos.store(finished, Ordering::Relaxed);
+                }
+                WorkerStats {
                     tasks: c.tasks.load(Ordering::Relaxed),
                     busy: Duration::from_nanos(c.nanos.load(Ordering::Relaxed)),
-                })
-                .collect(),
+                    blocked: Duration::from_nanos(c.blocked_nanos.load(Ordering::Relaxed)),
+                    wall: Duration::from_nanos(c.wall_nanos.load(Ordering::Relaxed)),
+                    respawns: c.spawns.load(Ordering::Relaxed).saturating_sub(1),
+                }
+            })
+            .collect();
+        let leaked = self.space.snapshot();
+        let metrics = self.cfg.metrics.as_ref().map(|reg| {
+            for (i, s) in worker_stats.iter().enumerate() {
+                let base = format!("farm.{}.worker.{i}", self.name);
+                reg.counter(&format!("{base}.tasks")).add(s.tasks);
+                reg.counter(&format!("{base}.busy_ns"))
+                    .add(s.busy.as_nanos() as u64);
+                reg.counter(&format!("{base}.blocked_ns"))
+                    .add(s.blocked.as_nanos() as u64);
+                reg.counter(&format!("{base}.wall_ns"))
+                    .add(s.wall.as_nanos() as u64);
+                reg.counter(&format!("{base}.respawns")).add(s.respawns);
+            }
+            reg.counter(&format!("farm.{}.leaked", self.name))
+                .add(leaked.len() as u64);
+            reg.snapshot()
+        });
+        FarmReport {
+            worker_stats,
             respawns: self.rt.respawns(),
-            leaked: self.space.snapshot(),
+            leaked,
+            metrics,
         }
     }
 }
@@ -508,6 +618,78 @@ mod tests {
         assert!(report.respawns >= 1, "at least one injected kill landed");
         // Every task committed exactly once despite the kills.
         assert_eq!(report.worker_stats.iter().map(|s| s.tasks).sum::<u64>(), 60);
+    }
+
+    #[test]
+    fn stats_survive_mid_run_kill_and_respawn() {
+        // Regression: per-worker statistics must accumulate across the
+        // kill/respawn boundary, not reset with the new incarnation. One
+        // worker, deterministic kill while it is idle-blocked on the task
+        // channel (all results already received), then more work.
+        let farm = TaskFarm::<i64, i64>::start("persist", FarmConfig::bag(1), |s, _, v| {
+            s.result(&(v + 1));
+            Ok(())
+        });
+        for i in 0..5i64 {
+            farm.send(0, &i);
+        }
+        for _ in 0..5 {
+            farm.recv();
+        }
+        // The worker is now parked in `in` with no tasks outstanding; the
+        // kill is guaranteed to land on a live, idle incarnation.
+        assert!(farm.kill_worker(0));
+        for i in 0..5i64 {
+            farm.send(0, &(10 + i));
+        }
+        for _ in 0..5 {
+            farm.recv();
+        }
+        let report = farm.finish();
+        let s = report.worker_stats[0];
+        assert_eq!(
+            s.tasks, 10,
+            "tasks from before the kill must still be counted"
+        );
+        assert_eq!(s.respawns, 1, "exactly one kill landed");
+        assert_eq!(report.respawns, 1);
+        assert!(
+            s.blocked > Duration::ZERO,
+            "the killed wait counts as blocked time"
+        );
+        assert!(
+            s.wall >= s.busy + s.blocked,
+            "wall {:?} ≥ busy {:?} + blocked {:?}",
+            s.wall,
+            s.busy,
+            s.blocked
+        );
+    }
+
+    #[test]
+    fn metered_farm_report_carries_consistent_snapshot() {
+        let reg = crate::metrics::MetricsRegistry::new();
+        let cfg = FarmConfig::bag(2).with_metrics(reg.clone());
+        let farm = TaskFarm::<i64, i64>::start("met", cfg, |s, _, v| {
+            s.result(&(v * 2));
+            Ok(())
+        });
+        for i in 0..10i64 {
+            farm.send(0, &i);
+        }
+        for _ in 0..10 {
+            farm.recv();
+        }
+        let report = farm.finish();
+        let snap = report.metrics.expect("metered farm attaches a snapshot");
+        assert_eq!(
+            snap.sum_counters(|k| k.starts_with("farm.met.worker.") && k.ends_with(".tasks")),
+            10
+        );
+        assert_eq!(snap.counter("farm.met.leaked"), 0);
+        assert_eq!(snap.counter("txn.commit"), 12, "10 tasks + 2 poison pills");
+        let violations = crate::metrics::check_snapshot(&snap);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

@@ -82,6 +82,7 @@ pub mod channel;
 pub mod check;
 pub mod codec;
 pub mod farm;
+pub mod metrics;
 pub mod process;
 pub mod runtime;
 pub mod space;
@@ -91,6 +92,7 @@ pub mod value;
 pub use channel::{Chan, KeyedChan, Payload, Wire};
 pub use check::{Recorder, Trace, TraceEvent};
 pub use farm::{Dispatch, FarmConfig, FarmReport, TaskFarm, WorkerScope, WorkerStats, POISON};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use process::{PlindaError, Process, ProcessStatus};
 pub use runtime::{FaultPlan, Runtime};
 pub use space::TupleSpace;

@@ -168,6 +168,9 @@ struct Txn {
     consumed: Vec<Tuple>,
     /// Tuples produced; published atomically on commit.
     outbox: Vec<Tuple>,
+    /// Open time — only sampled while metrics are enabled, feeding the
+    /// `txn.duration_ns` histogram at commit.
+    started: Option<std::time::Instant>,
 }
 
 /// A PLinda process handle: the `this`-pointer of the master/worker
@@ -250,6 +253,7 @@ impl Process {
         if self.txn.is_some() {
             self.space
                 .record(|| TraceEvent::NestedXStart { pid: self.pid });
+            self.space.metric(|reg| reg.counter("txn.nested").inc());
             return Err(PlindaError::NestedTransaction);
         }
         self.txn_seq += 1;
@@ -257,9 +261,14 @@ impl Process {
             pid: self.pid,
             txn: self.txn_seq,
         });
+        let metered = self.space.metrics_enabled();
+        if metered {
+            self.space.metric(|reg| reg.counter("txn.start").inc());
+        }
         self.txn = Some(Txn {
             consumed: Vec::new(),
             outbox: Vec::new(),
+            started: metered.then(std::time::Instant::now),
         });
         Ok(())
     }
@@ -392,6 +401,7 @@ impl Process {
                 restored: txn.consumed.clone(),
                 dropped: txn.outbox.clone(),
             });
+            self.space.metric(|reg| reg.counter("txn.abort").inc());
             self.as_actor(|s| s.out_all(txn.consumed));
             return Err(PlindaError::Killed);
         }
@@ -401,6 +411,17 @@ impl Process {
             published: txn.outbox.clone(),
             consumed: txn.consumed.clone(),
             continuation: continuation.is_some(),
+        });
+        let with_cont = continuation.is_some();
+        self.space.metric(|reg| {
+            reg.counter("txn.commit").inc();
+            if with_cont {
+                reg.counter("txn.continuations").inc();
+            }
+            if let Some(start) = txn.started {
+                reg.histogram("txn.duration_ns")
+                    .observe(start.elapsed().as_nanos() as u64);
+            }
         });
         self.as_actor(|s| s.out_all(txn.outbox));
         if let Some(c) = continuation {
@@ -419,6 +440,14 @@ impl Process {
             pid: self.pid,
             found,
         });
+        self.space.metric(|reg| {
+            reg.counter(if found {
+                "txn.recover.hit"
+            } else {
+                "txn.recover.miss"
+            })
+            .inc();
+        });
         cont
     }
 
@@ -432,6 +461,7 @@ impl Process {
                 restored: txn.consumed.clone(),
                 dropped: txn.outbox.clone(),
             });
+            self.space.metric(|reg| reg.counter("txn.abort").inc());
             self.as_actor(|s| s.out_all(txn.consumed));
         }
     }

@@ -107,46 +107,56 @@ impl Runtime {
         let name = name.to_owned();
         let handle = std::thread::Builder::new()
             .name(format!("plinda-{name}-{pid}"))
-            .spawn(move || loop {
-                let mut proc = Process::new(
-                    pid,
-                    Arc::clone(&space),
-                    Arc::clone(&conts),
-                    Arc::clone(&thread_state),
-                );
-                thread_state.set_status(ProcessStatus::Running);
-                match f(&mut proc) {
-                    Ok(()) => {
-                        conts.clear(pid);
-                        thread_state.set_status(ProcessStatus::Done);
-                        space.record(|| TraceEvent::Done { pid });
-                        return;
-                    }
-                    Err(PlindaError::Killed) => {
-                        proc.abort();
-                        if shutdown.load(Ordering::SeqCst) {
+            .spawn(move || {
+                space.metric(|reg| reg.counter("runtime.spawns").inc());
+                loop {
+                    let mut proc = Process::new(
+                        pid,
+                        Arc::clone(&space),
+                        Arc::clone(&conts),
+                        Arc::clone(&thread_state),
+                    );
+                    thread_state.set_status(ProcessStatus::Running);
+                    match f(&mut proc) {
+                        Ok(()) => {
+                            conts.clear(pid);
+                            thread_state.set_status(ProcessStatus::Done);
                             space.record(|| TraceEvent::Done { pid });
+                            space.metric(|reg| reg.counter("runtime.done").inc());
                             return;
                         }
-                        respawns.fetch_add(1, Ordering::SeqCst);
-                        // "Re-spawned on another machine": same logical
-                        // pid, fresh incarnation.
-                        thread_state.revive();
-                        space.record(|| TraceEvent::Respawn { pid });
-                        space.kick();
-                    }
-                    Err(other) => {
-                        // A protocol violation (nested xstart, commit
-                        // outside a transaction) is not a machine failure:
-                        // abort the open transaction so no partial effects
-                        // remain, leave the violation in the trace for the
-                        // checkers, and retire the worker rather than
-                        // killing the whole test process.
-                        eprintln!("plinda: worker {pid} protocol violation: {other}");
-                        proc.abort();
-                        thread_state.set_status(ProcessStatus::Done);
-                        space.record(|| TraceEvent::Done { pid });
-                        return;
+                        Err(PlindaError::Killed) => {
+                            proc.abort();
+                            if shutdown.load(Ordering::SeqCst) {
+                                space.record(|| TraceEvent::Done { pid });
+                                space.metric(|reg| reg.counter("runtime.done").inc());
+                                return;
+                            }
+                            respawns.fetch_add(1, Ordering::SeqCst);
+                            // "Re-spawned on another machine": same logical
+                            // pid, fresh incarnation.
+                            thread_state.revive();
+                            space.record(|| TraceEvent::Respawn { pid });
+                            space.metric(|reg| reg.counter("runtime.respawns").inc());
+                            space.kick();
+                        }
+                        Err(other) => {
+                            // A protocol violation (nested xstart, commit
+                            // outside a transaction) is not a machine failure:
+                            // abort the open transaction so no partial effects
+                            // remain, leave the violation in the trace for the
+                            // checkers, and retire the worker rather than
+                            // killing the whole test process.
+                            eprintln!("plinda: worker {pid} protocol violation: {other}");
+                            proc.abort();
+                            thread_state.set_status(ProcessStatus::Done);
+                            space.record(|| TraceEvent::Done { pid });
+                            space.metric(|reg| {
+                                reg.counter("runtime.protocol_errors").inc();
+                                reg.counter("runtime.done").inc();
+                            });
+                            return;
+                        }
                     }
                 }
             })
@@ -176,6 +186,7 @@ impl Runtime {
             Some(state) => {
                 state.kill();
                 self.space.record(|| TraceEvent::Kill { pid });
+                self.space.metric(|reg| reg.counter("runtime.kills").inc());
                 self.space.kick();
                 true
             }
@@ -289,6 +300,7 @@ impl Runtime {
                     if let Some((_, st)) = reg_states.iter().find(|(p, _)| *p == pid) {
                         st.kill();
                         space.record(|| TraceEvent::Kill { pid });
+                        space.metric(|reg| reg.counter("runtime.kills").inc());
                         space.kick();
                     }
                 }

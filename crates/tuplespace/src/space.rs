@@ -17,18 +17,31 @@
 
 use crate::check::trace::{self, OpKind, Recorder, RecorderSlot, TraceEvent};
 use crate::codec;
+use crate::metrics::{Counter, Gauge, MetricsRegistry, MetricsSlot};
 use crate::template::Template;
 use crate::value::{Sig, Tuple};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Cached per-partition metric handles, re-created whenever a different
+/// registry is installed (distinguished by registry id).
+struct PartStats {
+    reg_id: u64,
+    ops: Counter,
+    occupancy: Gauge,
+}
 
 /// One signature's tuples plus the condvar its waiters park on.
 #[derive(Default)]
 struct Partition {
     tuples: Mutex<Vec<Tuple>>,
     cond: Condvar,
+    /// Cached metric handles (`space.part.<sig>.*`); lazily (re)built on
+    /// first instrumented op against the installed registry.
+    stats: Mutex<Option<PartStats>>,
 }
 
 /// The generative shared memory all PLinda processes coordinate through.
@@ -45,6 +58,8 @@ pub struct TupleSpace {
     len: AtomicUsize,
     /// Optional trace recorder; one relaxed load per op when disabled.
     rec: RecorderSlot,
+    /// Optional metrics registry; one relaxed load per op when disabled.
+    met: MetricsSlot,
 }
 
 impl Default for TupleSpace {
@@ -60,7 +75,62 @@ impl TupleSpace {
             registry: Mutex::new(HashMap::new()),
             len: AtomicUsize::new(0),
             rec: RecorderSlot::default(),
+            met: MetricsSlot::default(),
         }
+    }
+
+    /// Install (or, with `None`, remove) a [`MetricsRegistry`]. While
+    /// installed, every Linda operation updates global and per-partition
+    /// metrics; when absent the cost is a single relaxed atomic load per
+    /// operation (see the `out_inp_cycle_metrics` bench).
+    pub fn set_metrics(&self, reg: Option<MetricsRegistry>) {
+        self.met.set(reg);
+    }
+
+    /// Clone of the installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.met.get()
+    }
+
+    /// Is a metrics registry currently installed? One relaxed load.
+    pub fn metrics_enabled(&self) -> bool {
+        self.met.enabled()
+    }
+
+    /// Run `f` against the installed metrics registry, if any
+    /// (crate-internal: `Process`, `Runtime`, farm, and channels fold
+    /// their metrics into the same registry as the space ops).
+    ///
+    /// Lock-order rule: callers may hold partition locks, so `f` must
+    /// never re-enter the tuple space — compute any space-derived values
+    /// (e.g. channel depths) *before* this call.
+    #[inline]
+    pub(crate) fn metric(&self, f: impl FnOnce(&MetricsRegistry)) {
+        self.met.with(f);
+    }
+
+    /// Bump the per-partition op counter and occupancy gauge plus the
+    /// matching global `space.ops.*` counter. Handles are cached on the
+    /// partition and rebuilt if a different registry was installed.
+    fn note_part(&self, part: &Partition, sig: &Sig, occ: usize, global: &'static str, n: u64) {
+        self.met.with(|reg| {
+            let mut stats = part.stats.lock();
+            let rebuild = match &*stats {
+                Some(ps) => ps.reg_id != reg.id(),
+                None => true,
+            };
+            if rebuild {
+                *stats = Some(PartStats {
+                    reg_id: reg.id(),
+                    ops: reg.counter(&format!("space.part.{sig}.ops")),
+                    occupancy: reg.gauge(&format!("space.part.{sig}.occupancy")),
+                });
+            }
+            let ps = stats.as_ref().unwrap();
+            ps.ops.add(n);
+            ps.occupancy.set(occ as i64);
+            reg.counter(global).add(n);
+        });
     }
 
     /// Install (or, with `None`, remove) a trace [`Recorder`]. Every Linda
@@ -113,7 +183,8 @@ impl TupleSpace {
     /// `out`: make `t` visible to every process. Never blocks. Wakes only
     /// waiters parked on `t`'s signature partition.
     pub fn out(&self, t: Tuple) {
-        let part = self.partition(t.sig());
+        let sig = t.sig();
+        let part = self.partition(sig.clone());
         let mut tuples = part.tuples.lock();
         // Record under the partition lock so the trace order of this
         // tuple's production agrees with its real visibility order.
@@ -123,6 +194,7 @@ impl TupleSpace {
         });
         tuples.push(t);
         self.len.fetch_add(1, Ordering::SeqCst);
+        self.note_part(&part, &sig, tuples.len(), "space.ops.out", 1);
         drop(tuples);
         part.cond.notify_all();
     }
@@ -147,7 +219,7 @@ impl TupleSpace {
         // Acquire all locks in sorted-signature order, then publish.
         let mut guards: Vec<MutexGuard<'_, Vec<Tuple>>> =
             parts.iter().map(|p| p.tuples.lock()).collect();
-        for (guard, batch) in guards.iter_mut().zip(batches.iter_mut()) {
+        for (i, (guard, batch)) in guards.iter_mut().zip(batches.iter_mut()).enumerate() {
             for t in batch.iter() {
                 self.rec.record(|| TraceEvent::OutVisible {
                     actor: trace::current_actor(),
@@ -155,7 +227,9 @@ impl TupleSpace {
                 });
             }
             self.len.fetch_add(batch.len(), Ordering::SeqCst);
+            let n = batch.len() as u64;
             guard.append(batch);
+            self.note_part(&parts[i], &sigs[i], guard.len(), "space.ops.out", n);
         }
         drop(guards);
         for part in &parts {
@@ -165,7 +239,8 @@ impl TupleSpace {
 
     /// `inp`: withdraw a matching tuple if one exists, without blocking.
     pub fn inp(&self, tmpl: &Template) -> Option<Tuple> {
-        if let Some(part) = self.existing(&tmpl.sig()) {
+        let sig = tmpl.sig();
+        if let Some(part) = self.existing(&sig) {
             let mut tuples = part.tuples.lock();
             // Order within a partition is not part of the Linda contract;
             // swap_remove keeps withdrawal O(1).
@@ -176,6 +251,7 @@ impl TupleSpace {
                     tuple: t.clone(),
                 });
                 self.len.fetch_sub(1, Ordering::SeqCst);
+                self.note_part(&part, &sig, tuples.len(), "space.ops.take", 1);
                 return Some(t);
             }
         }
@@ -184,12 +260,14 @@ impl TupleSpace {
             op: OpKind::Inp,
             template: tmpl.clone(),
         });
+        self.met.with(|reg| reg.counter("space.ops.miss").inc());
         None
     }
 
     /// `rdp`: copy a matching tuple if one exists, without blocking.
     pub fn rdp(&self, tmpl: &Template) -> Option<Tuple> {
-        if let Some(part) = self.existing(&tmpl.sig()) {
+        let sig = tmpl.sig();
+        if let Some(part) = self.existing(&sig) {
             let tuples = part.tuples.lock();
             if let Some(t) = tuples.iter().find(|t| tmpl.matches(t)) {
                 let t = t.clone();
@@ -197,6 +275,7 @@ impl TupleSpace {
                     actor: trace::current_actor(),
                     tuple: t.clone(),
                 });
+                self.note_part(&part, &sig, tuples.len(), "space.ops.read", 1);
                 return Some(t);
             }
         }
@@ -205,6 +284,7 @@ impl TupleSpace {
             op: OpKind::Rdp,
             template: tmpl.clone(),
         });
+        self.met.with(|reg| reg.counter("space.ops.miss").inc());
         None
     }
 
@@ -251,15 +331,19 @@ impl TupleSpace {
     ) -> Option<Tuple> {
         // Waiting on a signature nobody has produced yet creates its
         // (empty) partition, so the eventual `out` finds our condvar.
-        let part = self.partition(tmpl.sig());
+        let sig = tmpl.sig();
+        let part = self.partition(sig.clone());
         let mut tuples = part.tuples.lock();
         let mut parked = false;
+        let mut block_start: Option<Instant> = None;
         loop {
             if let Some(c) = cancel {
                 if c.load(Ordering::SeqCst) {
                     self.rec.record(|| TraceEvent::WaitCancelled {
                         actor: trace::current_actor(),
                     });
+                    self.met
+                        .with(|reg| reg.counter("space.ops.cancelled").inc());
                     return None;
                 }
             }
@@ -267,6 +351,13 @@ impl TupleSpace {
                 if parked {
                     self.rec.record(|| TraceEvent::Wake {
                         actor: trace::current_actor(),
+                    });
+                    self.met.with(|reg| {
+                        reg.counter("space.ops.wake").inc();
+                        if let Some(start) = block_start {
+                            reg.histogram("space.block_ns")
+                                .observe(start.elapsed().as_nanos() as u64);
+                        }
                     });
                 }
                 let t = if withdraw {
@@ -283,6 +374,12 @@ impl TupleSpace {
                         TraceEvent::Read { actor, tuple }
                     }
                 });
+                let global = if withdraw {
+                    "space.ops.take"
+                } else {
+                    "space.ops.read"
+                };
+                self.note_part(&part, &sig, tuples.len(), global, 1);
                 return Some(t);
             }
             if !parked {
@@ -292,6 +389,10 @@ impl TupleSpace {
                     op: if withdraw { OpKind::In } else { OpKind::Rd },
                     template: tmpl.clone(),
                 });
+                if self.met.enabled() {
+                    block_start = Some(Instant::now());
+                    self.met.with(|reg| reg.counter("space.ops.block").inc());
+                }
             }
             // Unbounded wait: an `out` into this partition notifies its
             // condvar under the same lock, and `kick` (cancellation) locks
@@ -363,6 +464,7 @@ impl TupleSpace {
         self.rec.record(|| TraceEvent::Reset {
             actor: trace::current_actor(),
         });
+        self.met.with(|reg| reg.counter("space.ops.restore").inc());
         for g in guards.iter_mut() {
             g.clear();
         }
@@ -560,6 +662,71 @@ mod tests {
         assert_eq!(h1.join().unwrap().int(1), 4);
         assert_eq!(h2.join().unwrap().real(1), 2.5);
         assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn metrics_count_ops_and_occupancy() {
+        let ts = TupleSpace::new();
+        let reg = crate::metrics::MetricsRegistry::new();
+        ts.set_metrics(Some(reg.clone()));
+        assert!(ts.metrics_enabled());
+        ts.out(tup!["task", 1]);
+        ts.out(tup!["task", 2]);
+        assert!(ts.inp(&task_tmpl()).is_some());
+        assert!(ts
+            .inp(&Template::new(vec![field::val("nope"), field::int()]))
+            .is_none());
+        assert!(ts.rdp(&task_tmpl()).is_some());
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("space.ops.out"), 2);
+        assert_eq!(snap.counter("space.ops.take"), 1);
+        assert_eq!(snap.counter("space.ops.read"), 1);
+        assert_eq!(snap.counter("space.ops.miss"), 1);
+        // A single (str, int) partition saw out+out+take+read = 4 ops;
+        // occupancy is now 1 with a high-water mark of 2.
+        let (_, occ) = snap
+            .gauges
+            .iter()
+            .find(|(k, _)| k.starts_with("space.part.") && k.ends_with(".occupancy"))
+            .expect("per-partition occupancy gauge");
+        assert_eq!(occ.value, 1);
+        assert_eq!(occ.hi, 2);
+        let ops = snap.sum_counters(|k| k.starts_with("space.part.") && k.ends_with(".ops"));
+        assert_eq!(ops, 4);
+    }
+
+    #[test]
+    fn metrics_record_block_and_wake() {
+        let ts = Arc::new(TupleSpace::new());
+        let reg = crate::metrics::MetricsRegistry::new();
+        ts.set_metrics(Some(reg.clone()));
+        let ts2 = Arc::clone(&ts);
+        let h = std::thread::spawn(move || ts2.in_blocking(task_tmpl()));
+        std::thread::sleep(Duration::from_millis(30));
+        ts.out(tup!["task", 5]);
+        h.join().unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("space.ops.block"), 1);
+        assert_eq!(snap.counter("space.ops.wake"), 1);
+        let hist = snap.histogram("space.block_ns").expect("block histogram");
+        assert_eq!(hist.count, 1);
+        assert!(hist.sum >= 1_000_000, "blocked ≥ 1ms, got {}ns", hist.sum);
+    }
+
+    #[test]
+    fn swapping_registries_rebuilds_partition_handles() {
+        let ts = TupleSpace::new();
+        let first = crate::metrics::MetricsRegistry::new();
+        ts.set_metrics(Some(first.clone()));
+        ts.out(tup!["task", 1]);
+        let second = crate::metrics::MetricsRegistry::new();
+        ts.set_metrics(Some(second.clone()));
+        ts.out(tup!["task", 2]);
+        assert_eq!(first.snapshot().counter("space.ops.out"), 1);
+        assert_eq!(second.snapshot().counter("space.ops.out"), 1);
+        ts.set_metrics(None);
+        ts.out(tup!["task", 3]);
+        assert_eq!(second.snapshot().counter("space.ops.out"), 1);
     }
 
     #[test]

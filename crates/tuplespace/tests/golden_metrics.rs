@@ -1,0 +1,80 @@
+//! Golden-file test freezing the [`plinda::MetricsSnapshot`] JSON schema.
+//!
+//! The fixture at `tests/fixtures/metrics_snapshot.golden.json` is the
+//! byte-exact export of a small hand-built ledger. Any change to the
+//! exporter's shape — key names, nesting, indentation, bucket encoding —
+//! fails these tests; an intentional schema change must bump
+//! [`plinda::metrics::SCHEMA`] and regenerate the fixture by running the
+//! suite once with `UPDATE_GOLDEN=1`.
+
+use plinda::metrics::check_snapshot;
+use plinda::{MetricsRegistry, MetricsSnapshot};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/metrics_snapshot.golden.json"
+);
+
+/// A deterministic ledger exercising every metric kind and the sparse
+/// histogram encoding (zero bucket, power-of-two boundaries, a gap).
+/// Deliberately a *consistent* ledger so the fixture doubles as a
+/// documented example of a balanced snapshot.
+fn golden_snapshot() -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    reg.counter("space.ops.out").add(7);
+    reg.counter("space.ops.take").add(5);
+    reg.counter("space.ops.read").add(3);
+    reg.counter("farm.demo.leaked").add(2);
+    reg.counter("farm.demo.worker.0.tasks").add(4);
+    reg.counter("farm.demo.worker.0.busy_ns").add(2_000_000);
+    reg.counter("farm.demo.worker.0.blocked_ns").add(1_000_000);
+    reg.counter("farm.demo.worker.0.wall_ns").add(5_000_000);
+    reg.counter("farm.demo.worker.0.respawns").add(1);
+    reg.counter("runtime.kills").add(1);
+    reg.counter("runtime.respawns").add(1);
+    let depth = reg.gauge("chan.results.depth");
+    depth.set(2);
+    depth.set(5);
+    depth.set(1);
+    let h = reg.histogram("space.block_ns");
+    h.observe(0); // zero bucket
+    h.observe(1); // bucket 1: [1, 2)
+    h.observe(900); // bucket 10: [512, 1024)
+    h.observe(1024); // bucket 11: [1024, 2048)
+    reg.snapshot()
+}
+
+#[test]
+fn json_export_matches_golden_fixture() {
+    let got = golden_snapshot().to_json();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(FIXTURE, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("golden fixture missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "snapshot JSON drifted from the frozen schema; if the change is \
+         intentional, bump plinda::metrics::SCHEMA and regenerate the \
+         fixture with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_fixture_round_trips_through_decoder() {
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("golden fixture missing; regenerate with UPDATE_GOLDEN=1");
+    let decoded = MetricsSnapshot::from_json(&want).expect("fixture must decode");
+    assert_eq!(decoded, golden_snapshot(), "decode(fixture) == ledger");
+    assert_eq!(
+        decoded.to_json(),
+        want,
+        "encode(decode(fixture)) == fixture"
+    );
+}
+
+#[test]
+fn golden_fixture_is_a_consistent_ledger() {
+    let violations = check_snapshot(&golden_snapshot());
+    assert!(violations.is_empty(), "{violations:?}");
+}

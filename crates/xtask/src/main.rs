@@ -1,14 +1,29 @@
-//! Workspace task runner. Currently one task:
+//! Workspace task runner. Two tasks:
 //!
 //! ```text
 //! cargo run -p xtask -- lint-templates [ROOT]
+//! cargo run --release -p xtask -- metrics-smoke
 //! ```
 //!
-//! Exits non-zero if any tuple-space template in the tree is unmatchable
-//! (see the crate docs for the analysis).
+//! `lint-templates` exits non-zero if any tuple-space template in the
+//! tree is unmatchable (see the crate docs for the analysis).
+//!
+//! `metrics-smoke` is the CI observability gate: it runs a small metered
+//! task farm, validates the resulting `MetricsSnapshot` against the
+//! frozen golden schema (decode, round-trip, cross-layer invariants),
+//! and measures that the metrics-*off* tuple-space fast path costs no
+//! more than the documented envelope (~100 ns/event) over a space that
+//! never had a registry installed. Run it under `--release`; debug
+//! timings are dominated by unoptimised match code.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+use plinda::metrics::check_snapshot;
+use plinda::{
+    field, tup, FarmConfig, MetricsRegistry, MetricsSnapshot, TaskFarm, Template, TupleSpace,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,9 +48,143 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("metrics-smoke") => metrics_smoke(),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint-templates [ROOT]");
+            eprintln!(
+                "usage: cargo run -p xtask -- lint-templates [ROOT]\n       \
+                 cargo run --release -p xtask -- metrics-smoke"
+            );
             ExitCode::from(2)
         }
     }
+}
+
+/// Per-event cost envelope for the metrics-disabled fast path (one
+/// relaxed atomic load), in nanoseconds. DESIGN.md documents this gate.
+const OFF_ENVELOPE_NS: f64 = 100.0;
+
+fn metrics_smoke() -> ExitCode {
+    let mut failed = false;
+
+    // ---- 1. Small metered farm; validate the ledger end to end. -----
+    let reg = MetricsRegistry::new();
+    let farm = TaskFarm::<i64, i64>::start(
+        "smoke",
+        FarmConfig::bag(2).with_metrics(reg.clone()),
+        |scope, _flag, n| {
+            scope.result(&(n + 1));
+            Ok(())
+        },
+    );
+    for i in 0..64i64 {
+        farm.send(0, &i);
+    }
+    for _ in 0..64 {
+        farm.recv();
+    }
+    let report = farm.finish();
+    if !report.leaked.is_empty() {
+        eprintln!("metrics-smoke: farm leaked tuples: {:?}", report.leaked);
+        failed = true;
+    }
+    let snap = reg.snapshot();
+
+    // Golden schema: the committed fixture must decode, and the run's
+    // export must carry the identical schema header and round-trip.
+    let fixture_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../tuplespace/tests/fixtures/metrics_snapshot.golden.json");
+    match std::fs::read_to_string(&fixture_path) {
+        Ok(fixture) => {
+            if let Err(e) = MetricsSnapshot::from_json(&fixture) {
+                eprintln!("metrics-smoke: golden fixture does not decode: {e}");
+                failed = true;
+            }
+            let json = snap.to_json();
+            if json.lines().nth(1) != fixture.lines().nth(1) {
+                eprintln!("metrics-smoke: schema header differs from golden fixture");
+                failed = true;
+            }
+            match MetricsSnapshot::from_json(&json) {
+                Ok(back) if back == snap => {}
+                Ok(_) => {
+                    eprintln!("metrics-smoke: snapshot did not round-trip losslessly");
+                    failed = true;
+                }
+                Err(e) => {
+                    eprintln!("metrics-smoke: snapshot export does not decode: {e}");
+                    failed = true;
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!(
+                "metrics-smoke: cannot read golden fixture {}: {e}",
+                fixture_path.display()
+            );
+            failed = true;
+        }
+    }
+
+    for v in check_snapshot(&snap) {
+        eprintln!("metrics-smoke: invariant violation: {v}");
+        failed = true;
+    }
+    let tasks = snap.sum_counters(|k| k.contains(".worker.") && k.ends_with(".tasks"));
+    if tasks != 64 {
+        eprintln!("metrics-smoke: workers account for {tasks} tasks, expected 64");
+        failed = true;
+    }
+    println!(
+        "metrics-smoke: ledger ok — {} counters, {} gauges, {} histograms",
+        snap.counters.len(),
+        snap.gauges.len(),
+        snap.histograms.len()
+    );
+
+    // ---- 2. Disabled-path overhead envelope. ------------------------
+    // Best-of-5 over 50k out/inp cycles (2 space events per cycle),
+    // comparing a space that had a registry installed then removed (the
+    // gated path CI cares about) against one that never had one.
+    const ITERS: u64 = 50_000;
+    let pristine = TupleSpace::new();
+    let gated = TupleSpace::new();
+    gated.set_metrics(Some(MetricsRegistry::new()));
+    gated.set_metrics(None);
+    measure_cycle_ns(&pristine, ITERS); // warm both spaces up
+    measure_cycle_ns(&gated, ITERS);
+    let base = (0..5)
+        .map(|_| measure_cycle_ns(&pristine, ITERS))
+        .fold(f64::INFINITY, f64::min);
+    let off = (0..5)
+        .map(|_| measure_cycle_ns(&gated, ITERS))
+        .fold(f64::INFINITY, f64::min);
+    let per_event = (off - base) / 2.0;
+    println!(
+        "metrics-smoke: out/inp cycle {base:.1} ns pristine, {off:.1} ns metrics-off \
+         ({per_event:+.1} ns/event, envelope {OFF_ENVELOPE_NS} ns)"
+    );
+    if per_event > OFF_ENVELOPE_NS {
+        eprintln!(
+            "metrics-smoke: metrics-off overhead {per_event:.1} ns/event exceeds the \
+             {OFF_ENVELOPE_NS} ns envelope"
+        );
+        failed = true;
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Mean wall nanoseconds per out+inp cycle over `iters` cycles.
+fn measure_cycle_ns(ts: &TupleSpace, iters: u64) -> f64 {
+    let tmpl = Template::new(vec![field::val("t"), field::int()]);
+    let start = Instant::now();
+    for _ in 0..iters {
+        ts.out(tup!["t", 1]);
+        std::hint::black_box(ts.inp(&tmpl)).unwrap();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
 }

@@ -1,0 +1,91 @@
+//! Run one metered PLET-LB mining job and read its ledger.
+//!
+//! ```text
+//! cargo run --release --example metrics_ledger
+//! ```
+//!
+//! Installs a [`plinda::MetricsRegistry`] on the protein-motif discovery
+//! farm, then distils the snapshot into the table EXPERIMENTS.md quotes:
+//! where each worker's wall time went (busy / blocked / idle) and how
+//! much master contention the run suffered (block counts and durations
+//! on the shared bag). Pass `--json` to dump the raw snapshot in the
+//! frozen schema instead of text.
+
+use fpdm::core::ParallelConfig;
+use fpdm::datagen::{protein_family, PlantedMotif};
+use fpdm::plinda::MetricsRegistry;
+use fpdm::seqmine::{discover_parallel, DiscoveryParams};
+
+const WORKERS: usize = 4;
+
+fn main() {
+    let family = protein_family(9, 40, 120, 10, &[PlantedMotif::exact("WWHHKK", 0.6)]);
+    let params = DiscoveryParams::new(4, 8, 8, 1).with_sample_occurrence(2);
+
+    let reg = MetricsRegistry::new();
+    let cfg = ParallelConfig::load_balanced(WORKERS).with_metrics(reg.clone());
+    let found = discover_parallel(family, params, &cfg);
+    let snap = reg.snapshot();
+
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", snap.to_json());
+        return;
+    }
+
+    println!(
+        "PLET-LB protein discovery, {WORKERS} workers: {} motifs found\n",
+        found.len()
+    );
+
+    // Where each worker's wall-clock went. `blocked` is time parked in
+    // `in` on the shared task bag — the master-contention signal the
+    // adaptive master of §4.4 reacts to.
+    println!("worker   tasks   busy ms   blocked ms   idle ms   blocked");
+    let mut tot = [0u64; 3];
+    for w in 0..WORKERS {
+        let p = format!("farm.plet-lb.worker.{w}");
+        let tasks = snap.counter(&format!("{p}.tasks"));
+        let busy = snap.counter(&format!("{p}.busy_ns"));
+        let blocked = snap.counter(&format!("{p}.blocked_ns"));
+        let wall = snap.counter(&format!("{p}.wall_ns"));
+        let idle = wall.saturating_sub(busy + blocked);
+        tot[0] += busy;
+        tot[1] += blocked;
+        tot[2] += wall;
+        println!(
+            "{w:>6}   {tasks:>5}   {:>7.2}   {:>10.2}   {:>7.2}   {:>6.1}%",
+            busy as f64 / 1e6,
+            blocked as f64 / 1e6,
+            idle as f64 / 1e6,
+            100.0 * blocked as f64 / wall.max(1) as f64,
+        );
+    }
+    println!(
+        " total           {:>7.2}   {:>10.2}             {:>6.1}%\n",
+        tot[0] as f64 / 1e6,
+        tot[1] as f64 / 1e6,
+        100.0 * tot[1] as f64 / tot[2].max(1) as f64,
+    );
+
+    // Contention on the shared space: how often anyone parked, and for
+    // how long per wake. The master's own `recv` waits dominate the
+    // histogram — long parks here mean the master is starved for
+    // results, short frequent parks mean workers are starved for tasks.
+    let blocks = snap.counter("space.ops.block");
+    let wakes = snap.counter("space.ops.wake");
+    if let Some(h) = snap.histogram("space.block_ns") {
+        println!(
+            "space: {} ops out, {} taken; {blocks} parks, {wakes} wakes \
+             (incl. master recv), mean block {:.1} ms",
+            snap.counter("space.ops.out"),
+            snap.counter("space.ops.take"),
+            h.mean() as f64 / 1e6,
+        );
+    }
+    println!(
+        "txns:  {} committed, {} aborted, {} continuations",
+        snap.counter("txn.commit"),
+        snap.counter("txn.abort"),
+        snap.counter("txn.continuations"),
+    );
+}

@@ -66,6 +66,7 @@ proptest! {
                 initial_task_level: 1,
                 kill_schedule: Vec::new(),
                 recorder: None,
+                metrics: None,
             };
             let plet = parallel_ett(Arc::clone(&p), &cfg);
             prop_assert_eq!(&reference.good, &plet.good);

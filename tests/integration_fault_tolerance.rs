@@ -44,6 +44,7 @@ fn optimistic_survives_worker_kills() {
         initial_task_level: 1,
         kill_schedule: vec![(Duration::from_millis(1), 2), (Duration::from_millis(4), 0)],
         recorder: None,
+        metrics: None,
     };
     let got = parallel_ett(Arc::clone(&p), &cfg);
     assert_eq!(reference.good, got.good);
@@ -89,6 +90,48 @@ fn killed_runs_pass_the_protocol_checkers() {
     assert!(!trace.events.is_empty(), "recorder captured the run");
     let report = check_trace(&trace, &[]);
     assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn metered_killed_run_accounts_for_every_respawn() {
+    // A kill-heavy run with the metrics registry installed: the ledger
+    // must reconcile the kill schedule with the observed respawns — each
+    // per-worker respawn counter sums to `runtime.respawns`, which never
+    // exceeds `runtime.kills` (kills landing during shutdown respawn
+    // nobody) — and the tuple ledger must still balance despite aborts.
+    use fpdm::plinda::metrics::check_snapshot;
+    use fpdm::plinda::MetricsRegistry;
+    let p = Arc::new(workload());
+    let reference = sequential_ett(&*p);
+    let reg = MetricsRegistry::new();
+    let cfg = ParallelConfig::load_balanced(3)
+        .kill_after(Duration::from_millis(2), 0)
+        .kill_after(Duration::from_millis(5), 1)
+        .kill_after(Duration::from_millis(9), 0)
+        .with_metrics(reg.clone());
+    let got = parallel_ett(Arc::clone(&p), &cfg);
+    assert_eq!(reference.good, got.good);
+
+    let snap = reg.snapshot();
+    let kills = snap.counter("runtime.kills");
+    let respawns = snap.counter("runtime.respawns");
+    let per_worker: u64 = snap.sum_counters(|k| {
+        k.starts_with("farm.") && k.contains(".worker.") && k.ends_with(".respawns")
+    });
+    assert_eq!(per_worker, respawns, "worker cells must match the runtime");
+    assert!(respawns <= kills, "respawns {respawns} > kills {kills}");
+    assert!(kills <= 3, "kill schedule had 3 entries, saw {kills}");
+    // Aborted transactions restored their tuples: conservation holds.
+    let outs = snap.counter("space.ops.out");
+    let takes = snap.counter("space.ops.take");
+    let leaked = snap.sum_counters(|k| k.starts_with("farm.") && k.ends_with(".leaked"));
+    assert_eq!(
+        outs,
+        takes + leaked,
+        "tuple ledger must balance after kills"
+    );
+    let violations = check_snapshot(&snap);
+    assert!(violations.is_empty(), "{violations:?}");
 }
 
 #[test]

@@ -1,0 +1,93 @@
+//! The acceptance test for the observability layer: the *same* workload
+//! run for real on the threaded PLinda farm and replayed in the `nowsim`
+//! discrete-event simulator must emit `MetricsSnapshot` ledgers in the
+//! identical frozen JSON schema — one decoder, one schema header, both
+//! consistent under the cross-layer invariant checker. Simulated curves
+//! (Figs. 6.3–6.8) and real measurements are only comparable because the
+//! ledger format is shared.
+
+use fpdm::nowsim::{MachineSpec, SimConfig, SimTask, Simulator, StaticProgram};
+use fpdm::plinda::metrics::check_snapshot;
+use fpdm::plinda::{FarmConfig, MetricsRegistry, MetricsSnapshot, TaskFarm};
+
+const TASKS: u64 = 8;
+
+/// Real run: `TASKS` trivial tasks over two threaded workers.
+fn real_ledger() -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    let farm = TaskFarm::<i64, i64>::start(
+        "job",
+        FarmConfig::bag(2).with_metrics(reg.clone()),
+        |scope, _flag, n| {
+            scope.result(&(n * n));
+            Ok(())
+        },
+    );
+    for i in 0..TASKS {
+        farm.send(0, &(i as i64));
+    }
+    for _ in 0..TASKS {
+        farm.recv();
+    }
+    let report = farm.finish();
+    assert!(report.leaked.is_empty(), "{:?}", report.leaked);
+    reg.snapshot()
+}
+
+/// Simulated run: the same bag of `TASKS` unit tasks on two machines.
+fn sim_ledger() -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    let mut prog = StaticProgram::new((0..TASKS).map(|i| SimTask::new(i, 1.0)).collect());
+    let r = Simulator::run_metered(
+        &mut prog,
+        &[MachineSpec::ideal(), MachineSpec::ideal()],
+        &SimConfig::lan_default(),
+        Some(&reg),
+    );
+    assert_eq!(r.completed, TASKS);
+    reg.snapshot()
+}
+
+#[test]
+fn real_and_simulated_ledgers_share_the_frozen_schema() {
+    let (real, sim) = (real_ledger(), sim_ledger());
+
+    // Both ledgers describe the same workload.
+    let real_tasks = real.sum_counters(|k| k.contains(".worker.") && k.ends_with(".tasks"));
+    assert_eq!(real_tasks, TASKS, "real workers processed every task");
+    assert_eq!(sim.counter("sim.tasks.completed"), TASKS);
+
+    // Identical schema header, one decoder accepts both, and each
+    // round-trips losslessly — the schema-identity acceptance criterion.
+    let (rj, sj) = (real.to_json(), sim.to_json());
+    assert_eq!(
+        rj.lines().nth(1),
+        sj.lines().nth(1),
+        "schema header differs"
+    );
+    assert_eq!(MetricsSnapshot::from_json(&rj).unwrap(), real);
+    assert_eq!(MetricsSnapshot::from_json(&sj).unwrap(), sim);
+
+    // Both are quiescent, balanced ledgers.
+    for (name, snap) in [("real", &real), ("sim", &sim)] {
+        let violations = check_snapshot(snap);
+        assert!(violations.is_empty(), "{name}: {violations:?}");
+    }
+}
+
+#[test]
+fn text_export_renders_both_ledgers() {
+    // The aligned-text exporter is the human half of the surface; it must
+    // mention every metric the JSON export carries.
+    for snap in [real_ledger(), sim_ledger()] {
+        let text = snap.to_text();
+        for name in snap
+            .counters
+            .keys()
+            .chain(snap.gauges.keys())
+            .chain(snap.histograms.keys())
+        {
+            assert!(text.contains(name.as_str()), "text export misses {name}");
+        }
+    }
+}

@@ -130,6 +130,47 @@ fn protein_discovery_trace_passes_protocol_checkers() {
 }
 
 #[test]
+fn metered_protein_discovery_ledger_is_consistent() {
+    // Same discovery run, but with the metrics registry installed: at
+    // quiescence the ledger must balance — every tuple out was withdrawn
+    // or reported leaked, every worker's busy + blocked time fits its
+    // wall time, and the cross-layer `check_snapshot` invariants hold.
+    use fpdm::plinda::metrics::check_snapshot;
+    use fpdm::plinda::MetricsRegistry;
+    let family = protein_family(9, 20, 80, 10, &[PlantedMotif::exact("WWHHKK", 0.6)]);
+    let params = DiscoveryParams::new(4, 8, 8, 1).with_sample_occurrence(2);
+    let reference = discover(family.clone(), params.clone());
+    let reg = MetricsRegistry::new();
+    let cfg = ParallelConfig::load_balanced(3).with_metrics(reg.clone());
+    let got = discover_parallel(family, params, &cfg);
+    assert_eq!(reference, got);
+
+    let snap = reg.snapshot();
+    // Tuple conservation: outs == takes + leaked (reads never withdraw).
+    let outs = snap.counter("space.ops.out");
+    let takes = snap.counter("space.ops.take");
+    let leaked = snap.sum_counters(|k| k.starts_with("farm.") && k.ends_with(".leaked"));
+    assert!(outs > 0, "metered run recorded no outs");
+    assert_eq!(outs, takes + leaked, "tuple ledger must balance");
+    // Per-worker time: busy + blocked never exceeds wall, so idle >= 0.
+    for w in 0..3 {
+        let p = format!("farm.plet-lb.worker.{w}");
+        let wall = snap.counter(&format!("{p}.wall_ns"));
+        let busy = snap.counter(&format!("{p}.busy_ns"));
+        let blocked = snap.counter(&format!("{p}.blocked_ns"));
+        assert!(wall > 0, "worker {w} reported no wall time");
+        assert!(
+            busy + blocked <= wall + 1_000_000,
+            "worker {w}: busy {busy} + blocked {blocked} > wall {wall}"
+        );
+    }
+    // Every transaction resolved; the farm's commits cover its tasks.
+    assert!(snap.counter("txn.commit") > 0);
+    let violations = check_snapshot(&snap);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
 fn classification_rule_mining_parallel_equals_sequential() {
     use fpdm::classify::rulemine::RuleMiningProblem;
     use fpdm::core::{parallel_ett, parallel_hybrid, sequential_ett};
