@@ -26,17 +26,20 @@ pub fn parallel_apriori(
     min_support: usize,
     workers: usize,
 ) -> FrequentItemsets {
-    parallel_apriori_metered(db, min_support, workers, None)
+    parallel_apriori_metered(db, min_support, workers, None, None)
 }
 
 /// [`parallel_apriori`] with an optional metrics registry installed on
 /// the farm's tuple space; the farm folds per-worker accounting into it
 /// at teardown — snapshot after this returns for the run's ledger.
+/// `space` selects the backend: `None` runs in-process, `Some` runs the
+/// identical farm over a pre-connected (e.g. broker) tuple space.
 pub fn parallel_apriori_metered(
     db: Arc<TransactionDb>,
     min_support: usize,
     workers: usize,
     metrics: Option<plinda::MetricsRegistry>,
+    space: Option<Arc<plinda::TupleSpace>>,
 ) -> FrequentItemsets {
     assert!(workers >= 1);
     let n = db.len();
@@ -47,6 +50,9 @@ pub fn parallel_apriori_metered(
     let mut cfg = FarmConfig::per_worker(workers);
     if let Some(reg) = metrics {
         cfg = cfg.with_metrics(reg);
+    }
+    if let Some(space) = space {
+        cfg = cfg.with_space(space);
     }
     let farm = TaskFarm::<Vec<Itemset>, (i64, i64, Vec<u32>)>::start(
         "pear",

@@ -65,6 +65,11 @@ pub struct ParallelConfig {
     /// The farm folds per-worker accounting into it at teardown; snapshot
     /// it after the driver returns for the run's complete ledger.
     pub metrics: Option<plinda::MetricsRegistry>,
+    /// Optional pre-connected tuple space — e.g. the result of
+    /// [`plinda::TupleSpace::connect_unix`] to run the traversal's farm
+    /// against an `fpdm-spaced` broker. `None` uses a fresh in-process
+    /// space; the traversal code is identical either way.
+    pub space: Option<Arc<plinda::TupleSpace>>,
 }
 
 impl ParallelConfig {
@@ -77,6 +82,7 @@ impl ParallelConfig {
             kill_schedule: Vec::new(),
             recorder: None,
             metrics: None,
+            space: None,
         }
     }
 
@@ -89,6 +95,7 @@ impl ParallelConfig {
             kill_schedule: Vec::new(),
             recorder: None,
             metrics: None,
+            space: None,
         }
     }
 
@@ -118,6 +125,13 @@ impl ParallelConfig {
         self.metrics = Some(reg);
         self
     }
+
+    /// Run the traversal over `space` (e.g. a socket-connected broker
+    /// space) instead of a fresh in-process one.
+    pub fn with_space(mut self, space: Arc<plinda::TupleSpace>) -> Self {
+        self.space = Some(space);
+        self
+    }
 }
 
 /// Ordinary evaluate-and-expand task (PLET) / evaluate task (PLED).
@@ -141,6 +155,9 @@ fn bag_config(config: &ParallelConfig) -> FarmConfig {
     }
     if let Some(reg) = &config.metrics {
         cfg = cfg.with_metrics(reg.clone());
+    }
+    if let Some(space) = &config.space {
+        cfg = cfg.with_space(Arc::clone(space));
     }
     cfg
 }

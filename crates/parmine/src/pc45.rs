@@ -32,12 +32,14 @@ pub fn parallel_c45_trials(
     workers: usize,
     seed: u64,
 ) -> DecisionTree {
-    parallel_c45_trials_metered(data, rows, config, trials, workers, seed, None)
+    parallel_c45_trials_metered(data, rows, config, trials, workers, seed, None, None)
 }
 
 /// [`parallel_c45_trials`] with an optional metrics registry installed
 /// on the farm's tuple space; the farm folds per-worker accounting into
 /// it at teardown — snapshot after this returns for the run's ledger.
+/// `space` selects the backend: `None` runs in-process, `Some` runs the
+/// identical farm over a pre-connected (e.g. broker) tuple space.
 #[allow(clippy::too_many_arguments)]
 pub fn parallel_c45_trials_metered(
     data: Arc<Dataset>,
@@ -47,6 +49,7 @@ pub fn parallel_c45_trials_metered(
     workers: usize,
     seed: u64,
     metrics: Option<plinda::MetricsRegistry>,
+    space: Option<std::sync::Arc<plinda::TupleSpace>>,
 ) -> DecisionTree {
     assert!(trials >= 1 && workers >= 1);
     let grown: Arc<Mutex<Vec<Option<DecisionTree>>>> =
@@ -62,6 +65,9 @@ pub fn parallel_c45_trials_metered(
     let mut cfg = FarmConfig::bag(workers);
     if let Some(reg) = metrics {
         cfg = cfg.with_metrics(reg);
+    }
+    if let Some(space) = space {
+        cfg = cfg.with_space(space);
     }
     let farm = TaskFarm::<i64, (i64, f64)>::start("pc45", cfg, move |scope, _flag, i| {
         let tree = grow_windowed_indexed(
@@ -118,12 +124,16 @@ pub fn parallel_nyuminer_rs(
     workers: usize,
     seed: u64,
 ) -> NyuMinerRS {
-    parallel_nyuminer_rs_metered(data, rows, config, trials, cmin, smin, workers, seed, None)
+    parallel_nyuminer_rs_metered(
+        data, rows, config, trials, cmin, smin, workers, seed, None, None,
+    )
 }
 
 /// [`parallel_nyuminer_rs`] with an optional metrics registry installed
 /// on the farm's tuple space; the farm folds per-worker accounting into
 /// it at teardown — snapshot after this returns for the run's ledger.
+/// `space` selects the backend: `None` runs in-process, `Some` runs the
+/// identical farm over a pre-connected (e.g. broker) tuple space.
 #[allow(clippy::too_many_arguments)]
 pub fn parallel_nyuminer_rs_metered(
     data: Arc<Dataset>,
@@ -135,6 +145,7 @@ pub fn parallel_nyuminer_rs_metered(
     workers: usize,
     seed: u64,
     metrics: Option<plinda::MetricsRegistry>,
+    space: Option<std::sync::Arc<plinda::TupleSpace>>,
 ) -> NyuMinerRS {
     assert!(trials >= 1 && workers >= 1);
     let grown: Arc<Mutex<Vec<Option<DecisionTree>>>> =
@@ -150,6 +161,9 @@ pub fn parallel_nyuminer_rs_metered(
     let mut cfg = FarmConfig::bag(workers);
     if let Some(reg) = metrics {
         cfg = cfg.with_metrics(reg);
+    }
+    if let Some(space) = space {
+        cfg = cfg.with_space(space);
     }
     let farm = TaskFarm::<i64, (i64, f64)>::start("prs", cfg, move |scope, _flag, i| {
         // Same per-trial seed schedule as the sequential fit.

@@ -47,12 +47,14 @@ pub fn parallel_nyuminer_cv(
     workers: usize,
     seed: u64,
 ) -> ParallelCv {
-    parallel_nyuminer_cv_metered(data, rows, config, v, workers, seed, None)
+    parallel_nyuminer_cv_metered(data, rows, config, v, workers, seed, None, None)
 }
 
 /// [`parallel_nyuminer_cv`] with an optional metrics registry installed
 /// on the farm's tuple space; the farm folds per-worker accounting into
 /// it at teardown — snapshot after this returns for the run's ledger.
+/// `space` selects the backend: `None` runs in-process, `Some` runs the
+/// identical farm over a pre-connected (e.g. broker) tuple space.
 #[allow(clippy::too_many_arguments)]
 pub fn parallel_nyuminer_cv_metered(
     data: Arc<Dataset>,
@@ -62,6 +64,7 @@ pub fn parallel_nyuminer_cv_metered(
     workers: usize,
     seed: u64,
     metrics: Option<plinda::MetricsRegistry>,
+    space: Option<std::sync::Arc<plinda::TupleSpace>>,
 ) -> ParallelCv {
     assert!(v >= 2 && workers >= 1);
     let folds: Arc<Vec<Vec<usize>>> = Arc::new(data.folds(&rows, v, seed));
@@ -84,6 +87,9 @@ pub fn parallel_nyuminer_cv_metered(
     let mut cfg = FarmConfig::bag(workers);
     if let Some(reg) = metrics {
         cfg = cfg.with_metrics(reg);
+    }
+    if let Some(space) = space {
+        cfg = cfg.with_space(space);
     }
     let farm = TaskFarm::<i64, (i64, Vec<u32>)>::start("pcv", cfg, move |scope, _flag, fold| {
         let i = fold as usize;

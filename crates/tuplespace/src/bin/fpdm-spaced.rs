@@ -1,0 +1,50 @@
+//! `fpdm-spaced` — standalone tuple-space broker.
+//!
+//! Hosts the sharded PLinda tuple space behind a Unix-domain socket so that
+//! miners in *other OS processes* can share one space (and survive being
+//! SIGKILLed: the broker restores their tentative withdrawals and keeps
+//! their continuations for the respawned incarnation).
+//!
+//! ```text
+//! fpdm-spaced <socket-path> [--checkpoint <file> <interval-ms>]
+//! ```
+//!
+//! The process serves until killed; a stale socket file at the path is
+//! replaced on startup.
+
+use std::process::exit;
+use std::time::Duration;
+
+use plinda::BrokerConfig;
+
+fn usage() -> ! {
+    eprintln!("usage: fpdm-spaced <socket-path> [--checkpoint <file> <interval-ms>]");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let socket = match it.next() {
+        Some(p) if !p.starts_with('-') => p.clone(),
+        _ => usage(),
+    };
+    let mut cfg = BrokerConfig::new(&socket);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--checkpoint" => {
+                let (path, ms) = match (it.next(), it.next()) {
+                    (Some(p), Some(ms)) => (p, ms),
+                    _ => usage(),
+                };
+                let ms: u64 = ms.parse().unwrap_or_else(|_| usage());
+                cfg = cfg.checkpoint_every(path, Duration::from_millis(ms));
+            }
+            _ => usage(),
+        }
+    }
+    if let Err(e) = plinda::net::run_forever(cfg) {
+        eprintln!("fpdm-spaced: {e}");
+        exit(1);
+    }
+}

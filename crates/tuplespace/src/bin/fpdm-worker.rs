@@ -1,0 +1,86 @@
+//! `fpdm-worker` — standalone vector-addition worker (Fig. 2.6/2.7 shape)
+//! that runs against an `fpdm-spaced` broker in another OS process.
+//!
+//! ```text
+//! fpdm-worker <socket-path> <pid>
+//! ```
+//!
+//! The worker attaches to the shared space as logical process `<pid>`,
+//! recovers its continuation if an earlier incarnation with the same pid
+//! committed one, then repeatedly withdraws `("task", i, x)` tuples and
+//! emits `("result", i, i + x)` — each task inside one transaction whose
+//! continuation records how many tasks this logical process has completed.
+//! A negative task index is the poison pill.
+//!
+//! Progress lines on stdout (one per event, flushed) let a supervisor — or
+//! the cross-process integration test — SIGKILL the worker at a known
+//! point and verify recovery:
+//!
+//! ```text
+//! recovered <n>    # continuation found; n tasks already committed
+//! committed <n>    # transaction committed; n tasks total so far
+//! done <n>         # poison seen; exiting cleanly
+//! ```
+
+use std::io::Write;
+use std::process::exit;
+use std::sync::Arc;
+
+use plinda::{field, tup, PlindaError, Process, Template, TupleSpace};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (socket, pid) = match (args.first(), args.get(1).and_then(|p| p.parse().ok())) {
+        (Some(s), Some(p)) if args.len() == 2 => (s.clone(), p),
+        _ => {
+            eprintln!("usage: fpdm-worker <socket-path> <pid>");
+            exit(2);
+        }
+    };
+    let space = match TupleSpace::connect_unix(&socket) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("fpdm-worker: connect {socket}: {e}");
+            exit(1);
+        }
+    };
+    let mut p = Process::attach(space, pid);
+    if let Err(e) = run(&mut p) {
+        eprintln!("fpdm-worker: pid {pid}: {e}");
+        exit(1);
+    }
+}
+
+fn say(line: String) {
+    let mut out = std::io::stdout().lock();
+    // The supervisor watches these lines to time kills; unflushed progress
+    // would make the kill schedule nondeterministic.
+    writeln!(out, "{line}").and_then(|_| out.flush()).ok();
+}
+
+fn run(p: &mut Process) -> Result<(), PlindaError> {
+    let mut done: i64 = match p.xrecover() {
+        Some(cont) => {
+            let n = cont.int(0);
+            say(format!("recovered {n}"));
+            n
+        }
+        None => 0,
+    };
+    let task = Template::new(vec![field::val("task"), field::int(), field::int()]);
+    loop {
+        p.xstart()?;
+        let t = p.in_(task.clone())?;
+        if t.int(1) < 0 {
+            // Poison: put it back for the next worker and stop.
+            p.out(t);
+            p.xcommit(Some(tup![done]))?;
+            say(format!("done {done}"));
+            return Ok(());
+        }
+        p.out(tup!["result", t.int(1), t.int(1) + t.int(2)]);
+        done += 1;
+        p.xcommit(Some(tup![done]))?;
+        say(format!("committed {done}"));
+    }
+}

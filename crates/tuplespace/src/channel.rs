@@ -21,6 +21,11 @@
 //!
 //! [`KeyedChan<T>`] adds one integer routing field after the name, for
 //! per-consumer addressing (e.g. one task stream per worker).
+//!
+//! Channels speak only through the [`TupleSpace`] facade, so they are
+//! backend-agnostic: the same `Chan<T>` works over the in-process space and
+//! over a socket-connected broker ([`TupleSpace::connect_unix`]) without
+//! any change.
 
 use crate::codec;
 use crate::process::{PlindaError, Process};

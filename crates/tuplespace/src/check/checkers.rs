@@ -554,7 +554,7 @@ pub fn leftover_by_signature(trace: &Trace) -> Vec<(Vec<TypeTag>, usize)> {
 mod tests {
     use super::*;
     use crate::check::trace::Recorder;
-    use crate::process::{ContinuationStore, Process, ProcessState};
+    use crate::process::{Process, ProcessState};
     use crate::space::TupleSpace;
     use crate::template::field;
     use crate::tup;
@@ -568,12 +568,7 @@ mod tests {
     }
 
     fn process(pid: u64, space: &Arc<TupleSpace>) -> Process {
-        Process::new(
-            pid,
-            Arc::clone(space),
-            Arc::new(ContinuationStore::new()),
-            Arc::new(ProcessState::new()),
-        )
+        Process::new(pid, Arc::clone(space), Arc::new(ProcessState::new()))
     }
 
     fn t_task() -> Template {
@@ -633,12 +628,7 @@ mod tests {
         space.out(tup!["task", 7]);
         let before = space.checkpoint_bytes();
         let state = Arc::new(ProcessState::new());
-        let mut p = Process::new(
-            4,
-            Arc::clone(&space),
-            Arc::new(ContinuationStore::new()),
-            Arc::clone(&state),
-        );
+        let mut p = Process::new(4, Arc::clone(&space), Arc::clone(&state));
         p.xstart().unwrap();
         let _ = p.in_(t_task()).unwrap();
         p.out(tup!["done", 1]);

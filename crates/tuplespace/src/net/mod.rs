@@ -1,0 +1,28 @@
+//! Cross-process tuple space over Unix-domain sockets.
+//!
+//! The dissertation's PLinda ran worker *processes* against a tuple-space
+//! server on a LAN; this module is that deployment shape for one machine:
+//!
+//! * [`Broker`] — the server ([`super::space`]'s sharded space behind a
+//!   socket listener); the `fpdm-spaced` binary wraps it.
+//! * [`SocketBackend`] — the client-side [`crate::backend::SpaceBackend`],
+//!   reached through [`crate::TupleSpace::connect_unix`].
+//! * [`frame`] — `u32` length-prefixed framing with incremental decoding.
+//! * [`proto`] — the request/response protocol, encoded as ordinary
+//!   [`crate::codec`] tuples.
+//!
+//! Worker threads, worker OS processes (via [`crate::Process::attach`]),
+//! and whole runtimes ([`crate::Runtime::with_space`]) can share one
+//! broker; a worker process SIGKILLed mid-transaction has its tentative
+//! withdrawals restored by the broker and its continuation preserved for
+//! the respawned incarnation — OS-process kill-respawn recovery with the
+//! same semantics the in-process runtime provides for threads. See
+//! `DESIGN.md` ("Backends") for the full contract.
+
+pub mod broker;
+pub mod client;
+pub mod frame;
+pub mod proto;
+
+pub use broker::{run_forever, Broker, BrokerConfig};
+pub use client::SocketBackend;

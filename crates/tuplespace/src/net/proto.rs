@@ -1,0 +1,394 @@
+//! The request/response protocol of the socket backend.
+//!
+//! Every frame payload is one [`crate::codec`]-encoded *tuple* — the wire
+//! format is the codec the checkpoint path already trusts, reused whole.
+//! A request tuple is `[Int(op), Int(seq), …operands]`; a response tuple
+//! is `[Int(code), Int(seq), …operands]`. Operands are scalars (`Int`,
+//! `Str`) or `Bytes` fields wrapping the codec's tuple/template/snapshot
+//! encodings. The `seq` is chosen by the client and echoed by the broker,
+//! which is how a client polling for a blocking-wait reply distinguishes
+//! it from the reply to a later `Cancel`.
+//!
+//! Blocking waits are asymmetric: an `In`/`Rd` request that cannot be
+//! satisfied immediately gets *no* response until a matching tuple
+//! arrives; the client may send `Cancel { wait_seq }` at any time, after
+//! which the broker responds `Cancelled { seq: wait_seq }` (wait revoked)
+//! or has already sent `Tuple { seq: wait_seq }` (the wait won the race —
+//! the client re-`out`s the tuple if it no longer wants it). The `Cancel`
+//! itself is always answered with `Ok`.
+
+use crate::codec::{
+    decode_template, decode_tuple, decode_tuples, encode_template, encode_tuple, encode_tuples,
+    CodecError,
+};
+use crate::template::Template;
+use crate::value::{Tuple, Value};
+
+/// A client request: `seq` echoes back on the matching response.
+#[derive(Debug, Clone)]
+pub struct Req {
+    /// Client-chosen sequence number.
+    pub seq: u64,
+    /// The operation.
+    pub body: ReqBody,
+}
+
+/// Request operations — one per [`crate::backend::SpaceBackend`] method,
+/// plus `Cancel` (the wire form of the cancellation flag).
+#[derive(Debug, Clone)]
+pub enum ReqBody {
+    /// `out`.
+    Out(Tuple),
+    /// Atomic bulk `out`.
+    OutAll(Vec<Tuple>),
+    /// Non-blocking withdraw.
+    Inp(Template),
+    /// Non-blocking read.
+    Rdp(Template),
+    /// Blocking withdraw (response deferred until satisfied/cancelled).
+    In(Template),
+    /// Blocking read (response deferred until satisfied/cancelled).
+    Rd(Template),
+    /// Revoke a pending `In`/`Rd` wait.
+    Cancel {
+        /// The `seq` of the wait being revoked.
+        wait_seq: u64,
+    },
+    /// Visible tuple count.
+    Len,
+    /// Count matches of a template.
+    Count(Template),
+    /// Enabledness probe.
+    HasMatch(Template),
+    /// Consistent cut of the visible space.
+    Snapshot,
+    /// Replace the visible space (rollback recovery).
+    Restore(Vec<Tuple>),
+    /// Open a transaction for logical process `pid` on this connection.
+    TxnBegin {
+        /// Logical process id.
+        pid: u64,
+    },
+    /// Atomic commit: publish + continuation in one step.
+    TxnCommit {
+        /// Logical process id.
+        pid: u64,
+        /// Tuples to publish atomically.
+        publish: Vec<Tuple>,
+        /// Continuation to record, if any.
+        cont: Option<Tuple>,
+    },
+    /// Abort: restore tentative withdrawals.
+    TxnAbort {
+        /// Logical process id.
+        pid: u64,
+        /// Client-side record of tentative withdrawals (the broker's own
+        /// tracking is authoritative; this rides along for diagnostics).
+        restore: Vec<Tuple>,
+    },
+    /// Latest continuation of `pid`.
+    ContGet {
+        /// Logical process id.
+        pid: u64,
+    },
+    /// Drop the continuation of `pid`.
+    ContClear {
+        /// Logical process id.
+        pid: u64,
+    },
+}
+
+/// A broker response; `seq` matches the request it answers.
+#[derive(Debug, Clone)]
+pub struct Resp {
+    /// Echo of the request's sequence number.
+    pub seq: u64,
+    /// The result.
+    pub body: RespBody,
+}
+
+/// Response payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RespBody {
+    /// Success, no payload.
+    Ok,
+    /// Result of `inp`/`rdp`/`in`/`rd`/`cont_get`.
+    Tuple(Option<Tuple>),
+    /// Result of `len`/`count`.
+    Num(u64),
+    /// Result of `has_match`.
+    Bool(bool),
+    /// Result of `snapshot`.
+    Tuples(Vec<Tuple>),
+    /// A pending wait was revoked by `Cancel`.
+    Cancelled,
+    /// The broker rejected the request.
+    Err(String),
+}
+
+const OP_OUT: i64 = 1;
+const OP_OUT_ALL: i64 = 2;
+const OP_INP: i64 = 3;
+const OP_RDP: i64 = 4;
+const OP_IN: i64 = 5;
+const OP_RD: i64 = 6;
+const OP_CANCEL: i64 = 7;
+const OP_LEN: i64 = 8;
+const OP_COUNT: i64 = 9;
+const OP_HAS_MATCH: i64 = 10;
+const OP_SNAPSHOT: i64 = 11;
+const OP_RESTORE: i64 = 12;
+const OP_TXN_BEGIN: i64 = 13;
+const OP_TXN_COMMIT: i64 = 14;
+const OP_TXN_ABORT: i64 = 15;
+const OP_CONT_GET: i64 = 16;
+const OP_CONT_CLEAR: i64 = 17;
+
+const RESP_OK: i64 = 1;
+const RESP_TUPLE: i64 = 2;
+const RESP_NUM: i64 = 3;
+const RESP_BOOL: i64 = 4;
+const RESP_TUPLES: i64 = 5;
+const RESP_CANCELLED: i64 = 6;
+const RESP_ERR: i64 = 7;
+
+fn opt_to_vec(t: &Option<Tuple>) -> Vec<Tuple> {
+    t.iter().cloned().collect()
+}
+
+fn vec_to_opt(mut ts: Vec<Tuple>, what: &str) -> Result<Option<Tuple>, CodecError> {
+    match ts.len() {
+        0 => Ok(None),
+        1 => Ok(Some(ts.remove(0))),
+        n => Err(CodecError(format!(
+            "{what}: expected 0 or 1 tuples, got {n}"
+        ))),
+    }
+}
+
+impl Req {
+    /// Encode as a frame payload (a codec-encoded tuple).
+    pub fn encode(&self) -> Vec<u8> {
+        use Value::{Bytes, Int};
+        let seq = Int(self.seq as i64);
+        let fields = match &self.body {
+            ReqBody::Out(t) => vec![Int(OP_OUT), seq, Bytes(encode_tuple(t))],
+            ReqBody::OutAll(ts) => vec![Int(OP_OUT_ALL), seq, Bytes(encode_tuples(ts))],
+            ReqBody::Inp(t) => vec![Int(OP_INP), seq, Bytes(encode_template(t))],
+            ReqBody::Rdp(t) => vec![Int(OP_RDP), seq, Bytes(encode_template(t))],
+            ReqBody::In(t) => vec![Int(OP_IN), seq, Bytes(encode_template(t))],
+            ReqBody::Rd(t) => vec![Int(OP_RD), seq, Bytes(encode_template(t))],
+            ReqBody::Cancel { wait_seq } => vec![Int(OP_CANCEL), seq, Int(*wait_seq as i64)],
+            ReqBody::Len => vec![Int(OP_LEN), seq],
+            ReqBody::Count(t) => vec![Int(OP_COUNT), seq, Bytes(encode_template(t))],
+            ReqBody::HasMatch(t) => vec![Int(OP_HAS_MATCH), seq, Bytes(encode_template(t))],
+            ReqBody::Snapshot => vec![Int(OP_SNAPSHOT), seq],
+            ReqBody::Restore(ts) => vec![Int(OP_RESTORE), seq, Bytes(encode_tuples(ts))],
+            ReqBody::TxnBegin { pid } => vec![Int(OP_TXN_BEGIN), seq, Int(*pid as i64)],
+            ReqBody::TxnCommit { pid, publish, cont } => vec![
+                Int(OP_TXN_COMMIT),
+                seq,
+                Int(*pid as i64),
+                Bytes(encode_tuples(publish)),
+                Bytes(encode_tuples(&opt_to_vec(cont))),
+            ],
+            ReqBody::TxnAbort { pid, restore } => vec![
+                Int(OP_TXN_ABORT),
+                seq,
+                Int(*pid as i64),
+                Bytes(encode_tuples(restore)),
+            ],
+            ReqBody::ContGet { pid } => vec![Int(OP_CONT_GET), seq, Int(*pid as i64)],
+            ReqBody::ContClear { pid } => vec![Int(OP_CONT_CLEAR), seq, Int(*pid as i64)],
+        };
+        encode_tuple(&Tuple::new(fields))
+    }
+
+    /// Decode a frame payload produced by [`Req::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Req, CodecError> {
+        let t = decode_tuple(payload)?;
+        let f = &t.0;
+        let op = int_at(f, 0, "request op")?;
+        let seq = int_at(f, 1, "request seq")? as u64;
+        let body = match op {
+            OP_OUT => ReqBody::Out(decode_tuple(bytes_at(f, 2, "out tuple")?)?),
+            OP_OUT_ALL => ReqBody::OutAll(decode_tuples(bytes_at(f, 2, "out_all tuples")?)?),
+            OP_INP => ReqBody::Inp(decode_template(bytes_at(f, 2, "inp template")?)?),
+            OP_RDP => ReqBody::Rdp(decode_template(bytes_at(f, 2, "rdp template")?)?),
+            OP_IN => ReqBody::In(decode_template(bytes_at(f, 2, "in template")?)?),
+            OP_RD => ReqBody::Rd(decode_template(bytes_at(f, 2, "rd template")?)?),
+            OP_CANCEL => ReqBody::Cancel {
+                wait_seq: int_at(f, 2, "cancel wait_seq")? as u64,
+            },
+            OP_LEN => ReqBody::Len,
+            OP_COUNT => ReqBody::Count(decode_template(bytes_at(f, 2, "count template")?)?),
+            OP_HAS_MATCH => {
+                ReqBody::HasMatch(decode_template(bytes_at(f, 2, "has_match template")?)?)
+            }
+            OP_SNAPSHOT => ReqBody::Snapshot,
+            OP_RESTORE => ReqBody::Restore(decode_tuples(bytes_at(f, 2, "restore tuples")?)?),
+            OP_TXN_BEGIN => ReqBody::TxnBegin {
+                pid: int_at(f, 2, "txn_begin pid")? as u64,
+            },
+            OP_TXN_COMMIT => ReqBody::TxnCommit {
+                pid: int_at(f, 2, "txn_commit pid")? as u64,
+                publish: decode_tuples(bytes_at(f, 3, "txn_commit publish")?)?,
+                cont: vec_to_opt(
+                    decode_tuples(bytes_at(f, 4, "txn_commit cont")?)?,
+                    "txn_commit cont",
+                )?,
+            },
+            OP_TXN_ABORT => ReqBody::TxnAbort {
+                pid: int_at(f, 2, "txn_abort pid")? as u64,
+                restore: decode_tuples(bytes_at(f, 3, "txn_abort restore")?)?,
+            },
+            OP_CONT_GET => ReqBody::ContGet {
+                pid: int_at(f, 2, "cont_get pid")? as u64,
+            },
+            OP_CONT_CLEAR => ReqBody::ContClear {
+                pid: int_at(f, 2, "cont_clear pid")? as u64,
+            },
+            op => return Err(CodecError(format!("unknown request op {op}"))),
+        };
+        Ok(Req { seq, body })
+    }
+}
+
+impl Resp {
+    /// Encode as a frame payload (a codec-encoded tuple).
+    pub fn encode(&self) -> Vec<u8> {
+        use Value::{Bytes, Int, Str};
+        let seq = Int(self.seq as i64);
+        let fields = match &self.body {
+            RespBody::Ok => vec![Int(RESP_OK), seq],
+            RespBody::Tuple(t) => vec![Int(RESP_TUPLE), seq, Bytes(encode_tuples(&opt_to_vec(t)))],
+            RespBody::Num(n) => vec![Int(RESP_NUM), seq, Int(*n as i64)],
+            RespBody::Bool(b) => vec![Int(RESP_BOOL), seq, Int(i64::from(*b))],
+            RespBody::Tuples(ts) => vec![Int(RESP_TUPLES), seq, Bytes(encode_tuples(ts))],
+            RespBody::Cancelled => vec![Int(RESP_CANCELLED), seq],
+            RespBody::Err(msg) => vec![Int(RESP_ERR), seq, Str(msg.clone())],
+        };
+        encode_tuple(&Tuple::new(fields))
+    }
+
+    /// Decode a frame payload produced by [`Resp::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Resp, CodecError> {
+        let t = decode_tuple(payload)?;
+        let f = &t.0;
+        let code = int_at(f, 0, "response code")?;
+        let seq = int_at(f, 1, "response seq")? as u64;
+        let body = match code {
+            RESP_OK => RespBody::Ok,
+            RESP_TUPLE => RespBody::Tuple(vec_to_opt(
+                decode_tuples(bytes_at(f, 2, "response tuple")?)?,
+                "response tuple",
+            )?),
+            RESP_NUM => RespBody::Num(int_at(f, 2, "response num")? as u64),
+            RESP_BOOL => RespBody::Bool(int_at(f, 2, "response bool")? != 0),
+            RESP_TUPLES => RespBody::Tuples(decode_tuples(bytes_at(f, 2, "response tuples")?)?),
+            RESP_CANCELLED => RespBody::Cancelled,
+            RESP_ERR => RespBody::Err(str_at(f, 2, "response error")?.to_owned()),
+            code => return Err(CodecError(format!("unknown response code {code}"))),
+        };
+        Ok(Resp { seq, body })
+    }
+}
+
+fn int_at(f: &[Value], i: usize, what: &str) -> Result<i64, CodecError> {
+    match f.get(i) {
+        Some(Value::Int(v)) => Ok(*v),
+        other => Err(CodecError(format!("{what}: expected int, got {other:?}"))),
+    }
+}
+
+fn bytes_at<'a>(f: &'a [Value], i: usize, what: &str) -> Result<&'a [u8], CodecError> {
+    match f.get(i) {
+        Some(Value::Bytes(b)) => Ok(b),
+        other => Err(CodecError(format!("{what}: expected bytes, got {other:?}"))),
+    }
+}
+
+fn str_at<'a>(f: &'a [Value], i: usize, what: &str) -> Result<&'a str, CodecError> {
+    match f.get(i) {
+        Some(Value::Str(s)) => Ok(s),
+        other => Err(CodecError(format!(
+            "{what}: expected string, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::field;
+    use crate::tup;
+
+    #[test]
+    fn request_roundtrips() {
+        let tmpl = Template::new(vec![field::val("task"), field::int()]);
+        let reqs = vec![
+            ReqBody::Out(tup!["a", 1]),
+            ReqBody::OutAll(vec![tup![1], tup![2.5]]),
+            ReqBody::Inp(tmpl.clone()),
+            ReqBody::In(tmpl.clone()),
+            ReqBody::Cancel { wait_seq: 9 },
+            ReqBody::Len,
+            ReqBody::Snapshot,
+            ReqBody::Restore(vec![tup!["x"]]),
+            ReqBody::TxnBegin { pid: 3 },
+            ReqBody::TxnCommit {
+                pid: 3,
+                publish: vec![tup!["done", 1]],
+                cont: Some(tup![7]),
+            },
+            ReqBody::TxnAbort {
+                pid: 3,
+                restore: vec![tup!["task", 2]],
+            },
+            ReqBody::ContGet { pid: 3 },
+            ReqBody::ContClear { pid: 3 },
+        ];
+        for (i, body) in reqs.into_iter().enumerate() {
+            let req = Req {
+                seq: i as u64,
+                body,
+            };
+            let enc = req.encode();
+            let dec = Req::decode(&enc).unwrap();
+            assert_eq!(dec.seq, req.seq);
+            assert_eq!(dec.encode(), enc);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let resps = vec![
+            RespBody::Ok,
+            RespBody::Tuple(None),
+            RespBody::Tuple(Some(tup!["r", 2])),
+            RespBody::Num(17),
+            RespBody::Bool(true),
+            RespBody::Tuples(vec![tup![1], tup![2]]),
+            RespBody::Cancelled,
+            RespBody::Err("boom".into()),
+        ];
+        for (i, body) in resps.into_iter().enumerate() {
+            let resp = Resp {
+                seq: i as u64,
+                body: body.clone(),
+            };
+            let dec = Resp::decode(&resp.encode()).unwrap();
+            assert_eq!(dec.seq, resp.seq);
+            assert_eq!(dec.body, body);
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_typed_error() {
+        assert!(Req::decode(b"not a tuple").is_err());
+        assert!(Resp::decode(&[0xff; 12]).is_err());
+        // A tuple of the wrong shape decodes as a tuple but not a request.
+        let weird = encode_tuple(&tup!["no", "ops", "here"]);
+        assert!(Req::decode(&weird).is_err());
+    }
+}

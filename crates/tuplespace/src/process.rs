@@ -17,6 +17,13 @@
 //! [`PlindaError::Killed`]; the runtime then aborts the open transaction
 //! (restoring withdrawn tuples, discarding buffered ones) and re-spawns the
 //! process, which resumes from its last committed continuation.
+//!
+//! All tuple-space access flows through the space's
+//! [`crate::backend::SpaceBackend`], so the same `Process` code drives the
+//! in-process space and a remote `fpdm-spaced` broker. Over a remote
+//! backend, transport and wire failures surface as
+//! [`PlindaError::Transport`] / [`PlindaError::Codec`] from the
+//! transactional operations instead of panics.
 
 use crate::check::trace::{self, TraceEvent};
 use crate::space::TupleSpace;
@@ -38,6 +45,14 @@ pub enum PlindaError {
     NoTransaction,
     /// `xstart` while a transaction is already open.
     NestedTransaction,
+    /// Malformed wire data: a frame or tuple that failed to decode. A
+    /// broker receiving this from a peer logs it and drops that
+    /// connection; a client receiving it from a broker fails the
+    /// operation.
+    Codec(String),
+    /// The connection to a remote tuple-space backend failed (broker
+    /// died, socket closed, request rejected).
+    Transport(String),
 }
 
 impl fmt::Display for PlindaError {
@@ -46,16 +61,26 @@ impl fmt::Display for PlindaError {
             PlindaError::Killed => write!(f, "process killed"),
             PlindaError::NoTransaction => write!(f, "operation outside a transaction"),
             PlindaError::NestedTransaction => write!(f, "xstart inside an open transaction"),
+            PlindaError::Codec(msg) => write!(f, "malformed wire data: {msg}"),
+            PlindaError::Transport(msg) => write!(f, "tuple space transport failure: {msg}"),
         }
     }
 }
 
 impl std::error::Error for PlindaError {}
 
+impl From<crate::codec::CodecError> for PlindaError {
+    fn from(e: crate::codec::CodecError) -> Self {
+        PlindaError::Codec(e.0)
+    }
+}
+
 /// Continuations of committed transactions, keyed by *logical* process id —
 /// a re-spawned incarnation of a process keeps the id of the failed one, so
 /// `xrecover` finds the predecessor's state (PLinda's continuation
-/// committing, §2.4.6).
+/// committing, §2.4.6). This is the storage the in-process backend uses;
+/// over a socket backend the broker holds the continuations, which is what
+/// lets a re-spawned worker *OS process* recover.
 #[derive(Default)]
 pub struct ContinuationStore {
     map: Mutex<HashMap<u64, Tuple>>,
@@ -179,7 +204,6 @@ struct Txn {
 pub struct Process {
     pid: u64,
     space: Arc<TupleSpace>,
-    conts: Arc<ContinuationStore>,
     state: Arc<ProcessState>,
     txn: Option<Txn>,
     /// Transactions committed by this incarnation (diagnostics).
@@ -189,21 +213,26 @@ pub struct Process {
 }
 
 impl Process {
-    pub(crate) fn new(
-        pid: u64,
-        space: Arc<TupleSpace>,
-        conts: Arc<ContinuationStore>,
-        state: Arc<ProcessState>,
-    ) -> Self {
+    pub(crate) fn new(pid: u64, space: Arc<TupleSpace>, state: Arc<ProcessState>) -> Self {
         Process {
             pid,
             space,
-            conts,
             state,
             txn: None,
             committed: 0,
             txn_seq: 0,
         }
+    }
+
+    /// A standalone transactional handle over `space` with logical pid
+    /// `pid` — for worker *OS processes* attached to a remote broker (the
+    /// `fpdm-worker` binary), where the respawning coordinator lives in a
+    /// different process and failures arrive as SIGKILL rather than a
+    /// cooperative kill flag. Continuations are keyed by `pid` in the
+    /// broker, so a re-spawned process created with the same `pid` finds
+    /// its predecessor's state via [`Process::xrecover`].
+    pub fn attach(space: Arc<TupleSpace>, pid: u64) -> Self {
+        Process::new(pid, space, Arc::new(ProcessState::new()))
     }
 
     /// Run a space operation with trace events attributed to this pid.
@@ -256,6 +285,7 @@ impl Process {
             self.space.metric(|reg| reg.counter("txn.nested").inc());
             return Err(PlindaError::NestedTransaction);
         }
+        self.space.txn_begin(self.pid)?;
         self.txn_seq += 1;
         self.space.record(|| TraceEvent::XStart {
             pid: self.pid,
@@ -313,9 +343,9 @@ impl Process {
             }
         }
         self.state.set_status(ProcessStatus::Blocked);
-        let got = self.as_actor(|s| s.in_cancellable(&tmpl, Some(&self.state.killed)));
+        let got = self.as_actor(|s| s.try_in_cancellable(&tmpl, Some(&self.state.killed)));
         self.state.set_status(ProcessStatus::Running);
-        match got {
+        match got? {
             Some(t) => {
                 if let Some(txn) = &mut self.txn {
                     self.space.record(|| TraceEvent::TentativeIn {
@@ -345,7 +375,7 @@ impl Process {
                 return Ok(Some(t));
             }
         }
-        let got = self.as_actor(|s| s.inp(tmpl));
+        let got = self.as_actor(|s| s.try_inp(tmpl))?;
         if let (Some(t), Some(txn)) = (&got, &mut self.txn) {
             self.space.record(|| TraceEvent::TentativeIn {
                 pid: self.pid,
@@ -366,9 +396,9 @@ impl Process {
             }
         }
         self.state.set_status(ProcessStatus::Blocked);
-        let got = self.as_actor(|s| s.rd_cancellable(&tmpl, Some(&self.state.killed)));
+        let got = self.as_actor(|s| s.try_rd_cancellable(&tmpl, Some(&self.state.killed)));
         self.state.set_status(ProcessStatus::Running);
-        match got {
+        match got? {
             Some(t) => Ok(t),
             None => Err(PlindaError::Killed),
         }
@@ -382,18 +412,21 @@ impl Process {
                 return Ok(Some(t.clone()));
             }
         }
-        Ok(self.as_actor(|s| s.rdp(tmpl)))
+        self.as_actor(|s| s.try_rdp(tmpl))
     }
 
     /// Commit the open transaction: atomically publish buffered `out`s and
     /// durably record `continuation` (the live local variables) for
-    /// [`Process::xrecover`]. A kill that lands before the commit point
-    /// aborts instead — exactly PLinda's all-or-nothing guarantee.
+    /// [`Process::xrecover`]. The publish and the continuation record are
+    /// one backend step — over a socket backend, one wire request — so a
+    /// failure can never separate them. A kill that lands before the
+    /// commit point aborts instead — exactly PLinda's all-or-nothing
+    /// guarantee.
     pub fn xcommit(&mut self, continuation: Option<Tuple>) -> Result<(), PlindaError> {
         let txn = self.txn.take().ok_or(PlindaError::NoTransaction)?;
         if self.state.is_killed() {
             // The failure happened before commit: abort. The XAbort event
-            // is recorded before the restoring out_all so the transaction
+            // is recorded before the restoring publish so the transaction
             // is closed in the trace when the restores become visible.
             self.space.record(|| TraceEvent::XAbort {
                 pid: self.pid,
@@ -402,7 +435,9 @@ impl Process {
                 dropped: txn.outbox.clone(),
             });
             self.space.metric(|reg| reg.counter("txn.abort").inc());
-            self.as_actor(|s| s.out_all(txn.consumed));
+            // A transport failure here is survivable: the broker restores
+            // a dead connection's tentative withdrawals itself.
+            let _ = self.as_actor(|s| s.txn_abort(self.pid, txn.consumed));
             return Err(PlindaError::Killed);
         }
         self.space.record(|| TraceEvent::XCommit {
@@ -423,10 +458,7 @@ impl Process {
                     .observe(start.elapsed().as_nanos() as u64);
             }
         });
-        self.as_actor(|s| s.out_all(txn.outbox));
-        if let Some(c) = continuation {
-            self.conts.put(self.pid, c);
-        }
+        self.as_actor(|s| s.txn_commit(self.pid, txn.outbox, continuation))?;
         self.committed += 1;
         Ok(())
     }
@@ -434,7 +466,13 @@ impl Process {
     /// Retrieve the continuation of the last committed transaction of this
     /// logical process, if a previous incarnation failed after committing.
     pub fn xrecover(&self) -> Option<Tuple> {
-        let cont = self.conts.get(self.pid);
+        let cont = match self.space.cont_get(self.pid) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("plinda: xrecover({}) failed: {e}", self.pid);
+                None
+            }
+        };
         let found = cont.is_some();
         self.space.record(|| TraceEvent::XRecover {
             pid: self.pid,
@@ -462,7 +500,7 @@ impl Process {
                 dropped: txn.outbox.clone(),
             });
             self.space.metric(|reg| reg.counter("txn.abort").inc());
-            self.as_actor(|s| s.out_all(txn.consumed));
+            let _ = self.as_actor(|s| s.txn_abort(self.pid, txn.consumed));
         }
     }
 }
@@ -475,9 +513,8 @@ mod tests {
 
     fn mk() -> (Process, Arc<TupleSpace>, Arc<ProcessState>) {
         let space = Arc::new(TupleSpace::new());
-        let conts = Arc::new(ContinuationStore::new());
         let state = Arc::new(ProcessState::new());
-        let p = Process::new(7, Arc::clone(&space), conts, Arc::clone(&state));
+        let p = Process::new(7, Arc::clone(&space), Arc::clone(&state));
         (p, space, state)
     }
 
@@ -546,6 +583,18 @@ mod tests {
     }
 
     #[test]
+    fn attached_process_shares_continuations_by_pid() {
+        let space = Arc::new(TupleSpace::new());
+        let mut first = Process::attach(Arc::clone(&space), 31);
+        first.xstart().unwrap();
+        first.xcommit(Some(tup![9])).unwrap();
+        drop(first);
+        // A second incarnation with the same logical pid recovers it.
+        let second = Process::attach(space, 31);
+        assert_eq!(second.xrecover().unwrap().int(0), 9);
+    }
+
+    #[test]
     fn ops_after_kill_fail() {
         let (mut p, _, state) = mk();
         state.kill();
@@ -557,6 +606,13 @@ mod tests {
     fn xcommit_without_xstart_errors() {
         let (mut p, _, _) = mk();
         assert_eq!(p.xcommit(None), Err(PlindaError::NoTransaction));
+    }
+
+    #[test]
+    fn codec_errors_convert_to_typed_plinda_errors() {
+        let e: PlindaError = crate::codec::CodecError("bad magic".into()).into();
+        assert_eq!(e, PlindaError::Codec("bad magic".into()));
+        assert!(e.to_string().contains("bad magic"));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! reaches the same final state as a failure-free execution.
 
 use crate::check::trace::TraceEvent;
-use crate::process::{ContinuationStore, PlindaError, Process, ProcessState, ProcessStatus};
+use crate::process::{PlindaError, Process, ProcessState, ProcessStatus};
 use crate::space::TupleSpace;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -35,7 +35,6 @@ struct Registry {
 /// The PLinda runtime (server + daemons).
 pub struct Runtime {
     space: Arc<TupleSpace>,
-    conts: Arc<ContinuationStore>,
     registry: Mutex<Registry>,
     next_pid: AtomicU64,
     respawns: Arc<AtomicU64>,
@@ -50,11 +49,18 @@ impl Default for Runtime {
 }
 
 impl Runtime {
-    /// Create a runtime with a fresh tuple space.
+    /// Create a runtime with a fresh in-process tuple space.
     pub fn new() -> Self {
+        Self::with_space(Arc::new(TupleSpace::new()))
+    }
+
+    /// Create a runtime over an existing tuple space — in particular one
+    /// obtained from [`TupleSpace::connect_unix`], which puts every worker
+    /// of this runtime on a remote `fpdm-spaced` broker with zero changes
+    /// to the worker code.
+    pub fn with_space(space: Arc<TupleSpace>) -> Self {
         Runtime {
-            space: Arc::new(TupleSpace::new()),
-            conts: Arc::new(ContinuationStore::new()),
+            space,
             registry: Mutex::new(Registry {
                 procs: HashMap::new(),
                 names: HashMap::new(),
@@ -84,7 +90,7 @@ impl Runtime {
         let pid = self.next_pid.fetch_add(1, Ordering::SeqCst);
         let state = Arc::new(ProcessState::new());
         self.registry.lock().procs.insert(pid, Arc::clone(&state));
-        Process::new(pid, self.space(), Arc::clone(&self.conts), state)
+        Process::new(pid, self.space(), state)
     }
 
     /// `proc_eval`: spawn a worker process running `f` on its own thread.
@@ -100,7 +106,6 @@ impl Runtime {
         let pid = self.next_pid.fetch_add(1, Ordering::SeqCst);
         let state = Arc::new(ProcessState::new());
         let space = self.space();
-        let conts = Arc::clone(&self.conts);
         let thread_state = Arc::clone(&state);
         let respawns = Arc::clone(&self.respawns);
         let shutdown = Arc::clone(&self.shutdown);
@@ -110,16 +115,11 @@ impl Runtime {
             .spawn(move || {
                 space.metric(|reg| reg.counter("runtime.spawns").inc());
                 loop {
-                    let mut proc = Process::new(
-                        pid,
-                        Arc::clone(&space),
-                        Arc::clone(&conts),
-                        Arc::clone(&thread_state),
-                    );
+                    let mut proc = Process::new(pid, Arc::clone(&space), Arc::clone(&thread_state));
                     thread_state.set_status(ProcessStatus::Running);
                     match f(&mut proc) {
                         Ok(()) => {
-                            conts.clear(pid);
+                            let _ = space.cont_clear(pid);
                             thread_state.set_status(ProcessStatus::Done);
                             space.record(|| TraceEvent::Done { pid });
                             space.metric(|reg| reg.counter("runtime.done").inc());

@@ -1,4 +1,15 @@
-//! The shared tuple space.
+//! The shared tuple space: a backend-agnostic facade plus the in-process
+//! sharded implementation.
+//!
+//! [`TupleSpace`] is the handle every process, channel, farm, and checker
+//! holds. It no longer *is* the storage: it delegates to a
+//! [`SpaceBackend`] — either the in-process [`LocalBackend`] defined here
+//! (created by [`TupleSpace::new`]) or the Unix-socket client of
+//! [`crate::net`] (created by [`TupleSpace::connect_unix`]) — while owning
+//! the trace-recorder and metrics slots that the transaction layer,
+//! runtime, and farm share with the backend.
+//!
+//! ## The local backend
 //!
 //! Storage is partitioned by type signature: a template's typed formals pin
 //! down the exact signature of every tuple it can match, so `in`/`rd` only
@@ -7,17 +18,19 @@
 //! here at runtime — and each partition carries its *own* lock and condition
 //! variable, so an `out` wakes only waiters whose template could possibly
 //! match it. Waiters park unboundedly; the only cross-partition wakeup is
-//! [`TupleSpace::kick`], which the runtime uses to make killed processes
-//! re-check their cancellation flags.
+//! `kick`, which the runtime uses to make killed processes re-check their
+//! cancellation flags.
 //!
 //! Lock order: the partition registry is always acquired before any
 //! partition lock, and multi-partition operations (`out_all`, `snapshot`,
-//! `restore_bytes`) acquire partition locks in sorted-signature order, so
-//! the lock graph is acyclic.
+//! `restore`) acquire partition locks in sorted-signature order, so the
+//! lock graph is acyclic.
 
+use crate::backend::SpaceBackend;
 use crate::check::trace::{self, OpKind, Recorder, RecorderSlot, TraceEvent};
 use crate::codec;
 use crate::metrics::{Counter, Gauge, MetricsRegistry, MetricsSlot};
+use crate::process::{ContinuationStore, PlindaError};
 use crate::template::Template;
 use crate::value::{Sig, Tuple};
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -44,69 +57,31 @@ struct Partition {
     stats: Mutex<Option<PartStats>>,
 }
 
-/// The generative shared memory all PLinda processes coordinate through.
-///
-/// Operations are linearizable per signature partition (each partition has
-/// a single lock); blocking operations park on their partition's condition
-/// variable and are woken only by tuples that land in that partition.
-/// Blocking calls take an optional *cancel flag* so the runtime can abort a
-/// process that is parked inside `in` — the PLinda server does exactly this
-/// when a workstation owner returns (§7.1.1).
-pub struct TupleSpace {
+/// The in-process implementation of [`SpaceBackend`]: signature-sharded
+/// storage with per-partition locks and condvars, plus the continuation
+/// store of the transaction layer. Created by [`TupleSpace::new`].
+pub(crate) struct LocalBackend {
     registry: Mutex<HashMap<Sig, Arc<Partition>>>,
     /// Total visible tuples (kept in sync under partition locks).
     len: AtomicUsize,
-    /// Optional trace recorder; one relaxed load per op when disabled.
-    rec: RecorderSlot,
-    /// Optional metrics registry; one relaxed load per op when disabled.
-    met: MetricsSlot,
+    /// Continuations of committed transactions, keyed by logical pid.
+    conts: ContinuationStore,
+    /// Shared with the facade: recorded under partition locks so trace
+    /// order agrees with visibility order.
+    rec: Arc<RecorderSlot>,
+    /// Shared with the facade.
+    met: Arc<MetricsSlot>,
 }
 
-impl Default for TupleSpace {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl TupleSpace {
-    /// Create an empty space.
-    pub fn new() -> Self {
-        TupleSpace {
+impl LocalBackend {
+    fn new(rec: Arc<RecorderSlot>, met: Arc<MetricsSlot>) -> Self {
+        LocalBackend {
             registry: Mutex::new(HashMap::new()),
             len: AtomicUsize::new(0),
-            rec: RecorderSlot::default(),
-            met: MetricsSlot::default(),
+            conts: ContinuationStore::new(),
+            rec,
+            met,
         }
-    }
-
-    /// Install (or, with `None`, remove) a [`MetricsRegistry`]. While
-    /// installed, every Linda operation updates global and per-partition
-    /// metrics; when absent the cost is a single relaxed atomic load per
-    /// operation (see the `out_inp_cycle_metrics` bench).
-    pub fn set_metrics(&self, reg: Option<MetricsRegistry>) {
-        self.met.set(reg);
-    }
-
-    /// Clone of the installed metrics registry, if any.
-    pub fn metrics(&self) -> Option<MetricsRegistry> {
-        self.met.get()
-    }
-
-    /// Is a metrics registry currently installed? One relaxed load.
-    pub fn metrics_enabled(&self) -> bool {
-        self.met.enabled()
-    }
-
-    /// Run `f` against the installed metrics registry, if any
-    /// (crate-internal: `Process`, `Runtime`, farm, and channels fold
-    /// their metrics into the same registry as the space ops).
-    ///
-    /// Lock-order rule: callers may hold partition locks, so `f` must
-    /// never re-enter the tuple space — compute any space-derived values
-    /// (e.g. channel depths) *before* this call.
-    #[inline]
-    pub(crate) fn metric(&self, f: impl FnOnce(&MetricsRegistry)) {
-        self.met.with(f);
     }
 
     /// Bump the per-partition op counter and occupancy gauge plus the
@@ -131,27 +106,6 @@ impl TupleSpace {
             ps.occupancy.set(occ as i64);
             reg.counter(global).add(n);
         });
-    }
-
-    /// Install (or, with `None`, remove) a trace [`Recorder`]. Every Linda
-    /// operation on this space is appended to the recorder's trace; the
-    /// `plinda::check` checkers analyse the result. Recording is a single
-    /// atomic load per operation when disabled.
-    pub fn set_recorder(&self, rec: Option<Recorder>) {
-        self.rec.set(rec);
-    }
-
-    /// Is a trace recorder currently installed?
-    pub fn recording(&self) -> bool {
-        self.rec.is_enabled()
-    }
-
-    /// Record a trace event if a recorder is installed (crate-internal:
-    /// used by `Process`, `Runtime`, and the interleaving explorer to add
-    /// transaction / lifecycle events to the same trace as the space ops).
-    #[inline]
-    pub(crate) fn record(&self, ev: impl FnOnce() -> TraceEvent) {
-        self.rec.record(ev);
     }
 
     /// Get-or-create the partition for `sig`. Partitions are never removed
@@ -180,9 +134,7 @@ impl TupleSpace {
         parts
     }
 
-    /// `out`: make `t` visible to every process. Never blocks. Wakes only
-    /// waiters parked on `t`'s signature partition.
-    pub fn out(&self, t: Tuple) {
+    fn do_out(&self, t: Tuple) {
         let sig = t.sig();
         let part = self.partition(sig.clone());
         let mut tuples = part.tuples.lock();
@@ -199,10 +151,7 @@ impl TupleSpace {
         part.cond.notify_all();
     }
 
-    /// Bulk `out` holding every involved partition lock at once (used by
-    /// transaction commit so a committed transaction's tuples appear
-    /// atomically, even when they span signatures).
-    pub fn out_all(&self, ts: Vec<Tuple>) {
+    fn do_out_all(&self, ts: Vec<Tuple>) {
         if ts.is_empty() {
             return;
         }
@@ -235,92 +184,6 @@ impl TupleSpace {
         for part in &parts {
             part.cond.notify_all();
         }
-    }
-
-    /// `inp`: withdraw a matching tuple if one exists, without blocking.
-    pub fn inp(&self, tmpl: &Template) -> Option<Tuple> {
-        let sig = tmpl.sig();
-        if let Some(part) = self.existing(&sig) {
-            let mut tuples = part.tuples.lock();
-            // Order within a partition is not part of the Linda contract;
-            // swap_remove keeps withdrawal O(1).
-            if let Some(idx) = tuples.iter().position(|t| tmpl.matches(t)) {
-                let t = tuples.swap_remove(idx);
-                self.rec.record(|| TraceEvent::Take {
-                    actor: trace::current_actor(),
-                    tuple: t.clone(),
-                });
-                self.len.fetch_sub(1, Ordering::SeqCst);
-                self.note_part(&part, &sig, tuples.len(), "space.ops.take", 1);
-                return Some(t);
-            }
-        }
-        self.rec.record(|| TraceEvent::Miss {
-            actor: trace::current_actor(),
-            op: OpKind::Inp,
-            template: tmpl.clone(),
-        });
-        self.met.with(|reg| reg.counter("space.ops.miss").inc());
-        None
-    }
-
-    /// `rdp`: copy a matching tuple if one exists, without blocking.
-    pub fn rdp(&self, tmpl: &Template) -> Option<Tuple> {
-        let sig = tmpl.sig();
-        if let Some(part) = self.existing(&sig) {
-            let tuples = part.tuples.lock();
-            if let Some(t) = tuples.iter().find(|t| tmpl.matches(t)) {
-                let t = t.clone();
-                self.rec.record(|| TraceEvent::Read {
-                    actor: trace::current_actor(),
-                    tuple: t.clone(),
-                });
-                self.note_part(&part, &sig, tuples.len(), "space.ops.read", 1);
-                return Some(t);
-            }
-        }
-        self.rec.record(|| TraceEvent::Miss {
-            actor: trace::current_actor(),
-            op: OpKind::Rdp,
-            template: tmpl.clone(),
-        });
-        self.met.with(|reg| reg.counter("space.ops.miss").inc());
-        None
-    }
-
-    /// Would `tmpl` match some visible tuple right now? A non-recording
-    /// probe used by the interleaving explorer to decide enabledness
-    /// without perturbing the trace.
-    pub(crate) fn has_match(&self, tmpl: &Template) -> bool {
-        match self.existing(&tmpl.sig()) {
-            Some(part) => part.tuples.lock().iter().any(|t| tmpl.matches(t)),
-            None => false,
-        }
-    }
-
-    /// `in`: withdraw a matching tuple, blocking until one is available.
-    pub fn in_blocking(&self, tmpl: Template) -> Tuple {
-        self.in_cancellable(&tmpl, None)
-            .expect("in_blocking without cancel flag cannot be cancelled")
-    }
-
-    /// `rd`: copy a matching tuple, blocking until one is available.
-    pub fn rd_blocking(&self, tmpl: Template) -> Tuple {
-        self.rd_cancellable(&tmpl, None)
-            .expect("rd_blocking without cancel flag cannot be cancelled")
-    }
-
-    /// `in` with cancellation: returns `None` if `cancel` becomes true
-    /// while waiting (the process was killed).
-    pub fn in_cancellable(&self, tmpl: &Template, cancel: Option<&AtomicBool>) -> Option<Tuple> {
-        let t = self.wait_on_partition(tmpl, cancel, true)?;
-        self.len.fetch_sub(1, Ordering::SeqCst);
-        Some(t)
-    }
-
-    /// `rd` with cancellation; see [`TupleSpace::in_cancellable`].
-    pub fn rd_cancellable(&self, tmpl: &Template, cancel: Option<&AtomicBool>) -> Option<Tuple> {
-        self.wait_on_partition(tmpl, cancel, false)
     }
 
     fn wait_on_partition(
@@ -400,11 +263,95 @@ impl TupleSpace {
             part.cond.wait(&mut tuples);
         }
     }
+}
 
-    /// Wake every waiter in every partition so they re-check their
-    /// cancellation flags. This is the *only* cross-partition wakeup; it is
-    /// never needed for tuple arrival.
-    pub(crate) fn kick(&self) {
+impl SpaceBackend for LocalBackend {
+    fn kind(&self) -> &'static str {
+        "local"
+    }
+
+    fn out(&self, t: Tuple) -> Result<(), PlindaError> {
+        self.do_out(t);
+        Ok(())
+    }
+
+    fn out_all(&self, ts: Vec<Tuple>) -> Result<(), PlindaError> {
+        self.do_out_all(ts);
+        Ok(())
+    }
+
+    fn inp(&self, tmpl: &Template) -> Result<Option<Tuple>, PlindaError> {
+        let sig = tmpl.sig();
+        if let Some(part) = self.existing(&sig) {
+            let mut tuples = part.tuples.lock();
+            // Order within a partition is not part of the Linda contract;
+            // swap_remove keeps withdrawal O(1).
+            if let Some(idx) = tuples.iter().position(|t| tmpl.matches(t)) {
+                let t = tuples.swap_remove(idx);
+                self.rec.record(|| TraceEvent::Take {
+                    actor: trace::current_actor(),
+                    tuple: t.clone(),
+                });
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                self.note_part(&part, &sig, tuples.len(), "space.ops.take", 1);
+                return Ok(Some(t));
+            }
+        }
+        self.rec.record(|| TraceEvent::Miss {
+            actor: trace::current_actor(),
+            op: OpKind::Inp,
+            template: tmpl.clone(),
+        });
+        self.met.with(|reg| reg.counter("space.ops.miss").inc());
+        Ok(None)
+    }
+
+    fn rdp(&self, tmpl: &Template) -> Result<Option<Tuple>, PlindaError> {
+        let sig = tmpl.sig();
+        if let Some(part) = self.existing(&sig) {
+            let tuples = part.tuples.lock();
+            if let Some(t) = tuples.iter().find(|t| tmpl.matches(t)) {
+                let t = t.clone();
+                self.rec.record(|| TraceEvent::Read {
+                    actor: trace::current_actor(),
+                    tuple: t.clone(),
+                });
+                self.note_part(&part, &sig, tuples.len(), "space.ops.read", 1);
+                return Ok(Some(t));
+            }
+        }
+        self.rec.record(|| TraceEvent::Miss {
+            actor: trace::current_actor(),
+            op: OpKind::Rdp,
+            template: tmpl.clone(),
+        });
+        self.met.with(|reg| reg.counter("space.ops.miss").inc());
+        Ok(None)
+    }
+
+    fn in_cancellable(
+        &self,
+        tmpl: &Template,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Tuple>, PlindaError> {
+        match self.wait_on_partition(tmpl, cancel, true) {
+            Some(t) => {
+                self.len.fetch_sub(1, Ordering::SeqCst);
+                Ok(Some(t))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn rd_cancellable(
+        &self,
+        tmpl: &Template,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Tuple>, PlindaError> {
+        Ok(self.wait_on_partition(tmpl, cancel, false))
+    }
+
+    fn kick(&self) {
         for (_, part) in self.sorted_partitions() {
             // Lock-then-notify so the wakeup cannot land in the gap where a
             // waiter has checked its flag but not yet parked.
@@ -413,19 +360,12 @@ impl TupleSpace {
         }
     }
 
-    /// Number of visible tuples.
-    pub fn len(&self) -> usize {
-        self.len.load(Ordering::SeqCst)
+    fn len(&self) -> Result<usize, PlindaError> {
+        Ok(self.len.load(Ordering::SeqCst))
     }
 
-    /// Is the space empty?
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Count visible tuples matching `tmpl` (diagnostics / tests).
-    pub fn count(&self, tmpl: &Template) -> usize {
-        match self.existing(&tmpl.sig()) {
+    fn count(&self, tmpl: &Template) -> Result<usize, PlindaError> {
+        Ok(match self.existing(&tmpl.sig()) {
             Some(part) => part
                 .tuples
                 .lock()
@@ -433,13 +373,17 @@ impl TupleSpace {
                 .filter(|t| tmpl.matches(t))
                 .count(),
             None => 0,
-        }
+        })
     }
 
-    /// Snapshot of every visible tuple, merged across partitions in sorted
-    /// signature order with all partition locks held — a consistent,
-    /// deterministic cut (checkpointing).
-    pub fn snapshot(&self) -> Vec<Tuple> {
+    fn has_match(&self, tmpl: &Template) -> Result<bool, PlindaError> {
+        Ok(match self.existing(&tmpl.sig()) {
+            Some(part) => part.tuples.lock().iter().any(|t| tmpl.matches(t)),
+            None => false,
+        })
+    }
+
+    fn snapshot(&self) -> Result<Vec<Tuple>, PlindaError> {
         let parts = self.sorted_partitions();
         let guards: Vec<MutexGuard<'_, Vec<Tuple>>> =
             parts.iter().map(|(_, p)| p.tuples.lock()).collect();
@@ -447,17 +391,10 @@ impl TupleSpace {
         for g in &guards {
             out.extend(g.iter().cloned());
         }
-        out
+        Ok(out)
     }
 
-    /// Serialize the visible space — PLinda's checkpoint (§2.4.6).
-    pub fn checkpoint_bytes(&self) -> Vec<u8> {
-        codec::encode_tuples(&self.snapshot())
-    }
-
-    /// Replace the space contents from a checkpoint — rollback recovery.
-    pub fn restore_bytes(&self, bytes: &[u8]) -> Result<(), codec::CodecError> {
-        let tuples = codec::decode_tuples(bytes)?;
+    fn restore(&self, tuples: Vec<Tuple>) -> Result<(), PlindaError> {
         let parts = self.sorted_partitions();
         let mut guards: Vec<MutexGuard<'_, Vec<Tuple>>> =
             parts.iter().map(|(_, p)| p.tuples.lock()).collect();
@@ -485,7 +422,7 @@ impl TupleSpace {
                     continue 'tuple;
                 }
             }
-            // `self.out` below records OutVisible for these itself.
+            // `do_out` below records OutVisible for these itself.
             leftover.push(t);
         }
         self.len.store(total - leftover.len(), Ordering::SeqCst);
@@ -494,9 +431,302 @@ impl TupleSpace {
             part.cond.notify_all();
         }
         for t in leftover {
-            self.out(t);
+            self.do_out(t);
         }
         Ok(())
+    }
+
+    fn txn_commit(
+        &self,
+        pid: u64,
+        publish: Vec<Tuple>,
+        cont: Option<Tuple>,
+    ) -> Result<(), PlindaError> {
+        self.do_out_all(publish);
+        if let Some(c) = cont {
+            self.conts.put(pid, c);
+        }
+        Ok(())
+    }
+
+    fn txn_abort(&self, _pid: u64, restore: Vec<Tuple>) -> Result<(), PlindaError> {
+        self.do_out_all(restore);
+        Ok(())
+    }
+
+    fn cont_get(&self, pid: u64) -> Result<Option<Tuple>, PlindaError> {
+        Ok(self.conts.get(pid))
+    }
+
+    fn cont_clear(&self, pid: u64) -> Result<(), PlindaError> {
+        self.conts.clear(pid);
+        Ok(())
+    }
+}
+
+/// The generative shared memory all PLinda processes coordinate through.
+///
+/// A facade over a [`SpaceBackend`]: [`TupleSpace::new`] backs it with the
+/// in-process sharded space, [`TupleSpace::connect_unix`] with a client of
+/// an `fpdm-spaced` broker process. The public operation surface is
+/// backend-independent; the farm programs, the kill-schedule explorer, and
+/// the metrics ledger run unchanged over either.
+///
+/// Operations on the local backend are linearizable per signature
+/// partition (each partition has a single lock); blocking operations park
+/// on their partition's condition variable and are woken only by tuples
+/// that land in that partition. Blocking calls take an optional *cancel
+/// flag* so the runtime can abort a process that is parked inside `in` —
+/// the PLinda server does exactly this when a workstation owner returns
+/// (§7.1.1).
+///
+/// The infallible methods (`out`, `inp`, `in_blocking`, …) panic on a
+/// transport failure (broker death, malformed frame); they cannot fail on
+/// the local backend. The transaction layer ([`crate::Process`]) uses
+/// fallible internal paths instead, so worker code sees transport
+/// failures as [`PlindaError`] values.
+pub struct TupleSpace {
+    /// Optional trace recorder; one relaxed load per op when disabled.
+    /// Shared with the backend, which records space-level events.
+    rec: Arc<RecorderSlot>,
+    /// Optional metrics registry; one relaxed load per op when disabled.
+    met: Arc<MetricsSlot>,
+    backend: Arc<dyn SpaceBackend>,
+}
+
+impl Default for TupleSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for TupleSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TupleSpace")
+            .field("backend", &self.backend.kind())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TupleSpace {
+    /// Create an empty space backed by in-process sharded storage.
+    pub fn new() -> Self {
+        let rec = Arc::new(RecorderSlot::default());
+        let met = Arc::new(MetricsSlot::default());
+        let backend = Arc::new(LocalBackend::new(Arc::clone(&rec), Arc::clone(&met)));
+        TupleSpace { rec, met, backend }
+    }
+
+    /// Connect to an `fpdm-spaced` broker listening on the Unix-domain
+    /// socket at `path`. Every operation on the returned space is a
+    /// request over the socket; see [`crate::net`] for the wire protocol
+    /// and `DESIGN.md` ("Backends") for the failure semantics.
+    pub fn connect_unix(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let rec = Arc::new(RecorderSlot::default());
+        let met = Arc::new(MetricsSlot::default());
+        let backend = Arc::new(crate::net::SocketBackend::connect(
+            path.as_ref(),
+            Arc::clone(&rec),
+            Arc::clone(&met),
+        )?);
+        Ok(TupleSpace { rec, met, backend })
+    }
+
+    /// Short name of the backend this space runs over (`"local"`,
+    /// `"unix-socket"`).
+    pub fn backend_kind(&self) -> &'static str {
+        self.backend.kind()
+    }
+
+    fn fail(e: PlindaError) -> ! {
+        panic!("tuple space backend failure: {e}")
+    }
+
+    /// Install (or, with `None`, remove) a [`MetricsRegistry`]. While
+    /// installed, every Linda operation updates global and per-partition
+    /// metrics; when absent the cost is a single relaxed atomic load per
+    /// operation (see the `out_inp_cycle_metrics` bench).
+    pub fn set_metrics(&self, reg: Option<MetricsRegistry>) {
+        self.met.set(reg);
+    }
+
+    /// Clone of the installed metrics registry, if any.
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.met.get()
+    }
+
+    /// Is a metrics registry currently installed? One relaxed load.
+    pub fn metrics_enabled(&self) -> bool {
+        self.met.enabled()
+    }
+
+    /// Run `f` against the installed metrics registry, if any
+    /// (crate-internal: `Process`, `Runtime`, farm, and channels fold
+    /// their metrics into the same registry as the space ops).
+    ///
+    /// Lock-order rule: callers may hold partition locks, so `f` must
+    /// never re-enter the tuple space — compute any space-derived values
+    /// (e.g. channel depths) *before* this call.
+    #[inline]
+    pub(crate) fn metric(&self, f: impl FnOnce(&MetricsRegistry)) {
+        self.met.with(f);
+    }
+
+    /// Install (or, with `None`, remove) a trace [`Recorder`]. Every Linda
+    /// operation on this space is appended to the recorder's trace; the
+    /// `plinda::check` checkers analyse the result. Recording is a single
+    /// atomic load per operation when disabled.
+    pub fn set_recorder(&self, rec: Option<Recorder>) {
+        self.rec.set(rec);
+    }
+
+    /// Is a trace recorder currently installed?
+    pub fn recording(&self) -> bool {
+        self.rec.is_enabled()
+    }
+
+    /// Record a trace event if a recorder is installed (crate-internal:
+    /// used by `Process`, `Runtime`, and the interleaving explorer to add
+    /// transaction / lifecycle events to the same trace as the space ops).
+    #[inline]
+    pub(crate) fn record(&self, ev: impl FnOnce() -> TraceEvent) {
+        self.rec.record(ev);
+    }
+
+    /// `out`: make `t` visible to every process. Never blocks. On the
+    /// local backend, wakes only waiters parked on `t`'s signature
+    /// partition.
+    pub fn out(&self, t: Tuple) {
+        self.try_out(t).unwrap_or_else(|e| Self::fail(e))
+    }
+
+    /// Fallible `out` (crate-internal: the transaction layer surfaces
+    /// transport failures as errors instead of panicking).
+    pub(crate) fn try_out(&self, t: Tuple) -> Result<(), PlindaError> {
+        self.backend.out(t)
+    }
+
+    /// Bulk `out`: all of `ts` become visible atomically (used by
+    /// transaction commit so a committed transaction's tuples appear
+    /// atomically, even when they span signatures).
+    pub fn out_all(&self, ts: Vec<Tuple>) {
+        self.backend.out_all(ts).unwrap_or_else(|e| Self::fail(e))
+    }
+
+    /// `inp`: withdraw a matching tuple if one exists, without blocking.
+    pub fn inp(&self, tmpl: &Template) -> Option<Tuple> {
+        self.try_inp(tmpl).unwrap_or_else(|e| Self::fail(e))
+    }
+
+    pub(crate) fn try_inp(&self, tmpl: &Template) -> Result<Option<Tuple>, PlindaError> {
+        self.backend.inp(tmpl)
+    }
+
+    /// `rdp`: copy a matching tuple if one exists, without blocking.
+    pub fn rdp(&self, tmpl: &Template) -> Option<Tuple> {
+        self.try_rdp(tmpl).unwrap_or_else(|e| Self::fail(e))
+    }
+
+    pub(crate) fn try_rdp(&self, tmpl: &Template) -> Result<Option<Tuple>, PlindaError> {
+        self.backend.rdp(tmpl)
+    }
+
+    /// Would `tmpl` match some visible tuple right now? A non-recording
+    /// probe used by the interleaving explorer to decide enabledness
+    /// without perturbing the trace.
+    pub(crate) fn has_match(&self, tmpl: &Template) -> bool {
+        self.backend
+            .has_match(tmpl)
+            .unwrap_or_else(|e| Self::fail(e))
+    }
+
+    /// `in`: withdraw a matching tuple, blocking until one is available.
+    pub fn in_blocking(&self, tmpl: Template) -> Tuple {
+        self.in_cancellable(&tmpl, None)
+            .expect("in_blocking without cancel flag cannot be cancelled")
+    }
+
+    /// `rd`: copy a matching tuple, blocking until one is available.
+    pub fn rd_blocking(&self, tmpl: Template) -> Tuple {
+        self.rd_cancellable(&tmpl, None)
+            .expect("rd_blocking without cancel flag cannot be cancelled")
+    }
+
+    /// `in` with cancellation: returns `None` if `cancel` becomes true
+    /// while waiting (the process was killed).
+    pub fn in_cancellable(&self, tmpl: &Template, cancel: Option<&AtomicBool>) -> Option<Tuple> {
+        self.try_in_cancellable(tmpl, cancel)
+            .unwrap_or_else(|e| Self::fail(e))
+    }
+
+    pub(crate) fn try_in_cancellable(
+        &self,
+        tmpl: &Template,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Tuple>, PlindaError> {
+        self.backend.in_cancellable(tmpl, cancel)
+    }
+
+    /// `rd` with cancellation; see [`TupleSpace::in_cancellable`].
+    pub fn rd_cancellable(&self, tmpl: &Template, cancel: Option<&AtomicBool>) -> Option<Tuple> {
+        self.try_rd_cancellable(tmpl, cancel)
+            .unwrap_or_else(|e| Self::fail(e))
+    }
+
+    pub(crate) fn try_rd_cancellable(
+        &self,
+        tmpl: &Template,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Tuple>, PlindaError> {
+        self.backend.rd_cancellable(tmpl, cancel)
+    }
+
+    /// Wake every waiter so it re-checks its cancellation flag. On the
+    /// local backend this notifies every partition's condvar; the socket
+    /// backend's waits poll their flag, so it is a no-op there.
+    pub(crate) fn kick(&self) {
+        self.backend.kick();
+    }
+
+    /// Number of visible tuples.
+    pub fn len(&self) -> usize {
+        self.backend.len().unwrap_or_else(|e| Self::fail(e))
+    }
+
+    /// Is the space empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Count visible tuples matching `tmpl` (diagnostics / tests).
+    pub fn count(&self, tmpl: &Template) -> usize {
+        self.backend.count(tmpl).unwrap_or_else(|e| Self::fail(e))
+    }
+
+    /// Snapshot of every visible tuple, merged across partitions in sorted
+    /// signature order — a consistent, deterministic cut (checkpointing).
+    pub fn snapshot(&self) -> Vec<Tuple> {
+        self.backend.snapshot().unwrap_or_else(|e| Self::fail(e))
+    }
+
+    /// Serialize the visible space — PLinda's checkpoint (§2.4.6).
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        codec::encode_tuples(&self.snapshot())
+    }
+
+    /// Replace the space contents from a checkpoint — rollback recovery.
+    pub fn restore_bytes(&self, bytes: &[u8]) -> Result<(), codec::CodecError> {
+        let tuples = codec::decode_tuples(bytes)?;
+        self.backend
+            .restore(tuples)
+            .unwrap_or_else(|e| Self::fail(e));
+        Ok(())
+    }
+
+    /// Replace the space contents from already-decoded tuples
+    /// (crate-internal: the broker receives tuples, not checkpoint bytes).
+    pub(crate) fn restore_tuples(&self, tuples: Vec<Tuple>) -> Result<(), PlindaError> {
+        self.backend.restore(tuples)
     }
 
     /// Checkpoint to a file.
@@ -509,6 +739,40 @@ impl TupleSpace {
         let bytes = std::fs::read(path)?;
         self.restore_bytes(&bytes)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    // --- transaction and continuation hooks (crate-internal) ----------
+
+    /// A process opened a transaction (remote backends start tracking its
+    /// tentative withdrawals).
+    pub(crate) fn txn_begin(&self, pid: u64) -> Result<(), PlindaError> {
+        self.backend.txn_begin(pid)
+    }
+
+    /// Atomically publish a committed transaction's outs and record its
+    /// continuation.
+    pub(crate) fn txn_commit(
+        &self,
+        pid: u64,
+        publish: Vec<Tuple>,
+        cont: Option<Tuple>,
+    ) -> Result<(), PlindaError> {
+        self.backend.txn_commit(pid, publish, cont)
+    }
+
+    /// Restore an aborted transaction's tentative withdrawals.
+    pub(crate) fn txn_abort(&self, pid: u64, restore: Vec<Tuple>) -> Result<(), PlindaError> {
+        self.backend.txn_abort(pid, restore)
+    }
+
+    /// Latest committed continuation of logical process `pid`, if any.
+    pub(crate) fn cont_get(&self, pid: u64) -> Result<Option<Tuple>, PlindaError> {
+        self.backend.cont_get(pid)
+    }
+
+    /// Drop the continuation of `pid` (process completed normally).
+    pub(crate) fn cont_clear(&self, pid: u64) -> Result<(), PlindaError> {
+        self.backend.cont_clear(pid)
     }
 }
 
@@ -544,6 +808,11 @@ mod tests {
         assert!(ts.rdp(&task_tmpl()).is_some());
         assert!(ts.rdp(&task_tmpl()).is_some());
         assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn local_backend_kind() {
+        assert_eq!(TupleSpace::new().backend_kind(), "local");
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! The socket backend behind the unchanged `TupleSpace` facade: basic
+//! Linda ops, a real farm program with a kill schedule, broker-side
+//! recovery of tentative withdrawals when a client dies mid-transaction,
+//! and broker resilience to malformed frames.
+//!
+//! Everything here runs the broker *in-process* (threads, one address
+//! space) so the tests are fast and deterministic; the OS-process
+//! deployment shape — `fpdm-spaced` + SIGKILLed workers — is
+//! `tests/cross_process_plinda.rs`.
+
+use plinda::check::check_trace;
+use plinda::metrics::check_snapshot;
+use plinda::{
+    field, tup, Broker, BrokerConfig, FarmConfig, MetricsRegistry, Process, Recorder, TaskFarm,
+    Template, TupleSpace,
+};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fresh socket path per test (tests run concurrently in one process).
+fn socket_path(name: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("fpdm-test-{}-{name}-{n}.sock", std::process::id()))
+}
+
+#[test]
+fn basic_ops_over_socket() {
+    let broker = Broker::start(BrokerConfig::new(socket_path("basic"))).unwrap();
+    let space = TupleSpace::connect_unix(broker.socket()).unwrap();
+    assert_eq!(space.backend_kind(), "unix-socket");
+
+    space.out(tup!["point", 3i64, 4i64]);
+    space.out(tup!["point", 5i64, 12i64]);
+    assert_eq!(space.len(), 2);
+
+    let t = Template::new(vec![field::val("point"), field::int(), field::int()]);
+    assert_eq!(space.count(&t), 2);
+    let read = space.rd_blocking(t.clone());
+    assert!(matches!(read.int(1), 3 | 5));
+    assert_eq!(space.len(), 2, "rd does not consume");
+
+    let taken = space.inp(&t).unwrap();
+    let taken2 = space.in_blocking(t.clone());
+    assert_ne!(taken.int(1), taken2.int(1));
+    assert!(space.inp(&t).is_none());
+    assert!(space.is_empty());
+}
+
+#[test]
+fn two_connections_share_one_space_and_blocking_in_wakes() {
+    let broker = Broker::start(BrokerConfig::new(socket_path("share"))).unwrap();
+    let a = Arc::new(TupleSpace::connect_unix(broker.socket()).unwrap());
+    let b = TupleSpace::connect_unix(broker.socket()).unwrap();
+
+    // Consumer blocks on a connection that has nothing yet.
+    let consumer = {
+        let a = Arc::clone(&a);
+        std::thread::spawn(move || {
+            a.in_blocking(Template::new(vec![field::val("msg"), field::int()]))
+        })
+    };
+    std::thread::sleep(Duration::from_millis(30));
+    b.out(tup!["msg", 42i64]);
+    assert_eq!(consumer.join().unwrap().int(1), 42);
+}
+
+#[test]
+fn vec_add_farm_over_socket_matches_local_run_under_kills() {
+    // The Fig. 2.6/2.7 vector-add program as a farm, run twice from the
+    // same inputs: once over the in-process backend, once over a broker
+    // with a kill-one-worker schedule — the farm and program source are
+    // identical, only `with_space` differs. Outputs must match, the
+    // recorded trace must pass the protocol checkers, and the metrics
+    // snapshot must satisfy the frozen ledger invariants.
+    let inputs: Vec<(i64, i64)> = (0..40).map(|i| (i, 1000 - 3 * i)).collect();
+
+    let run = |space: Option<Arc<TupleSpace>>, kills: bool| {
+        let rec = Recorder::new();
+        let reg = MetricsRegistry::new();
+        let mut cfg = FarmConfig::bag(3)
+            .with_recorder(rec.clone())
+            .with_metrics(reg.clone());
+        if let Some(s) = space {
+            cfg = cfg.with_space(s);
+        }
+        if kills {
+            cfg = cfg.kill_after(Duration::from_millis(3), 1);
+        }
+        let farm = TaskFarm::<(i64, i64), (i64, i64)>::start("vecadd", cfg, |s, _flag, (i, x)| {
+            std::thread::sleep(Duration::from_micros(150));
+            s.result(&(i, i + x));
+            Ok(())
+        });
+        for pair in &inputs {
+            farm.send(0, pair);
+        }
+        let mut sums: Vec<(i64, i64)> = (0..inputs.len()).map(|_| farm.recv()).collect();
+        sums.sort_unstable();
+        let report = farm.finish();
+        (sums, rec.take(), reg.snapshot(), report)
+    };
+
+    let (local, _, _, _) = run(None, false);
+
+    let broker = Broker::start(BrokerConfig::new(socket_path("vecadd"))).unwrap();
+    let space = Arc::new(TupleSpace::connect_unix(broker.socket()).unwrap());
+    let (socketed, trace, snap, report) = run(Some(space), true);
+
+    assert_eq!(local, socketed, "same outputs over either backend");
+    assert!(!trace.events.is_empty());
+    let check = check_trace(&trace, &[]);
+    assert!(check.is_clean(), "{check}");
+    let violations = check_snapshot(&snap);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(
+        snap.sum_counters(|k| k.starts_with("farm.vecadd.worker.") && k.ends_with(".tasks")),
+        inputs.len() as u64,
+        "every task committed exactly once despite the kill"
+    );
+    let _ = report;
+}
+
+#[test]
+fn broker_restores_tentative_withdrawal_when_client_dies_mid_txn() {
+    // A client that withdraws a tuple inside a transaction and then dies
+    // (here: its thread — and with it, its per-thread connection — goes
+    // away) must not lose the tuple: the broker's connection cleanup
+    // restores its tentative withdrawals, exactly as it does for a
+    // SIGKILLed worker process.
+    let broker = Broker::start(BrokerConfig::new(socket_path("tentative"))).unwrap();
+    let path = broker.socket().to_path_buf();
+    broker.space().out(tup!["job", 7i64]);
+
+    let dying = std::thread::spawn(move || {
+        let space = Arc::new(TupleSpace::connect_unix(&path).unwrap());
+        let mut p = Process::attach(space, 99);
+        p.xstart().unwrap();
+        let got = p
+            .in_(Template::new(vec![field::val("job"), field::int()]))
+            .unwrap();
+        assert_eq!(got.int(1), 7);
+        // Fall off the end with the transaction open: the thread-local
+        // connection drops, the broker sees EOF and must roll back.
+    });
+    dying.join().unwrap();
+
+    let space = TupleSpace::connect_unix(broker.socket()).unwrap();
+    let back = space.in_blocking(Template::new(vec![field::val("job"), field::int()]));
+    assert_eq!(back.int(1), 7, "tentative withdrawal was restored");
+}
+
+#[test]
+fn committed_transaction_survives_client_death_and_continuation_recovers() {
+    // Complement of the rollback test: work committed before the client
+    // dies stays committed, and a new incarnation attaching under the
+    // same logical pid recovers the continuation.
+    let broker = Broker::start(BrokerConfig::new(socket_path("commit"))).unwrap();
+    let path = broker.socket().to_path_buf();
+    broker.space().out(tup!["job", 1i64]);
+    broker.space().out(tup!["job", 2i64]);
+
+    let path2 = path.clone();
+    std::thread::spawn(move || {
+        let space = Arc::new(TupleSpace::connect_unix(&path2).unwrap());
+        let mut p = Process::attach(space, 17);
+        p.xstart().unwrap();
+        let got = p
+            .in_(Template::new(vec![field::val("job"), field::int()]))
+            .unwrap();
+        p.out(tup!["done", got.int(1)]);
+        p.xcommit(Some(tup![1i64])).unwrap();
+        // Die after the commit, before taking the second job.
+    })
+    .join()
+    .unwrap();
+
+    let space = Arc::new(TupleSpace::connect_unix(&path).unwrap());
+    let p = Process::attach(Arc::clone(&space), 17);
+    let cont = p.xrecover().expect("continuation survived the death");
+    assert_eq!(cont.int(0), 1, "one job committed by the first life");
+    let done = space
+        .in_blocking(Template::new(vec![field::val("done"), field::int()]))
+        .int(1);
+    let job = space
+        .in_blocking(Template::new(vec![field::val("job"), field::int()]))
+        .int(1);
+    // The first life took one of {1, 2} and published its "done" mirror;
+    // the other job is still in the space.
+    assert_eq!(done + job, 3, "committed publish + un-taken job");
+    assert!(space.is_empty());
+}
+
+#[test]
+fn malformed_frame_drops_that_connection_only() {
+    // Satellite: a garbage frame must not abort the broker — it logs,
+    // drops the offending connection, and keeps serving everyone else.
+    let broker = Broker::start(BrokerConfig::new(socket_path("garbage"))).unwrap();
+
+    let mut raw = UnixStream::connect(broker.socket()).unwrap();
+    // Well-framed, but the payload is not a decodable request tuple.
+    let mut frame = (5u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01]);
+    raw.write_all(&frame).unwrap();
+    raw.flush().unwrap();
+    // Give the broker a moment to process (and drop) the bad connection.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let space = TupleSpace::connect_unix(broker.socket()).unwrap();
+    space.out(tup!["alive", 1i64]);
+    assert_eq!(
+        space
+            .in_blocking(Template::new(vec![field::val("alive"), field::int()]))
+            .int(1),
+        1,
+        "broker still serves new connections after a malformed frame"
+    );
+}

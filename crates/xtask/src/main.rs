@@ -9,20 +9,24 @@
 //! tree is unmatchable (see the crate docs for the analysis).
 //!
 //! `metrics-smoke` is the CI observability gate: it runs a small metered
-//! task farm, validates the resulting `MetricsSnapshot` against the
-//! frozen golden schema (decode, round-trip, cross-layer invariants),
-//! and measures that the metrics-*off* tuple-space fast path costs no
-//! more than the documented envelope (~100 ns/event) over a space that
-//! never had a registry installed. Run it under `--release`; debug
-//! timings are dominated by unoptimised match code.
+//! task farm twice — over the in-process backend and over an in-process
+//! `fpdm-spaced`-style broker via the socket backend — validates both
+//! resulting `MetricsSnapshot`s against the frozen golden schema (decode,
+//! round-trip, cross-layer invariants), and measures that the
+//! metrics-*off* tuple-space fast path costs no more than the documented
+//! envelope (~100 ns/event) over a space that never had a registry
+//! installed. Run it under `--release`; debug timings are dominated by
+//! unoptimised match code.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use plinda::metrics::check_snapshot;
 use plinda::{
-    field, tup, FarmConfig, MetricsRegistry, MetricsSnapshot, TaskFarm, Template, TupleSpace,
+    field, tup, Broker, BrokerConfig, FarmConfig, MetricsRegistry, MetricsSnapshot, TaskFarm,
+    Template, TupleSpace,
 };
 
 fn main() -> ExitCode {
@@ -63,19 +67,18 @@ fn main() -> ExitCode {
 /// relaxed atomic load), in nanoseconds. DESIGN.md documents this gate.
 const OFF_ENVELOPE_NS: f64 = 100.0;
 
-fn metrics_smoke() -> ExitCode {
-    let mut failed = false;
-
-    // ---- 1. Small metered farm; validate the ledger end to end. -----
+/// Run the 64-task smoke farm over `space` (`None` = in-process backend)
+/// and return the resulting metered snapshot, or `None` on farm failure.
+fn smoke_farm(label: &str, space: Option<Arc<TupleSpace>>) -> Option<MetricsSnapshot> {
     let reg = MetricsRegistry::new();
-    let farm = TaskFarm::<i64, i64>::start(
-        "smoke",
-        FarmConfig::bag(2).with_metrics(reg.clone()),
-        |scope, _flag, n| {
-            scope.result(&(n + 1));
-            Ok(())
-        },
-    );
+    let mut cfg = FarmConfig::bag(2).with_metrics(reg.clone());
+    if let Some(s) = space {
+        cfg = cfg.with_space(s);
+    }
+    let farm = TaskFarm::<i64, i64>::start("smoke", cfg, |scope, _flag, n| {
+        scope.result(&(n + 1));
+        Ok(())
+    });
     for i in 0..64i64 {
         farm.send(0, &i);
     }
@@ -84,37 +87,72 @@ fn metrics_smoke() -> ExitCode {
     }
     let report = farm.finish();
     if !report.leaked.is_empty() {
-        eprintln!("metrics-smoke: farm leaked tuples: {:?}", report.leaked);
+        eprintln!(
+            "metrics-smoke: {label} farm leaked tuples: {:?}",
+            report.leaked
+        );
+        return None;
+    }
+    Some(reg.snapshot())
+}
+
+/// Validate one run's snapshot against the frozen golden schema: the
+/// fixture decodes, the export carries the identical schema header and
+/// round-trips, the cross-layer invariants hold, and the worker cells
+/// account for exactly the 64 dispatched tasks.
+fn validate_snapshot(label: &str, snap: &MetricsSnapshot, fixture: Option<&str>) -> bool {
+    let mut failed = false;
+    if let Some(fixture) = fixture {
+        let json = snap.to_json();
+        if json.lines().nth(1) != fixture.lines().nth(1) {
+            eprintln!("metrics-smoke: {label} schema header differs from golden fixture");
+            failed = true;
+        }
+        match MetricsSnapshot::from_json(&json) {
+            Ok(back) if back == *snap => {}
+            Ok(_) => {
+                eprintln!("metrics-smoke: {label} snapshot did not round-trip losslessly");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("metrics-smoke: {label} snapshot export does not decode: {e}");
+                failed = true;
+            }
+        }
+    }
+    for v in check_snapshot(snap) {
+        eprintln!("metrics-smoke: {label} invariant violation: {v}");
         failed = true;
     }
-    let snap = reg.snapshot();
+    let tasks = snap.sum_counters(|k| k.contains(".worker.") && k.ends_with(".tasks"));
+    if tasks != 64 {
+        eprintln!("metrics-smoke: {label} workers account for {tasks} tasks, expected 64");
+        failed = true;
+    }
+    if !failed {
+        println!(
+            "metrics-smoke: {label} ledger ok — {} counters, {} gauges, {} histograms",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len()
+        );
+    }
+    !failed
+}
 
-    // Golden schema: the committed fixture must decode, and the run's
-    // export must carry the identical schema header and round-trip.
+fn metrics_smoke() -> ExitCode {
+    let mut failed = false;
+
+    // Golden schema fixture, shared by both backend runs.
     let fixture_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../tuplespace/tests/fixtures/metrics_snapshot.golden.json");
-    match std::fs::read_to_string(&fixture_path) {
+    let fixture = match std::fs::read_to_string(&fixture_path) {
         Ok(fixture) => {
             if let Err(e) = MetricsSnapshot::from_json(&fixture) {
                 eprintln!("metrics-smoke: golden fixture does not decode: {e}");
                 failed = true;
             }
-            let json = snap.to_json();
-            if json.lines().nth(1) != fixture.lines().nth(1) {
-                eprintln!("metrics-smoke: schema header differs from golden fixture");
-                failed = true;
-            }
-            match MetricsSnapshot::from_json(&json) {
-                Ok(back) if back == snap => {}
-                Ok(_) => {
-                    eprintln!("metrics-smoke: snapshot did not round-trip losslessly");
-                    failed = true;
-                }
-                Err(e) => {
-                    eprintln!("metrics-smoke: snapshot export does not decode: {e}");
-                    failed = true;
-                }
-            }
+            Some(fixture)
         }
         Err(e) => {
             eprintln!(
@@ -122,24 +160,38 @@ fn metrics_smoke() -> ExitCode {
                 fixture_path.display()
             );
             failed = true;
+            None
         }
+    };
+
+    // ---- 1. Metered farm over the in-process backend. ---------------
+    match smoke_farm("local", None) {
+        Some(snap) => failed |= !validate_snapshot("local", &snap, fixture.as_deref()),
+        None => failed = true,
     }
 
-    for v in check_snapshot(&snap) {
-        eprintln!("metrics-smoke: invariant violation: {v}");
-        failed = true;
+    // ---- 1b. The identical farm over the socket backend: the frozen
+    // `fpdm.metrics.v1` schema must hold for broker-backed runs too.
+    let sock = std::env::temp_dir().join(format!("fpdm-metrics-smoke-{}.sock", std::process::id()));
+    match Broker::start(BrokerConfig::new(&sock)) {
+        Ok(broker) => match TupleSpace::connect_unix(broker.socket()) {
+            Ok(space) => match smoke_farm("socket", Some(Arc::new(space))) {
+                Some(snap) => failed |= !validate_snapshot("socket", &snap, fixture.as_deref()),
+                None => failed = true,
+            },
+            Err(e) => {
+                eprintln!("metrics-smoke: cannot connect to broker: {e}");
+                failed = true;
+            }
+        },
+        Err(e) => {
+            eprintln!(
+                "metrics-smoke: cannot start broker on {}: {e}",
+                sock.display()
+            );
+            failed = true;
+        }
     }
-    let tasks = snap.sum_counters(|k| k.contains(".worker.") && k.ends_with(".tasks"));
-    if tasks != 64 {
-        eprintln!("metrics-smoke: workers account for {tasks} tasks, expected 64");
-        failed = true;
-    }
-    println!(
-        "metrics-smoke: ledger ok — {} counters, {} gauges, {} histograms",
-        snap.counters.len(),
-        snap.gauges.len(),
-        snap.histograms.len()
-    );
 
     // ---- 2. Disabled-path overhead envelope. ------------------------
     // Best-of-5 over 50k out/inp cycles (2 space events per cycle),

@@ -1,0 +1,96 @@
+//! Local vs socket backend cost, measured.
+//!
+//! ```text
+//! cargo run --release --example backend_bench
+//! ```
+//!
+//! Two measurements, each reported as the median of 5 runs:
+//!
+//! 1. `out_inp_cycle` — one `out` + one `inp` of a small tuple, the
+//!    microbench EXPERIMENTS.md tracks for the in-process space, repeated
+//!    over the socket backend (each op is one request/response round trip
+//!    to an in-process broker).
+//! 2. A small PLET-LB protein-motif discovery wall clock, identical
+//!    program both ways (`with_space` is the only difference).
+
+use fpdm::core::ParallelConfig;
+use fpdm::datagen::{protein_family, PlantedMotif};
+use fpdm::plinda::{field, tup, Broker, BrokerConfig, Template, TupleSpace};
+use fpdm::seqmine::{discover_parallel, DiscoveryParams};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CYCLES: u64 = 20_000;
+const RUNS: usize = 5;
+const WORKERS: usize = 4;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Mean nanoseconds per out+inp cycle on `space`.
+fn cycle_ns(space: &TupleSpace) -> f64 {
+    let tmpl = Template::new(vec![field::val("b"), field::int()]);
+    let start = Instant::now();
+    for _ in 0..CYCLES {
+        space.out(tup!["b", 1]);
+        std::hint::black_box(space.inp(&tmpl)).unwrap();
+    }
+    start.elapsed().as_nanos() as f64 / CYCLES as f64
+}
+
+/// Wall time of one PLET-LB discovery run over `space`.
+fn mining_wall(space: Option<Arc<TupleSpace>>) -> Duration {
+    let family = protein_family(9, 20, 80, 10, &[PlantedMotif::exact("WWHHKK", 0.6)]);
+    let params = DiscoveryParams::new(4, 8, 8, 1).with_sample_occurrence(2);
+    let mut cfg = ParallelConfig::load_balanced(WORKERS);
+    if let Some(s) = space {
+        cfg = cfg.with_space(s);
+    }
+    let start = Instant::now();
+    let found = discover_parallel(family, params, &cfg);
+    let wall = start.elapsed();
+    assert!(!found.is_empty(), "planted motif should be found");
+    wall
+}
+
+fn main() {
+    let sock = std::env::temp_dir().join(format!("fpdm-bench-{}.sock", std::process::id()));
+    let broker = Broker::start(BrokerConfig::new(&sock)).expect("start broker");
+
+    // --- out_inp_cycle ------------------------------------------------
+    let local = TupleSpace::new();
+    let socket = TupleSpace::connect_unix(broker.socket()).expect("connect");
+    cycle_ns(&local); // warm-up
+    cycle_ns(&socket);
+    let local_ns = median((0..RUNS).map(|_| cycle_ns(&local)).collect());
+    let socket_ns = median((0..RUNS).map(|_| cycle_ns(&socket)).collect());
+    println!("out_inp_cycle ({CYCLES} cycles, median of {RUNS}):");
+    println!("  local   {local_ns:8.0} ns/cycle");
+    println!(
+        "  socket  {socket_ns:8.0} ns/cycle  ({:.0}x, 2 round trips)",
+        socket_ns / local_ns
+    );
+
+    // --- PLET-LB wall clock -------------------------------------------
+    let local_wall = median(
+        (0..RUNS)
+            .map(|_| mining_wall(None).as_secs_f64() * 1e3)
+            .collect(),
+    );
+    let socket_wall = median(
+        (0..RUNS)
+            .map(|_| {
+                let space = TupleSpace::connect_unix(broker.socket()).expect("connect");
+                mining_wall(Some(Arc::new(space))).as_secs_f64() * 1e3
+            })
+            .collect(),
+    );
+    println!("PLET-LB protein discovery, {WORKERS} workers (median of {RUNS}):");
+    println!("  local   {local_wall:8.1} ms");
+    println!(
+        "  socket  {socket_wall:8.1} ms  ({:.1}x)",
+        socket_wall / local_wall
+    );
+}

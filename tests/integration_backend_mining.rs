@@ -1,0 +1,91 @@
+//! Mining over the socket backend: the Chapter 3/4 traversals and the
+//! PEAR-style Apriori run unchanged against an `fpdm-spaced` broker —
+//! backend selection is one `with_space` line at setup, the programs
+//! themselves are byte-identical — and produce exactly the in-process
+//! (and sequential) results, with and without injected worker kills.
+
+use fpdm::assoc::{apriori, parallel_apriori_metered};
+use fpdm::core::prelude::*;
+use fpdm::datagen::{basket_db, BasketSpec};
+use fpdm::plinda::metrics::check_snapshot;
+use fpdm::plinda::{Broker, BrokerConfig, MetricsRegistry, TupleSpace};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn socket_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fpdm-mine-{}-{name}.sock", std::process::id()))
+}
+
+fn workload() -> ToyItemsets {
+    let db = basket_db(
+        &BasketSpec {
+            transactions: 250,
+            items: 25,
+            avg_txn_len: 6,
+            ..BasketSpec::default()
+        },
+        3,
+    );
+    ToyItemsets::new(db.transactions().to_vec(), 10)
+}
+
+#[test]
+fn plet_lb_over_socket_equals_sequential() {
+    let p = Arc::new(workload());
+    let reference = sequential_ett(&*p);
+    assert!(!reference.is_empty());
+
+    let broker = Broker::start(BrokerConfig::new(socket_path("plet"))).unwrap();
+    let space = Arc::new(TupleSpace::connect_unix(broker.socket()).unwrap());
+    let cfg = ParallelConfig::load_balanced(3).with_space(space);
+    let got = parallel_ett(Arc::clone(&p), &cfg);
+    assert_eq!(reference.good, got.good);
+    assert_eq!(reference.tested, got.tested);
+}
+
+#[test]
+fn plet_lb_over_socket_survives_kills_with_consistent_ledger() {
+    let p = Arc::new(workload());
+    let reference = sequential_ett(&*p);
+
+    let broker = Broker::start(BrokerConfig::new(socket_path("plet-kill"))).unwrap();
+    let space = Arc::new(TupleSpace::connect_unix(broker.socket()).unwrap());
+    let reg = MetricsRegistry::new();
+    let cfg = ParallelConfig::load_balanced(3)
+        .kill_after(Duration::from_millis(2), 0)
+        .kill_after(Duration::from_millis(6), 1)
+        .with_metrics(reg.clone())
+        .with_space(space);
+    let got = parallel_ett(Arc::clone(&p), &cfg);
+    assert_eq!(reference.good, got.good, "kills must not change the answer");
+
+    let snap = reg.snapshot();
+    let violations = check_snapshot(&snap);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert_eq!(
+        snap.sum_counters(|k| k.starts_with("farm.plet-lb.worker.") && k.ends_with(".tasks")),
+        got.tested,
+        "every tested pattern is one committed task, socket or not"
+    );
+}
+
+#[test]
+fn apriori_over_socket_equals_sequential() {
+    let db = Arc::new(basket_db(
+        &BasketSpec {
+            transactions: 200,
+            items: 20,
+            avg_txn_len: 5,
+            ..BasketSpec::default()
+        },
+        7,
+    ));
+    let reference = apriori(&db, 8);
+    assert!(!reference.is_empty());
+
+    let broker = Broker::start(BrokerConfig::new(socket_path("apriori"))).unwrap();
+    let space = Arc::new(TupleSpace::connect_unix(broker.socket()).unwrap());
+    let got = parallel_apriori_metered(Arc::clone(&db), 8, 3, None, Some(space));
+    assert_eq!(reference, got);
+}

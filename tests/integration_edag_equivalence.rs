@@ -67,6 +67,7 @@ proptest! {
                 kill_schedule: Vec::new(),
                 recorder: None,
                 metrics: None,
+                space: None,
             };
             let plet = parallel_ett(Arc::clone(&p), &cfg);
             prop_assert_eq!(&reference.good, &plet.good);

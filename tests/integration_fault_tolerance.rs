@@ -45,6 +45,7 @@ fn optimistic_survives_worker_kills() {
         kill_schedule: vec![(Duration::from_millis(1), 2), (Duration::from_millis(4), 0)],
         recorder: None,
         metrics: None,
+        space: None,
     };
     let got = parallel_ett(Arc::clone(&p), &cfg);
     assert_eq!(reference.good, got.good);
