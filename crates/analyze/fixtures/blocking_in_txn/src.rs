@@ -1,0 +1,12 @@
+//! Seeded violation: a blocking `in_` inside an open transaction whose
+//! only matching producer is *later in the same transaction*. Tuples
+//! `out` inside a transaction stay invisible until commit, so the wait
+//! can never be satisfied — a guaranteed self-deadlock.
+
+fn self_deadlock(p: &mut Process) {
+    p.xstart().unwrap();
+    let ack = Template::new(vec![field::val("ack"), field::int()]);
+    let got = p.in_(ack).unwrap();
+    p.out(tup!["ack", 1]);
+    p.xcommit(None).unwrap();
+}

@@ -1,0 +1,19 @@
+//! Golden-report fixture: a small program exhibiting one finding from
+//! each source-level pass, with the nested-txn finding allow-listed.
+//! The pinned `fpdm.lint.v1` encoding of this directory's analysis
+//! lives at `tests/fixtures/lint_report.golden.json`.
+
+fn consumer(space: &TupleSpace) {
+    let ghost = Template::new(vec![field::val("ghost"), field::real()]);
+    let t = space.in_blocking(ghost);
+}
+
+fn producer(p: &mut Process) {
+    p.out(tup!["stray", 42]);
+}
+
+fn double_begin(p: &mut Process) {
+    p.xstart().unwrap();
+    p.xstart().unwrap();
+    p.xcommit(None).unwrap();
+}

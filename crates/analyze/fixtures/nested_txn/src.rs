@@ -1,0 +1,9 @@
+//! Seeded violation: a second `xstart` while a transaction is already
+//! open. The runtime rejects this with `PlindaError::NestedTransaction`;
+//! the analyzer flags it before anything runs.
+
+fn double_begin(p: &mut Process) {
+    p.xstart().unwrap();
+    p.xstart().unwrap();
+    p.xcommit(None).unwrap();
+}

@@ -1,0 +1,13 @@
+//! Seeded violation: a tuple produced that no template can ever consume.
+//! The ("job", int) pair below is healthy; the ("orphan.stat", real)
+//! production on the last line leaks into the space forever.
+
+fn worker(p: &mut Process) {
+    let t = Template::new(vec![field::val("job"), field::int()]);
+    let got = p.in_(t).unwrap();
+}
+
+fn master(p: &mut Process) {
+    p.out(tup!["job", 7]);
+    p.out(tup!["orphan.stat", 2.5]);
+}

@@ -1,0 +1,21 @@
+//! Seeded violation: a template no production can ever match. The
+//! consumer waits on ("nine.lives", int, real) but the only producer
+//! emits ("nine.lives", int) — wrong arity, a static dead-wait. The
+//! second consumer keeps the producer from also being an orphan, so the
+//! analyzer reports exactly one finding.
+
+fn doomed_consumer(space: &TupleSpace) {
+    let t = space.in_blocking(Template::new(vec![
+        field::val("nine.lives"),
+        field::int(),
+        field::real(),
+    ]));
+}
+
+fn fine_consumer(space: &TupleSpace) {
+    let t = space.in_blocking(Template::new(vec![field::val("nine.lives"), field::int()]));
+}
+
+fn producer(space: &TupleSpace) {
+    space.out(tup!["nine.lives", 9]);
+}

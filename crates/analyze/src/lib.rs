@@ -1,0 +1,116 @@
+//! fpdm-analyze: whole-workspace static tuple-flow analysis with
+//! protocol-duality checking for PLinda programs.
+//!
+//! Linda decouples processes so thoroughly that the compiler can say
+//! nothing about whether an `out` ever meets an `in`: the type system
+//! sees only `Tuple` and `Template`. This crate recovers a useful slice
+//! of that lost checking *statically*, before any process runs:
+//!
+//! 1. **Shape pass** — templates no production can ever match
+//!    (static dead-wait). Absorbed from the old `lint-templates` tool.
+//! 2. **Flow pass** — productions no template can consume (tuple leak)
+//!    and read/withdraw consumers racing for the same tuple family.
+//! 3. **Transaction pass** — blocking waits inside an open transaction
+//!    whose only producers are later in the same transaction
+//!    (self-deadlock), and nested `xstart` calls.
+//! 4. **Protocol pass** — the client/broker frame state machines
+//!    ([`plinda::net::spec`]) are exhaustively checked for duality: in
+//!    every reachable configuration, each side can handle whatever
+//!    frame arrives next.
+//!
+//! The result is an [`report::AnalysisReport`]: human diagnostics plus a
+//! frozen machine-readable `fpdm.lint.v1` JSON document (see
+//! [`report`]). Intentional exceptions live in an `fpdm-analyze.allow`
+//! file at the analysis root. Run it with:
+//!
+//! ```text
+//! cargo run -p xtask -- analyze [ROOT]
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod passes;
+pub mod proto;
+pub mod report;
+pub mod scan;
+
+use report::{AllowList, AnalysisReport, Stats};
+use scan::FileScan;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, vendored deps,
+/// hidden dirs, and the analyzer's own crate (its sources and fixtures
+/// quote violation shapes on purpose).
+fn skip_dir(name: &str) -> bool {
+    name.starts_with('.') || matches!(name, "target" | "vendor" | "analyze")
+}
+
+/// Collect every `.rs` file under `root`, sorted for determinism.
+pub fn walk(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !skip_dir(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Scan every `.rs` file under `root` into per-file site lists.
+pub fn scan_dir(root: &Path) -> std::io::Result<Vec<FileScan>> {
+    let mut scans = Vec::new();
+    for path in walk(root)? {
+        let bytes = std::fs::read(&path)?;
+        let src = String::from_utf8_lossy(&bytes);
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        scans.push(scan::scan_source(rel, &src));
+    }
+    Ok(scans)
+}
+
+/// Run the full analysis over `root`: scan, all four passes, allow-list
+/// application, canonical ordering.
+pub fn analyze_dir(root: &Path) -> Result<AnalysisReport, String> {
+    let files = scan_dir(root).map_err(|e| format!("scan {}: {e}", root.display()))?;
+    let allow = AllowList::load(root)?;
+
+    let mut report = AnalysisReport {
+        stats: Stats {
+            files: files.len() as u64,
+            templates: files.iter().map(|f| f.templates.len() as u64).sum(),
+            dynamic_templates: files.iter().map(|f| f.dynamic_templates as u64).sum(),
+            productions: files.iter().map(|f| f.productions.len() as u64).sum(),
+            ops: files.iter().map(|f| f.ops.len() as u64).sum(),
+            txn_events: files.iter().map(|f| f.txns.len() as u64).sum(),
+            fns: files.iter().map(|f| f.fns.len() as u64).sum(),
+            proto_configs: 0,
+            proto_deliveries: 0,
+        },
+        findings: Vec::new(),
+    };
+
+    passes::run_shape(&files, &mut report.findings);
+    passes::run_flow(&files, &mut report.findings);
+    passes::run_txn(&files, &mut report.findings);
+    let proto_stats = proto::run_proto(root, &mut report.findings)?;
+    report.stats.proto_configs = proto_stats.configs;
+    report.stats.proto_deliveries = proto_stats.deliveries;
+
+    for f in &mut report.findings {
+        f.allowed = allow.covers(f);
+    }
+    report.finalize();
+    Ok(report)
+}

@@ -1,0 +1,348 @@
+//! The flow and transaction-discipline passes over a workspace scan.
+//!
+//! All passes share one conservatism rule: a finding is only emitted
+//! when the scanner fully resolved every site involved. Wildcard fields
+//! widen matching (suppressing findings), never narrow it.
+
+use crate::report::{Finding, Severity};
+use crate::scan::{render_shape, FileScan, TxnKind};
+
+/// Shape pass: literal templates no literal production can ever satisfy
+/// (static dead-wait). This is PR 2's `lint-templates` check, absorbed.
+pub fn run_shape(files: &[FileScan], findings: &mut Vec<Finding>) {
+    for scan in files {
+        for t in &scan.templates {
+            let matched = files.iter().any(|s| {
+                s.productions
+                    .iter()
+                    .any(|p| crate::scan::shapes_compatible(&t.shape, &p.shape))
+            });
+            if !matched {
+                findings.push(Finding {
+                    pass: "shape",
+                    code: "unmatched-template",
+                    severity: Severity::Error,
+                    file: t.file.display().to_string(),
+                    line: t.line,
+                    sig: render_shape(&t.shape),
+                    message: "no production in the workspace can ever match this template \
+                              (a process waiting on it dead-waits)"
+                        .to_string(),
+                    allowed: false,
+                });
+            }
+        }
+    }
+}
+
+/// Flow pass: orphan producers and conflicting consumers.
+///
+/// * **orphan-producer** — a literal production no literal template can
+///   consume. When the scan saw zero dynamic template constructions this
+///   is a proven tuple leak (Error); otherwise an unresolved consumer
+///   may exist, so it is reported as Info.
+/// * **conflicting-consumer** — a template used by a read op (`rd`/`rdp`)
+///   overlapping one used by a withdrawing op (`in`/`inp`): the read can
+///   silently lose the race for the tuple (Warn).
+pub fn run_flow(files: &[FileScan], findings: &mut Vec<Finding>) {
+    let dynamic_templates: usize = files.iter().map(|s| s.dynamic_templates).sum();
+    let orphan_severity = if dynamic_templates == 0 {
+        Severity::Error
+    } else {
+        Severity::Info
+    };
+    for scan in files {
+        for p in &scan.productions {
+            let consumed = files.iter().any(|s| {
+                s.templates
+                    .iter()
+                    .any(|t| crate::scan::shapes_compatible(&t.shape, &p.shape))
+            });
+            if !consumed {
+                let qualifier = if dynamic_templates == 0 {
+                    "no template in the workspace can consume it (static tuple leak)"
+                } else {
+                    "no literal template consumes it; only dynamically-built templates could"
+                };
+                findings.push(Finding {
+                    pass: "flow",
+                    code: "orphan-producer",
+                    severity: orphan_severity,
+                    file: p.file.display().to_string(),
+                    line: p.line,
+                    sig: render_shape(&p.shape),
+                    message: format!("tuple is produced but {qualifier}"),
+                    allowed: false,
+                });
+            }
+        }
+    }
+
+    // Conflicting consumers: read-op templates vs withdraw-op templates.
+    let withdraw_sites: Vec<(&FileScan, &crate::scan::OpSite)> = files
+        .iter()
+        .flat_map(|s| {
+            s.ops
+                .iter()
+                .filter(|o| o.kind.withdraw)
+                .map(move |o| (s, o))
+        })
+        .collect();
+    for scan in files {
+        for op in scan.ops.iter().filter(|o| !o.kind.withdraw) {
+            let rd_t = &scan.templates[op.template];
+            if let Some((ws, wo)) = withdraw_sites.iter().find(|(ws, wo)| {
+                let wt = &ws.templates[wo.template];
+                // Distinct sites only: a program that both reads and
+                // withdraws via the *same* template site is sequencing,
+                // not racing.
+                !(std::ptr::eq(*ws, scan) && wo.template == op.template)
+                    && crate::scan::templates_overlap(&rd_t.shape, &wt.shape)
+            }) {
+                let wt = &ws.templates[wo.template];
+                findings.push(Finding {
+                    pass: "flow",
+                    code: "conflicting-consumer",
+                    severity: Severity::Warn,
+                    file: rd_t.file.display().to_string(),
+                    line: op.line,
+                    sig: render_shape(&rd_t.shape),
+                    message: format!(
+                        "read-only consumer overlaps withdrawing consumer at {}:{} {} — \
+                         the read can lose the race for the tuple",
+                        ws.file.display(),
+                        wo.line,
+                        render_shape(&wt.shape)
+                    ),
+                    allowed: false,
+                });
+            }
+        }
+    }
+}
+
+/// Transaction-discipline pass.
+///
+/// * **blocking-in-txn** — a blocking `in`/`rd` inside an open
+///   transaction window whose only compatible producers sit *later in
+///   the same function*: tuples `out` inside a transaction are invisible
+///   until commit, so the wait can never be satisfied (self-deadlock).
+/// * **nested-txn** — a second `xstart` with no intervening
+///   commit/abort in the same function (rejected at runtime with
+///   `NestedTransaction`; statically it is always a bug).
+pub fn run_txn(files: &[FileScan], findings: &mut Vec<Finding>) {
+    for scan in files {
+        // blocking-in-txn
+        for op in scan.ops.iter().filter(|o| o.kind.blocking) {
+            if !scan.in_txn_window(op.offset) {
+                continue;
+            }
+            let t = &scan.templates[op.template];
+            let mut producers = 0usize;
+            let mut all_later_same_fn = true;
+            for s in files {
+                for p in &s.productions {
+                    if !crate::scan::shapes_compatible(&t.shape, &p.shape) {
+                        continue;
+                    }
+                    producers += 1;
+                    let same_fn = std::ptr::eq(s, scan) && p.fn_idx == op.fn_idx;
+                    if !(same_fn && p.offset > op.offset) {
+                        all_later_same_fn = false;
+                    }
+                }
+            }
+            if producers > 0 && all_later_same_fn {
+                findings.push(Finding {
+                    pass: "txn",
+                    code: "blocking-in-txn",
+                    severity: Severity::Error,
+                    file: t.file.display().to_string(),
+                    line: op.line,
+                    sig: render_shape(&t.shape),
+                    message: format!(
+                        "blocking `{}` inside an open transaction; every matching producer \
+                         is later in the same transaction, whose tuples stay invisible \
+                         until commit (self-deadlock)",
+                        op.method
+                    ),
+                    allowed: false,
+                });
+            }
+        }
+
+        // nested-txn: linear scan per function.
+        let mut open_by_fn: Vec<Option<bool>> = vec![None; scan.fns.len() + 1];
+        for e in &scan.txns {
+            let slot = e.fn_idx.map(|i| i + 1).unwrap_or(0);
+            let open = open_by_fn[slot].get_or_insert(false);
+            match e.kind {
+                TxnKind::Start => {
+                    if *open {
+                        findings.push(Finding {
+                            pass: "txn",
+                            code: "nested-txn",
+                            severity: Severity::Error,
+                            file: scan.file.display().to_string(),
+                            line: e.line,
+                            sig: String::new(),
+                            message: "xstart while a transaction is already open in this \
+                                      function (runtime rejects with NestedTransaction)"
+                                .to_string(),
+                            allowed: false,
+                        });
+                    }
+                    *open = true;
+                }
+                TxnKind::Commit | TxnKind::Abort => *open = false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+    use std::path::Path;
+
+    fn scan(src: &str) -> FileScan {
+        scan_source(Path::new("t.rs"), src)
+    }
+
+    #[test]
+    fn matched_pairs_are_clean() {
+        let files = vec![scan(
+            r#"
+            fn a(p: &mut Process) {
+                let t = Template::new(vec![field::val("job"), field::int()]);
+                p.out(tup!["job", 1]);
+                let got = p.in_(t);
+            }
+            "#,
+        )];
+        let mut findings = Vec::new();
+        run_shape(&files, &mut findings);
+        run_flow(&files, &mut findings);
+        run_txn(&files, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn unmatched_template_is_an_error() {
+        let files = vec![scan(
+            r#"let t = Template::new(vec![field::val("ghost"), field::real()]);"#,
+        )];
+        let mut findings = Vec::new();
+        run_shape(&files, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "unmatched-template");
+        assert_eq!(findings[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn orphan_is_error_without_dynamic_templates_and_info_with() {
+        let orphan = r#"fn a(p: &mut Process) { p.out(tup!["stray", 2.5]); }"#;
+        let mut findings = Vec::new();
+        run_flow(&[scan(orphan)], &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "orphan-producer");
+        assert_eq!(findings[0].severity, Severity::Error);
+
+        let dynamic = "fn b(fs: Vec<Field>) { let t = Template::new(fs); }";
+        let mut findings = Vec::new();
+        run_flow(&[scan(orphan), scan(dynamic)], &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn read_and_withdraw_on_overlapping_templates_warns() {
+        let files = vec![scan(
+            r#"
+            fn reader(p: &mut Process) {
+                let t = Template::new(vec![field::val("cfg"), field::int()]);
+                let v = p.rd(t);
+            }
+            fn taker(p: &mut Process) {
+                let t = Template::new(vec![field::val("cfg"), field::int()]);
+                let v = p.inp(t);
+                p.out(tup!["cfg", 1]);
+            }
+            "#,
+        )];
+        let mut findings = Vec::new();
+        run_flow(&files, &mut findings);
+        let conflict: Vec<_> = findings
+            .iter()
+            .filter(|f| f.code == "conflicting-consumer")
+            .collect();
+        assert_eq!(conflict.len(), 1);
+        assert_eq!(conflict[0].severity, Severity::Warn);
+        assert_eq!(conflict[0].line, 4);
+    }
+
+    #[test]
+    fn self_deadlock_in_transaction_is_caught() {
+        let files = vec![scan(
+            r#"
+            fn t(p: &mut Process) {
+                p.xstart().unwrap();
+                let ack = Template::new(vec![field::val("ack"), field::int()]);
+                let got = p.in_(ack);
+                p.out(tup!["ack", 1]);
+                p.xcommit(None).unwrap();
+            }
+            "#,
+        )];
+        let mut findings = Vec::new();
+        run_txn(&files, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "blocking-in-txn");
+        assert_eq!(findings[0].line, 5);
+    }
+
+    #[test]
+    fn blocking_wait_with_external_producer_is_fine() {
+        let files = vec![scan(
+            r#"
+            fn t(p: &mut Process) {
+                p.xstart().unwrap();
+                let ack = Template::new(vec![field::val("ack"), field::int()]);
+                let got = p.in_(ack);
+                p.xcommit(None).unwrap();
+            }
+            fn producer(p: &mut Process) {
+                p.out(tup!["ack", 1]);
+            }
+            "#,
+        )];
+        let mut findings = Vec::new();
+        run_txn(&files, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn nested_xstart_is_caught_and_sequential_txns_are_not() {
+        let files = vec![scan(
+            r#"
+            fn bad(p: &mut Process) {
+                p.xstart().unwrap();
+                p.xstart().unwrap();
+                p.xcommit(None).unwrap();
+            }
+            fn good(p: &mut Process) {
+                p.xstart().unwrap();
+                p.xcommit(None).unwrap();
+                p.xstart().unwrap();
+                p.xabort().unwrap();
+            }
+            "#,
+        )];
+        let mut findings = Vec::new();
+        run_txn(&files, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "nested-txn");
+        assert_eq!(findings[0].line, 4);
+    }
+}

@@ -1,0 +1,183 @@
+//! Protocol-duality pass: drive [`plinda::net::spec`]'s small-scope
+//! model checker and fold violations into the report.
+//!
+//! By default the pass checks the built-in client/broker machines —
+//! the declarative extraction of `net/client.rs` and `net/broker.rs`.
+//! If the analysis root contains a `proto.machines` file, the pass
+//! instead checks the pair of machines declared there; this is how the
+//! negative fixtures seed a protocol mismatch without touching the real
+//! spec.
+//!
+//! `proto.machines` format (`#` starts a comment):
+//!
+//! ```text
+//! machine client
+//! initial Idle
+//! Idle send Out -> AwaitOut
+//! AwaitOut recv Ok -> Idle
+//!
+//! machine broker
+//! initial Ready
+//! Ready recv Out -> Respond
+//! Respond send Ok -> Ready
+//! ```
+
+use crate::report::{Finding, Severity};
+use plinda::net::spec::{
+    broker_machine, check_duality, client_machine, Act, Machine, Trans, DEFAULT_QUEUE_BOUND,
+};
+use std::path::Path;
+
+/// Outcome of the duality pass: exploration counters for the stats block.
+pub struct ProtoStats {
+    /// Product-machine configurations explored.
+    pub configs: u64,
+    /// Frame deliveries simulated.
+    pub deliveries: u64,
+}
+
+/// Parse a `proto.machines` document into its machine pair.
+pub fn parse_machines(text: &str) -> Result<(Machine, Machine), String> {
+    let mut machines: Vec<Machine> = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("proto.machines line {}: {what}", n + 1);
+        let words: Vec<&str> = line.split_whitespace().collect();
+        match words.as_slice() {
+            ["machine", name] => machines.push(Machine {
+                name: name.to_string(),
+                initial: String::new(),
+                trans: Vec::new(),
+            }),
+            ["initial", state] => {
+                let m = machines
+                    .last_mut()
+                    .ok_or_else(|| err("initial before machine"))?;
+                m.initial = state.to_string();
+            }
+            [from, dir @ ("send" | "recv"), frame, rest @ ..] => {
+                let to = match rest {
+                    ["->", to] => *to,
+                    [to] => *to,
+                    _ => return Err(err("expected `FROM send|recv FRAME [->] TO`")),
+                };
+                let m = machines
+                    .last_mut()
+                    .ok_or_else(|| err("transition before machine"))?;
+                let act = if *dir == "send" {
+                    Act::Send(frame.to_string())
+                } else {
+                    Act::Recv(frame.to_string())
+                };
+                m.trans.push(Trans {
+                    from: from.to_string(),
+                    act,
+                    to: to.to_string(),
+                });
+            }
+            _ => return Err(err("unrecognized line")),
+        }
+    }
+    if machines.len() != 2 {
+        return Err(format!(
+            "proto.machines: expected exactly 2 machines, found {}",
+            machines.len()
+        ));
+    }
+    for m in &machines {
+        if m.initial.is_empty() {
+            return Err(format!(
+                "proto.machines: machine {} has no initial state",
+                m.name
+            ));
+        }
+    }
+    let b = machines.pop().expect("len checked");
+    let a = machines.pop().expect("len checked");
+    Ok((a, b))
+}
+
+/// Run the duality pass for `root`, appending any unhandled
+/// `(state, frame)` pair as an Error finding.
+pub fn run_proto(root: &Path, findings: &mut Vec<Finding>) -> Result<ProtoStats, String> {
+    let spec_file = root.join("proto.machines");
+    let (a, b, file_label) = match std::fs::read_to_string(&spec_file) {
+        Ok(text) => {
+            let (a, b) = parse_machines(&text)?;
+            (a, b, "proto.machines".to_string())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => (
+            client_machine(),
+            broker_machine(),
+            "crates/tuplespace/src/net/spec.rs".to_string(),
+        ),
+        Err(e) => return Err(format!("proto.machines: {e}")),
+    };
+    let report = check_duality(&a, &b, DEFAULT_QUEUE_BOUND);
+    for v in &report.violations {
+        findings.push(Finding {
+            pass: "proto",
+            code: "proto-unhandled",
+            severity: Severity::Error,
+            file: file_label.clone(),
+            line: 0,
+            sig: format!("({}, {})", v.state, v.frame),
+            message: format!("{v}"),
+            allowed: false,
+        });
+    }
+    Ok(ProtoStats {
+        configs: report.configs as u64,
+        deliveries: report.deliveries as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DUAL: &str = "\
+        machine client\n\
+        initial Idle\n\
+        Idle send Out -> AwaitOut\n\
+        AwaitOut recv Ok -> Idle\n\
+        \n\
+        machine broker\n\
+        initial Ready\n\
+        Ready recv Out -> Respond\n\
+        Respond send Ok -> Ready\n";
+
+    #[test]
+    fn parses_and_verifies_a_dual_pair() {
+        let (a, b) = parse_machines(DUAL).unwrap();
+        assert_eq!(a.name, "client");
+        assert_eq!(b.initial, "Ready");
+        let report = check_duality(&a, &b, DEFAULT_QUEUE_BOUND);
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn a_missing_handler_is_a_violation() {
+        // Broker never handles Out: the client's very first send is
+        // undeliverable.
+        let text = DUAL.replace("Ready recv Out -> Respond\n", "");
+        let (a, b) = parse_machines(&text).unwrap();
+        let report = check_duality(&a, &b, DEFAULT_QUEUE_BOUND);
+        assert!(!report.is_clean());
+        assert_eq!(report.violations[0].frame, "Out");
+    }
+
+    #[test]
+    fn arrow_is_optional_and_errors_are_located() {
+        let ok = "machine a\ninitial S\nS send X T\nmachine b\ninitial U\nU recv X U";
+        assert!(parse_machines(ok).is_ok());
+        let bad = "machine a\ninitial S\nS zigzag X -> T\nmachine b\ninitial U";
+        let err = parse_machines(bad).unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        let one = "machine a\ninitial S";
+        assert!(parse_machines(one).unwrap_err().contains("exactly 2"));
+    }
+}

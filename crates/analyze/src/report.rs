@@ -1,0 +1,460 @@
+//! Findings, the frozen `fpdm.lint.v1` report schema, and the allow-list.
+//!
+//! Like the metrics ledger's `fpdm.metrics.v1`, the report is a frozen,
+//! hand-rolled JSON document: the encoder is deterministic (findings
+//! sorted, keys in fixed order, integers only) so a golden fixture can
+//! pin the byte-exact layout, and the decoder reuses
+//! [`plinda::metrics::json`] so external tooling can rely on one parser.
+
+use plinda::metrics::json::{self, Json};
+use std::fmt;
+use std::path::Path;
+
+/// Schema identifier emitted in, and required of, every report.
+pub const SCHEMA: &str = "fpdm.lint.v1";
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth a look, never fails the build.
+    Info,
+    /// Suspicious but not provably wrong.
+    Warn,
+    /// A defect; fails the build unless allow-listed.
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name used in the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One diagnostic produced by an analysis pass.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Pass that produced it: `shape`, `flow`, `txn`, `proto`.
+    pub pass: &'static str,
+    /// Stable machine-readable code, e.g. `orphan-producer`.
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// File the finding anchors to, relative to the analysis root
+    /// (empty for workspace-level findings like protocol mismatches).
+    pub file: String,
+    /// 1-based line (0 for findings with no single line).
+    pub line: usize,
+    /// Rendered signature/shape the finding is about (may be empty).
+    pub sig: String,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Matched by an allow-list entry?
+    pub allowed: bool,
+}
+
+impl Finding {
+    /// `error[flow/orphan-producer] file:line (sig): message` diagnostic.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}/{}]", self.severity, self.pass, self.code);
+        if !self.file.is_empty() {
+            out.push_str(&format!(" {}:{}", self.file, self.line));
+        }
+        if !self.sig.is_empty() {
+            out.push_str(&format!(" {}", self.sig));
+        }
+        out.push_str(&format!(": {}", self.message));
+        if self.allowed {
+            out.push_str(" [allowed]");
+        }
+        out
+    }
+}
+
+/// Scan-population counters reported under `"stats"`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// `.rs` files scanned.
+    pub files: u64,
+    /// Literal template sites.
+    pub templates: u64,
+    /// `Template::new` sites with a non-literal argument (skipped).
+    pub dynamic_templates: u64,
+    /// Literal production sites.
+    pub productions: u64,
+    /// Resolved consuming-op call sites.
+    pub ops: u64,
+    /// Transaction lifecycle events.
+    pub txn_events: u64,
+    /// Function bodies spanned.
+    pub fns: u64,
+    /// Product-machine configurations explored by the duality pass.
+    pub proto_configs: u64,
+    /// Frame deliveries simulated by the duality pass.
+    pub proto_deliveries: u64,
+}
+
+/// A complete analysis run: counters plus sorted findings.
+#[derive(Debug, Default)]
+pub struct AnalysisReport {
+    /// Scan-population counters.
+    pub stats: Stats,
+    /// Findings from every pass, sorted by (pass, code, file, line).
+    pub findings: Vec<Finding>,
+}
+
+impl AnalysisReport {
+    /// Sort findings into the canonical report order.
+    pub fn finalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.pass, a.code, &a.file, a.line, &a.sig)
+                .cmp(&(b.pass, b.code, &b.file, b.line, &b.sig))
+        });
+    }
+
+    /// Error-severity findings not covered by the allow-list. Non-empty
+    /// means the analyzer exits non-zero.
+    pub fn failures(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error && !f.allowed)
+    }
+
+    /// Encode as canonical `fpdm.lint.v1` JSON (pretty, two-space indent,
+    /// trailing newline) — the byte-exact layout pinned by the golden
+    /// fixture.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str("  \"stats\": {\n");
+        let s = &self.stats;
+        let stat_fields: [(&str, u64); 9] = [
+            ("files", s.files),
+            ("templates", s.templates),
+            ("dynamic_templates", s.dynamic_templates),
+            ("productions", s.productions),
+            ("ops", s.ops),
+            ("txn_events", s.txn_events),
+            ("fns", s.fns),
+            ("proto_configs", s.proto_configs),
+            ("proto_deliveries", s.proto_deliveries),
+        ];
+        for (i, (k, v)) in stat_fields.iter().enumerate() {
+            let comma = if i + 1 == stat_fields.len() { "" } else { "," };
+            out.push_str(&format!("    \"{k}\": {v}{comma}\n"));
+        }
+        out.push_str("  },\n");
+        if self.findings.is_empty() {
+            out.push_str("  \"findings\": []\n");
+        } else {
+            out.push_str("  \"findings\": [\n");
+            for (i, f) in self.findings.iter().enumerate() {
+                let comma = if i + 1 == self.findings.len() {
+                    ""
+                } else {
+                    ","
+                };
+                out.push_str("    {\n");
+                out.push_str(&format!("      \"pass\": \"{}\",\n", esc(f.pass)));
+                out.push_str(&format!("      \"code\": \"{}\",\n", esc(f.code)));
+                out.push_str(&format!("      \"severity\": \"{}\",\n", f.severity));
+                out.push_str(&format!("      \"file\": \"{}\",\n", esc(&f.file)));
+                out.push_str(&format!("      \"line\": {},\n", f.line));
+                out.push_str(&format!("      \"sig\": \"{}\",\n", esc(&f.sig)));
+                out.push_str(&format!("      \"allowed\": {},\n", u8::from(f.allowed)));
+                out.push_str(&format!("      \"message\": \"{}\"\n", esc(&f.message)));
+                out.push_str(&format!("    }}{comma}\n"));
+            }
+            out.push_str("  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Decode an `fpdm.lint.v1` document, rejecting other schemas.
+    pub fn from_json(input: &str) -> Result<AnalysisReport, String> {
+        let doc = json::parse(input)?;
+        let top = doc.as_obj("report")?;
+        let schema = get(top, "schema")?.as_str("schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA:?})"));
+        }
+        let stats_obj = get(top, "stats")?.as_obj("stats")?;
+        let stat = |k: &str| -> Result<u64, String> { get(stats_obj, k)?.as_u64(k) };
+        let stats = Stats {
+            files: stat("files")?,
+            templates: stat("templates")?,
+            dynamic_templates: stat("dynamic_templates")?,
+            productions: stat("productions")?,
+            ops: stat("ops")?,
+            txn_events: stat("txn_events")?,
+            fns: stat("fns")?,
+            proto_configs: stat("proto_configs")?,
+            proto_deliveries: stat("proto_deliveries")?,
+        };
+        let mut findings = Vec::new();
+        for item in get(top, "findings")?.as_arr("findings")? {
+            let o = item.as_obj("finding")?;
+            let pass = leak_known(get(o, "pass")?.as_str("pass")?, PASSES)?;
+            let code = leak_known(get(o, "code")?.as_str("code")?, CODES)?;
+            let severity = match get(o, "severity")?.as_str("severity")? {
+                "info" => Severity::Info,
+                "warn" => Severity::Warn,
+                "error" => Severity::Error,
+                other => return Err(format!("unknown severity {other:?}")),
+            };
+            findings.push(Finding {
+                pass,
+                code,
+                severity,
+                file: get(o, "file")?.as_str("file")?.to_string(),
+                line: get(o, "line")?.as_u64("line")? as usize,
+                sig: get(o, "sig")?.as_str("sig")?.to_string(),
+                message: get(o, "message")?.as_str("message")?.to_string(),
+                allowed: get(o, "allowed")?.as_u64("allowed")? != 0,
+            });
+        }
+        Ok(AnalysisReport { stats, findings })
+    }
+}
+
+/// Every pass name the schema admits.
+pub const PASSES: &[&str] = &["shape", "flow", "txn", "proto"];
+
+/// Every finding code the schema admits.
+pub const CODES: &[&str] = &[
+    "unmatched-template",
+    "orphan-producer",
+    "conflicting-consumer",
+    "blocking-in-txn",
+    "nested-txn",
+    "proto-unhandled",
+];
+
+fn leak_known(s: &str, known: &[&'static str]) -> Result<&'static str, String> {
+    known
+        .iter()
+        .copied()
+        .find(|k| *k == s)
+        .ok_or_else(|| format!("unknown identifier {s:?}"))
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key {key:?}"))
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The analyzer's allow-list: intentional exceptions, one per line.
+///
+/// Format (`#` starts a comment):
+///
+/// ```text
+/// <code> <file-suffix> [<sig>]  # reason
+/// ```
+///
+/// A finding is allowed when its code matches, its file ends with the
+/// listed suffix, and — if a sig column is present — its rendered sig
+/// equals it exactly.
+#[derive(Debug, Default)]
+pub struct AllowList {
+    entries: Vec<AllowEntry>,
+}
+
+#[derive(Debug)]
+struct AllowEntry {
+    code: String,
+    file_suffix: String,
+    sig: Option<String>,
+}
+
+impl AllowList {
+    /// Parse allow-list text. Malformed lines are errors — a typo in an
+    /// exception must not silently re-arm a finding.
+    pub fn parse(text: &str) -> Result<AllowList, String> {
+        let mut entries = Vec::new();
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut cols = line.split_whitespace();
+            let (Some(code), Some(file_suffix)) = (cols.next(), cols.next()) else {
+                return Err(format!("allow-list line {}: need `<code> <file>`", n + 1));
+            };
+            if !CODES.contains(&code) {
+                return Err(format!("allow-list line {}: unknown code {code:?}", n + 1));
+            }
+            let sig: Vec<&str> = cols.collect();
+            entries.push(AllowEntry {
+                code: code.to_string(),
+                file_suffix: file_suffix.to_string(),
+                sig: if sig.is_empty() {
+                    None
+                } else {
+                    Some(sig.join(" "))
+                },
+            });
+        }
+        Ok(AllowList { entries })
+    }
+
+    /// Load `<root>/fpdm-analyze.allow` if present.
+    pub fn load(root: &Path) -> Result<AllowList, String> {
+        match std::fs::read_to_string(root.join("fpdm-analyze.allow")) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(AllowList::default()),
+            Err(e) => Err(format!("fpdm-analyze.allow: {e}")),
+        }
+    }
+
+    /// Does any entry cover this finding?
+    pub fn covers(&self, f: &Finding) -> bool {
+        self.entries.iter().any(|e| {
+            e.code == f.code
+                && f.file.ends_with(&e.file_suffix)
+                && e.sig.as_deref().is_none_or(|s| s == f.sig)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AnalysisReport {
+        let mut r = AnalysisReport {
+            stats: Stats {
+                files: 3,
+                templates: 4,
+                dynamic_templates: 1,
+                productions: 5,
+                ops: 2,
+                txn_events: 2,
+                fns: 6,
+                proto_configs: 72,
+                proto_deliveries: 31,
+            },
+            findings: vec![
+                Finding {
+                    pass: "flow",
+                    code: "orphan-producer",
+                    severity: Severity::Error,
+                    file: "src/a.rs".into(),
+                    line: 10,
+                    sig: "(\"x\", int)".into(),
+                    message: "no template can consume it".into(),
+                    allowed: false,
+                },
+                Finding {
+                    pass: "txn",
+                    code: "nested-txn",
+                    severity: Severity::Error,
+                    file: "src/b.rs".into(),
+                    line: 4,
+                    sig: String::new(),
+                    message: "xstart while a transaction is open".into(),
+                    allowed: true,
+                },
+            ],
+        };
+        r.finalize();
+        r
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = sample();
+        let text = r.to_json();
+        let back = AnalysisReport::from_json(&text).unwrap();
+        assert_eq!(back.stats, r.stats);
+        assert_eq!(back.findings.len(), r.findings.len());
+        for (a, b) in back.findings.iter().zip(&r.findings) {
+            assert_eq!(a.pass, b.pass);
+            assert_eq!(a.code, b.code);
+            assert_eq!(a.severity, b.severity);
+            assert_eq!(a.file, b.file);
+            assert_eq!(a.line, b.line);
+            assert_eq!(a.sig, b.sig);
+            assert_eq!(a.message, b.message);
+            assert_eq!(a.allowed, b.allowed);
+        }
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = sample().to_json().replace(SCHEMA, "fpdm.lint.v2");
+        let err = AnalysisReport::from_json(&text).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn failures_exclude_allowed_and_non_error() {
+        let mut r = sample();
+        r.findings.push(Finding {
+            pass: "flow",
+            code: "conflicting-consumer",
+            severity: Severity::Warn,
+            file: "src/c.rs".into(),
+            line: 1,
+            sig: String::new(),
+            message: "warn only".into(),
+            allowed: false,
+        });
+        r.finalize();
+        let fails: Vec<_> = r.failures().collect();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].code, "orphan-producer");
+    }
+
+    #[test]
+    fn allow_list_matches_code_file_and_optional_sig() {
+        let list = AllowList::parse(
+            "nested-txn src/b.rs          # unit test exercises the guard\n\
+             orphan-producer a.rs (\"x\", int)\n",
+        )
+        .unwrap();
+        let r = sample();
+        let orphan = &r.findings[0];
+        let nested = &r.findings[1];
+        assert!(list.covers(nested));
+        assert!(list.covers(orphan));
+        let mut other = orphan.clone();
+        other.sig = "(\"y\", int)".into();
+        assert!(!list.covers(&other));
+    }
+
+    #[test]
+    fn allow_list_rejects_unknown_codes() {
+        assert!(AllowList::parse("bogus-code src/a.rs").is_err());
+    }
+}

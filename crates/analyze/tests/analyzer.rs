@@ -1,0 +1,124 @@
+//! End-to-end tests for the workspace analyzer: the real workspace must
+//! come out clean, every seeded fixture must fail with exactly its
+//! seeded finding, and the `fpdm.lint.v1` report encoding is pinned by
+//! a golden fixture (regenerate with `UPDATE_GOLDEN=1`).
+
+use fpdm_analyze::analyze_dir;
+use fpdm_analyze::report::{AnalysisReport, Severity};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+#[test]
+fn the_workspace_is_clean() {
+    let report = analyze_dir(&workspace_root()).unwrap();
+    let failures: Vec<String> = report.failures().map(|f| f.render()).collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+    // Sanity: the scan actually saw the tree and the duality pass
+    // actually explored the protocol.
+    let s = &report.stats;
+    assert!(s.templates > 10, "templates {}", s.templates);
+    assert!(s.productions > 20, "productions {}", s.productions);
+    assert!(s.ops > 5, "ops {}", s.ops);
+    assert!(s.txn_events > 5, "txn events {}", s.txn_events);
+    assert!(s.proto_configs > 50, "proto configs {}", s.proto_configs);
+}
+
+#[test]
+fn every_seeded_fixture_fails_with_its_violation() {
+    let cases = [
+        ("orphan_producer", "orphan-producer"),
+        ("unmatchable_template", "unmatched-template"),
+        ("blocking_in_txn", "blocking-in-txn"),
+        ("nested_txn", "nested-txn"),
+        ("proto_mismatch", "proto-unhandled"),
+    ];
+    for (dir, code) in cases {
+        let report = analyze_dir(&fixture(dir)).unwrap();
+        let failures: Vec<_> = report.failures().collect();
+        assert!(!failures.is_empty(), "{dir}: expected a failure");
+        assert!(
+            failures.iter().all(|f| f.code == code),
+            "{dir}: expected only {code}, got {:?}",
+            failures.iter().map(|f| f.render()).collect::<Vec<_>>()
+        );
+        // Exactly the seeded violation, nothing else (the proto fixture
+        // reports the missing handler from every state that reaches it).
+        if dir != "proto_mismatch" {
+            assert_eq!(report.findings.len(), 1, "{dir}");
+        }
+    }
+}
+
+#[test]
+fn a_matching_producer_satisfies_the_analyzer() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("analyze_positive");
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    fs::write(
+        dir.join("ok.rs"),
+        r#"
+        fn consumer(space: &TupleSpace) {
+            let t = space.in_blocking(Template::new(vec![
+                field::val("nine.lives"),
+                field::int(),
+            ]));
+        }
+        fn producer(space: &TupleSpace, n: i64) {
+            space.out(tup!["nine.lives", n]);
+        }
+        "#,
+    )
+    .unwrap();
+    let report = analyze_dir(&dir).unwrap();
+    assert_eq!(report.findings.len(), 0, "{:?}", report.findings);
+    assert_eq!(report.stats.templates, 1);
+    assert_eq!(report.stats.ops, 1);
+}
+
+#[test]
+fn golden_lint_report_is_pinned() {
+    let report = analyze_dir(&fixture("golden")).unwrap();
+    let json = report.to_json();
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint_report.golden.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden_path.parent().unwrap()).unwrap();
+        fs::write(&golden_path, &json).unwrap();
+    }
+    let golden = fs::read_to_string(&golden_path)
+        .expect("golden fixture missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        json, golden,
+        "fpdm.lint.v1 encoding drifted from the golden fixture; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+
+    // The frozen document round-trips through the shared decoder.
+    let back = AnalysisReport::from_json(&golden).unwrap();
+    assert_eq!(back.stats, report.stats);
+    assert_eq!(back.to_json(), golden);
+
+    // The fixture covers the interesting encodings: an allowed finding,
+    // an error, and all three source passes.
+    assert!(back.findings.iter().any(|f| f.allowed));
+    assert!(back
+        .findings
+        .iter()
+        .any(|f| f.severity == Severity::Error && !f.allowed));
+    for pass in ["shape", "flow", "txn"] {
+        assert!(
+            back.findings.iter().any(|f| f.pass == pass),
+            "golden fixture lost its {pass} finding"
+        );
+    }
+}

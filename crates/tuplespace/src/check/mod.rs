@@ -18,8 +18,9 @@
 //!   boundary, asserting the checkers plus sequential equivalence on each.
 //!
 //! The static counterpart — cross-checking every `Template` signature
-//! matched against every signature produced across the workspace — lives
-//! in the `xtask` crate (`cargo run -p xtask -- lint-templates`).
+//! matched against every signature produced across the workspace, plus
+//! transaction discipline and protocol-duality passes — lives in the
+//! `fpdm-analyze` crate (`cargo run -p xtask -- analyze`).
 
 pub mod checkers;
 pub mod explore;

@@ -559,8 +559,9 @@ fn get<'a>(obj: &'a [(String, json::Json)], key: &str) -> Result<&'a json::Json,
 
 /// A minimal hand-rolled JSON reader — the workspace deliberately has no
 /// serde dependency, and the snapshot schema only needs objects, arrays,
-/// strings, and integers.
-mod json {
+/// strings, and integers. Public so sibling frozen schemas (the
+/// `fpdm.lint.v1` analysis report in `fpdm-analyze`) can share one parser.
+pub mod json {
     /// Parsed JSON value (integers only; the schema has no floats).
     pub enum Json {
         /// Object as ordered key/value pairs.
@@ -574,6 +575,7 @@ mod json {
     }
 
     impl Json {
+        /// The object's key/value pairs, or an error naming `what`.
         pub fn as_obj(&self, what: &str) -> Result<&[(String, Json)], String> {
             match self {
                 Json::Obj(o) => Ok(o),
@@ -581,6 +583,7 @@ mod json {
             }
         }
 
+        /// The array's elements, or an error naming `what`.
         pub fn as_arr(&self, what: &str) -> Result<&[Json], String> {
             match self {
                 Json::Arr(a) => Ok(a),
@@ -588,6 +591,7 @@ mod json {
             }
         }
 
+        /// The string's contents, or an error naming `what`.
         pub fn as_str(&self, what: &str) -> Result<&str, String> {
             match self {
                 Json::Str(s) => Ok(s),
@@ -595,6 +599,7 @@ mod json {
             }
         }
 
+        /// The integer as `u64`, or an error naming `what`.
         pub fn as_u64(&self, what: &str) -> Result<u64, String> {
             match self {
                 Json::Num(n) => {
@@ -604,6 +609,7 @@ mod json {
             }
         }
 
+        /// The integer as `i64`, or an error naming `what`.
         pub fn as_i64(&self, what: &str) -> Result<i64, String> {
             match self {
                 Json::Num(n) => {
@@ -614,6 +620,7 @@ mod json {
         }
     }
 
+    /// Parse a complete JSON document (no trailing input allowed).
     pub fn parse(input: &str) -> Result<Json, String> {
         let mut p = Parser {
             bytes: input.as_bytes(),

@@ -10,6 +10,9 @@
 //! * [`frame`] — `u32` length-prefixed framing with incremental decoding.
 //! * [`proto`] — the request/response protocol, encoded as ordinary
 //!   [`crate::codec`] tuples.
+//! * [`spec`] — the client and broker halves of [`proto`] as declarative
+//!   frame state machines, with a small-scope duality checker proving no
+//!   reachable `(state, frame)` pair goes unhandled.
 //!
 //! Worker threads, worker OS processes (via [`crate::Process::attach`]),
 //! and whole runtimes ([`crate::Runtime::with_space`]) can share one
@@ -23,6 +26,7 @@ pub mod broker;
 pub mod client;
 pub mod frame;
 pub mod proto;
+pub mod spec;
 
 pub use broker::{run_forever, Broker, BrokerConfig};
 pub use client::SocketBackend;

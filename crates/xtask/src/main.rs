@@ -1,12 +1,18 @@
 //! Workspace task runner. Two tasks:
 //!
 //! ```text
-//! cargo run -p xtask -- lint-templates [ROOT]
+//! cargo run -p xtask -- analyze [ROOT] [--json PATH]
 //! cargo run --release -p xtask -- metrics-smoke
 //! ```
 //!
-//! `lint-templates` exits non-zero if any tuple-space template in the
-//! tree is unmatchable (see the crate docs for the analysis).
+//! `analyze` runs the whole-workspace static analysis (`fpdm-analyze`):
+//! tuple-flow checks, transaction discipline, and protocol-duality
+//! verification. It prints human diagnostics, optionally writes the
+//! frozen `fpdm.lint.v1` JSON report (`--json PATH`, `-` for stdout),
+//! and exits non-zero if any error-severity finding is not covered by
+//! the root's `fpdm-analyze.allow` file. The old `lint-templates`
+//! subcommand is kept as a deprecated alias for the analyzer's shape
+//! pass.
 //!
 //! `metrics-smoke` is the CI observability gate: it runs a small metered
 //! task farm twice — over the in-process backend and over an in-process
@@ -32,34 +38,84 @@ use plinda::{
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
+        Some("analyze") => analyze(&args[1..], false),
         Some("lint-templates") => {
-            let root = args
-                .get(1)
-                .map(PathBuf::from)
-                .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
-            match xtask::lint_dir(&root) {
-                Ok(report) => {
-                    print!("{}", report.render());
-                    if report.is_clean() {
-                        ExitCode::SUCCESS
-                    } else {
-                        ExitCode::FAILURE
-                    }
-                }
-                Err(e) => {
-                    eprintln!("lint-templates: {e}");
-                    ExitCode::FAILURE
-                }
-            }
+            eprintln!("lint-templates is deprecated; it now runs `analyze` shape pass only");
+            analyze(&args[1..], true)
         }
         Some("metrics-smoke") => metrics_smoke(),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint-templates [ROOT]\n       \
+                "usage: cargo run -p xtask -- analyze [ROOT] [--json PATH]\n       \
                  cargo run --release -p xtask -- metrics-smoke"
             );
             ExitCode::from(2)
         }
+    }
+}
+
+/// Run the static analyzer over ROOT (default: the workspace), print
+/// diagnostics, optionally export the `fpdm.lint.v1` report, and map
+/// unallowed error findings to a failing exit code. `shape_only`
+/// restricts the verdict to the shape pass (the `lint-templates`
+/// compatibility contract).
+fn analyze(args: &[String], shape_only: bool) -> ExitCode {
+    let mut root = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("analyze: --json needs a path ('-' for stdout)");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            root = Some(PathBuf::from(arg));
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    let report = match fpdm_analyze::analyze_dir(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    let s = &report.stats;
+    println!(
+        "analyze: {} files, {} templates ({} dynamic), {} productions, {} ops, \
+         {} txn events; proto: {} configs, {} deliveries; {} finding(s)",
+        s.files,
+        s.templates,
+        s.dynamic_templates,
+        s.productions,
+        s.ops,
+        s.txn_events,
+        s.proto_configs,
+        s.proto_deliveries,
+        report.findings.len()
+    );
+    if let Some(path) = json_path {
+        let json = report.to_json();
+        if path.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("analyze: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let failed = report.failures().any(|f| !shape_only || f.pass == "shape");
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
