@@ -227,27 +227,31 @@ where
                 .all(|s| prev_good.get(s).copied().unwrap_or(false));
             if eligible {
                 let enc = problem.encode_pattern(&p);
-                farm.send(NORMAL, &enc);
                 dispatched.insert(enc, p);
             } else {
                 this_good.insert(p, false);
             }
         }
+        // One deferred burst per level instead of a round trip per task.
+        farm.send_all(NORMAL, &dispatched.keys().cloned().collect::<Vec<_>>());
 
         let mut next_frontier = Vec::new();
-        for _ in 0..dispatched.len() {
-            let (enc, g) = farm.recv();
-            outcome.tested += 1;
-            let p = dispatched
-                .get(&enc)
-                .expect("result for undisputed task")
-                .clone();
-            let good = problem.is_good(&p, g);
-            if good {
-                outcome.good.insert(p.clone(), g);
-                next_frontier.extend(problem.children(&p));
+        let mut pending = dispatched.len();
+        while pending > 0 {
+            for (enc, g) in farm.recv_upto(pending) {
+                pending -= 1;
+                outcome.tested += 1;
+                let p = dispatched
+                    .get(&enc)
+                    .expect("result for undisputed task")
+                    .clone();
+                let good = problem.is_good(&p, g);
+                if good {
+                    outcome.good.insert(p.clone(), g);
+                    next_frontier.extend(problem.children(&p));
+                }
+                this_good.insert(p, good);
             }
-            this_good.insert(p, good);
         }
 
         prev_good = this_good;
@@ -325,12 +329,13 @@ where
                     Ok(())
                 });
 
-            // Fig. 4.6 master: emit the initial tasks, seed the
-            // outstanding-work counter, block until the workers drive it
-            // to zero (termination detection), then collect every report.
-            for p in &frontier {
-                farm.send(NORMAL, &problem.encode_pattern(p));
-            }
+            // Fig. 4.6 master: emit the initial tasks (one deferred
+            // burst), seed the outstanding-work counter, block until the
+            // workers drive it to zero (termination detection), then
+            // collect every report in bulk.
+            let encoded: Vec<Vec<u8>> =
+                frontier.iter().map(|p| problem.encode_pattern(p)).collect();
+            farm.send_all(NORMAL, &encoded);
             farm.seed_counter(initial);
             farm.await_quiescent();
             for (enc, g, good, _children) in farm.drain() {
@@ -369,9 +374,9 @@ where
             );
 
             // Fig. 4.4 master: one subtree report per initial task.
-            for p in &frontier {
-                farm.send(NORMAL, &problem.encode_pattern(p));
-            }
+            let encoded: Vec<Vec<u8>> =
+                frontier.iter().map(|p| problem.encode_pattern(p)).collect();
+            farm.send_all(NORMAL, &encoded);
             for _ in 0..initial {
                 for entry in farm.recv() {
                     let Value::List(fields) = entry else {

@@ -86,6 +86,64 @@ pub trait SpaceBackend: Send + Sync {
         cancel: Option<&AtomicBool>,
     ) -> Result<Option<Tuple>, PlindaError>;
 
+    /// Deferred `out`: visibility may lag until the backend's next flush
+    /// barrier — any response-bearing operation on the same connection, or
+    /// an explicit [`SpaceBackend::flush`]. Within one connection program
+    /// order is preserved, so a subsequent `inp`/`in` always observes the
+    /// deferred tuple. A deferred tuple of a client that dies before its
+    /// next barrier was never visible and is discarded. The local backend
+    /// is its own barrier: `out_deferred` is exactly `out`.
+    fn out_deferred(&self, t: Tuple) -> Result<(), PlindaError> {
+        self.out(t)
+    }
+
+    /// Bulk deferred `out`; see [`SpaceBackend::out_deferred`].
+    fn out_all_deferred(&self, ts: Vec<Tuple>) -> Result<(), PlindaError> {
+        self.out_all(ts)
+    }
+
+    /// Force application of this connection's deferred outs, returning
+    /// how many tuples were acknowledged as applied since the last flush.
+    /// Immediate backends always report 0.
+    fn flush(&self) -> Result<u64, PlindaError> {
+        Ok(0)
+    }
+
+    /// Bulk `inp`: withdraw up to `max` matching tuples without blocking,
+    /// as one atomic drain where the backend supports it.
+    fn inp_batch(&self, tmpl: &Template, max: usize) -> Result<Vec<Tuple>, PlindaError> {
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.inp(tmpl)? {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Bulk `in` with cancellation: block until at least one match is
+    /// withdrawn, then drain up to `max - 1` more without blocking.
+    /// Returns `Ok(None)` if `cancel` became true while waiting; a
+    /// successful return holds between 1 and `max` tuples.
+    fn in_batch_cancellable(
+        &self,
+        tmpl: &Template,
+        max: usize,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Vec<Tuple>>, PlindaError> {
+        match self.in_cancellable(tmpl, cancel)? {
+            Some(first) => {
+                let mut got = vec![first];
+                if max > 1 {
+                    got.extend(self.inp_batch(tmpl, max - 1)?);
+                }
+                Ok(Some(got))
+            }
+            None => Ok(None),
+        }
+    }
+
     /// Wake every blocked wait so it re-checks its cancel flag. Local
     /// backends notify their condvars; polling backends may no-op.
     fn kick(&self);

@@ -331,12 +331,17 @@ impl<T: Payload> Chan<T> {
     /// registry closure — metric closures must never re-enter the space
     /// (see the lock-order rule on `TupleSpace::metric`).
     fn note(&self, space: &TupleSpace, dir: &'static str) {
-        if !space.metrics_enabled() {
+        self.note_n(space, dir, 1);
+    }
+
+    fn note_n(&self, space: &TupleSpace, dir: &'static str, n: usize) {
+        if n == 0 || !space.metrics_enabled() {
             return;
         }
         let depth = space.count(&self.template()) as i64;
         space.metric(|reg| {
-            reg.counter(&format!("chan.{}.{dir}", self.name)).inc();
+            reg.counter(&format!("chan.{}.{dir}", self.name))
+                .add(n as u64);
             reg.gauge(&format!("chan.{}.depth", self.name)).set(depth);
         });
     }
@@ -347,6 +352,19 @@ impl<T: Payload> Chan<T> {
     pub fn send(&self, space: &TupleSpace, payload: &T) {
         space.out(self.tuple(payload));
         self.note(space, "sent");
+    }
+
+    /// Bulk `out`: every payload in one deferred batch. Over a socket the
+    /// tuples ride the connection's write-coalescing buffer — no
+    /// per-payload round-trip — and become visible no later than the
+    /// sender's next response-bearing operation; locally this is an
+    /// atomic `out_all`. Counters update once for the whole batch.
+    pub fn send_all(&self, space: &TupleSpace, payloads: &[T]) {
+        if payloads.is_empty() {
+            return;
+        }
+        space.out_all_deferred(payloads.iter().map(|p| self.tuple(p)).collect());
+        self.note_n(space, "sent", payloads.len());
     }
 
     /// Blocking withdrawal of the next payload.
@@ -363,6 +381,34 @@ impl<T: Payload> Chan<T> {
             self.note(space, "recv");
         }
         got
+    }
+
+    /// Blocking bulk withdrawal: at least one payload, at most `max` —
+    /// one `in_batch` round trip over a socket backend instead of `max`
+    /// individual `recv`s.
+    pub fn recv_upto(&self, space: &TupleSpace, max: usize) -> Vec<T> {
+        let got: Vec<T> = space
+            .in_batch(&self.template(), max)
+            .iter()
+            .map(|t| self.unwrap(t))
+            .collect();
+        self.note_n(space, "recv", got.len());
+        got
+    }
+
+    /// Withdraw every currently available payload, in bulk (`inp_batch`)
+    /// rather than one round trip per tuple.
+    pub fn drain(&self, space: &TupleSpace) -> Vec<T> {
+        let mut out = Vec::new();
+        loop {
+            let batch = space.inp_batch(&self.template(), 64);
+            if batch.is_empty() {
+                break;
+            }
+            out.extend(batch.iter().map(|t| self.unwrap(t)));
+        }
+        self.note_n(space, "recv", out.len());
+        out
     }
 
     /// Blocking read (copy) of a payload without withdrawing it.

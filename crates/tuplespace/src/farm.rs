@@ -83,6 +83,12 @@ pub struct FarmConfig {
     /// in-process space; supply [`TupleSpace::connect_unix`]'s result to
     /// run the identical farm against an `fpdm-spaced` broker.
     pub space: Option<Arc<TupleSpace>>,
+    /// How many tasks a worker withdraws per round-trip (bulk take). Each
+    /// batch still commits as one transaction, so a kill mid-batch aborts
+    /// and restores every task of the batch. `None` picks a backend
+    /// default: 1 locally (withdrawals are cheap; keeps one task per
+    /// transaction), 8 over a socket (amortizes the round-trip).
+    pub prefetch: Option<usize>,
 }
 
 impl FarmConfig {
@@ -95,6 +101,7 @@ impl FarmConfig {
             recorder: None,
             metrics: None,
             space: None,
+            prefetch: None,
         }
     }
 
@@ -107,6 +114,7 @@ impl FarmConfig {
             recorder: None,
             metrics: None,
             space: None,
+            prefetch: None,
         }
     }
 
@@ -133,6 +141,13 @@ impl FarmConfig {
     /// backend selection is this one line; worker code is untouched.
     pub fn with_space(mut self, space: Arc<TupleSpace>) -> Self {
         self.space = Some(space);
+        self
+    }
+
+    /// Withdraw up to `n` tasks per worker round-trip (see
+    /// [`FarmConfig::prefetch`]).
+    pub fn with_prefetch(mut self, n: usize) -> Self {
+        self.prefetch = Some(n.max(1));
         self
     }
 }
@@ -338,6 +353,16 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
         );
         let epoch = Instant::now();
         let body = Arc::new(body);
+        // Local withdrawals are a mutex acquisition — keep one task per
+        // transaction. Socket withdrawals cost a round-trip — amortize it.
+        let prefetch = cfg
+            .prefetch
+            .unwrap_or(if space.backend_kind() == "local" {
+                1
+            } else {
+                8
+            })
+            .max(1);
         let mut pids = Vec::with_capacity(cfg.workers);
         for index in 0..cfg.workers {
             let key = match cfg.dispatch {
@@ -361,20 +386,25 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
                     // so time spent parked by a wait that ends in a kill
                     // still counts as blocked time.
                     let wait = Instant::now();
-                    let got = proc.in_(tasks_w.template_for(key));
+                    let got = proc.in_batch(tasks_w.template_for(key), prefetch);
                     cell.blocked_nanos
                         .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                    let t = got?;
-                    let flag = t.int(2);
-                    if flag == POISON {
-                        proc.xcommit(None)?;
-                        cell.wall_nanos
-                            .store(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                        return Ok(());
-                    }
-                    let payload = T::from_values(&t.0[3..]);
+                    let batch = got?;
+                    let mut exit = false;
+                    let mut done = 0u64;
                     let started = Instant::now();
-                    {
+                    for t in batch {
+                        let flag = t.int(2);
+                        if flag == POISON {
+                            if exit {
+                                // A colleague's pill rode along in this
+                                // batch; put it back for them.
+                                proc.out(tasks_w.tuple(key, POISON, &T::placeholder()));
+                            }
+                            exit = true;
+                            continue;
+                        }
+                        let payload = T::from_values(&t.0[3..]);
                         let mut scope = WorkerScope {
                             proc,
                             index,
@@ -383,13 +413,23 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
                             counter: &counter_w,
                         };
                         body_w(&mut scope, flag, payload)?;
+                        done += 1;
                     }
+                    // One commit covers the whole batch: a kill anywhere
+                    // inside it restores every withdrawn task.
                     proc.xcommit(None)?;
                     // Only committed tasks count: an aborted body's time
                     // belongs to the failure, not the work.
-                    cell.tasks.fetch_add(1, Ordering::Relaxed);
-                    cell.nanos
-                        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    cell.tasks.fetch_add(done, Ordering::Relaxed);
+                    if done > 0 {
+                        cell.nanos
+                            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
+                    if exit {
+                        cell.wall_nanos
+                            .store(epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        return Ok(());
+                    }
                 }
             }));
         }
@@ -435,9 +475,34 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
             .out(self.tasks.tuple(index as i64, flag, payload));
     }
 
+    /// Emit a batch of tasks into the bag in one deferred burst: over a
+    /// socket the tuples ride the connection's write-coalescing buffer
+    /// (no per-task round trip) and are visible no later than the
+    /// master's next response-bearing operation — in particular before a
+    /// following [`TaskFarm::seed_counter`] lands.
+    pub fn send_all(&self, flag: i64, payloads: &[T]) {
+        debug_assert_eq!(
+            self.cfg.dispatch,
+            Dispatch::Bag,
+            "send_all() on a per-worker farm; use send_to"
+        );
+        self.space.out_all_deferred(
+            payloads
+                .iter()
+                .map(|p| self.tasks.tuple(0, flag, p))
+                .collect(),
+        );
+    }
+
     /// Blocking withdrawal of the next result.
     pub fn recv(&self) -> R {
         self.results.recv(&self.space)
+    }
+
+    /// Blocking bulk withdrawal: at least one result, at most `max`, in
+    /// one bulk-take round trip.
+    pub fn recv_upto(&self, max: usize) -> Vec<R> {
+        self.results.recv_upto(&self.space, max)
     }
 
     /// Non-blocking withdrawal of a result.
@@ -445,13 +510,9 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
         self.results.try_recv(&self.space)
     }
 
-    /// Withdraw every currently available result.
+    /// Withdraw every currently available result, in bulk.
     pub fn drain(&self) -> Vec<R> {
-        let mut out = Vec::new();
-        while let Some(r) = self.try_recv() {
-            out.push(r);
-        }
-        out
+        self.results.drain(&self.space)
     }
 
     /// Seed the work counter with `n` outstanding tasks. Emit the matching
@@ -565,6 +626,31 @@ mod tests {
         assert_eq!(sum, (0..20i64).map(|i| i * i).sum::<i64>());
         assert_eq!(report.worker_stats.iter().map(|s| s.tasks).sum::<u64>(), 20);
         assert_eq!(report.respawns, 0);
+    }
+
+    #[test]
+    fn prefetched_batches_commit_atomically() {
+        // Bulk-take farm on the local backend: workers pull up to 4 tasks
+        // per transaction; every task still commits exactly once and both
+        // workers exit even when one batch drains both poison pills.
+        let cfg = FarmConfig::bag(2).with_prefetch(4);
+        let farm = TaskFarm::<i64, i64>::start("pre", cfg, |s, _, v| {
+            s.result(&(v + 1));
+            Ok(())
+        });
+        for i in 0..20i64 {
+            farm.send(0, &i);
+        }
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            got.push(farm.recv());
+        }
+        got.sort_unstable();
+        assert_eq!(got, (1..=20i64).collect::<Vec<_>>());
+        let space = Arc::clone(farm.space());
+        let report = farm.finish();
+        assert_eq!(report.worker_stats.iter().map(|s| s.tasks).sum::<u64>(), 20);
+        assert!(space.is_empty(), "all tasks and pills consumed");
     }
 
     #[test]

@@ -832,6 +832,11 @@ pub mod json {
 ///    `runtime.kills`.
 /// 4. **Simulator ledger**: `sim.tasks.aborted == sim.tasks.requeued` and
 ///    every `sim.machine.*.util_ppm` gauge lies in `[0, 1_000_000]`.
+/// 5. **Batched transport ledger**: `net.batch.ops` equals the sum of the
+///    `net.batch.occupancy` histogram (each batched exchange observes its
+///    size exactly once), and `net.deferred.acked ≤ net.deferred.outs`
+///    (a deferred out is acknowledged at most once; unacked tuples are
+///    either still parked or discarded with a dead connection).
 pub fn check_snapshot(snap: &MetricsSnapshot) -> Vec<String> {
     let mut bad = Vec::new();
 
@@ -902,6 +907,28 @@ pub fn check_snapshot(snap: &MetricsSnapshot) -> Vec<String> {
         {
             bad.push(format!("sim ledger: {k} = {} outside [0, 1e6]", g.value));
         }
+    }
+
+    if snap.counters.contains_key("net.batch.ops")
+        || snap.histograms.contains_key("net.batch.occupancy")
+    {
+        let ops = snap.counter("net.batch.ops");
+        let occupancy = snap
+            .histogram("net.batch.occupancy")
+            .map(|h| h.sum)
+            .unwrap_or(0);
+        if ops != occupancy {
+            bad.push(format!(
+                "batch ledger: net.batch.ops {ops} != sum of net.batch.occupancy {occupancy}"
+            ));
+        }
+    }
+    let deferred_out = snap.counter("net.deferred.outs");
+    let deferred_acked = snap.counter("net.deferred.acked");
+    if deferred_acked > deferred_out {
+        bad.push(format!(
+            "batch ledger: net.deferred.acked {deferred_acked} > net.deferred.outs {deferred_out}"
+        ));
     }
 
     bad
@@ -1067,6 +1094,32 @@ mod tests {
             .insert("farm.f.worker.0.blocked_ns".into(), 500_000_000);
         snap.counters.insert("farm.f.worker.0.respawns".into(), 0);
         assert!(check_snapshot(&snap).is_empty());
+    }
+
+    #[test]
+    fn check_snapshot_enforces_batch_ledger() {
+        // Consistent: ops == histogram sum, acked ≤ outs.
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("net.batch.ops".into(), 7);
+        snap.histograms.insert(
+            "net.batch.occupancy".into(),
+            HistogramValue {
+                count: 3,
+                sum: 7,
+                buckets: vec![(1, 1), (2, 1), (3, 1)],
+            },
+        );
+        snap.counters.insert("net.deferred.outs".into(), 5);
+        snap.counters.insert("net.deferred.acked".into(), 5);
+        assert!(check_snapshot(&snap).is_empty());
+
+        // Broken conservation: ops drifted from the occupancy histogram.
+        snap.counters.insert("net.batch.ops".into(), 9);
+        // Over-acknowledged: more acks than deferred outs ever sent.
+        snap.counters.insert("net.deferred.acked".into(), 6);
+        let bad = check_snapshot(&snap);
+        assert_eq!(bad.len(), 2, "{bad:?}");
+        assert!(bad.iter().all(|b| b.contains("batch ledger")), "{bad:?}");
     }
 
     #[test]

@@ -73,21 +73,30 @@ impl BrokerConfig {
     }
 }
 
-/// Per-connection transaction tracking — the broker-side mirror of a
-/// client's open transaction. `tentative` is authoritative: on abort *or
-/// connection death* these tuples go back into the space.
+/// Per-connection broker-side state. `tentative` mirrors the client's
+/// open transaction and is authoritative: on abort *or connection death*
+/// these tuples go back into the space. `deferred` holds parked
+/// fire-and-forget outs, applied in program order at the connection's
+/// next flush barrier; a dead connection's parked outs were never
+/// visible and are discarded — the rollback twin of `tentative`.
 #[derive(Default)]
 struct ConnTxn {
     in_txn: bool,
     tentative: Vec<Tuple>,
+    deferred: Vec<Tuple>,
+    /// Deferred tuples applied since the last `Flush` ack.
+    applied_since_flush: u64,
 }
 
-/// A parked blocking `in`/`rd` awaiting a matching tuple.
+/// A parked blocking `in`/`rd`/`in_batch` awaiting a matching tuple.
 struct Waiter {
     conn: u64,
     seq: u64,
     tmpl: Template,
     withdraw: bool,
+    /// `Some(max)` for a bulk take (`InBatch`), answered with `Tuples`;
+    /// `None` for a classic wait answered with `Tuple`.
+    bulk: Option<usize>,
     writer: Arc<Mutex<UnixStream>>,
 }
 
@@ -119,47 +128,95 @@ fn send(writer: &Arc<Mutex<UnixStream>>, resp: &Resp) {
     }
 }
 
-/// Route `t` to waiters or the space. Every matching `rd` waiter gets a
-/// copy (they read the tuple in the instant it became visible), then the
-/// first matching `in` waiter consumes it; only if none does the tuple
-/// land in the space.
+/// Route `t` to waiters or the space; see [`deliver_all`].
 fn deliver(sync: &mut SyncState, space: &TupleSpace, t: Tuple) {
-    let mut i = 0;
-    while i < sync.waiters.len() {
-        if !sync.waiters[i].withdraw && sync.waiters[i].tmpl.matches(&t) {
-            let w = sync.waiters.remove(i);
-            send(
-                &w.writer,
-                &Resp {
-                    seq: w.seq,
-                    body: RespBody::Tuple(Some(t.clone())),
-                },
-            );
-        } else {
-            i += 1;
-        }
-    }
-    if let Some(i) = sync
-        .waiters
-        .iter()
-        .position(|w| w.withdraw && w.tmpl.matches(&t))
-    {
-        let w = sync.waiters.remove(i);
-        if let Some(ct) = sync.conns.get_mut(&w.conn) {
-            if ct.in_txn {
-                ct.tentative.push(t.clone());
-            }
-        }
-        send(
-            &w.writer,
-            &Resp {
-                seq: w.seq,
-                body: RespBody::Tuple(Some(t)),
-            },
-        );
+    deliver_all(sync, space, vec![t]);
+}
+
+/// Route a batch of tuples to waiters or the space. Every matching `rd`
+/// waiter gets a copy of each tuple (they read it in the instant it
+/// became visible), then the first matching `in`/`in_batch` waiter
+/// consumes it — a bulk waiter keeps absorbing matches from the same
+/// batch up to its `max` before it is answered. Whatever no waiter
+/// consumed lands in the space via one `out_all`, so each signature
+/// partition is locked once per batch, not once per tuple.
+fn deliver_all(sync: &mut SyncState, space: &TupleSpace, ts: Vec<Tuple>) {
+    if ts.is_empty() {
         return;
     }
-    space.out(t);
+    // Withdrawing waiters matched by this batch, pulled off the waiter
+    // list so bulk ones can fill before being answered.
+    let mut filling: Vec<(Waiter, Vec<Tuple>)> = Vec::new();
+    let mut rest: Vec<Tuple> = Vec::new();
+    'tuples: for t in ts {
+        let mut i = 0;
+        while i < sync.waiters.len() {
+            if !sync.waiters[i].withdraw && sync.waiters[i].tmpl.matches(&t) {
+                let w = sync.waiters.remove(i);
+                send(
+                    &w.writer,
+                    &Resp {
+                        seq: w.seq,
+                        body: RespBody::Tuple(Some(t.clone())),
+                    },
+                );
+            } else {
+                i += 1;
+            }
+        }
+        for (w, got) in filling.iter_mut() {
+            if got.len() < w.bulk.unwrap_or(1) && w.tmpl.matches(&t) {
+                got.push(t);
+                continue 'tuples;
+            }
+        }
+        if let Some(i) = sync
+            .waiters
+            .iter()
+            .position(|w| w.withdraw && w.tmpl.matches(&t))
+        {
+            let w = sync.waiters.remove(i);
+            filling.push((w, vec![t]));
+            continue;
+        }
+        rest.push(t);
+    }
+    for (w, mut got) in filling {
+        if let Some(max) = w.bulk {
+            if got.len() < max {
+                // Top a bulk waiter up from the space: tuples that were
+                // already resident still count toward its max.
+                got.extend(space.inp_batch(&w.tmpl, max - got.len()));
+            }
+        }
+        if let Some(ct) = sync.conns.get_mut(&w.conn) {
+            if ct.in_txn {
+                ct.tentative.extend(got.iter().cloned());
+            }
+        }
+        let body = if w.bulk.is_some() {
+            RespBody::Tuples(got)
+        } else {
+            RespBody::Tuple(Some(got.remove(0)))
+        };
+        send(&w.writer, &Resp { seq: w.seq, body });
+    }
+    space.out_all(rest);
+}
+
+/// Apply (make visible) every parked deferred out of `conn`, in program
+/// order. Called at the connection's flush barriers: any
+/// response-bearing request, or an explicit `Flush`.
+fn apply_deferred(sync: &mut SyncState, space: &TupleSpace, conn: u64) {
+    let parked = match sync.conns.get_mut(&conn) {
+        Some(ct) if !ct.deferred.is_empty() => {
+            let parked = std::mem::take(&mut ct.deferred);
+            ct.applied_since_flush += parked.len() as u64;
+            parked
+        }
+        _ => return,
+    };
+    deliver_all(sync, space, parked);
 }
 
 /// After a space-wide `restore`, blocked waits must be re-evaluated against
@@ -167,40 +224,53 @@ fn deliver(sync: &mut SyncState, space: &TupleSpace, t: Tuple) {
 fn resatisfy(sync: &mut SyncState, space: &TupleSpace) {
     let mut i = 0;
     while i < sync.waiters.len() {
-        let got = if sync.waiters[i].withdraw {
-            space.inp(&sync.waiters[i].tmpl)
-        } else {
-            space.rdp(&sync.waiters[i].tmpl)
-        };
-        match got {
-            Some(t) => {
-                let w = sync.waiters.remove(i);
-                if w.withdraw {
-                    if let Some(ct) = sync.conns.get_mut(&w.conn) {
-                        if ct.in_txn {
-                            ct.tentative.push(t.clone());
-                        }
-                    }
-                }
-                send(
-                    &w.writer,
-                    &Resp {
-                        seq: w.seq,
-                        body: RespBody::Tuple(Some(t)),
-                    },
-                );
+        if sync.waiters[i].withdraw {
+            let max = sync.waiters[i].bulk.unwrap_or(1);
+            let got = space.inp_batch(&sync.waiters[i].tmpl, max);
+            if got.is_empty() {
+                i += 1;
+                continue;
             }
-            None => i += 1,
+            let w = sync.waiters.remove(i);
+            if let Some(ct) = sync.conns.get_mut(&w.conn) {
+                if ct.in_txn {
+                    ct.tentative.extend(got.iter().cloned());
+                }
+            }
+            let body = if w.bulk.is_some() {
+                RespBody::Tuples(got)
+            } else {
+                RespBody::Tuple(got.into_iter().next())
+            };
+            send(&w.writer, &Resp { seq: w.seq, body });
+        } else {
+            match space.rdp(&sync.waiters[i].tmpl) {
+                Some(t) => {
+                    let w = sync.waiters.remove(i);
+                    send(
+                        &w.writer,
+                        &Resp {
+                            seq: w.seq,
+                            body: RespBody::Tuple(Some(t)),
+                        },
+                    );
+                }
+                None => i += 1,
+            }
         }
     }
 }
 
-/// Handle one request. `None` means the response is deferred (a parked
-/// blocking wait).
-fn handle(shared: &Shared, conn: u64, writer: &Arc<Mutex<UnixStream>>, req: Req) -> Option<Resp> {
-    let space = &*shared.space;
-    let seq = req.seq;
-    let mut sync = shared.sync.lock();
+/// Handle one batchable request body: every operation that answers
+/// immediately without parking a waiter or writing to the stream itself.
+/// Returns `None` for bodies that cannot appear inside a [`ReqBody::Batch`]
+/// — blocking waits, cancels, deferred outs, and nested batches.
+fn handle_simple(
+    sync: &mut SyncState,
+    space: &TupleSpace,
+    conn: u64,
+    body: ReqBody,
+) -> Option<RespBody> {
     let tentative_if_txn = |sync: &mut SyncState, t: &Tuple| {
         if let Some(ct) = sync.conns.get_mut(&conn) {
             if ct.in_txn {
@@ -208,72 +278,38 @@ fn handle(shared: &Shared, conn: u64, writer: &Arc<Mutex<UnixStream>>, req: Req)
             }
         }
     };
-    let body = match req.body {
+    Some(match body {
         ReqBody::Out(t) => {
-            deliver(&mut sync, space, t);
+            deliver(sync, space, t);
             RespBody::Ok
         }
         ReqBody::OutAll(ts) => {
-            for t in ts {
-                deliver(&mut sync, space, t);
-            }
+            deliver_all(sync, space, ts);
             RespBody::Ok
         }
         ReqBody::Inp(tmpl) => {
             let got = space.inp(&tmpl);
             if let Some(t) = &got {
-                tentative_if_txn(&mut sync, t);
+                tentative_if_txn(sync, t);
             }
             RespBody::Tuple(got)
         }
         ReqBody::Rdp(tmpl) => RespBody::Tuple(space.rdp(&tmpl)),
-        ReqBody::In(tmpl) => match space.inp(&tmpl) {
-            Some(t) => {
-                tentative_if_txn(&mut sync, &t);
-                RespBody::Tuple(Some(t))
+        ReqBody::InpBatch { tmpl, max } => {
+            let got = space.inp_batch(&tmpl, max as usize);
+            for t in &got {
+                tentative_if_txn(sync, t);
             }
-            None => {
-                sync.waiters.push(Waiter {
-                    conn,
-                    seq,
-                    tmpl,
-                    withdraw: true,
-                    writer: Arc::clone(writer),
-                });
-                return None;
-            }
-        },
-        ReqBody::Rd(tmpl) => match space.rdp(&tmpl) {
-            Some(t) => RespBody::Tuple(Some(t)),
-            None => {
-                sync.waiters.push(Waiter {
-                    conn,
-                    seq,
-                    tmpl,
-                    withdraw: false,
-                    writer: Arc::clone(writer),
-                });
-                return None;
-            }
-        },
-        ReqBody::Cancel { wait_seq } => {
-            if let Some(i) = sync
-                .waiters
-                .iter()
-                .position(|w| w.conn == conn && w.seq == wait_seq)
-            {
-                sync.waiters.remove(i);
-                send(
-                    writer,
-                    &Resp {
-                        seq: wait_seq,
-                        body: RespBody::Cancelled,
-                    },
-                );
-            }
-            // Else the wait was already satisfied: its Tuple response is on
-            // the wire ahead of this Ok, and the client resolves the race.
-            RespBody::Ok
+            RespBody::Tuples(got)
+        }
+        ReqBody::Flush => {
+            apply_deferred(sync, space, conn);
+            let n = sync
+                .conns
+                .get_mut(&conn)
+                .map(|ct| std::mem::take(&mut ct.applied_since_flush))
+                .unwrap_or(0);
+            RespBody::Num(n)
         }
         ReqBody::Len => RespBody::Num(space.len() as u64),
         ReqBody::Count(tmpl) => RespBody::Num(space.count(&tmpl) as u64),
@@ -281,7 +317,7 @@ fn handle(shared: &Shared, conn: u64, writer: &Arc<Mutex<UnixStream>>, req: Req)
         ReqBody::Snapshot => RespBody::Tuples(space.snapshot()),
         ReqBody::Restore(ts) => match space.restore_tuples(ts) {
             Ok(()) => {
-                resatisfy(&mut sync, space);
+                resatisfy(sync, space);
                 RespBody::Ok
             }
             Err(e) => RespBody::Err(e.to_string()),
@@ -301,9 +337,7 @@ fn handle(shared: &Shared, conn: u64, writer: &Arc<Mutex<UnixStream>>, req: Req)
             // sync lock, so the commit is atomic for every other client.
             match space.txn_commit(pid, Vec::new(), cont) {
                 Ok(()) => {
-                    for t in publish {
-                        deliver(&mut sync, space, t);
-                    }
+                    deliver_all(sync, space, publish);
                     RespBody::Ok
                 }
                 Err(e) => RespBody::Err(e.to_string()),
@@ -320,9 +354,7 @@ fn handle(shared: &Shared, conn: u64, writer: &Arc<Mutex<UnixStream>>, req: Req)
                 }
                 None => Vec::new(),
             };
-            for t in tentative {
-                deliver(&mut sync, space, t);
-            }
+            deliver_all(sync, space, tentative);
             RespBody::Ok
         }
         ReqBody::ContGet { pid } => match space.cont_get(pid) {
@@ -333,25 +365,160 @@ fn handle(shared: &Shared, conn: u64, writer: &Arc<Mutex<UnixStream>>, req: Req)
             Ok(()) => RespBody::Ok,
             Err(e) => RespBody::Err(e.to_string()),
         },
+        ReqBody::In(_)
+        | ReqBody::Rd(_)
+        | ReqBody::InBatch { .. }
+        | ReqBody::Cancel { .. }
+        | ReqBody::OutDeferred(_)
+        | ReqBody::OutAllDeferred(_)
+        | ReqBody::Batch(_) => return None,
+    })
+}
+
+/// Handle one request. `None` means no response is owed right now: a
+/// parked blocking wait, or a fire-and-forget deferred out.
+fn handle(shared: &Shared, conn: u64, writer: &Arc<Mutex<UnixStream>>, req: Req) -> Option<Resp> {
+    let space = &*shared.space;
+    let seq = req.seq;
+    let mut sync = shared.sync.lock();
+    // Every non-deferred request is a flush barrier: the connection's
+    // parked deferred outs become visible first, so within one connection
+    // program order is preserved (an `inp` after an `out_deferred` always
+    // observes the deferred tuple).
+    match &req.body {
+        ReqBody::OutDeferred(_) | ReqBody::OutAllDeferred(_) => {}
+        _ => apply_deferred(&mut sync, space, conn),
+    }
+    let tentative_if_txn = |sync: &mut SyncState, t: &Tuple| {
+        if let Some(ct) = sync.conns.get_mut(&conn) {
+            if ct.in_txn {
+                ct.tentative.push(t.clone());
+            }
+        }
+    };
+    let body = match req.body {
+        ReqBody::OutDeferred(t) => {
+            sync.conns.entry(conn).or_default().deferred.push(t);
+            return None;
+        }
+        ReqBody::OutAllDeferred(ts) => {
+            sync.conns.entry(conn).or_default().deferred.extend(ts);
+            return None;
+        }
+        ReqBody::In(tmpl) => match space.inp(&tmpl) {
+            Some(t) => {
+                tentative_if_txn(&mut sync, &t);
+                RespBody::Tuple(Some(t))
+            }
+            None => {
+                sync.waiters.push(Waiter {
+                    conn,
+                    seq,
+                    tmpl,
+                    withdraw: true,
+                    bulk: None,
+                    writer: Arc::clone(writer),
+                });
+                return None;
+            }
+        },
+        ReqBody::Rd(tmpl) => match space.rdp(&tmpl) {
+            Some(t) => RespBody::Tuple(Some(t)),
+            None => {
+                sync.waiters.push(Waiter {
+                    conn,
+                    seq,
+                    tmpl,
+                    withdraw: false,
+                    bulk: None,
+                    writer: Arc::clone(writer),
+                });
+                return None;
+            }
+        },
+        ReqBody::InBatch { tmpl, max } => {
+            let max = (max as usize).max(1);
+            let got = space.inp_batch(&tmpl, max);
+            if got.is_empty() {
+                sync.waiters.push(Waiter {
+                    conn,
+                    seq,
+                    tmpl,
+                    withdraw: true,
+                    bulk: Some(max),
+                    writer: Arc::clone(writer),
+                });
+                return None;
+            }
+            for t in &got {
+                tentative_if_txn(&mut sync, t);
+            }
+            RespBody::Tuples(got)
+        }
+        ReqBody::Cancel { wait_seq } => {
+            if let Some(i) = sync
+                .waiters
+                .iter()
+                .position(|w| w.conn == conn && w.seq == wait_seq)
+            {
+                sync.waiters.remove(i);
+                send(
+                    writer,
+                    &Resp {
+                        seq: wait_seq,
+                        body: RespBody::Cancelled,
+                    },
+                );
+            }
+            // Else the wait was already satisfied: its Tuple (or Tuples,
+            // for a bulk wait) response is on the wire ahead of this Ok,
+            // and the client resolves the race.
+            RespBody::Ok
+        }
+        ReqBody::Batch(reqs) => {
+            // One vectored response for the whole pipeline. Each entry is
+            // handled in order under the same hold of the sync lock, so a
+            // batch is atomic with respect to other clients.
+            let mut resps = Vec::with_capacity(reqs.len());
+            for r in reqs {
+                let b = handle_simple(&mut sync, space, conn, r.body).unwrap_or_else(|| {
+                    RespBody::Err("operation not allowed inside a batch".into())
+                });
+                resps.push(Resp {
+                    seq: r.seq,
+                    body: b,
+                });
+            }
+            RespBody::Batch(resps)
+        }
+        other => handle_simple(&mut sync, space, conn, other)
+            .unwrap_or_else(|| RespBody::Err("unhandled request".into())),
     };
     Some(Resp { seq, body })
 }
 
-/// Remove every trace of a dead connection, restoring its tentative
-/// withdrawals (SIGKILL-safe transaction abort).
+/// Remove every trace of a dead connection: restore its tentative
+/// withdrawals (SIGKILL-safe transaction abort) and *discard* its parked
+/// deferred outs — they were never visible, so dropping them is the
+/// rollback that keeps deferred `out` exactly-once under client death.
 fn cleanup(shared: &Shared, conn: u64, why: &str) {
     let mut sync = shared.sync.lock();
     sync.waiters.retain(|w| w.conn != conn);
     if let Some(ct) = sync.conns.remove(&conn) {
+        if !ct.deferred.is_empty() {
+            eprintln!(
+                "fpdm-spaced: connection {conn} died ({why}); discarding {} never-visible \
+                 deferred out(s)",
+                ct.deferred.len()
+            );
+        }
         if !ct.tentative.is_empty() {
             eprintln!(
                 "fpdm-spaced: connection {conn} died mid-transaction ({why}); restoring {} \
                  tentative withdrawal(s)",
                 ct.tentative.len()
             );
-            for t in ct.tentative {
-                deliver(&mut sync, &shared.space, t);
-            }
+            deliver_all(&mut sync, &shared.space, ct.tentative);
         }
     }
 }

@@ -14,8 +14,28 @@
 //! is observed promptly; [`SpaceBackend::kick`] is therefore a no-op here.
 //! A cancel that races an arriving tuple is resolved deterministically:
 //! the client consumes both responses, and if the wait won the race it
-//! returns the tuple to the space with a compensating `out` before
-//! reporting the cancellation.
+//! returns the tuple to the space with a compensating `out` (or `out_all`
+//! for a bulk wait) before reporting the cancellation.
+//!
+//! ## Batching
+//!
+//! Three transport optimizations close most of the local/socket gap:
+//!
+//! * **Deferred outs** (`out_deferred`/`out_all_deferred`) are encoded
+//!   into a per-connection write-coalescing buffer and cost no round-trip
+//!   and no syscall of their own: the buffered frames go to the kernel in
+//!   the same `write` as the next request. Because every request frame is
+//!   sent behind the buffered deferred frames, and the broker applies a
+//!   connection's parked outs before answering anything else, program
+//!   order is preserved structurally — a blocking wait can never overtake
+//!   this connection's own deferred outs. After [`DEFER_WINDOW`] unacked
+//!   tuples the client forces a `Flush` round-trip.
+//! * **Bulk takes** (`inp_batch`/`in_batch_cancellable`) withdraw up to
+//!   `max` matching tuples in one round-trip.
+//! * **Pipelined batches** (`ReqBody::Batch`) carry several
+//!   correlation-id'd requests in one frame answered by one vectored
+//!   response; `txn_commit` uses this to flush deferred outs and commit
+//!   in a single round-trip.
 //!
 //! Trace events and metrics are recorded *client-side* under the same
 //! names as the local backend (`space.ops.*`, `space.part.<sig>.ops`,
@@ -44,12 +64,24 @@ use std::time::{Duration, Instant};
 /// wait observes its cancel flag.
 const POLL: Duration = Duration::from_millis(20);
 
+/// How many deferred-out tuples may ride unacknowledged before the client
+/// forces a `Flush` round-trip, bounding broker-side parked memory.
+const DEFER_WINDOW: u64 = 256;
+
 static NEXT_BACKEND_ID: AtomicU64 = AtomicU64::new(1);
 
 struct Conn {
     stream: UnixStream,
     reader: FrameReader,
     seq: u64,
+    /// Write-coalescing buffer: deferred-out frames accumulate here and go
+    /// to the kernel in one `write` together with the next request frame.
+    wbuf: Vec<u8>,
+    /// Pipelined responses that arrived while waiting for a different
+    /// correlation id, keyed by seq.
+    inflight: HashMap<u64, RespBody>,
+    /// Deferred tuples sent but not yet acknowledged by a `Flush`.
+    unacked_deferred: u64,
 }
 
 thread_local! {
@@ -110,6 +142,9 @@ impl SocketBackend {
                         stream,
                         reader: FrameReader::new(),
                         seq: 0,
+                        wbuf: Vec::new(),
+                        inflight: HashMap::new(),
+                        unacked_deferred: 0,
                     })
                 }
             };
@@ -157,6 +192,22 @@ impl SocketBackend {
         cancel: Option<&AtomicBool>,
         withdraw: bool,
     ) -> Result<Option<Tuple>, PlindaError> {
+        Ok(self
+            .blocking_wait_impl(tmpl, cancel, withdraw, None)?
+            .map(|mut got| got.remove(0)))
+    }
+
+    /// Shared body of `in`/`rd`/`in_batch` waits. `bulk: Some(max)` sends
+    /// an `InBatch` answered with `Tuples`; `None` sends `In`/`Rd`
+    /// answered with `Tuple`. A successful bulk return holds 1..=max
+    /// tuples.
+    fn blocking_wait_impl(
+        &self,
+        tmpl: &Template,
+        cancel: Option<&AtomicBool>,
+        withdraw: bool,
+        bulk: Option<usize>,
+    ) -> Result<Option<Vec<Tuple>>, PlindaError> {
         let cancelled = |c: Option<&AtomicBool>| c.is_some_and(|c| c.load(Ordering::SeqCst));
         if cancelled(cancel) {
             self.note_cancelled();
@@ -170,31 +221,32 @@ impl SocketBackend {
                 conn,
                 &Req {
                     seq: wait_seq,
-                    body: if withdraw {
-                        ReqBody::In(tmpl.clone())
-                    } else {
-                        ReqBody::Rd(tmpl.clone())
+                    body: match bulk {
+                        Some(max) => ReqBody::InBatch {
+                            tmpl: tmpl.clone(),
+                            max: max as u64,
+                        },
+                        None if withdraw => ReqBody::In(tmpl.clone()),
+                        None => ReqBody::Rd(tmpl.clone()),
                     },
                 },
             )?;
             let mut blocked = false;
             let mut block_start: Option<Instant> = None;
             loop {
+                if let Some(body) = conn.inflight.remove(&wait_seq) {
+                    return finish_wait(body, bulk, blocked, block_start);
+                }
                 match conn.reader.read_from(&mut conn.stream)? {
                     FrameEvent::Frame(payload) => {
                         let resp = Resp::decode(&payload).map_err(PlindaError::from)?;
                         if resp.seq != wait_seq {
-                            // Stale frame from an abandoned exchange; the
-                            // protocol is strict, so this is unexpected.
-                            eprintln!("plinda: discarding stale response (seq {})", resp.seq);
+                            // A pipelined response for another exchange on
+                            // this connection; keep it for its owner.
+                            conn.inflight.insert(resp.seq, resp.body);
                             continue;
                         }
-                        return match resp.body {
-                            RespBody::Tuple(Some(t)) => Ok((Some(t), blocked, block_start)),
-                            other => Err(PlindaError::Transport(format!(
-                                "unexpected blocking-wait response: {other:?}"
-                            ))),
-                        };
+                        return finish_wait(resp.body, bulk, blocked, block_start);
                     }
                     FrameEvent::TimedOut => {
                         if !blocked {
@@ -210,7 +262,7 @@ impl SocketBackend {
                             }
                         }
                         if cancelled(cancel) {
-                            let won = cancel_wait(conn, wait_seq)?;
+                            let won = cancel_wait(conn, wait_seq, bulk.is_some())?;
                             return Ok((won, blocked, block_start));
                         }
                     }
@@ -221,9 +273,9 @@ impl SocketBackend {
             }
         })?;
         match got {
-            (Some(t), blocked, block_start) => {
+            (Some(ts), blocked, block_start) => {
                 // A cancel may have raced the arrival; `cancel_wait` already
-                // returned the tuple to the space in that case and reported
+                // returned the tuples to the space in that case and reported
                 // None, so reaching here means the wait truly succeeded.
                 if blocked {
                     self.rec.record(|| TraceEvent::Wake {
@@ -237,15 +289,17 @@ impl SocketBackend {
                         }
                     });
                 }
-                self.rec.record(|| {
-                    let actor = trace::current_actor();
-                    let tuple = t.clone();
-                    if withdraw {
-                        TraceEvent::Take { actor, tuple }
-                    } else {
-                        TraceEvent::Read { actor, tuple }
-                    }
-                });
+                for t in &ts {
+                    self.rec.record(|| {
+                        let actor = trace::current_actor();
+                        let tuple = t.clone();
+                        if withdraw {
+                            TraceEvent::Take { actor, tuple }
+                        } else {
+                            TraceEvent::Read { actor, tuple }
+                        }
+                    });
+                }
                 self.bump(
                     if withdraw {
                         "space.ops.take"
@@ -253,9 +307,12 @@ impl SocketBackend {
                         "space.ops.read"
                     },
                     Some(&sig),
-                    1,
+                    ts.len() as u64,
                 );
-                Ok(Some(t))
+                if bulk.is_some() {
+                    self.note_batch(ts.len());
+                }
+                Ok(Some(ts))
             }
             (None, _, _) => {
                 self.note_cancelled();
@@ -271,16 +328,64 @@ impl SocketBackend {
         self.met
             .with(|reg| reg.counter("space.ops.cancelled").inc());
     }
+
+    /// Record one batched exchange that carried `k` operations (or tuples).
+    /// Counter and histogram are bumped at the same site, so
+    /// `net.batch.ops` always equals the sum of `net.batch.occupancy`.
+    fn note_batch(&self, k: usize) {
+        self.met.with(|reg| {
+            reg.counter("net.batch.ops").add(k as u64);
+            reg.histogram("net.batch.occupancy").observe(k as u64);
+        });
+    }
 }
 
+/// Outcome of a classified wait response: the withdrawn tuples plus the
+/// threaded-through blocking bookkeeping.
+type WaitOutcome = (Option<Vec<Tuple>>, bool, Option<Instant>);
+
+/// Classify a wait response for [`SocketBackend::blocking_wait_impl`].
+fn finish_wait(
+    body: RespBody,
+    bulk: Option<usize>,
+    blocked: bool,
+    block_start: Option<Instant>,
+) -> Result<WaitOutcome, PlindaError> {
+    match (bulk, body) {
+        (None, RespBody::Tuple(Some(t))) => Ok((Some(vec![t]), blocked, block_start)),
+        (Some(_), RespBody::Tuples(ts)) if !ts.is_empty() => Ok((Some(ts), blocked, block_start)),
+        (_, other) => Err(PlindaError::Transport(format!(
+            "unexpected blocking-wait response: {other:?}"
+        ))),
+    }
+}
+
+/// Queue `req` behind any coalesced deferred frames and write everything
+/// to the kernel in one `write`.
 fn send_req(conn: &mut Conn, req: &Req) -> Result<(), PlindaError> {
-    conn.stream
-        .write_all(&encode_frame(&req.encode()))
-        .map_err(|e| PlindaError::Transport(format!("write failed: {e}")))
+    let frame = encode_frame(&req.encode());
+    conn.wbuf.extend_from_slice(&frame);
+    write_wbuf(conn)
 }
 
-/// Read until the response for `seq` arrives (polling through timeouts).
+fn write_wbuf(conn: &mut Conn) -> Result<(), PlindaError> {
+    if conn.wbuf.is_empty() {
+        return Ok(());
+    }
+    let res = conn
+        .stream
+        .write_all(&conn.wbuf)
+        .map_err(|e| PlindaError::Transport(format!("write failed: {e}")));
+    conn.wbuf.clear();
+    res
+}
+
+/// Read until the response for `seq` arrives, parking responses for other
+/// correlation ids in the in-flight table (and consulting it first).
 fn recv_seq(conn: &mut Conn, seq: u64) -> Result<RespBody, PlindaError> {
+    if let Some(body) = conn.inflight.remove(&seq) {
+        return Ok(body);
+    }
     loop {
         match conn.reader.read_from(&mut conn.stream)? {
             FrameEvent::Frame(payload) => {
@@ -288,7 +393,7 @@ fn recv_seq(conn: &mut Conn, seq: u64) -> Result<RespBody, PlindaError> {
                 if resp.seq == seq {
                     return Ok(resp.body);
                 }
-                eprintln!("plinda: discarding stale response (seq {})", resp.seq);
+                conn.inflight.insert(resp.seq, resp.body);
             }
             FrameEvent::TimedOut => continue,
             FrameEvent::Eof => {
@@ -298,12 +403,45 @@ fn recv_seq(conn: &mut Conn, seq: u64) -> Result<RespBody, PlindaError> {
     }
 }
 
+/// Force a `Flush` round-trip: every parked deferred out of this
+/// connection is applied and acknowledged.
+fn flush_conn(conn: &mut Conn, met: &MetricsSlot) -> Result<u64, PlindaError> {
+    conn.seq += 1;
+    let seq = conn.seq;
+    send_req(
+        conn,
+        &Req {
+            seq,
+            body: ReqBody::Flush,
+        },
+    )?;
+    match recv_seq(conn, seq)? {
+        RespBody::Num(n) => {
+            conn.unacked_deferred = 0;
+            met.with(|reg| {
+                reg.counter("net.deferred.flushes").inc();
+                reg.counter("net.deferred.acked").add(n);
+            });
+            Ok(n)
+        }
+        RespBody::Err(msg) => Err(PlindaError::Transport(format!(
+            "broker rejected flush: {msg}"
+        ))),
+        other => Err(unexpected("flush", &other)),
+    }
+}
+
 /// Revoke wait `wait_seq`. Returns `None` if the cancellation landed; if
-/// the wait won the race the tuple is returned to the space with a
-/// compensating `out` and `None` is still returned (the caller is being
-/// killed and must not consume it). Never returns `Some` today, but keeps
-/// the tuple-flow explicit for the reader.
-fn cancel_wait(conn: &mut Conn, wait_seq: u64) -> Result<Option<Tuple>, PlindaError> {
+/// the wait won the race the tuples are returned to the space with an
+/// *awaited* compensating `out`/`out_all` — deferred compensation could be
+/// discarded with a dying connection, losing tuples — and `None` is still
+/// returned (the caller is being killed and must not consume them). Never
+/// returns `Some` today, but keeps the tuple-flow explicit for the reader.
+fn cancel_wait(
+    conn: &mut Conn,
+    wait_seq: u64,
+    bulk: bool,
+) -> Result<Option<Vec<Tuple>>, PlindaError> {
     conn.seq += 1;
     let cancel_seq = conn.seq;
     send_req(
@@ -313,26 +451,28 @@ fn cancel_wait(conn: &mut Conn, wait_seq: u64) -> Result<Option<Tuple>, PlindaEr
             body: ReqBody::Cancel { wait_seq },
         },
     )?;
-    let mut wait_outcome: Option<Option<Tuple>> = None;
+    let mut wait_outcome: Option<Option<Vec<Tuple>>> = None;
     let mut cancel_acked = false;
     while wait_outcome.is_none() || !cancel_acked {
+        if wait_outcome.is_none() {
+            if let Some(body) = conn.inflight.remove(&wait_seq) {
+                wait_outcome = Some(resolve_wait(body, bulk)?);
+                continue;
+            }
+        }
+        if !cancel_acked && conn.inflight.remove(&cancel_seq).is_some() {
+            cancel_acked = true;
+            continue;
+        }
         match conn.reader.read_from(&mut conn.stream)? {
             FrameEvent::Frame(payload) => {
                 let resp = Resp::decode(&payload).map_err(PlindaError::from)?;
                 if resp.seq == wait_seq {
-                    match resp.body {
-                        RespBody::Cancelled => wait_outcome = Some(None),
-                        RespBody::Tuple(Some(t)) => wait_outcome = Some(Some(t)),
-                        other => {
-                            return Err(PlindaError::Transport(format!(
-                                "unexpected wait resolution: {other:?}"
-                            )))
-                        }
-                    }
+                    wait_outcome = Some(resolve_wait(resp.body, bulk)?);
                 } else if resp.seq == cancel_seq {
                     cancel_acked = true;
                 } else {
-                    eprintln!("plinda: discarding stale response (seq {})", resp.seq);
+                    conn.inflight.insert(resp.seq, resp.body);
                 }
             }
             FrameEvent::TimedOut => continue,
@@ -341,20 +481,36 @@ fn cancel_wait(conn: &mut Conn, wait_seq: u64) -> Result<Option<Tuple>, PlindaEr
             }
         }
     }
-    if let Some(Some(t)) = wait_outcome {
-        // The wait won the race: compensate by putting the tuple back.
+    if let Some(Some(mut ts)) = wait_outcome {
+        // The wait won the race: compensate by putting the tuples back.
         conn.seq += 1;
         let seq = conn.seq;
         send_req(
             conn,
             &Req {
                 seq,
-                body: ReqBody::Out(t),
+                body: if bulk {
+                    ReqBody::OutAll(ts)
+                } else {
+                    ReqBody::Out(ts.remove(0))
+                },
             },
         )?;
         recv_seq(conn, seq)?;
     }
     Ok(None)
+}
+
+/// Classify the resolution frame of a cancelled wait.
+fn resolve_wait(body: RespBody, bulk: bool) -> Result<Option<Vec<Tuple>>, PlindaError> {
+    match (bulk, body) {
+        (_, RespBody::Cancelled) => Ok(None),
+        (false, RespBody::Tuple(Some(t))) => Ok(Some(vec![t])),
+        (true, RespBody::Tuples(ts)) if !ts.is_empty() => Ok(Some(ts)),
+        (_, other) => Err(PlindaError::Transport(format!(
+            "unexpected wait resolution: {other:?}"
+        ))),
+    }
 }
 
 impl SpaceBackend for SocketBackend {
@@ -457,6 +613,112 @@ impl SpaceBackend for SocketBackend {
         self.blocking_wait(tmpl, cancel, false)
     }
 
+    fn out_deferred(&self, t: Tuple) -> Result<(), PlindaError> {
+        let sig = t.sig();
+        // Trace/metric at enqueue, like `out`: within this connection the
+        // tuple is observable by every later operation (the broker applies
+        // parked outs before answering anything), and no other process can
+        // distinguish "parked" from "in flight".
+        self.rec.record(|| TraceEvent::OutVisible {
+            actor: trace::current_actor(),
+            tuple: t.clone(),
+        });
+        self.bump("space.ops.out", Some(&sig), 1);
+        self.met.with(|reg| reg.counter("net.deferred.outs").inc());
+        self.with_conn(|conn| {
+            conn.seq += 1;
+            let seq = conn.seq;
+            let req = Req {
+                seq,
+                body: ReqBody::OutDeferred(t),
+            };
+            // Fire and forget: coalesce into wbuf, no response to await.
+            conn.wbuf.extend_from_slice(&encode_frame(&req.encode()));
+            conn.unacked_deferred += 1;
+            if conn.unacked_deferred >= DEFER_WINDOW {
+                flush_conn(conn, &self.met)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn out_all_deferred(&self, ts: Vec<Tuple>) -> Result<(), PlindaError> {
+        if ts.is_empty() {
+            return Ok(());
+        }
+        for t in &ts {
+            self.rec.record(|| TraceEvent::OutVisible {
+                actor: trace::current_actor(),
+                tuple: t.clone(),
+            });
+            self.bump("space.ops.out", Some(&t.sig()), 1);
+        }
+        let n = ts.len() as u64;
+        self.met.with(|reg| reg.counter("net.deferred.outs").add(n));
+        self.with_conn(|conn| {
+            conn.seq += 1;
+            let seq = conn.seq;
+            let req = Req {
+                seq,
+                body: ReqBody::OutAllDeferred(ts),
+            };
+            conn.wbuf.extend_from_slice(&encode_frame(&req.encode()));
+            conn.unacked_deferred += n;
+            if conn.unacked_deferred >= DEFER_WINDOW {
+                flush_conn(conn, &self.met)?;
+            }
+            Ok(())
+        })
+    }
+
+    fn flush(&self) -> Result<u64, PlindaError> {
+        self.with_conn(|conn| flush_conn(conn, &self.met))
+    }
+
+    fn inp_batch(&self, tmpl: &Template, max: usize) -> Result<Vec<Tuple>, PlindaError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        match self.rpc(ReqBody::InpBatch {
+            tmpl: tmpl.clone(),
+            max: max as u64,
+        })? {
+            RespBody::Tuples(ts) => {
+                self.note_batch(ts.len());
+                if ts.is_empty() {
+                    self.rec.record(|| TraceEvent::Miss {
+                        actor: trace::current_actor(),
+                        op: OpKind::Inp,
+                        template: tmpl.clone(),
+                    });
+                    self.bump("space.ops.miss", None, 1);
+                } else {
+                    for t in &ts {
+                        self.rec.record(|| TraceEvent::Take {
+                            actor: trace::current_actor(),
+                            tuple: t.clone(),
+                        });
+                    }
+                    self.bump("space.ops.take", Some(&tmpl.sig()), ts.len() as u64);
+                }
+                Ok(ts)
+            }
+            other => Err(unexpected("inp_batch", &other)),
+        }
+    }
+
+    fn in_batch_cancellable(
+        &self,
+        tmpl: &Template,
+        max: usize,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Vec<Tuple>>, PlindaError> {
+        if max <= 1 {
+            return Ok(self.blocking_wait(tmpl, cancel, true)?.map(|t| vec![t]));
+        }
+        self.blocking_wait_impl(tmpl, cancel, true, Some(max))
+    }
+
     fn kick(&self) {
         // Socket waits poll their cancel flag every POLL interval; there is
         // no condvar to notify.
@@ -521,7 +783,66 @@ impl SpaceBackend for SocketBackend {
             });
             self.bump("space.ops.out", Some(&t.sig()), 1);
         }
-        match self.rpc(ReqBody::TxnCommit { pid, publish, cont })? {
+        let needs_flush = self.with_conn(|conn| Ok(conn.unacked_deferred > 0))?;
+        if !needs_flush {
+            return match self.rpc(ReqBody::TxnCommit { pid, publish, cont })? {
+                RespBody::Ok => Ok(()),
+                other => Err(unexpected("txn_commit", &other)),
+            };
+        }
+        // Unacknowledged deferred outs ride ahead of the commit: pipeline
+        // the flush and the commit as one batch frame, one round-trip.
+        let commit_body = self.with_conn(|conn| {
+            conn.seq += 1;
+            let flush_seq = conn.seq;
+            conn.seq += 1;
+            let commit_seq = conn.seq;
+            conn.seq += 1;
+            let batch_seq = conn.seq;
+            send_req(
+                conn,
+                &Req {
+                    seq: batch_seq,
+                    body: ReqBody::Batch(vec![
+                        Req {
+                            seq: flush_seq,
+                            body: ReqBody::Flush,
+                        },
+                        Req {
+                            seq: commit_seq,
+                            body: ReqBody::TxnCommit { pid, publish, cont },
+                        },
+                    ]),
+                },
+            )?;
+            match recv_seq(conn, batch_seq)? {
+                RespBody::Batch(resps) => {
+                    let mut commit_body = None;
+                    for resp in resps {
+                        if resp.seq == flush_seq {
+                            if let RespBody::Num(n) = resp.body {
+                                conn.unacked_deferred = 0;
+                                self.met.with(|reg| {
+                                    reg.counter("net.deferred.flushes").inc();
+                                    reg.counter("net.deferred.acked").add(n);
+                                });
+                            }
+                        } else if resp.seq == commit_seq {
+                            commit_body = Some(resp.body);
+                        }
+                    }
+                    commit_body.ok_or_else(|| {
+                        PlindaError::Transport("batch response missing commit entry".into())
+                    })
+                }
+                RespBody::Err(msg) => Err(PlindaError::Transport(format!(
+                    "broker rejected request: {msg}"
+                ))),
+                other => Err(unexpected("txn_commit", &other)),
+            }
+        })?;
+        self.note_batch(2);
+        match commit_body {
             RespBody::Ok => Ok(()),
             other => Err(unexpected("txn_commit", &other)),
         }

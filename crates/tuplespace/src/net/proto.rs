@@ -16,6 +16,25 @@
 //! or has already sent `Tuple { seq: wait_seq }` (the wait won the race —
 //! the client re-`out`s the tuple if it no longer wants it). The `Cancel`
 //! itself is always answered with `Ok`.
+//!
+//! Three frame families amortize round trips:
+//!
+//! - **Deferred outs** — `OutDeferred`/`OutAllDeferred` are fire-and-
+//!   forget: the broker parks them per connection and applies them, in
+//!   program order, immediately before the connection's next response-
+//!   bearing request (every such request is a flush barrier). `Flush`
+//!   forces application and answers `Num(n)`, the number of deferred
+//!   tuples applied since the previous ack. Parked tuples of a dead
+//!   connection were never visible and are discarded.
+//! - **Bulk take** — `InBatch { tmpl, max }` blocks like `In` but drains
+//!   up to `max` matching tuples in one round trip, answered with
+//!   `Tuples` (and cancellable exactly like `In`, the winning resolution
+//!   being `Tuples` instead of `Tuple`). `InpBatch` is its non-blocking
+//!   sibling and may answer an empty `Tuples`.
+//! - **Batch container** — `Batch` carries whole encoded sub-requests
+//!   (each with its own correlation seq) and is answered by a single
+//!   vectored `Batch` response. Blocking, cancelling, deferred, and
+//!   nested-batch bodies are rejected per entry with `Err`.
 
 use crate::codec::{
     decode_template, decode_tuple, decode_tuples, encode_template, encode_tuple, encode_tuples,
@@ -96,10 +115,36 @@ pub enum ReqBody {
         /// Logical process id.
         pid: u64,
     },
+    /// Fire-and-forget `out`: parked per connection, applied at the next
+    /// flush barrier (any response-bearing request) or explicit `Flush`.
+    OutDeferred(Tuple),
+    /// Fire-and-forget bulk `out` through the same deferred queue.
+    OutAllDeferred(Vec<Tuple>),
+    /// Force application of this connection's parked deferred outs;
+    /// answered with `Num(n)`, the tuples applied since the last ack.
+    Flush,
+    /// Blocking bulk withdraw: up to `max` matching tuples in one round
+    /// trip (response deferred until ≥ 1 tuple is available).
+    InBatch {
+        /// Template every drained tuple must match.
+        tmpl: Template,
+        /// Upper bound on tuples returned.
+        max: u64,
+    },
+    /// Non-blocking bulk withdraw; the `Tuples` answer may be empty.
+    InpBatch {
+        /// Template every drained tuple must match.
+        tmpl: Template,
+        /// Upper bound on tuples returned.
+        max: u64,
+    },
+    /// Pipelined container: whole sub-requests, each with its own
+    /// correlation seq, answered by one vectored `Batch` response.
+    Batch(Vec<Req>),
 }
 
 /// A broker response; `seq` matches the request it answers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Resp {
     /// Echo of the request's sequence number.
     pub seq: u64,
@@ -124,6 +169,8 @@ pub enum RespBody {
     Cancelled,
     /// The broker rejected the request.
     Err(String),
+    /// Vectored answer to a `Batch` request, one `Resp` per sub-request.
+    Batch(Vec<Resp>),
 }
 
 const OP_OUT: i64 = 1;
@@ -143,6 +190,12 @@ const OP_TXN_COMMIT: i64 = 14;
 const OP_TXN_ABORT: i64 = 15;
 const OP_CONT_GET: i64 = 16;
 const OP_CONT_CLEAR: i64 = 17;
+const OP_OUT_DEFERRED: i64 = 18;
+const OP_OUT_ALL_DEFERRED: i64 = 19;
+const OP_FLUSH: i64 = 20;
+const OP_IN_BATCH: i64 = 21;
+const OP_INP_BATCH: i64 = 22;
+const OP_BATCH: i64 = 23;
 
 const RESP_OK: i64 = 1;
 const RESP_TUPLE: i64 = 2;
@@ -151,6 +204,7 @@ const RESP_BOOL: i64 = 4;
 const RESP_TUPLES: i64 = 5;
 const RESP_CANCELLED: i64 = 6;
 const RESP_ERR: i64 = 7;
+const RESP_BATCH: i64 = 8;
 
 fn opt_to_vec(t: &Option<Tuple>) -> Vec<Tuple> {
     t.iter().cloned().collect()
@@ -200,12 +254,40 @@ impl Req {
             ],
             ReqBody::ContGet { pid } => vec![Int(OP_CONT_GET), seq, Int(*pid as i64)],
             ReqBody::ContClear { pid } => vec![Int(OP_CONT_CLEAR), seq, Int(*pid as i64)],
+            ReqBody::OutDeferred(t) => vec![Int(OP_OUT_DEFERRED), seq, Bytes(encode_tuple(t))],
+            ReqBody::OutAllDeferred(ts) => {
+                vec![Int(OP_OUT_ALL_DEFERRED), seq, Bytes(encode_tuples(ts))]
+            }
+            ReqBody::Flush => vec![Int(OP_FLUSH), seq],
+            ReqBody::InBatch { tmpl, max } => vec![
+                Int(OP_IN_BATCH),
+                seq,
+                Bytes(encode_template(tmpl)),
+                Int(*max as i64),
+            ],
+            ReqBody::InpBatch { tmpl, max } => vec![
+                Int(OP_INP_BATCH),
+                seq,
+                Bytes(encode_template(tmpl)),
+                Int(*max as i64),
+            ],
+            ReqBody::Batch(reqs) => {
+                let mut fields = vec![Int(OP_BATCH), seq];
+                fields.extend(reqs.iter().map(|r| Bytes(r.encode())));
+                fields
+            }
         };
         encode_tuple(&Tuple::new(fields))
     }
 
     /// Decode a frame payload produced by [`Req::encode`].
     pub fn decode(payload: &[u8]) -> Result<Req, CodecError> {
+        Self::decode_at(payload, 0)
+    }
+
+    /// Depth-bounded decoder: a `Batch` may only appear at the top level,
+    /// which keeps decode recursion flat on adversarial input.
+    fn decode_at(payload: &[u8], depth: u32) -> Result<Req, CodecError> {
         let t = decode_tuple(payload)?;
         let f = &t.0;
         let op = int_at(f, 0, "request op")?;
@@ -248,6 +330,31 @@ impl Req {
             OP_CONT_CLEAR => ReqBody::ContClear {
                 pid: int_at(f, 2, "cont_clear pid")? as u64,
             },
+            OP_OUT_DEFERRED => {
+                ReqBody::OutDeferred(decode_tuple(bytes_at(f, 2, "out_deferred tuple")?)?)
+            }
+            OP_OUT_ALL_DEFERRED => {
+                ReqBody::OutAllDeferred(decode_tuples(bytes_at(f, 2, "out_all_deferred tuples")?)?)
+            }
+            OP_FLUSH => ReqBody::Flush,
+            OP_IN_BATCH => ReqBody::InBatch {
+                tmpl: decode_template(bytes_at(f, 2, "in_batch template")?)?,
+                max: int_at(f, 3, "in_batch max")? as u64,
+            },
+            OP_INP_BATCH => ReqBody::InpBatch {
+                tmpl: decode_template(bytes_at(f, 2, "inp_batch template")?)?,
+                max: int_at(f, 3, "inp_batch max")? as u64,
+            },
+            OP_BATCH => {
+                if depth > 0 {
+                    return Err(CodecError("nested batch request".into()));
+                }
+                let mut reqs = Vec::with_capacity(f.len().saturating_sub(2));
+                for i in 2..f.len() {
+                    reqs.push(Req::decode_at(bytes_at(f, i, "batch entry")?, depth + 1)?);
+                }
+                ReqBody::Batch(reqs)
+            }
             op => return Err(CodecError(format!("unknown request op {op}"))),
         };
         Ok(Req { seq, body })
@@ -267,12 +374,22 @@ impl Resp {
             RespBody::Tuples(ts) => vec![Int(RESP_TUPLES), seq, Bytes(encode_tuples(ts))],
             RespBody::Cancelled => vec![Int(RESP_CANCELLED), seq],
             RespBody::Err(msg) => vec![Int(RESP_ERR), seq, Str(msg.clone())],
+            RespBody::Batch(resps) => {
+                let mut fields = vec![Int(RESP_BATCH), seq];
+                fields.extend(resps.iter().map(|r| Bytes(r.encode())));
+                fields
+            }
         };
         encode_tuple(&Tuple::new(fields))
     }
 
     /// Decode a frame payload produced by [`Resp::encode`].
     pub fn decode(payload: &[u8]) -> Result<Resp, CodecError> {
+        Self::decode_at(payload, 0)
+    }
+
+    /// Depth-bounded decoder; see [`Req::decode_at`].
+    fn decode_at(payload: &[u8], depth: u32) -> Result<Resp, CodecError> {
         let t = decode_tuple(payload)?;
         let f = &t.0;
         let code = int_at(f, 0, "response code")?;
@@ -288,6 +405,19 @@ impl Resp {
             RESP_TUPLES => RespBody::Tuples(decode_tuples(bytes_at(f, 2, "response tuples")?)?),
             RESP_CANCELLED => RespBody::Cancelled,
             RESP_ERR => RespBody::Err(str_at(f, 2, "response error")?.to_owned()),
+            RESP_BATCH => {
+                if depth > 0 {
+                    return Err(CodecError("nested batch response".into()));
+                }
+                let mut resps = Vec::with_capacity(f.len().saturating_sub(2));
+                for i in 2..f.len() {
+                    resps.push(Resp::decode_at(
+                        bytes_at(f, i, "batch response entry")?,
+                        depth + 1,
+                    )?);
+                }
+                RespBody::Batch(resps)
+            }
             code => return Err(CodecError(format!("unknown response code {code}"))),
         };
         Ok(Resp { seq, body })
@@ -347,6 +477,27 @@ mod tests {
             },
             ReqBody::ContGet { pid: 3 },
             ReqBody::ContClear { pid: 3 },
+            ReqBody::OutDeferred(tup!["d", 4]),
+            ReqBody::OutAllDeferred(vec![tup!["d", 5], tup!["d", 6]]),
+            ReqBody::Flush,
+            ReqBody::InBatch {
+                tmpl: tmpl.clone(),
+                max: 8,
+            },
+            ReqBody::InpBatch {
+                tmpl: tmpl.clone(),
+                max: 64,
+            },
+            ReqBody::Batch(vec![
+                Req {
+                    seq: 41,
+                    body: ReqBody::Len,
+                },
+                Req {
+                    seq: 42,
+                    body: ReqBody::Out(tup!["inner", 1]),
+                },
+            ]),
         ];
         for (i, body) in reqs.into_iter().enumerate() {
             let req = Req {
@@ -371,6 +522,16 @@ mod tests {
             RespBody::Tuples(vec![tup![1], tup![2]]),
             RespBody::Cancelled,
             RespBody::Err("boom".into()),
+            RespBody::Batch(vec![
+                Resp {
+                    seq: 41,
+                    body: RespBody::Num(3),
+                },
+                Resp {
+                    seq: 42,
+                    body: RespBody::Ok,
+                },
+            ]),
         ];
         for (i, body) in resps.into_iter().enumerate() {
             let resp = Resp {
@@ -390,5 +551,36 @@ mod tests {
         // A tuple of the wrong shape decodes as a tuple but not a request.
         let weird = encode_tuple(&tup!["no", "ops", "here"]);
         assert!(Req::decode(&weird).is_err());
+    }
+
+    #[test]
+    fn nested_batches_are_rejected_flat() {
+        let inner = Req {
+            seq: 1,
+            body: ReqBody::Batch(vec![Req {
+                seq: 2,
+                body: ReqBody::Len,
+            }]),
+        };
+        let outer = Req {
+            seq: 0,
+            body: ReqBody::Batch(vec![inner]),
+        };
+        let err = Req::decode(&outer.encode()).unwrap_err();
+        assert!(err.0.contains("nested batch"), "{err:?}");
+
+        let inner = Resp {
+            seq: 1,
+            body: RespBody::Batch(vec![Resp {
+                seq: 2,
+                body: RespBody::Ok,
+            }]),
+        };
+        let outer = Resp {
+            seq: 0,
+            body: RespBody::Batch(vec![inner]),
+        };
+        let err = Resp::decode(&outer.encode()).unwrap_err();
+        assert!(err.0.contains("nested batch"), "{err:?}");
     }
 }

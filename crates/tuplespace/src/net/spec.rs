@@ -35,7 +35,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 /// Abstract request-frame alphabet: one name per [`ReqBody`] variant.
-pub const REQ_FRAMES: [&str; 17] = [
+pub const REQ_FRAMES: [&str; 23] = [
     "Out",
     "OutAll",
     "Inp",
@@ -53,12 +53,18 @@ pub const REQ_FRAMES: [&str; 17] = [
     "TxnAbort",
     "ContGet",
     "ContClear",
+    "OutDeferred",
+    "OutAllDeferred",
+    "Flush",
+    "InBatch",
+    "InpBatch",
+    "Batch",
 ];
 
 /// Abstract response-frame alphabet. `Tuple(Option<Tuple>)` splits into
 /// `TupleSome`/`TupleNone` because the two are handled differently (a
 /// blocking wait can only ever be answered with `TupleSome`).
-pub const RESP_FRAMES: [&str; 8] = [
+pub const RESP_FRAMES: [&str; 9] = [
     "Ok",
     "TupleSome",
     "TupleNone",
@@ -67,6 +73,7 @@ pub const RESP_FRAMES: [&str; 8] = [
     "Tuples",
     "Cancelled",
     "Err",
+    "Batch",
 ];
 
 /// The abstract frame a concrete request encodes to. Exhaustive by
@@ -91,6 +98,12 @@ pub fn req_frame_name(body: &ReqBody) -> &'static str {
         ReqBody::TxnAbort { .. } => "TxnAbort",
         ReqBody::ContGet { .. } => "ContGet",
         ReqBody::ContClear { .. } => "ContClear",
+        ReqBody::OutDeferred(_) => "OutDeferred",
+        ReqBody::OutAllDeferred(_) => "OutAllDeferred",
+        ReqBody::Flush => "Flush",
+        ReqBody::InBatch { .. } => "InBatch",
+        ReqBody::InpBatch { .. } => "InpBatch",
+        ReqBody::Batch(_) => "Batch",
     }
 }
 
@@ -106,6 +119,7 @@ pub fn resp_frame_name(body: &RespBody) -> &'static str {
         RespBody::Tuples(_) => "Tuples",
         RespBody::Cancelled => "Cancelled",
         RespBody::Err(_) => "Err",
+        RespBody::Batch(_) => "Batch",
     }
 }
 
@@ -221,7 +235,7 @@ pub fn client_machine() -> Machine {
     // Simple RPCs: Idle --send op--> AwaitOp --recv result--> Idle.
     // Every exchange may instead be answered with Err (broker rejection),
     // which rpc() surfaces as a transport error after consuming the frame.
-    let simple: [(&str, &[&str]); 15] = [
+    let simple: [(&str, &[&str]); 18] = [
         ("Out", &["Ok"]),
         ("OutAll", &["Ok"]),
         ("Inp", &["TupleSome", "TupleNone"]),
@@ -236,6 +250,9 @@ pub fn client_machine() -> Machine {
         ("TxnAbort", &["Ok"]),
         ("ContGet", &["TupleSome", "TupleNone"]),
         ("ContClear", &["Ok"]),
+        ("Flush", &["Num"]),
+        ("InpBatch", &["Tuples"]),
+        ("Batch", &["Batch"]),
         ("Cancel", &[]), // sent only from Waiting; listed for vocabulary
     ];
     for (op, results) in simple {
@@ -273,6 +290,26 @@ pub fn client_machine() -> Machine {
     m.push("Compensate", Act::Send("Out".into()), "AwaitCompOut");
     m.push("AwaitCompOut", Act::Recv("Ok".into()), "Idle");
     m.push("AwaitCompOut", Act::Recv("Err".into()), "Idle");
+    // Deferred outs are fire-and-forget: emitted from Idle with no
+    // response, so no await state. The flush-before-blocking invariant is
+    // visible here as the *absence* of deferred sends from any wait state.
+    m.push("Idle", Act::Send("OutDeferred".into()), "Idle");
+    m.push("Idle", Act::Send("OutAllDeferred".into()), "Idle");
+    // Bulk blocking withdraw: like In/Rd, but resolved with Tuples, and a
+    // won cancel race is compensated with an OutAll returning every tuple.
+    m.push("Idle", Act::Send("InBatch".into()), "WaitingB");
+    m.push("WaitingB", Act::Recv("Tuples".into()), "Idle");
+    m.push("WaitingB", Act::Send("Cancel".into()), "CancelSentB");
+    m.push("CancelSentB", Act::Recv("Cancelled".into()), "NeedAckB");
+    m.push("CancelSentB", Act::Recv("Tuples".into()), "WonNeedAckB");
+    m.push("CancelSentB", Act::Recv("Ok".into()), "NeedResolutionB");
+    m.push("NeedAckB", Act::Recv("Ok".into()), "Idle");
+    m.push("WonNeedAckB", Act::Recv("Ok".into()), "CompensateB");
+    m.push("NeedResolutionB", Act::Recv("Cancelled".into()), "Idle");
+    m.push("NeedResolutionB", Act::Recv("Tuples".into()), "CompensateB");
+    m.push("CompensateB", Act::Send("OutAll".into()), "AwaitCompOutAll");
+    m.push("AwaitCompOutAll", Act::Recv("Ok".into()), "Idle");
+    m.push("AwaitCompOutAll", Act::Recv("Err".into()), "Idle");
     m
 }
 
@@ -291,7 +328,7 @@ pub fn broker_machine() -> Machine {
     };
     // Request-response ops, with the responses `handle` can produce.
     // Err arises only where the space can reject the operation.
-    let simple: [(&str, &[&str]); 14] = [
+    let simple: [(&str, &[&str]); 17] = [
         ("Out", &["Ok"]),
         ("OutAll", &["Ok"]),
         ("Inp", &["TupleSome", "TupleNone"]),
@@ -306,6 +343,9 @@ pub fn broker_machine() -> Machine {
         ("TxnAbort", &["Ok"]),
         ("ContGet", &["TupleSome", "TupleNone", "Err"]),
         ("ContClear", &["Ok", "Err"]),
+        ("Flush", &["Num"]),
+        ("InpBatch", &["Tuples"]),
+        ("Batch", &["Batch"]),
     ];
     for (op, results) in simple {
         let resp_state = format!("Respond{op}");
@@ -331,6 +371,21 @@ pub fn broker_machine() -> Machine {
     // Cancel after the wait was satisfied (the race): ack alone.
     m.push("Ready", Act::Recv("Cancel".into()), "LateCancel");
     m.push("LateCancel", Act::Send("Ok".into()), "Ready");
+    // Deferred outs are parked and applied at the next flush barrier; the
+    // frames themselves are consumed without any response.
+    m.push("Ready", Act::Recv("OutDeferred".into()), "Ready");
+    m.push("Ready", Act::Recv("OutAllDeferred".into()), "Ready");
+    // Bulk blocking withdraw: parks like In/Rd but resolves with Tuples,
+    // with the same cancel choreography.
+    m.push("Ready", Act::Recv("InBatch".into()), "ParkedB");
+    m.push("ParkedB", Act::Send("Tuples".into()), "Ready");
+    m.push("ParkedB", Act::Recv("Cancel".into()), "CancelRevokingB");
+    m.push(
+        "CancelRevokingB",
+        Act::Send("Cancelled".into()),
+        "CancelAckingB",
+    );
+    m.push("CancelAckingB", Act::Send("Ok".into()), "Ready");
     m
 }
 
@@ -516,8 +571,10 @@ mod tests {
         assert!(REQ_FRAMES.contains(&req_frame_name(&ReqBody::Len)));
         assert!(RESP_FRAMES.contains(&resp_frame_name(&RespBody::Tuple(Some(tup![1])))));
         assert!(RESP_FRAMES.contains(&resp_frame_name(&RespBody::Tuple(None))));
-        assert_eq!(REQ_FRAMES.len(), 17);
-        assert_eq!(RESP_FRAMES.len(), 8);
+        assert_eq!(REQ_FRAMES.len(), 23);
+        assert_eq!(RESP_FRAMES.len(), 9);
+        assert!(REQ_FRAMES.contains(&req_frame_name(&ReqBody::Flush)));
+        assert!(RESP_FRAMES.contains(&resp_frame_name(&RespBody::Batch(Vec::new()))));
     }
 
     #[test]
@@ -589,5 +646,37 @@ mod tests {
         let c = client_machine();
         assert!(c.can_recv("CancelSent", "TupleSome"));
         assert!(c.can_recv("WonNeedAck", "Ok"));
+        // And the bulk variant resolves with Tuples instead.
+        assert!(c.can_recv("CancelSentB", "Tuples"));
+        assert!(c.can_recv("WonNeedAckB", "Ok"));
+    }
+
+    #[test]
+    fn deferred_outs_never_leave_a_wait_state() {
+        // The flush-before-blocking invariant, as seen by the spec: no
+        // deferred frame is ever emitted from a state other than Idle.
+        let c = client_machine();
+        for t in &c.trans {
+            if let Act::Send(f) = &t.act {
+                if f == "OutDeferred" || f == "OutAllDeferred" {
+                    assert_eq!(t.from, "Idle", "{f} sent from {}", t.from);
+                    assert_eq!(t.to, "Idle", "{f} expects a response");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_dropped_batch_handler_is_a_reported_violation() {
+        let c = client_machine();
+        let mut b = broker_machine();
+        b.trans
+            .retain(|t| !(t.from == "Ready" && t.act == Act::Recv("Batch".into())));
+        let report = check_duality(&c, &b, DEFAULT_QUEUE_BOUND);
+        assert!(!report.is_clean());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.receiver == "broker" && v.state == "Ready" && v.frame == "Batch"));
     }
 }

@@ -361,6 +361,66 @@ impl Process {
         }
     }
 
+    /// Bulk `in`: blocking withdrawal of up to `max` matching tuples in
+    /// one backend round-trip — the transport optimization behind
+    /// prefetching farm workers. Blocks like [`Process::in_`] until at
+    /// least one tuple is available; a successful return holds between 1
+    /// and `max` tuples. The transaction's own buffered outs are consumed
+    /// first (self-in), then the space tops the batch up.
+    pub fn in_batch(&mut self, tmpl: Template, max: usize) -> Result<Vec<Tuple>, PlindaError> {
+        self.check_alive()?;
+        if max <= 1 {
+            return Ok(vec![self.in_(tmpl)?]);
+        }
+        let mut got = Vec::new();
+        if let Some(txn) = &mut self.txn {
+            while got.len() < max {
+                match txn.outbox.iter().position(|t| tmpl.matches(t)) {
+                    Some(i) => {
+                        let t = txn.outbox.remove(i);
+                        self.space.record(|| TraceEvent::SelfIn {
+                            pid: self.pid,
+                            txn: self.txn_seq,
+                            tuple: t.clone(),
+                        });
+                        got.push(t);
+                    }
+                    None => break,
+                }
+            }
+            if got.len() >= max {
+                return Ok(got);
+            }
+        }
+        let want = max - got.len();
+        let from_space = if got.is_empty() {
+            self.state.set_status(ProcessStatus::Blocked);
+            let more = self
+                .as_actor(|s| s.try_in_batch_cancellable(&tmpl, want, Some(&self.state.killed)));
+            self.state.set_status(ProcessStatus::Running);
+            match more? {
+                Some(ts) => ts,
+                None => return Err(PlindaError::Killed),
+            }
+        } else {
+            // The outbox already satisfied the blocking part; only top the
+            // batch up with whatever the space holds right now.
+            self.as_actor(|s| s.try_inp_batch(&tmpl, want))?
+        };
+        if let Some(txn) = &mut self.txn {
+            for t in &from_space {
+                self.space.record(|| TraceEvent::TentativeIn {
+                    pid: self.pid,
+                    txn: self.txn_seq,
+                    tuple: t.clone(),
+                });
+                txn.consumed.push(t.clone());
+            }
+        }
+        got.extend(from_space);
+        Ok(got)
+    }
+
     /// `inp`: non-blocking withdrawal.
     pub fn inp(&mut self, tmpl: &Template) -> Result<Option<Tuple>, PlindaError> {
         self.check_alive()?;

@@ -186,12 +186,35 @@ impl LocalBackend {
         }
     }
 
+    /// Withdraw up to `max` matching tuples from a locked partition,
+    /// recording a `Take` per tuple. The caller updates `self.len` and
+    /// notes the partition op — this is what lets bulk takes acquire the
+    /// partition lock once per batch instead of once per tuple.
+    fn drain_matches(&self, tuples: &mut Vec<Tuple>, tmpl: &Template, max: usize) -> Vec<Tuple> {
+        let mut got = Vec::new();
+        while got.len() < max {
+            match tuples.iter().position(|t| tmpl.matches(t)) {
+                Some(idx) => {
+                    let t = tuples.swap_remove(idx);
+                    self.rec.record(|| TraceEvent::Take {
+                        actor: trace::current_actor(),
+                        tuple: t.clone(),
+                    });
+                    got.push(t);
+                }
+                None => break,
+            }
+        }
+        got
+    }
+
     fn wait_on_partition(
         &self,
         tmpl: &Template,
         cancel: Option<&AtomicBool>,
         withdraw: bool,
-    ) -> Option<Tuple> {
+        max: usize,
+    ) -> Option<Vec<Tuple>> {
         // Waiting on a signature nobody has produced yet creates its
         // (empty) partition, so the eventual `out` finds our condvar.
         let sig = tmpl.sig();
@@ -223,27 +246,23 @@ impl LocalBackend {
                         }
                     });
                 }
-                let t = if withdraw {
-                    tuples.swap_remove(idx)
+                let got = if withdraw {
+                    self.drain_matches(&mut tuples, tmpl, max)
                 } else {
-                    tuples[idx].clone()
+                    let t = tuples[idx].clone();
+                    self.rec.record(|| TraceEvent::Read {
+                        actor: trace::current_actor(),
+                        tuple: t.clone(),
+                    });
+                    vec![t]
                 };
-                self.rec.record(|| {
-                    let actor = trace::current_actor();
-                    let tuple = t.clone();
-                    if withdraw {
-                        TraceEvent::Take { actor, tuple }
-                    } else {
-                        TraceEvent::Read { actor, tuple }
-                    }
-                });
                 let global = if withdraw {
                     "space.ops.take"
                 } else {
                     "space.ops.read"
                 };
-                self.note_part(&part, &sig, tuples.len(), global, 1);
-                return Some(t);
+                self.note_part(&part, &sig, tuples.len(), global, got.len() as u64);
+                return Some(got);
             }
             if !parked {
                 parked = true;
@@ -334,10 +353,10 @@ impl SpaceBackend for LocalBackend {
         tmpl: &Template,
         cancel: Option<&AtomicBool>,
     ) -> Result<Option<Tuple>, PlindaError> {
-        match self.wait_on_partition(tmpl, cancel, true) {
-            Some(t) => {
-                self.len.fetch_sub(1, Ordering::SeqCst);
-                Ok(Some(t))
+        match self.wait_on_partition(tmpl, cancel, true, 1) {
+            Some(mut got) => {
+                self.len.fetch_sub(got.len(), Ordering::SeqCst);
+                Ok(Some(got.remove(0)))
             }
             None => Ok(None),
         }
@@ -348,7 +367,53 @@ impl SpaceBackend for LocalBackend {
         tmpl: &Template,
         cancel: Option<&AtomicBool>,
     ) -> Result<Option<Tuple>, PlindaError> {
-        Ok(self.wait_on_partition(tmpl, cancel, false))
+        Ok(self
+            .wait_on_partition(tmpl, cancel, false, 1)
+            .map(|mut got| got.remove(0)))
+    }
+
+    fn inp_batch(&self, tmpl: &Template, max: usize) -> Result<Vec<Tuple>, PlindaError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let sig = tmpl.sig();
+        if let Some(part) = self.existing(&sig) {
+            let mut tuples = part.tuples.lock();
+            let got = self.drain_matches(&mut tuples, tmpl, max);
+            if !got.is_empty() {
+                self.len.fetch_sub(got.len(), Ordering::SeqCst);
+                self.note_part(
+                    &part,
+                    &sig,
+                    tuples.len(),
+                    "space.ops.take",
+                    got.len() as u64,
+                );
+                return Ok(got);
+            }
+        }
+        self.rec.record(|| TraceEvent::Miss {
+            actor: trace::current_actor(),
+            op: OpKind::Inp,
+            template: tmpl.clone(),
+        });
+        self.met.with(|reg| reg.counter("space.ops.miss").inc());
+        Ok(Vec::new())
+    }
+
+    fn in_batch_cancellable(
+        &self,
+        tmpl: &Template,
+        max: usize,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Vec<Tuple>>, PlindaError> {
+        match self.wait_on_partition(tmpl, cancel, true, max.max(1)) {
+            Some(got) => {
+                self.len.fetch_sub(got.len(), Ordering::SeqCst);
+                Ok(Some(got))
+            }
+            None => Ok(None),
+        }
     }
 
     fn kick(&self) {
@@ -613,9 +678,65 @@ impl TupleSpace {
         self.backend.out_all(ts).unwrap_or_else(|e| Self::fail(e))
     }
 
+    /// Deferred `out`: on the socket backend the tuple is fire-and-forget
+    /// — visibility may lag until this connection's next response-bearing
+    /// operation or an explicit [`TupleSpace::flush`]; program order
+    /// within the connection is preserved. On the local backend this is
+    /// exactly [`TupleSpace::out`]. See `DESIGN.md` ("Backends").
+    pub fn out_deferred(&self, t: Tuple) {
+        self.backend
+            .out_deferred(t)
+            .unwrap_or_else(|e| Self::fail(e))
+    }
+
+    /// Bulk deferred `out`; see [`TupleSpace::out_deferred`].
+    pub fn out_all_deferred(&self, ts: Vec<Tuple>) {
+        self.backend
+            .out_all_deferred(ts)
+            .unwrap_or_else(|e| Self::fail(e))
+    }
+
+    /// Force application of this connection's deferred outs, returning how
+    /// many tuples were acknowledged as applied since the last flush.
+    pub fn flush(&self) -> u64 {
+        self.backend.flush().unwrap_or_else(|e| Self::fail(e))
+    }
+
     /// `inp`: withdraw a matching tuple if one exists, without blocking.
     pub fn inp(&self, tmpl: &Template) -> Option<Tuple> {
         self.try_inp(tmpl).unwrap_or_else(|e| Self::fail(e))
+    }
+
+    /// Bulk `inp`: withdraw up to `max` matching tuples without blocking —
+    /// one partition-lock acquisition locally, one round trip remotely.
+    pub fn inp_batch(&self, tmpl: &Template, max: usize) -> Vec<Tuple> {
+        self.try_inp_batch(tmpl, max)
+            .unwrap_or_else(|e| Self::fail(e))
+    }
+
+    pub(crate) fn try_inp_batch(
+        &self,
+        tmpl: &Template,
+        max: usize,
+    ) -> Result<Vec<Tuple>, PlindaError> {
+        self.backend.inp_batch(tmpl, max)
+    }
+
+    /// Bulk `in`: block until at least one match is withdrawn, then drain
+    /// up to `max - 1` more. Returns between 1 and `max` tuples.
+    pub fn in_batch(&self, tmpl: &Template, max: usize) -> Vec<Tuple> {
+        self.try_in_batch_cancellable(tmpl, max, None)
+            .unwrap_or_else(|e| Self::fail(e))
+            .expect("in_batch without cancel flag cannot be cancelled")
+    }
+
+    pub(crate) fn try_in_batch_cancellable(
+        &self,
+        tmpl: &Template,
+        max: usize,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<Option<Vec<Tuple>>, PlindaError> {
+        self.backend.in_batch_cancellable(tmpl, max, cancel)
     }
 
     pub(crate) fn try_inp(&self, tmpl: &Template) -> Result<Option<Tuple>, PlindaError> {
@@ -931,6 +1052,43 @@ mod tests {
         assert_eq!(h1.join().unwrap().int(1), 4);
         assert_eq!(h2.join().unwrap().real(1), 2.5);
         assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn inp_batch_drains_up_to_max() {
+        let ts = TupleSpace::new();
+        for i in 0..5 {
+            ts.out(tup!["task", i as i64]);
+        }
+        let got = ts.inp_batch(&task_tmpl(), 3);
+        assert_eq!(got.len(), 3);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.inp_batch(&task_tmpl(), 10).len(), 2);
+        assert!(ts.inp_batch(&task_tmpl(), 10).is_empty());
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn in_batch_blocks_then_drains_what_arrived() {
+        let ts = Arc::new(TupleSpace::new());
+        let ts2 = Arc::clone(&ts);
+        let h = std::thread::spawn(move || ts2.in_batch(&task_tmpl(), 4));
+        std::thread::sleep(Duration::from_millis(30));
+        // Both tuples land under one partition lock, so the woken waiter
+        // drains both in its single pass.
+        ts.out_all(vec![tup!["task", 1], tup!["task", 2]]);
+        let got = h.join().unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn deferred_out_is_immediate_locally() {
+        let ts = TupleSpace::new();
+        ts.out_deferred(tup!["task", 1]);
+        ts.out_all_deferred(vec![tup!["task", 2]]);
+        assert_eq!(ts.flush(), 0);
+        assert_eq!(ts.count(&task_tmpl()), 2);
     }
 
     #[test]

@@ -1,28 +1,46 @@
-//! Local vs socket backend cost, measured.
+//! Local vs socket backend cost, measured, with a committed baseline.
 //!
 //! ```text
-//! cargo run --release --example backend_bench
+//! cargo run --release --example backend_bench                # measure, write BENCH_backend.json
+//! cargo run --release --example backend_bench -- --check BENCH_backend.json
 //! ```
 //!
-//! Two measurements, each reported as the median of 5 runs:
+//! Three measurement groups, each the median of 5 runs:
 //!
-//! 1. `out_inp_cycle` — one `out` + one `inp` of a small tuple, the
+//! 1. `out_inp` — one `out` + one `inp` of a small tuple, the
 //!    microbench EXPERIMENTS.md tracks for the in-process space, repeated
 //!    over the socket backend (each op is one request/response round trip
 //!    to an in-process broker).
-//! 2. A small PLET-LB protein-motif discovery wall clock, identical
-//!    program both ways (`with_space` is the only difference).
+//! 2. `bulk` — moving a block of tuples through the socket backend,
+//!    unbatched (one `out` + one `inp` round trip per tuple) vs batched
+//!    (`out_all_deferred` + `flush`, drained with `inp_batch`). The ratio
+//!    is the headline win of the batched transport.
+//! 3. `plet_lb` — a small PLET-LB protein-motif discovery wall clock,
+//!    identical program both ways (`with_space` is the only difference);
+//!    over the socket the farm's bulk-take prefetch kicks in.
+//!
+//! `--check` re-measures and compares the socket-path metrics against a
+//! baseline file (the committed `BENCH_backend.json`), exiting 1 on any
+//! regression over 25% beyond timer noise. The baseline is the same flat
+//! `"key": number` JSON shape as `BENCH_classify.json`, parsed with a
+//! line scanner instead of a JSON library.
 
 use fpdm::core::ParallelConfig;
 use fpdm::datagen::{protein_family, PlantedMotif};
 use fpdm::plinda::{field, tup, Broker, BrokerConfig, Template, TupleSpace};
 use fpdm::seqmine::{discover_parallel, DiscoveryParams};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const CYCLES: u64 = 20_000;
+/// Tuples moved per bulk run; `BULK_K` per bulk-take round trip.
+const BULK_TUPLES: usize = 4_096;
+const BULK_K: usize = 32;
 const RUNS: usize = 5;
 const WORKERS: usize = 4;
+/// Default regression tolerance for `--check`, in percent.
+const TOLERANCE_PCT: f64 = 25.0;
 
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -40,6 +58,37 @@ fn cycle_ns(space: &TupleSpace) -> f64 {
     start.elapsed().as_nanos() as f64 / CYCLES as f64
 }
 
+/// Mean nanoseconds per tuple for moving `BULK_TUPLES` tuples through
+/// `space` one round trip at a time (two per tuple: out, then inp).
+fn bulk_unbatched_ns(space: &TupleSpace) -> f64 {
+    let tmpl = Template::new(vec![field::val("blk"), field::int()]);
+    let start = Instant::now();
+    for i in 0..BULK_TUPLES {
+        space.out(tup!["blk", i as i64]);
+    }
+    for _ in 0..BULK_TUPLES {
+        std::hint::black_box(space.inp(&tmpl)).unwrap();
+    }
+    start.elapsed().as_nanos() as f64 / BULK_TUPLES as f64
+}
+
+/// Mean nanoseconds per tuple for the same block through the batched
+/// paths: deferred outs coalesced behind one flush, drained `BULK_K`
+/// tuples per `inp_batch` round trip.
+fn bulk_batched_ns(space: &TupleSpace) -> f64 {
+    let tmpl = Template::new(vec![field::val("blk"), field::int()]);
+    let start = Instant::now();
+    space.out_all_deferred((0..BULK_TUPLES).map(|i| tup!["blk", i as i64]).collect());
+    space.flush();
+    let mut got = 0;
+    while got < BULK_TUPLES {
+        let ts = space.inp_batch(&tmpl, BULK_K);
+        assert!(!ts.is_empty(), "bulk drain starved at {got}/{BULK_TUPLES}");
+        got += ts.len();
+    }
+    start.elapsed().as_nanos() as f64 / BULK_TUPLES as f64
+}
+
 /// Wall time of one PLET-LB discovery run over `space`.
 fn mining_wall(space: Option<Arc<TupleSpace>>) -> Duration {
     let family = protein_family(9, 20, 80, 10, &[PlantedMotif::exact("WWHHKK", 0.6)]);
@@ -55,9 +104,9 @@ fn mining_wall(space: Option<Arc<TupleSpace>>) -> Duration {
     wall
 }
 
-fn main() {
-    let sock = std::env::temp_dir().join(format!("fpdm-bench-{}.sock", std::process::id()));
-    let broker = Broker::start(BrokerConfig::new(&sock)).expect("start broker");
+/// Run every measurement group, printing as it goes.
+fn measure(broker: &Broker) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
 
     // --- out_inp_cycle ------------------------------------------------
     let local = TupleSpace::new();
@@ -72,6 +121,21 @@ fn main() {
         "  socket  {socket_ns:8.0} ns/cycle  ({:.0}x, 2 round trips)",
         socket_ns / local_ns
     );
+    m.insert("out_inp.local_ns".into(), local_ns);
+    m.insert("out_inp.socket_ns".into(), socket_ns);
+
+    // --- bulk throughput over the socket ------------------------------
+    bulk_batched_ns(&socket); // warm-up
+    let unbatched = median((0..RUNS).map(|_| bulk_unbatched_ns(&socket)).collect());
+    let batched = median((0..RUNS).map(|_| bulk_batched_ns(&socket)).collect());
+    println!("bulk transfer, socket ({BULK_TUPLES} tuples, median of {RUNS}):");
+    println!("  unbatched {unbatched:8.0} ns/tuple  (2 round trips each)");
+    println!(
+        "  batched   {batched:8.0} ns/tuple  (deferred outs + inp_batch x{BULK_K}, {:.1}x faster)",
+        unbatched / batched
+    );
+    m.insert("bulk.socket_unbatched_ns".into(), unbatched);
+    m.insert("bulk.socket_batched_ns".into(), batched);
 
     // --- PLET-LB wall clock -------------------------------------------
     let local_wall = median(
@@ -93,4 +157,126 @@ fn main() {
         "  socket  {socket_wall:8.1} ms  ({:.1}x)",
         socket_wall / local_wall
     );
+    m.insert("plet_lb.local_ms".into(), local_wall);
+    m.insert("plet_lb.socket_ms".into(), socket_wall);
+    m
+}
+
+fn write_json(path: &str, metrics: &BTreeMap<String, f64>) -> std::io::Result<()> {
+    let mut body = String::from("{\n  \"schema\": 1,\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        body.push_str(&format!("  \"{k}\": {v:.3}{sep}\n"));
+    }
+    body.push_str("}\n");
+    std::fs::write(path, body)
+}
+
+/// Parse the flat `"key": number` pairs back out of a baseline file.
+fn read_json(path: &str) -> std::io::Result<BTreeMap<String, f64>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.insert(key.to_string(), v);
+        }
+    }
+    Ok(out)
+}
+
+/// Absolute slack below which a percentage delta is timer noise, per
+/// metric unit (the ns metrics sit in the hundreds-of-ns range).
+fn slack(key: &str) -> f64 {
+    if key.ends_with("_ms") {
+        2.0
+    } else {
+        500.0
+    }
+}
+
+/// Compare the socket-path metrics of a fresh run against the committed
+/// baseline; returns the metrics that regressed beyond `tol_pct`.
+fn check(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    tol_pct: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (key, &new) in fresh {
+        if !key.contains("socket") {
+            continue; // local-path numbers are context, not a gate
+        }
+        let Some(&old) = baseline.get(key) else {
+            eprintln!("  [new metric {key}: {new:.1}, no baseline — skipped]");
+            continue;
+        };
+        let delta_pct = (new - old) / old * 100.0;
+        let regressed = delta_pct > tol_pct && new - old > slack(key);
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        eprintln!("  {key:<28} {old:10.1} -> {new:10.1}  {delta_pct:+6.1}%  {verdict}");
+        if regressed {
+            failures.push(format!("{key}: {old:.1} -> {new:.1} ({delta_pct:+.1}%)"));
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path: Option<String> = None;
+    let mut out_path = "BENCH_backend.json".to_string();
+    let mut tolerance = TOLERANCE_PCT;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => baseline_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned().unwrap_or(out_path),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(TOLERANCE_PCT)
+            }
+            other => {
+                eprintln!("usage: backend_bench [--check BASELINE] [--out PATH] [--tolerance PCT]");
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sock = std::env::temp_dir().join(format!("fpdm-bench-{}.sock", std::process::id()));
+    let broker = Broker::start(BrokerConfig::new(&sock)).expect("start broker");
+    let metrics = measure(&broker);
+
+    if let Some(path) = baseline_path {
+        let baseline = match read_json(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("perf smoke: socket-path metrics vs {path} (tolerance {tolerance}%)");
+        let failures = check(&baseline, &metrics, tolerance);
+        if failures.is_empty() {
+            eprintln!("perf smoke: ok");
+        } else {
+            eprintln!("perf smoke: {} regression(s):", failures.len());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    } else if let Err(e) = write_json(&out_path, &metrics) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    } else {
+        println!("wrote {out_path}");
+    }
 }
