@@ -1,0 +1,23 @@
+//! Seeded violation: the candidate-partitioned wave protocol of the
+//! farmed miners (seqmine/treemine/episodes), with a leaked side
+//! channel. The ("wave.task", int, bytes) / ("wave.result", bytes,
+//! real) exchange below is healthy; the ("wave.report", bytes, real)
+//! production at the end is consumed by no template anywhere and
+//! leaks one tuple per wave.
+
+fn wave_worker(p: &mut Process) {
+    let task = Template::new(vec![field::val("wave.task"), field::int(), field::bytes()]);
+    let got = p.in_(task).unwrap();
+    p.out(tup!["wave.result", got.bytes(2).to_vec(), 1.0]);
+}
+
+fn wave_master(p: &mut Process) {
+    let result = Template::new(vec![
+        field::val("wave.result"),
+        field::bytes(),
+        field::real(),
+    ]);
+    p.out(tup!["wave.task", 0, vec![1u8, 2]]);
+    let graded = p.in_(result).unwrap();
+    p.out(tup!["wave.report", graded.bytes(1).to_vec(), graded.real(2)]);
+}

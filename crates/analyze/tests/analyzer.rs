@@ -37,6 +37,7 @@ fn the_workspace_is_clean() {
 fn every_seeded_fixture_fails_with_its_violation() {
     let cases = [
         ("orphan_producer", "orphan-producer"),
+        ("wave_orphan_report", "orphan-producer"),
         ("unmatchable_template", "unmatched-template"),
         ("blocking_in_txn", "blocking-in-txn"),
         ("nested_txn", "nested-txn"),

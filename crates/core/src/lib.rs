@@ -51,6 +51,7 @@
 
 pub mod edag;
 pub mod etree;
+pub mod farmcheck;
 pub mod parallel;
 pub mod problem;
 pub mod render;
@@ -59,7 +60,9 @@ pub mod toy;
 
 pub use edag::{sequential_edt, sequential_edt_traced, EdtTrace};
 pub use etree::{sequential_ett, sequential_ett_recorded, ENode, ETree};
-pub use parallel::{parallel_edt, parallel_ett, parallel_hybrid, ParallelConfig, WorkerStrategy};
+pub use parallel::{
+    parallel_edt, parallel_ett, parallel_hybrid, parallel_wave, ParallelConfig, WorkerStrategy,
+};
 pub use problem::{MiningOutcome, MiningProblem, PatternCodec};
 pub use render::{edag_dot, etree_dot};
 pub use strategy::{
@@ -71,7 +74,7 @@ pub mod prelude {
     pub use crate::edag::{sequential_edt, sequential_edt_traced};
     pub use crate::etree::{sequential_ett, sequential_ett_recorded};
     pub use crate::parallel::{
-        parallel_edt, parallel_ett, parallel_hybrid, ParallelConfig, WorkerStrategy,
+        parallel_edt, parallel_ett, parallel_hybrid, parallel_wave, ParallelConfig, WorkerStrategy,
     };
     pub use crate::problem::{MiningOutcome, MiningProblem, PatternCodec};
     pub use crate::strategy::{simulate_load_balanced, simulate_optimistic, CostTree};

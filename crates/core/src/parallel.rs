@@ -70,6 +70,11 @@ pub struct ParallelConfig {
     /// against an `fpdm-spaced` broker. `None` uses a fresh in-process
     /// space; the traversal code is identical either way.
     pub space: Option<Arc<plinda::TupleSpace>>,
+    /// Optional worker task-prefetch depth, forwarded to
+    /// [`plinda::FarmConfig::with_prefetch`]: how many tasks a worker takes
+    /// per transaction. `None` keeps the farm default (1 in-process, 8 over
+    /// a socket backend).
+    pub prefetch: Option<usize>,
 }
 
 impl ParallelConfig {
@@ -83,6 +88,7 @@ impl ParallelConfig {
             recorder: None,
             metrics: None,
             space: None,
+            prefetch: None,
         }
     }
 
@@ -96,6 +102,7 @@ impl ParallelConfig {
             recorder: None,
             metrics: None,
             space: None,
+            prefetch: None,
         }
     }
 
@@ -132,6 +139,13 @@ impl ParallelConfig {
         self.space = Some(space);
         self
     }
+
+    /// Workers take up to `n` tasks per transaction (batched withdrawal;
+    /// one commit covers the whole batch).
+    pub fn with_prefetch(mut self, n: usize) -> Self {
+        self.prefetch = Some(n);
+        self
+    }
 }
 
 /// Ordinary evaluate-and-expand task (PLET) / evaluate task (PLED).
@@ -158,6 +172,9 @@ fn bag_config(config: &ParallelConfig) -> FarmConfig {
     }
     if let Some(space) = &config.space {
         cfg = cfg.with_space(Arc::clone(space));
+    }
+    if let Some(n) = config.prefetch {
+        cfg = cfg.with_prefetch(n);
     }
     cfg
 }
@@ -259,6 +276,98 @@ where
     }
 
     assert_drained("pled", &farm.finish());
+    outcome
+}
+
+// ---------------------------------------------------------------------
+// Wave: candidate-partitioned level traversal (the farm port of the
+// sequential miners — seqmine, treemine, episodes).
+// ---------------------------------------------------------------------
+
+/// Run a candidate-partitioned wave traversal of the E-tree under the
+/// farm program name `name`.
+///
+/// This is the *candidate partitioning* of Gan et al.'s parallel
+/// sequential-pattern-mining taxonomy: the master owns the lattice
+/// frontier and emits each level's candidates as one task wave
+/// (`send_all`, one deferred burst); stateless workers each grade their
+/// share of the candidates against the full database; the master collects
+/// the wave's reports in bulk (`recv_upto`) and expands the children of
+/// the good ones into the next wave. Because every [`MiningProblem`]
+/// generates each pattern exactly once from its unique parent, the tested
+/// set — and therefore the whole [`MiningOutcome`] — is bit-identical to
+/// [`crate::etree::sequential_ett`]'s.
+///
+/// Unlike PLED there is no subpattern-eligibility rule (parent-only
+/// pruning, like PLET), and unlike PLET there is no shared
+/// outstanding-work counter: the wave size itself is the termination
+/// count, so workers never retire against a counter and the master never
+/// blocks on quiescence — only on its own wave's reports.
+pub fn parallel_wave<P>(
+    name: &str,
+    problem: Arc<P>,
+    config: &ParallelConfig,
+) -> MiningOutcome<P::Pattern>
+where
+    P: MiningProblem + PatternCodec + Send + Sync + 'static,
+{
+    assert!(config.workers >= 1, "need at least one worker");
+
+    // Worker: grade one candidate; report `(encoding, goodness)`.
+    let wp = Arc::clone(&problem);
+    let farm = TaskFarm::<Vec<u8>, (Vec<u8>, f64)>::start(
+        name,
+        bag_config(config),
+        move |scope, _flag, enc| {
+            let p = wp.decode_pattern(&enc);
+            let g = wp.goodness(&p);
+            scope.result(&(enc, g));
+            Ok(())
+        },
+    );
+
+    // Master: one wave per lattice level, starting from the root's
+    // children.
+    let mut outcome = MiningOutcome::new();
+    let root = problem.root();
+    let mut wave: Vec<P::Pattern> = problem.children(&root);
+
+    while !wave.is_empty() {
+        let mut order: Vec<Vec<u8>> = Vec::with_capacity(wave.len());
+        let mut dispatched: HashMap<Vec<u8>, P::Pattern> = HashMap::with_capacity(wave.len());
+        for p in wave {
+            let enc = problem.encode_pattern(&p);
+            order.push(enc.clone());
+            dispatched.insert(enc, p);
+        }
+        debug_assert_eq!(order.len(), dispatched.len(), "unique generation");
+        farm.send_all(NORMAL, &order);
+
+        let mut grades: HashMap<Vec<u8>, f64> = HashMap::with_capacity(order.len());
+        let mut pending = order.len();
+        while pending > 0 {
+            for (enc, g) in farm.recv_upto(pending) {
+                pending -= 1;
+                outcome.tested += 1;
+                grades.insert(enc, g);
+            }
+        }
+
+        // Expand in dispatch order: report arrival order must not leak
+        // into the next wave (schedules replay deterministically).
+        let mut next = Vec::new();
+        for enc in &order {
+            let p = &dispatched[enc];
+            let g = grades[enc];
+            if problem.is_good(p, g) {
+                outcome.good.insert(p.clone(), g);
+                next.extend(problem.children(p));
+            }
+        }
+        wave = next;
+    }
+
+    assert_drained(name, &farm.finish());
     outcome
 }
 
@@ -622,6 +731,78 @@ mod tests {
         let hybrid = parallel_hybrid(Arc::clone(&p), 2, 64);
         assert_eq!(seq.good, hybrid.good);
         assert_eq!(seq.tested, hybrid.tested);
+    }
+
+    #[test]
+    fn wave_equals_ett_on_both_toys() {
+        let p = seq_problem();
+        let seq = sequential_ett(&*p);
+        let par = parallel_wave(
+            "wave-seq",
+            Arc::clone(&p),
+            &ParallelConfig::load_balanced(3),
+        );
+        assert_eq!(seq.good, par.good);
+        assert_eq!(seq.tested, par.tested, "waves test exactly the ETT set");
+
+        let p = itemset_problem();
+        let seq = sequential_ett(&*p);
+        let par = parallel_wave(
+            "wave-items",
+            Arc::clone(&p),
+            &ParallelConfig::load_balanced(4),
+        );
+        assert_eq!(seq.good, par.good);
+        assert_eq!(seq.tested, par.tested);
+    }
+
+    #[test]
+    fn wave_survives_kills_and_prefetch() {
+        let p = itemset_problem();
+        let seq = sequential_ett(&*p);
+        for prefetch in [1, 4] {
+            let cfg = ParallelConfig::load_balanced(3)
+                .kill_after(std::time::Duration::from_millis(1), 0)
+                .kill_after(std::time::Duration::from_millis(2), 2)
+                .with_prefetch(prefetch);
+            let par = parallel_wave("wave-kill", Arc::clone(&p), &cfg);
+            assert_eq!(seq.good, par.good, "prefetch={prefetch}");
+            assert_eq!(seq.tested, par.tested);
+        }
+    }
+
+    #[test]
+    fn wave_single_worker_and_empty_problem() {
+        let p = itemset_problem();
+        let seq = sequential_ett(&*p);
+        let par = parallel_wave(
+            "wave-one",
+            Arc::clone(&p),
+            &ParallelConfig::load_balanced(1),
+        );
+        assert_eq!(seq.good, par.good);
+
+        let empty = Arc::new(ToyItemsets::new(vec![], 1));
+        let out = parallel_wave("wave-empty", empty, &ParallelConfig::load_balanced(2));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn wave_metered_ledger_is_consistent() {
+        let p = seq_problem();
+        let reg = plinda::MetricsRegistry::new();
+        let cfg = ParallelConfig::load_balanced(3).with_metrics(reg.clone());
+        let par = parallel_wave("wave-met", Arc::clone(&p), &cfg);
+        assert_eq!(sequential_ett(&*p).good, par.good);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.sum_counters(|k| k.starts_with("farm.wave-met.worker.") && k.ends_with(".tasks")),
+            par.tested,
+            "every tested candidate is one committed task"
+        );
+        assert_eq!(snap.counter("farm.wave-met.leaked"), 0);
+        let violations = plinda::metrics::check_snapshot(&snap);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Farm drivers for the pattern-lattice miners (Chapter 4's remaining
+//! applications): GST protein-motif discovery (`seqmine`), tree-distance
+//! mining (`treemine`), and frequent-episode discovery (`episodes`), each
+//! run as a candidate-partitioned wave farm
+//! ([`fpdm_core::parallel_wave`]).
+//!
+//! These mirror the classification drivers of [`crate::pcv`]/[`crate::pc45`]:
+//! every program has a plain entry point and a `_metered` variant taking
+//! an optional [`plinda::MetricsRegistry`] (the farm folds per-worker
+//! accounting into it at teardown, emitting the frozen `fpdm.metrics.v1`
+//! ledger) and an optional pre-connected [`plinda::TupleSpace`] (`None`
+//! runs in-process; `Some` runs the identical farm over e.g. an
+//! `fpdm-spaced` socket broker). Output is bit-identical to the
+//! sequential miners in every mode.
+
+use episodes::{EpisodeParams, EventSequence, FrequentEpisode};
+use fpdm_core::ParallelConfig;
+use seqmine::discover::{ActiveMotif, DiscoveryParams};
+use seqmine::seq::Sequence;
+use std::sync::Arc;
+use treemine::discover::{ActiveTreeMotif, TreeDiscoveryParams};
+use treemine::tree::OrderedTree;
+
+/// Assemble the wave-farm configuration of one metered run.
+fn wave_config(
+    workers: usize,
+    metrics: Option<plinda::MetricsRegistry>,
+    space: Option<Arc<plinda::TupleSpace>>,
+) -> ParallelConfig {
+    assert!(workers >= 1);
+    let mut cfg = ParallelConfig::load_balanced(workers);
+    if let Some(reg) = metrics {
+        cfg = cfg.with_metrics(reg);
+    }
+    if let Some(space) = space {
+        cfg = cfg.with_space(space);
+    }
+    cfg
+}
+
+/// Parallel GST motif discovery: the `"seqmine"` farm program.
+pub fn parallel_seqmine(
+    sequences: Vec<Sequence>,
+    params: DiscoveryParams,
+    workers: usize,
+) -> Vec<ActiveMotif> {
+    parallel_seqmine_metered(sequences, params, workers, None, None)
+}
+
+/// [`parallel_seqmine`] with an optional metrics registry installed on
+/// the farm's tuple space and an optional pre-connected backend space.
+pub fn parallel_seqmine_metered(
+    sequences: Vec<Sequence>,
+    params: DiscoveryParams,
+    workers: usize,
+    metrics: Option<plinda::MetricsRegistry>,
+    space: Option<Arc<plinda::TupleSpace>>,
+) -> Vec<ActiveMotif> {
+    seqmine::discover::discover_farm(sequences, params, &wave_config(workers, metrics, space))
+}
+
+/// Parallel tree-motif discovery: the `"treemine"` farm program.
+pub fn parallel_treemine(
+    trees: Vec<OrderedTree>,
+    params: TreeDiscoveryParams,
+    workers: usize,
+) -> Vec<ActiveTreeMotif> {
+    parallel_treemine_metered(trees, params, workers, None, None)
+}
+
+/// [`parallel_treemine`] with an optional metrics registry installed on
+/// the farm's tuple space and an optional pre-connected backend space.
+pub fn parallel_treemine_metered(
+    trees: Vec<OrderedTree>,
+    params: TreeDiscoveryParams,
+    workers: usize,
+    metrics: Option<plinda::MetricsRegistry>,
+    space: Option<Arc<plinda::TupleSpace>>,
+) -> Vec<ActiveTreeMotif> {
+    treemine::discover::discover_tree_motifs_farm(
+        trees,
+        params,
+        &wave_config(workers, metrics, space),
+    )
+}
+
+/// Parallel frequent-episode discovery: the `"episodes"` farm program.
+pub fn parallel_episodes(
+    events: &EventSequence,
+    params: EpisodeParams,
+    workers: usize,
+) -> Vec<FrequentEpisode> {
+    parallel_episodes_metered(events, params, workers, None, None)
+}
+
+/// [`parallel_episodes`] with an optional metrics registry installed on
+/// the farm's tuple space and an optional pre-connected backend space.
+pub fn parallel_episodes_metered(
+    events: &EventSequence,
+    params: EpisodeParams,
+    workers: usize,
+    metrics: Option<plinda::MetricsRegistry>,
+    space: Option<Arc<plinda::TupleSpace>>,
+) -> Vec<FrequentEpisode> {
+    episodes::discover_episodes_farm(events, params, &wave_config(workers, metrics, space))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plinda::metrics::check_snapshot;
+    use plinda::MetricsRegistry;
+
+    fn seq_db() -> Vec<Sequence> {
+        ["GATTACA", "GATTTACA", "CATTACA", "TTACAGA"]
+            .iter()
+            .map(|s| Sequence::from_str(s))
+            .collect()
+    }
+
+    fn tree_db() -> Vec<OrderedTree> {
+        ["N(M(R,H),I(B))", "N(M(R,H))", "M(R,H,B)", "I(M(R,H),B)"]
+            .iter()
+            .map(|s| OrderedTree::parse(s))
+            .collect()
+    }
+
+    fn event_db() -> EventSequence {
+        let mut ev = Vec::new();
+        for k in 0..16u32 {
+            ev.push((5 * k, b'A'));
+            ev.push((5 * k + 2, b'B'));
+            if k % 3 == 0 {
+                ev.push((5 * k + 1, b'C'));
+            }
+        }
+        EventSequence::new(ev)
+    }
+
+    #[test]
+    fn seqmine_driver_matches_sequential() {
+        let params = DiscoveryParams::new(3, 8, 2, 0);
+        let seq = seqmine::discover::discover(seq_db(), params.clone());
+        for workers in [1, 3] {
+            assert_eq!(seq, parallel_seqmine(seq_db(), params.clone(), workers));
+        }
+    }
+
+    #[test]
+    fn treemine_driver_matches_sequential() {
+        let params = TreeDiscoveryParams {
+            min_size: 2,
+            max_size: 4,
+            min_occurrence: 3,
+            max_distance: 0,
+        };
+        let seq = treemine::discover::discover_tree_motifs(tree_db(), params.clone());
+        for workers in [1, 3] {
+            assert_eq!(seq, parallel_treemine(tree_db(), params.clone(), workers));
+        }
+    }
+
+    #[test]
+    fn episodes_driver_matches_sequential() {
+        let params = EpisodeParams {
+            window: 6,
+            min_windows: 20,
+            min_length: 1,
+            max_length: 3,
+        };
+        let seq = episodes::discover_episodes(&event_db(), params.clone());
+        for workers in [1, 3] {
+            assert_eq!(seq, parallel_episodes(&event_db(), params.clone(), workers));
+        }
+    }
+
+    #[test]
+    fn metered_lattice_drivers_emit_consistent_ledgers() {
+        let reg = MetricsRegistry::new();
+        let found = parallel_seqmine_metered(
+            seq_db(),
+            DiscoveryParams::new(3, 8, 2, 0),
+            3,
+            Some(reg.clone()),
+            None,
+        );
+        assert_eq!(
+            found,
+            seqmine::discover::discover(seq_db(), DiscoveryParams::new(3, 8, 2, 0))
+        );
+        let snap = reg.snapshot();
+        assert!(
+            snap.sum_counters(|k| k.starts_with("farm.seqmine.worker.") && k.ends_with(".tasks"))
+                > 0,
+            "the farm accounted its tasks under the seqmine name"
+        );
+        assert_eq!(snap.counter("farm.seqmine.leaked"), 0);
+        let violations = check_snapshot(&snap);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -24,7 +24,8 @@ use crate::gst::Gst;
 use crate::matcher::occurrence_number;
 use crate::seq::{Motif, Sequence};
 use fpdm_core::{
-    parallel_ett, sequential_ett, MiningOutcome, MiningProblem, ParallelConfig, PatternCodec,
+    parallel_ett, parallel_wave, sequential_ett, MiningOutcome, MiningProblem, ParallelConfig,
+    PatternCodec,
 };
 use std::sync::Arc;
 
@@ -239,6 +240,22 @@ pub fn discover_parallel(
     problem.report(&outcome)
 }
 
+/// Parallel discovery as the `"seqmine"` farm program: candidate-
+/// partitioned task waves over the GST extension lattice
+/// ([`fpdm_core::parallel_wave`]). Bit-identical to [`discover`] —
+/// workers grade candidate segments against the full database while the
+/// master owns the frontier — and runs unchanged over an in-process space
+/// or a socket broker (`config.space`).
+pub fn discover_farm(
+    sequences: Vec<Sequence>,
+    params: DiscoveryParams,
+    config: &ParallelConfig,
+) -> Vec<ActiveMotif> {
+    let problem = Arc::new(SeqMiningProblem::new(sequences, params));
+    let outcome = parallel_wave("seqmine", Arc::clone(&problem), config);
+    problem.report(&outcome)
+}
+
 /// Combine single-segment candidates into two-segment motifs `*X1*X2*`
 /// and evaluate them — the multi-VLDC pattern form of §2.3.4. Each
 /// combination pairs active segments whose lengths satisfy the "at least
@@ -360,6 +377,39 @@ mod tests {
         ] {
             let parallel = discover_parallel(db.clone(), p.clone(), &cfg);
             assert_eq!(sequential, parallel);
+        }
+    }
+
+    #[test]
+    fn farm_discovery_matches_golden_fixture() {
+        // The §2.3.1 doc-test database, mined on the farm: the report is
+        // pinned bit-for-bit, not merely compared against the sequential
+        // run.
+        let found = discover_farm(
+            seqs(&["FFRR", "MRRM", "MTRM", "DPKY", "AVLG"]),
+            params(2, 2, 0),
+            &ParallelConfig::load_balanced(3),
+        );
+        let names: Vec<String> = found.iter().map(|m| m.motif.to_string()).collect();
+        assert_eq!(names, vec!["*RM*", "*RR*"]);
+        assert!(found.iter().all(|m| m.occurrence == 2));
+    }
+
+    #[test]
+    fn farm_discovery_is_bit_identical_to_sequential() {
+        let db = seqs(&["GATTACA", "GATTTACA", "CATTACA", "TTACAGA", "ATTACAT"]);
+        let p = params(3, 2, 1);
+        let sequential = discover(db.clone(), p.clone());
+        for cfg in [
+            ParallelConfig::load_balanced(1),
+            ParallelConfig::load_balanced(4),
+            ParallelConfig::load_balanced(3).with_prefetch(4),
+            ParallelConfig::load_balanced(2)
+                .kill_after(std::time::Duration::from_millis(1), 0)
+                .kill_after(std::time::Duration::from_millis(2), 1),
+        ] {
+            let farm = discover_farm(db.clone(), p.clone(), &cfg);
+            assert_eq!(sequential, farm);
         }
     }
 

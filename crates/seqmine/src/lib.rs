@@ -38,8 +38,8 @@ pub mod matcher;
 pub mod seq;
 
 pub use discover::{
-    discover, discover_k_segment, discover_parallel, discover_two_segment, ActiveMotif,
-    DiscoveryParams, SeqMiningProblem,
+    discover, discover_farm, discover_k_segment, discover_parallel, discover_two_segment,
+    ActiveMotif, DiscoveryParams, SeqMiningProblem,
 };
 pub use gst::Gst;
 pub use matcher::{matches_within, min_mutations, occurrence_number};

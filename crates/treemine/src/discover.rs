@@ -17,7 +17,8 @@
 use crate::dist::occurrence_number;
 use crate::tree::OrderedTree;
 use fpdm_core::{
-    parallel_ett, sequential_ett, MiningOutcome, MiningProblem, ParallelConfig, PatternCodec,
+    parallel_ett, parallel_wave, sequential_ett, MiningOutcome, MiningProblem, ParallelConfig,
+    PatternCodec,
 };
 use std::sync::Arc;
 
@@ -190,6 +191,21 @@ pub fn discover_tree_motifs_parallel(
     problem.report(&outcome)
 }
 
+/// Parallel discovery as the `"treemine"` farm program: candidate-
+/// partitioned task waves over the rightmost-extension lattice
+/// ([`fpdm_core::parallel_wave`]). Bit-identical to
+/// [`discover_tree_motifs`]; runs unchanged over an in-process space or a
+/// socket broker (`config.space`).
+pub fn discover_tree_motifs_farm(
+    trees: Vec<OrderedTree>,
+    params: TreeDiscoveryParams,
+    config: &ParallelConfig,
+) -> Vec<ActiveTreeMotif> {
+    let problem = Arc::new(TreeMiningProblem::new(trees, params));
+    let outcome = parallel_wave("treemine", Arc::clone(&problem), config);
+    problem.report(&outcome)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +323,37 @@ mod tests {
         let seq = discover_tree_motifs(sample_set(), p.clone());
         let par = discover_tree_motifs_parallel(sample_set(), p, &ParallelConfig::load_balanced(3));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn farm_discovery_matches_golden_fixture() {
+        // The sample set's exact size-3 motif, mined on the farm: M(R,H)
+        // occurs in all four trees; the report is pinned bit-for-bit.
+        let found = discover_tree_motifs_farm(
+            sample_set(),
+            params(3, 4, 0),
+            &ParallelConfig::load_balanced(3),
+        );
+        let names: Vec<String> = found.iter().map(|m| m.motif.to_string()).collect();
+        assert_eq!(names, vec!["M(R,H)"]);
+        assert_eq!(found[0].occurrence, 4);
+    }
+
+    #[test]
+    fn farm_discovery_is_bit_identical_to_sequential() {
+        let p = params(2, 3, 1);
+        let sequential = discover_tree_motifs(sample_set(), p.clone());
+        for cfg in [
+            ParallelConfig::load_balanced(1),
+            ParallelConfig::load_balanced(4),
+            ParallelConfig::load_balanced(3).with_prefetch(3),
+            ParallelConfig::load_balanced(2)
+                .kill_after(std::time::Duration::from_millis(1), 1)
+                .kill_after(std::time::Duration::from_millis(2), 0),
+        ] {
+            let farm = discover_tree_motifs_farm(sample_set(), p.clone(), &cfg);
+            assert_eq!(sequential, farm);
+        }
     }
 
     #[test]

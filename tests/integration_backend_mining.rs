@@ -71,6 +71,75 @@ fn plet_lb_over_socket_survives_kills_with_consistent_ledger() {
 }
 
 #[test]
+fn seqmine_over_socket_equals_sequential() {
+    // One of the newly farmed miners over the broker: byte-identical
+    // report, even with a worker kill mid-run.
+    use fpdm::seqmine::{discover, DiscoveryParams, Sequence};
+    let db: Vec<Sequence> = ["GATTACA", "GATTTACA", "CATTACA", "TTACAGA", "ATTACAT"]
+        .iter()
+        .map(|s| Sequence::from_str(s))
+        .collect();
+    let params = DiscoveryParams::new(3, 7, 2, 0);
+    let reference = discover(db.clone(), params.clone());
+    assert!(!reference.is_empty());
+
+    let broker = Broker::start(BrokerConfig::new(socket_path("seqmine"))).unwrap();
+    let space = Arc::new(TupleSpace::connect_unix(broker.socket()).unwrap());
+    let reg = MetricsRegistry::new();
+    let cfg = ParallelConfig::load_balanced(3)
+        .kill_after(Duration::from_millis(2), 1)
+        .with_metrics(reg.clone())
+        .with_space(space);
+    let got = fpdm::seqmine::discover_farm(db, params, &cfg);
+    assert_eq!(reference, got);
+
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("farm.seqmine.leaked"), 0);
+    let violations = check_snapshot(&snap);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn treemine_and_episodes_over_socket_equal_sequential() {
+    use fpdm::episodes::{discover_episodes, EpisodeParams, EventSequence};
+    use fpdm::parmine::{parallel_episodes_metered, parallel_treemine_metered};
+    use fpdm::treemine::{discover_tree_motifs, OrderedTree, TreeDiscoveryParams};
+
+    let trees: Vec<OrderedTree> = ["N(M(R,H),I(B))", "N(M(R,H))", "M(R,H,B)", "I(M(R,H),B)"]
+        .iter()
+        .map(|s| OrderedTree::parse(s))
+        .collect();
+    let tparams = TreeDiscoveryParams {
+        min_size: 2,
+        max_size: 3,
+        min_occurrence: 4,
+        max_distance: 0,
+    };
+    let tref = discover_tree_motifs(trees.clone(), tparams.clone());
+    let broker = Broker::start(BrokerConfig::new(socket_path("treemine"))).unwrap();
+    let space = Arc::new(TupleSpace::connect_unix(broker.socket()).unwrap());
+    let got = parallel_treemine_metered(trees, tparams, 2, None, Some(space));
+    assert_eq!(tref, got);
+
+    let events = EventSequence::new(
+        (0..16u32)
+            .flat_map(|k| [(5 * k, b'A'), (5 * k + 2, b'B')])
+            .collect(),
+    );
+    let eparams = EpisodeParams {
+        window: 5,
+        min_windows: 30,
+        min_length: 2,
+        max_length: 3,
+    };
+    let eref = discover_episodes(&events, eparams.clone());
+    let broker = Broker::start(BrokerConfig::new(socket_path("episodes"))).unwrap();
+    let space = Arc::new(TupleSpace::connect_unix(broker.socket()).unwrap());
+    let got = parallel_episodes_metered(&events, eparams, 2, None, Some(space));
+    assert_eq!(eref, got);
+}
+
+#[test]
 fn apriori_over_socket_equals_sequential() {
     let db = Arc::new(basket_db(
         &BasketSpec {

@@ -68,6 +68,7 @@ proptest! {
                 recorder: None,
                 metrics: None,
                 space: None,
+                prefetch: None,
             };
             let plet = parallel_ett(Arc::clone(&p), &cfg);
             prop_assert_eq!(&reference.good, &plet.good);

@@ -46,6 +46,7 @@ fn optimistic_survives_worker_kills() {
         recorder: None,
         metrics: None,
         space: None,
+        prefetch: None,
     };
     let got = parallel_ett(Arc::clone(&p), &cfg);
     assert_eq!(reference.good, got.good);
@@ -133,6 +134,205 @@ fn metered_killed_run_accounts_for_every_respawn() {
     );
     let violations = check_snapshot(&snap);
     assert!(violations.is_empty(), "{violations:?}");
+}
+
+// ---------------------------------------------------------------------
+// The three farmed miners — seqmine, treemine, episodes — under the
+// PR 2 kill-schedule explorer and under real-thread kill schedules.
+// ---------------------------------------------------------------------
+
+mod farmed_miners {
+    use super::*;
+    use fpdm::core::farmcheck::{wave_expected_final, wave_explore_config};
+    use fpdm::core::MiningProblem;
+    use fpdm::episodes::{EpisodeMiningProblem, EpisodeParams, EventSequence};
+    use fpdm::plinda::check::{explore, ExploreReport};
+    use fpdm::seqmine::{DiscoveryParams, SeqMiningProblem, Sequence};
+    use fpdm::treemine::{OrderedTree, TreeDiscoveryParams, TreeMiningProblem};
+    use fpdm::{datagen, episodes, seqmine, treemine};
+
+    /// Run one miner problem through the interleaving explorer with a
+    /// kill at every commit boundary, asserting checker cleanliness and
+    /// equivalence with the sequential miner's good set.
+    fn explore_wave<P>(problem: std::sync::Arc<P>, workers: usize) -> ExploreReport
+    where
+        P: MiningProblem + fpdm::core::PatternCodec + 'static,
+    {
+        let mut cfg = wave_explore_config(std::sync::Arc::clone(&problem), workers);
+        cfg.random_schedules = 8;
+        cfg.seeds_per_kill = 2;
+        let report = explore(&cfg);
+        assert!(
+            report.is_clean(),
+            "{} of {} runs failed; first: {:#?}",
+            report.failures.len(),
+            report.runs,
+            report.failures.first()
+        );
+        assert_eq!(
+            report.reference_final,
+            wave_expected_final(&*problem),
+            "every schedule must publish exactly the sequential good set"
+        );
+        for (kp, fired) in &report.kills_fired {
+            assert!(*fired > 0, "kill at commit {} never fired", kp.commit);
+        }
+        report
+    }
+
+    #[test]
+    fn seqmine_wave_survives_every_commit_boundary_kill() {
+        let db: Vec<Sequence> = ["FFRR", "MRRM", "MTRM", "DPKY", "AVLG"]
+            .iter()
+            .map(|s| Sequence::from_str(s))
+            .collect();
+        let problem =
+            std::sync::Arc::new(SeqMiningProblem::new(db, DiscoveryParams::new(2, 3, 2, 0)));
+        let report = explore_wave(problem, 2);
+        assert!(!report.kill_points.is_empty());
+    }
+
+    #[test]
+    fn treemine_wave_survives_every_commit_boundary_kill() {
+        let trees: Vec<OrderedTree> = ["N(M(R,H),I(B))", "N(M(R,H))", "M(R,H,B)", "I(M(R,H),B)"]
+            .iter()
+            .map(|s| OrderedTree::parse(s))
+            .collect();
+        let problem = std::sync::Arc::new(TreeMiningProblem::new(
+            trees,
+            TreeDiscoveryParams {
+                min_size: 1,
+                max_size: 2,
+                min_occurrence: 3,
+                max_distance: 0,
+            },
+        ));
+        let report = explore_wave(problem, 2);
+        assert!(!report.kill_points.is_empty());
+    }
+
+    #[test]
+    fn episodes_wave_survives_every_commit_boundary_kill() {
+        let events = EventSequence::new(vec![
+            (0, b'A'),
+            (1, b'C'),
+            (2, b'B'),
+            (4, b'A'),
+            (5, b'B'),
+            (8, b'A'),
+            (9, b'C'),
+            (10, b'B'),
+        ]);
+        let problem = std::sync::Arc::new(EpisodeMiningProblem::new(
+            events,
+            EpisodeParams {
+                window: 4,
+                min_windows: 3,
+                min_length: 1,
+                max_length: 2,
+            },
+        ));
+        let report = explore_wave(problem, 3);
+        assert!(!report.kill_points.is_empty());
+    }
+
+    /// Assert the run's ledger shows a fully drained farm (`leaked == 0`
+    /// — the snapshot twin of `FarmReport.leaked` / `assert_drained`,
+    /// which the drivers also assert internally) and clean cross-layer
+    /// invariants.
+    fn assert_farm_drained(reg: &fpdm::plinda::MetricsRegistry, name: &str) {
+        use fpdm::plinda::metrics::check_snapshot;
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(&format!("farm.{name}.leaked")), 0);
+        assert!(
+            snap.sum_counters(
+                |k| k.starts_with(&format!("farm.{name}.worker.")) && k.ends_with(".tasks")
+            ) > 0,
+            "the {name} farm committed work"
+        );
+        let violations = check_snapshot(&snap);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn seqmine_farm_drains_under_kill_schedule() {
+        // datagen-scaled input: a planted-motif protein family.
+        let db =
+            datagen::protein_family(11, 8, 30, 5, &[datagen::PlantedMotif::exact("HLHRR", 0.9)]);
+        let params = DiscoveryParams::new(3, 5, 5, 0);
+        let sequential = seqmine::discover(db.clone(), params.clone());
+        let reg = fpdm::plinda::MetricsRegistry::new();
+        let cfg = ParallelConfig::load_balanced(3)
+            .kill_after(Duration::from_millis(1), 0)
+            .kill_after(Duration::from_millis(3), 1)
+            .kill_after(Duration::from_millis(5), 2)
+            .with_metrics(reg.clone());
+        let farmed = seqmine::discover_farm(db, params, &cfg);
+        assert_eq!(sequential, farmed);
+        assert_farm_drained(&reg, "seqmine");
+    }
+
+    #[test]
+    fn treemine_farm_drains_under_kill_schedule() {
+        let motif = OrderedTree::parse("M(R,H)");
+        let trees = datagen::rna_structures(23, 6, 8, &[(motif, 0.9)]);
+        let params = TreeDiscoveryParams {
+            min_size: 2,
+            max_size: 3,
+            min_occurrence: 4,
+            max_distance: 0,
+        };
+        let sequential = treemine::discover_tree_motifs(trees.clone(), params.clone());
+        let reg = fpdm::plinda::MetricsRegistry::new();
+        let cfg = ParallelConfig::load_balanced(3)
+            .kill_after(Duration::from_millis(1), 1)
+            .kill_after(Duration::from_millis(2), 0)
+            .with_metrics(reg.clone());
+        let farmed = treemine::discover_tree_motifs_farm(trees, params, &cfg);
+        assert_eq!(sequential, farmed);
+        assert_farm_drained(&reg, "treemine");
+    }
+
+    #[test]
+    fn episodes_farm_drains_under_kill_schedule() {
+        let events = EventSequence::new(datagen::event_stream(31, 120, 4, 0.3, &[(b"ab", 10)]));
+        let params = EpisodeParams {
+            window: 6,
+            min_windows: 20,
+            min_length: 2,
+            max_length: 3,
+        };
+        let sequential = episodes::discover_episodes(&events, params.clone());
+        let reg = fpdm::plinda::MetricsRegistry::new();
+        let cfg = ParallelConfig::load_balanced(2)
+            .kill_after(Duration::from_millis(1), 0)
+            .kill_after(Duration::from_millis(2), 1)
+            .with_metrics(reg.clone());
+        let farmed = episodes::discover_episodes_farm(&events, params, &cfg);
+        assert_eq!(sequential, farmed);
+        assert_farm_drained(&reg, "episodes");
+    }
+
+    #[test]
+    fn killed_miner_run_passes_the_trace_checkers() {
+        use fpdm::plinda::check::check_trace;
+        use fpdm::plinda::Recorder;
+        let db =
+            datagen::protein_family(41, 6, 24, 4, &[datagen::PlantedMotif::exact("WWKR", 0.8)]);
+        let params = DiscoveryParams::new(3, 4, 4, 0);
+        let sequential = seqmine::discover(db.clone(), params.clone());
+        let rec = Recorder::new();
+        let cfg = ParallelConfig::load_balanced(3)
+            .kill_after(Duration::from_millis(1), 2)
+            .kill_after(Duration::from_millis(3), 0)
+            .with_recorder(rec.clone());
+        let farmed = seqmine::discover_farm(db, params, &cfg);
+        assert_eq!(sequential, farmed);
+        let trace = rec.take();
+        assert!(!trace.events.is_empty());
+        let report = check_trace(&trace, &[]);
+        assert!(report.is_clean(), "{report}");
+    }
 }
 
 #[test]

@@ -75,6 +75,98 @@ fn real_and_simulated_ledgers_share_the_frozen_schema() {
     }
 }
 
+/// One metered run per farmed lattice miner, on doc-test-scale inputs.
+fn miner_ledgers() -> Vec<(&'static str, MetricsSnapshot)> {
+    use fpdm::episodes::{EpisodeParams, EventSequence};
+    use fpdm::parmine::{
+        parallel_episodes_metered, parallel_seqmine_metered, parallel_treemine_metered,
+    };
+    use fpdm::seqmine::{DiscoveryParams, Sequence};
+    use fpdm::treemine::{OrderedTree, TreeDiscoveryParams};
+
+    let mut out = Vec::new();
+
+    let reg = MetricsRegistry::new();
+    let db: Vec<Sequence> = ["GATTACA", "GATTTACA", "CATTACA", "TTACAGA"]
+        .iter()
+        .map(|s| Sequence::from_str(s))
+        .collect();
+    let found = parallel_seqmine_metered(
+        db.clone(),
+        DiscoveryParams::new(3, 7, 2, 0),
+        3,
+        Some(reg.clone()),
+        None,
+    );
+    assert_eq!(
+        found,
+        fpdm::seqmine::discover(db, DiscoveryParams::new(3, 7, 2, 0))
+    );
+    out.push(("seqmine", reg.snapshot()));
+
+    let reg = MetricsRegistry::new();
+    let trees: Vec<OrderedTree> = ["N(M(R,H),I(B))", "N(M(R,H))", "M(R,H,B)", "I(M(R,H),B)"]
+        .iter()
+        .map(|s| OrderedTree::parse(s))
+        .collect();
+    let params = TreeDiscoveryParams {
+        min_size: 2,
+        max_size: 3,
+        min_occurrence: 4,
+        max_distance: 0,
+    };
+    let found =
+        parallel_treemine_metered(trees.clone(), params.clone(), 2, Some(reg.clone()), None);
+    assert_eq!(found, fpdm::treemine::discover_tree_motifs(trees, params));
+    out.push(("treemine", reg.snapshot()));
+
+    let reg = MetricsRegistry::new();
+    let events = EventSequence::new(
+        (0..16u32)
+            .flat_map(|k| [(5 * k, b'A'), (5 * k + 2, b'B')])
+            .collect(),
+    );
+    let params = EpisodeParams {
+        window: 5,
+        min_windows: 30,
+        min_length: 2,
+        max_length: 3,
+    };
+    let found = parallel_episodes_metered(&events, params.clone(), 2, Some(reg.clone()), None);
+    assert_eq!(found, fpdm::episodes::discover_episodes(&events, params));
+    out.push(("episodes", reg.snapshot()));
+
+    out
+}
+
+#[test]
+fn farmed_miner_ledgers_share_the_frozen_schema() {
+    // The three new farm programs emit the same `fpdm.metrics.v1` ledger
+    // as every other driver: identical schema header to a known-good real
+    // run, lossless round-trip, clean invariants, and per-program farm
+    // accounting under the miner's own farm name.
+    let reference = real_ledger();
+    let ref_header = reference.to_json().lines().nth(1).map(str::to_owned);
+    for (name, snap) in miner_ledgers() {
+        let json = snap.to_json();
+        assert_eq!(
+            json.lines().nth(1).map(str::to_owned),
+            ref_header,
+            "{name}: schema header differs from the frozen fpdm.metrics.v1"
+        );
+        assert_eq!(MetricsSnapshot::from_json(&json).unwrap(), snap, "{name}");
+
+        let tasks = snap.sum_counters(|k| {
+            k.starts_with(&format!("farm.{name}.worker.")) && k.ends_with(".tasks")
+        });
+        assert!(tasks > 0, "{name}: farm accounted no tasks");
+        assert_eq!(snap.counter(&format!("farm.{name}.leaked")), 0, "{name}");
+
+        let violations = check_snapshot(&snap);
+        assert!(violations.is_empty(), "{name}: {violations:?}");
+    }
+}
+
 #[test]
 fn text_export_renders_both_ledgers() {
     // The aligned-text exporter is the human half of the surface; it must

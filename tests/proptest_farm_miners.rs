@@ -1,0 +1,117 @@
+//! Property tests for the farmed lattice miners (seqmine, treemine,
+//! episodes): parallel output equals sequential output under randomized
+//! worker counts (1–8), randomized kill schedules, and both backends
+//! (in-process `LocalBackend` and an `fpdm-spaced` Unix-socket broker).
+//!
+//! The vendored proptest stand-in is seeded and deterministic (each
+//! failure replays by rerunning the test) but does not shrink, so the
+//! strategies here keep inputs doc-test-scale: a failing case prints
+//! directly debuggable databases rather than relying on minimisation.
+
+use fpdm::core::prelude::*;
+use fpdm::datagen::{event_stream, protein_family, rna_structures, PlantedMotif};
+use fpdm::episodes::{discover_episodes, discover_episodes_farm, EpisodeParams, EventSequence};
+use fpdm::plinda::{Broker, BrokerConfig, TupleSpace};
+use fpdm::seqmine::{discover, discover_farm, DiscoveryParams};
+use fpdm::treemine::{
+    discover_tree_motifs, discover_tree_motifs_farm, OrderedTree, TreeDiscoveryParams,
+};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Distinct socket path per broker, so concurrent cases never collide.
+static SOCKET_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Build one randomized farm configuration. Kill delays land in the
+/// 1–8ms band where workers are typically mid-task, and victims wrap
+/// around the worker count so every schedule is valid. The broker (when
+/// the socket backend is drawn) must outlive the run, so it is returned
+/// alongside the config.
+fn farm_config(
+    workers: usize,
+    kills: &[(u64, usize)],
+    socket: bool,
+) -> (ParallelConfig, Option<Broker>) {
+    let mut cfg = ParallelConfig::load_balanced(workers);
+    for &(ms, victim) in kills {
+        cfg = cfg.kill_after(Duration::from_millis(1 + ms % 8), victim % workers);
+    }
+    if socket {
+        let path = std::env::temp_dir().join(format!(
+            "fpdm-prop-{}-{}.sock",
+            std::process::id(),
+            SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let broker = Broker::start(BrokerConfig::new(path)).unwrap();
+        let space = Arc::new(TupleSpace::connect_unix(broker.socket()).unwrap());
+        (cfg.with_space(space), Some(broker))
+    } else {
+        (cfg, None)
+    }
+}
+
+/// Randomized schedule of up to three kills: (delay entropy, victim).
+fn arb_kills() -> impl Strategy<Value = Vec<(u64, usize)>> {
+    prop::collection::vec((0u64..64, 0usize..8), 0..3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn seqmine_farm_equals_sequential(
+        seed in 0u64..10_000,
+        workers in 1usize..9,
+        kills in arb_kills(),
+        socket in any::<bool>(),
+    ) {
+        let db = protein_family(seed, 6, 18, 4, &[PlantedMotif::exact("HLRR", 0.8)]);
+        let params = DiscoveryParams::new(3, 5, 4, 0);
+        let reference = discover(db.clone(), params.clone());
+        let (cfg, _broker) = farm_config(workers, &kills, socket);
+        let got = discover_farm(db, params, &cfg);
+        prop_assert_eq!(reference, got);
+    }
+
+    #[test]
+    fn treemine_farm_equals_sequential(
+        seed in 0u64..10_000,
+        workers in 1usize..9,
+        kills in arb_kills(),
+        socket in any::<bool>(),
+    ) {
+        let trees = rna_structures(seed, 5, 7, &[(OrderedTree::parse("M(R,H)"), 0.8)]);
+        let params = TreeDiscoveryParams {
+            min_size: 2,
+            max_size: 3,
+            min_occurrence: 3,
+            max_distance: 0,
+        };
+        let reference = discover_tree_motifs(trees.clone(), params.clone());
+        let (cfg, _broker) = farm_config(workers, &kills, socket);
+        let got = discover_tree_motifs_farm(trees, params, &cfg);
+        prop_assert_eq!(reference, got);
+    }
+
+    #[test]
+    fn episodes_farm_equals_sequential(
+        seed in 0u64..10_000,
+        workers in 1usize..9,
+        kills in arb_kills(),
+        socket in any::<bool>(),
+    ) {
+        let events = EventSequence::new(event_stream(seed, 100, 3, 0.3, &[(b"ab", 9)]));
+        let params = EpisodeParams {
+            window: 6,
+            min_windows: 20,
+            min_length: 1,
+            max_length: 3,
+        };
+        let reference = discover_episodes(&events, params.clone());
+        let (cfg, _broker) = farm_config(workers, &kills, socket);
+        let got = discover_episodes_farm(&events, params, &cfg);
+        prop_assert_eq!(reference, got);
+    }
+}
