@@ -75,6 +75,13 @@ pub struct ParallelConfig {
     /// per transaction. `None` keeps the farm default (1 in-process, 8 over
     /// a socket backend).
     pub prefetch: Option<usize>,
+    /// Optional per-job tag appended to the farm program name
+    /// (`"<name>.<tag>"`), namespacing the task/result/counter channels.
+    /// Required when concurrent jobs of the *same* program share one
+    /// space (e.g. two tenants both running seqmine over a warm broker):
+    /// channel names are otherwise fixed per program, so untagged
+    /// concurrent runs would cross-deliver tasks and results.
+    pub job_tag: Option<String>,
 }
 
 impl ParallelConfig {
@@ -89,6 +96,7 @@ impl ParallelConfig {
             metrics: None,
             space: None,
             prefetch: None,
+            job_tag: None,
         }
     }
 
@@ -103,6 +111,7 @@ impl ParallelConfig {
             metrics: None,
             space: None,
             prefetch: None,
+            job_tag: None,
         }
     }
 
@@ -145,6 +154,24 @@ impl ParallelConfig {
     pub fn with_prefetch(mut self, n: usize) -> Self {
         self.prefetch = Some(n);
         self
+    }
+
+    /// Namespace this run's farm channels as `"<program>.<tag>"` — see
+    /// [`ParallelConfig::job_tag`]. Mandatory for concurrent same-program
+    /// jobs over a shared space; harmless (a longer channel name) on a
+    /// private one.
+    pub fn with_job_tag(mut self, tag: impl Into<String>) -> Self {
+        self.job_tag = Some(tag.into());
+        self
+    }
+
+    /// The farm program name for this run: `base` suffixed with the job
+    /// tag, if one is set.
+    pub fn farm_name(&self, base: &str) -> String {
+        match &self.job_tag {
+            Some(tag) => format!("{base}.{tag}"),
+            None => base.to_owned(),
+        }
     }
 }
 
@@ -214,9 +241,10 @@ where
     assert!(config.workers >= 1, "need at least one worker");
 
     // PLED worker (Fig. 3.5): evaluate goodness of task patterns.
+    let name = config.farm_name("pled");
     let wp = Arc::clone(&problem);
     let farm = TaskFarm::<Vec<u8>, (Vec<u8>, f64)>::start(
-        "pled",
+        &name,
         bag_config(config),
         move |scope, _flag, enc| {
             let p = wp.decode_pattern(&enc);
@@ -275,7 +303,7 @@ where
         frontier = next_frontier;
     }
 
-    assert_drained("pled", &farm.finish());
+    assert_drained(&name, &farm.finish());
     outcome
 }
 
@@ -314,9 +342,10 @@ where
     assert!(config.workers >= 1, "need at least one worker");
 
     // Worker: grade one candidate; report `(encoding, goodness)`.
+    let name = config.farm_name(name);
     let wp = Arc::clone(&problem);
     let farm = TaskFarm::<Vec<u8>, (Vec<u8>, f64)>::start(
-        name,
+        &name,
         bag_config(config),
         move |scope, _flag, enc| {
             let p = wp.decode_pattern(&enc);
@@ -367,7 +396,7 @@ where
         wave = next;
     }
 
-    assert_drained(name, &farm.finish());
+    assert_drained(&name, &farm.finish());
     outcome
 }
 
@@ -420,9 +449,10 @@ where
             // counter happens in the same transaction as consuming it and
             // publishing its children and report, so the counter reads
             // zero exactly when every report has committed.
+            let name = config.farm_name("plet-lb");
             let wp = Arc::clone(&problem);
             let farm =
-                TaskFarm::<Vec<u8>, DoneReport>::start("plet-lb", cfg, move |scope, _flag, enc| {
+                TaskFarm::<Vec<u8>, DoneReport>::start(&name, cfg, move |scope, _flag, enc| {
                     let p = wp.decode_pattern(&enc);
                     let g = wp.goodness(&p);
                     let good = wp.is_good(&p, g);
@@ -454,15 +484,14 @@ where
                     outcome.good.insert(p, g);
                 }
             }
-            assert_drained("plet-lb", &farm.finish());
+            assert_drained(&name, &farm.finish());
         }
         WorkerStrategy::Optimistic => {
             // Fig. 4.5 worker: take one task, finish the whole subtree.
+            let name = config.farm_name("plet-opt");
             let wp = Arc::clone(&problem);
-            let farm = TaskFarm::<Vec<u8>, Vec<Value>>::start(
-                "plet-opt",
-                cfg,
-                move |scope, _flag, enc| {
+            let farm =
+                TaskFarm::<Vec<u8>, Vec<Value>>::start(&name, cfg, move |scope, _flag, enc| {
                     let mut results: Vec<Value> = Vec::new();
                     let mut stack = vec![wp.decode_pattern(&enc)];
                     while let Some(p) = stack.pop() {
@@ -479,8 +508,7 @@ where
                     }
                     scope.result(&results);
                     Ok(())
-                },
-            );
+                });
 
             // Fig. 4.4 master: one subtree report per initial task.
             let encoded: Vec<Vec<u8>> =
@@ -503,7 +531,7 @@ where
                     }
                 }
             }
-            assert_drained("plet-opt", &farm.finish());
+            assert_drained(&name, &farm.finish());
         }
     }
 
@@ -555,9 +583,10 @@ where
     // tasks expand in place with counter-based termination (PLET mode).
     // The two phases are disjoint in time, so they share one result
     // channel: EVAL reports carry zeroed expansion fields.
+    let name = config.farm_name("hybrid");
     let wp = Arc::clone(&problem);
     let farm = TaskFarm::<Vec<u8>, DoneReport>::start(
-        "hybrid",
+        &name,
         bag_config(config),
         move |scope, flag, enc| {
             let p = wp.decode_pattern(&enc);
@@ -638,7 +667,7 @@ where
         }
     }
 
-    assert_drained("hybrid", &farm.finish());
+    assert_drained(&name, &farm.finish());
     outcome
 }
 

@@ -123,7 +123,7 @@ impl EventSequence {
 }
 
 /// Discovery parameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EpisodeParams {
     /// Window width `w`.
     pub window: u32,

@@ -47,3 +47,9 @@ pub use datagen;
 
 /// Frequent episode discovery (the §8.2 future-work application).
 pub use episodes;
+
+/// Mining-as-a-service front end: resident service, catalog, admission.
+pub use fpdm_service as service;
+
+/// Deterministic virtual-time load generation for the service.
+pub use fpdm_loadgen as loadgen;

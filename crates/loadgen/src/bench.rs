@@ -1,0 +1,158 @@
+//! The committed service benchmark: `BENCH_service.json`.
+//!
+//! Same flat `"key": number` shape and check discipline as
+//! `BENCH_backend.json` / `BENCH_classify.json` (see
+//! `examples/backend_bench.rs`): a profile's [`LoadReport`] flattens to
+//! `<profile>_*` keys, `--check` compares a fresh replay against the
+//! committed file and fails CI on regression. Because the replay is
+//! virtual-time deterministic, a clean tree reproduces the committed
+//! numbers *exactly* — the tolerance only absorbs intentional retunes of
+//! costs or policy, at which point the file is regenerated and the diff
+//! reviewed like any other golden artefact.
+//!
+//! Gated keys: `*_p99_ns` (latency; increase is a regression) and
+//! `*_throughput_rps` (decrease is a regression). The rest are context.
+
+use crate::sim::LoadReport;
+use std::collections::BTreeMap;
+
+/// Default regression tolerance for `--check`, in percent.
+pub const TOLERANCE_PCT: f64 = 25.0;
+
+/// Flatten profile reports into benchmark keys.
+pub fn flatten(profiles: &[(&str, &LoadReport)]) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+    for (name, r) in profiles {
+        m.insert(format!("{name}_requests"), r.requests as f64);
+        m.insert(format!("{name}_completed"), r.completed as f64);
+        m.insert(format!("{name}_p50_ns"), r.p50_ns as f64);
+        m.insert(format!("{name}_p99_ns"), r.p99_ns as f64);
+        m.insert(format!("{name}_throughput_rps"), r.throughput_rps);
+        m.insert(format!("{name}_shed_ppm"), r.shed_ppm as f64);
+    }
+    m
+}
+
+/// Write the flat benchmark JSON.
+pub fn write_json(path: &str, metrics: &BTreeMap<String, f64>) -> std::io::Result<()> {
+    let mut body = String::from("{\n  \"schema\": 1,\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        body.push_str(&format!("  \"{k}\": {v:.3}{sep}\n"));
+    }
+    body.push_str("}\n");
+    std::fs::write(path, body)
+}
+
+/// Parse the flat `"key": number` pairs back out of a baseline file.
+pub fn read_json(path: &str) -> std::io::Result<BTreeMap<String, f64>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.insert(key.to_string(), v);
+        }
+    }
+    Ok(out)
+}
+
+/// Compare fresh metrics against the committed baseline; returns the
+/// gated metrics that regressed beyond `tol_pct`. Fresh keys with no
+/// baseline are reported as informational and skipped, so adding a
+/// profile does not fail the gate retroactively.
+pub fn check(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    tol_pct: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (key, &new) in fresh {
+        // Up-is-bad for p99, down-is-bad for throughput; everything else
+        // is context.
+        let sign = if key.ends_with("_p99_ns") {
+            1.0
+        } else if key.ends_with("_throughput_rps") {
+            -1.0
+        } else {
+            continue;
+        };
+        let Some(&old) = baseline.get(key) else {
+            eprintln!("  [new metric {key}: {new:.1}, no baseline — skipped]");
+            continue;
+        };
+        if old == 0.0 {
+            continue;
+        }
+        let delta_pct = (new - old) / old * 100.0;
+        let regressed = sign * delta_pct > tol_pct;
+        let verdict = if regressed { "REGRESSED" } else { "ok" };
+        eprintln!("  {key:<26} {old:14.1} -> {new:14.1}  {delta_pct:+7.1}%  {verdict}");
+        if regressed {
+            failures.push(format!("{key}: {old:.1} -> {new:.1} ({delta_pct:+.1}%)"));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(p99: u64, rps: f64) -> LoadReport {
+        LoadReport {
+            requests: 100,
+            completed: 90,
+            shed: 10,
+            p50_ns: p99 / 2,
+            p99_ns: p99,
+            max_ns: p99 * 2,
+            makespan_ns: 1_000_000_000,
+            throughput_rps: rps,
+            shed_ppm: 100_000,
+        }
+    }
+
+    #[test]
+    fn gate_catches_p99_and_throughput_regressions_only() {
+        let old = report(1000, 100.0);
+        let baseline = flatten(&[("smoke", &old)]);
+        // Within tolerance: fine.
+        let ok = report(1200, 90.0);
+        assert!(check(&baseline, &flatten(&[("smoke", &ok)]), 25.0).is_empty());
+        // p99 blow-up: caught.
+        let slow = report(2000, 100.0);
+        assert_eq!(
+            check(&baseline, &flatten(&[("smoke", &slow)]), 25.0).len(),
+            1
+        );
+        // Throughput collapse: caught.
+        let weak = report(1000, 50.0);
+        assert_eq!(
+            check(&baseline, &flatten(&[("smoke", &weak)]), 25.0).len(),
+            1
+        );
+        // Faster and higher-throughput: never a regression.
+        let better = report(100, 500.0);
+        assert!(check(&baseline, &flatten(&[("smoke", &better)]), 25.0).is_empty());
+        // A profile missing from the baseline is skipped, not failed.
+        assert!(check(&baseline, &flatten(&[("full", &slow)]), 25.0).is_empty());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let metrics = flatten(&[("smoke", &report(1234, 56.789))]);
+        let dir = std::env::temp_dir().join(format!("fpdm-loadgen-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        write_json(path.to_str().unwrap(), &metrics).unwrap();
+        let back = read_json(path.to_str().unwrap()).unwrap();
+        assert_eq!(back.get("smoke_p99_ns"), Some(&1234.0));
+        assert_eq!(back.get("schema"), Some(&1.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,174 @@
+//! `loadgen` — replay owner-activity request traces against the service's
+//! admission controller in virtual time.
+//!
+//!     loadgen [--profile smoke|full] [--requests N] [--tenants N]
+//!             [--seed N] [--run-slots N]
+//!             [--check BASELINE] [--out PATH] [--tolerance PCT]
+//!
+//! With `--check`, replays the selected profile(s) and compares against
+//! the committed `BENCH_service.json`, exiting 1 on regression. With
+//! `--out`, writes a fresh baseline. Otherwise prints the report(s).
+//! Without `--profile`, both profiles run (that is how the committed
+//! baseline carrying both key sets is produced).
+
+use fpdm_loadgen::{bench, owner_activity_trace, run, LoadReport, SimConfig, TraceConfig};
+use plinda::metrics::MetricsRegistry;
+use std::collections::BTreeMap;
+
+struct Profile {
+    name: &'static str,
+    requests: usize,
+    tenants: usize,
+    horizon_secs: f64,
+}
+
+/// The two committed profiles. Offered load sits above the default
+/// capacity of 4 slots × ~4 ms mean cost (≈1000 req/s) during activity
+/// bursts, so both profiles exercise queueing and shedding.
+const PROFILES: [Profile; 2] = [
+    Profile {
+        name: "smoke",
+        requests: 250_000,
+        tenants: 16,
+        horizon_secs: 350.0,
+    },
+    Profile {
+        name: "full",
+        requests: 1_000_000,
+        tenants: 32,
+        horizon_secs: 1400.0,
+    },
+];
+
+fn replay(profile: &Profile, seed: u64, requests: usize, run_slots: usize) -> LoadReport {
+    let trace = owner_activity_trace(&TraceConfig::new(
+        seed,
+        profile.tenants,
+        profile.horizon_secs,
+        requests,
+    ));
+    let mut cfg = SimConfig {
+        seed,
+        ..SimConfig::default()
+    };
+    cfg.admission.run_slots = run_slots;
+    let reg = MetricsRegistry::new();
+    let report = run(&trace, &cfg, &reg);
+    let problems = plinda::metrics::check_snapshot(&reg.snapshot());
+    assert!(
+        problems.is_empty(),
+        "ledger invariants violated: {problems:?}"
+    );
+    report
+}
+
+fn print_report(name: &str, r: &LoadReport, wall: std::time::Duration) {
+    println!(
+        "{name}: {} requests -> {} completed, {} shed ({} ppm)",
+        r.requests, r.completed, r.shed, r.shed_ppm
+    );
+    println!(
+        "{name}: p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+        r.p50_ns as f64 / 1e6,
+        r.p99_ns as f64 / 1e6,
+        r.max_ns as f64 / 1e6
+    );
+    println!(
+        "{name}: {:.1} req/s over {:.1} virtual s ({:.2} wall s)",
+        r.throughput_rps,
+        r.makespan_ns as f64 / 1e9,
+        wall.as_secs_f64()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile_filter: Option<String> = None;
+    let mut requests_override: Option<usize> = None;
+    let mut seed = 1u64;
+    let mut run_slots = 4usize;
+    let mut baseline_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut tolerance = bench::TOLERANCE_PCT;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--profile" => profile_filter = it.next().cloned(),
+            "--requests" => requests_override = it.next().and_then(|v| v.parse().ok()),
+            "--seed" => seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(seed),
+            "--run-slots" => {
+                run_slots = it.next().and_then(|v| v.parse().ok()).unwrap_or(run_slots)
+            }
+            "--check" => baseline_path = it.next().cloned(),
+            "--out" => out_path = it.next().cloned(),
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(bench::TOLERANCE_PCT)
+            }
+            other => {
+                eprintln!(
+                    "usage: loadgen [--profile smoke|full] [--requests N] [--seed N] \
+                     [--run-slots N] [--check BASELINE] [--out PATH] [--tolerance PCT]"
+                );
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let selected: Vec<&Profile> = PROFILES
+        .iter()
+        .filter(|p| profile_filter.as_deref().is_none_or(|f| f == p.name))
+        .collect();
+    if selected.is_empty() {
+        eprintln!(
+            "no such profile {:?}; available: smoke, full",
+            profile_filter.unwrap_or_default()
+        );
+        std::process::exit(2);
+    }
+
+    let mut reports: Vec<(&str, LoadReport)> = Vec::new();
+    for p in &selected {
+        let requests = requests_override.unwrap_or(p.requests);
+        let t0 = std::time::Instant::now();
+        let r = replay(p, seed, requests, run_slots);
+        print_report(p.name, &r, t0.elapsed());
+        reports.push((p.name, r));
+    }
+    let flat: BTreeMap<String, f64> = bench::flatten(
+        &reports
+            .iter()
+            .map(|(n, r)| (*n, r))
+            .collect::<Vec<(&str, &LoadReport)>>(),
+    );
+
+    if let Some(path) = baseline_path {
+        let baseline = match bench::read_json(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("service load gate: vs {path} (tolerance {tolerance}%)");
+        let failures = bench::check(&baseline, &flat, tolerance);
+        if failures.is_empty() {
+            eprintln!("service load gate: ok");
+        } else {
+            eprintln!("service load gate: {} regression(s):", failures.len());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    } else if let Some(path) = out_path {
+        if let Err(e) = bench::write_json(&path, &flat) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Owner-activity request traces.
+//!
+//! The dissertation's free-cycle harvesting is driven by *owner activity*:
+//! workstations mine while their owners are away. A mining *service* sees
+//! the mirror image — clients submit jobs while their owners are **at**
+//! the keyboard. This module reuses [`nowsim::traces::workday_pool`]'s
+//! busy/idle owner schedules as tenant activity schedules: every request a
+//! tenant issues lands inside one of its owner-active bursts, so the
+//! offered load arrives in desynchronised waves rather than as a uniform
+//! stream — exactly the regime that makes admission control interesting.
+//!
+//! Generation is fully deterministic in the seed (same xorshift family as
+//! `nowsim`), produces *exactly* `requests` arrivals, and is sorted by
+//! arrival time, so a trace is a pure function of its [`TraceConfig`].
+
+use nowsim::traces::{workday_pool, OwnerPattern};
+
+/// Request kinds a synthetic client may issue, indexed `0..KINDS`. The
+/// simulator assigns each kind a virtual service cost; the labels mirror
+/// the real [`fpdm_service::MiningRequest`] variants.
+pub const KIND_LABELS: [&str; 5] = ["seqmine", "treemine", "episodes", "classify", "apriori"];
+
+/// Number of request kinds.
+pub const KINDS: usize = KIND_LABELS.len();
+
+/// Trace-generation parameters.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Master seed; every derived stream re-mixes it.
+    pub seed: u64,
+    /// Number of tenants (one owner-activity schedule each).
+    pub tenants: usize,
+    /// Trace horizon in simulated seconds.
+    pub horizon_secs: f64,
+    /// Exact number of arrivals to generate.
+    pub requests: usize,
+    /// Owner busy/idle rhythm.
+    pub pattern: OwnerPattern,
+}
+
+impl TraceConfig {
+    /// A trace of `requests` arrivals from `tenants` tenants over
+    /// `horizon_secs`, with the default owner rhythm.
+    pub fn new(seed: u64, tenants: usize, horizon_secs: f64, requests: usize) -> Self {
+        TraceConfig {
+            seed,
+            tenants,
+            horizon_secs,
+            requests,
+            pattern: OwnerPattern::default(),
+        }
+    }
+}
+
+/// One client request arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Virtual arrival time in nanoseconds from trace start.
+    pub at_ns: u64,
+    /// Issuing tenant.
+    pub tenant: i64,
+    /// Request kind, an index into [`KIND_LABELS`].
+    pub kind: u8,
+}
+
+/// The same xorshift as `nowsim::traces` (kept private there; the mixing
+/// constants are part of this crate's determinism contract, not shared
+/// state).
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        let mut x = XorShift(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+        for _ in 0..8 {
+            x.next();
+        }
+        x
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform f64 in [0, 1).
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A tenant's activity schedule: its busy intervals clipped to the
+/// horizon, plus their total length for uniform sampling.
+struct Activity {
+    intervals: Vec<(f64, f64)>,
+    total: f64,
+}
+
+/// Generate the arrival trace: exactly `cfg.requests` arrivals, each
+/// placed uniformly within the issuing tenant's owner-active time,
+/// tenants taken round-robin, sorted by arrival time.
+pub fn owner_activity_trace(cfg: &TraceConfig) -> Vec<Arrival> {
+    assert!(cfg.tenants >= 1, "need at least one tenant");
+    assert!(cfg.horizon_secs > 0.0, "horizon must be positive");
+    let pool = workday_pool(cfg.seed, cfg.tenants, cfg.horizon_secs, &cfg.pattern);
+    let active: Vec<(i64, Activity)> = pool
+        .iter()
+        .enumerate()
+        .filter_map(|(t, spec)| {
+            let intervals: Vec<(f64, f64)> = spec
+                .busy
+                .iter()
+                .map(|&(a, b)| (a.min(cfg.horizon_secs), b.min(cfg.horizon_secs)))
+                .filter(|&(a, b)| b > a)
+                .collect();
+            let total: f64 = intervals.iter().map(|&(a, b)| b - a).sum();
+            (total > 0.0).then_some((t as i64, Activity { intervals, total }))
+        })
+        .collect();
+    assert!(
+        !active.is_empty(),
+        "no tenant is ever owner-active within the horizon"
+    );
+
+    let mut rng = XorShift::new(cfg.seed ^ 0x5eed_ab1e);
+    let mut out: Vec<Arrival> = (0..cfg.requests)
+        .map(|i| {
+            let (tenant, activity) = &active[i % active.len()];
+            // A uniform draw over the tenant's total active time, mapped
+            // through its interval list to an absolute trace time.
+            let mut offset = rng.unit() * activity.total;
+            let mut at = activity.intervals[activity.intervals.len() - 1].1;
+            for &(a, b) in &activity.intervals {
+                if offset <= b - a {
+                    at = a + offset;
+                    break;
+                }
+                offset -= b - a;
+            }
+            Arrival {
+                at_ns: (at * 1e9) as u64,
+                tenant: *tenant,
+                kind: (rng.next() % KINDS as u64) as u8,
+            }
+        })
+        .collect();
+    out.sort_by_key(|a| (a.at_ns, a.tenant, a.kind));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count_sorted_and_deterministic() {
+        let cfg = TraceConfig::new(42, 8, 7200.0, 5000);
+        let a = owner_activity_trace(&cfg);
+        let b = owner_activity_trace(&cfg);
+        assert_eq!(a.len(), 5000);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        let c = owner_activity_trace(&TraceConfig::new(43, 8, 7200.0, 5000));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_land_inside_owner_active_bursts() {
+        let cfg = TraceConfig::new(7, 4, 10_000.0, 2000);
+        let pool = workday_pool(cfg.seed, cfg.tenants, cfg.horizon_secs, &cfg.pattern);
+        for arr in owner_activity_trace(&cfg) {
+            let t = arr.at_ns as f64 / 1e9;
+            let spec = &pool[arr.tenant as usize];
+            assert!(
+                spec.busy
+                    .iter()
+                    .any(|&(a, b)| t >= a - 1e-6 && t <= b + 1e-6),
+                "arrival at {t} outside tenant {} activity",
+                arr.tenant
+            );
+        }
+    }
+
+    #[test]
+    fn kinds_cover_the_mix() {
+        let cfg = TraceConfig::new(1, 4, 20_000.0, 10_000);
+        let mut seen = [0usize; KINDS];
+        for arr in owner_activity_trace(&cfg) {
+            seen[arr.kind as usize] += 1;
+        }
+        assert!(seen.iter().all(|&n| n > 0), "{seen:?}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Golden-file test freezing the service's `fpdm.metrics.v1` snapshot —
+//! the full `service.*` ledger (admission counters, queue-depth
+//! watermarks, per-tenant gauges, the latency histogram) — under a fixed
+//! seeded load.
+//!
+//! The replay is pure virtual time driving the *real*
+//! [`fpdm_service::Admission`] controller, so the snapshot is
+//! bit-reproducible: any drift means either the admission policy, the
+//! trace generator, or the metrics exporter changed behaviour. An
+//! intentional change regenerates the fixture by running the suite once
+//! with `UPDATE_GOLDEN=1`.
+
+use fpdm_loadgen::{owner_activity_trace, run, SimConfig, TraceConfig};
+use plinda::metrics::check_snapshot;
+use plinda::{MetricsRegistry, MetricsSnapshot};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/service_snapshot.golden.json"
+);
+
+/// A small fixed load hot enough to exercise every ledger state: runs,
+/// queueing (non-zero depth watermark), and overload shedding.
+fn golden_run() -> MetricsSnapshot {
+    let trace = owner_activity_trace(&TraceConfig::new(42, 16, 600.0, 80_000));
+    let mut cfg = SimConfig {
+        seed: 42,
+        ..SimConfig::default()
+    };
+    cfg.admission.run_slots = 1;
+    cfg.admission.queue_cap = 64;
+    cfg.admission.shed_hi = 96;
+    cfg.admission.shed_lo = 24;
+    let reg = MetricsRegistry::new();
+    let report = run(&trace, &cfg, &reg);
+    assert_eq!(report.completed + report.shed, report.requests as u64);
+    reg.snapshot()
+}
+
+#[test]
+fn service_ledger_matches_golden_fixture() {
+    let got = golden_run().to_json();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(FIXTURE, &got).unwrap();
+    }
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("golden fixture missing; regenerate with UPDATE_GOLDEN=1");
+    assert_eq!(
+        got, want,
+        "service ledger drifted from the frozen snapshot; if the change \
+         is intentional (admission policy, trace generator, or exporter), \
+         regenerate the fixture with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_fixture_round_trips_through_decoder() {
+    let want = std::fs::read_to_string(FIXTURE)
+        .expect("golden fixture missing; regenerate with UPDATE_GOLDEN=1");
+    let decoded = MetricsSnapshot::from_json(&want).expect("fixture must decode");
+    assert_eq!(decoded, golden_run(), "decode(fixture) == ledger");
+    assert_eq!(
+        decoded.to_json(),
+        want,
+        "encode(decode(fixture)) == fixture"
+    );
+}
+
+#[test]
+fn golden_fixture_is_a_consistent_service_ledger() {
+    let snap = golden_run();
+    let violations = check_snapshot(&snap);
+    assert!(violations.is_empty(), "{violations:?}");
+    // The fixture must actually exercise the interesting states, or it
+    // pins nothing: shedding happened, the queue was used, and every
+    // completed request recorded a latency sample.
+    assert!(
+        snap.counter("service.requests.shed") > 0,
+        "no shed activity"
+    );
+    assert!(snap.counter("service.requests.queued") > 0, "no queueing");
+    let hist = snap
+        .histograms
+        .get("service.latency_ns")
+        .expect("latency histogram");
+    assert_eq!(hist.count, snap.counter("service.requests.completed"));
+}
+
+#[test]
+fn golden_run_is_deterministic() {
+    assert_eq!(golden_run(), golden_run(), "same seed, same ledger");
+}

@@ -30,7 +30,7 @@ use fpdm_core::{
 use std::sync::Arc;
 
 /// User parameters of a discovery run (Table 4.2's columns).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiscoveryParams {
     /// Minimum motif length `Length` (non-VLDC letters).
     pub min_length: usize,

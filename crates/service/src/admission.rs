@@ -1,0 +1,322 @@
+//! Watermark-driven admission control for the mining service.
+//!
+//! The controller is deliberately clock-free and generic over the queued
+//! token type `T`, so the *same* policy code runs in two places: inside the
+//! live service (tokens are decoded jobs) and inside `fpdm-loadgen`'s
+//! virtual-time simulator (tokens are request ids). Anything the simulator
+//! predicts about shed rates is therefore a statement about this exact
+//! code, not a model of it.
+//!
+//! Policy, in order, for each offered request:
+//!
+//! 1. The shed state follows the global backlog depth with hysteresis: the
+//!    moment the `service.queue.depth` gauge reaches `shed_hi` the service
+//!    starts shedding, and it keeps shedding until the backlog drains to
+//!    `shed_lo`. The gauge is the ledger's own watermark instrument — its
+//!    `hi` field records the worst backlog ever reached, and its live value
+//!    *is* the control input, so the published metrics and the control loop
+//!    can never disagree.
+//! 2. If an executor slot is free and nothing is queued ahead, the request
+//!    runs immediately.
+//! 3. While shedding, every request that cannot run immediately is refused
+//!    ([`ShedReason::Overloaded`]).
+//! 4. A tenant may hold at most `queue_cap` queued requests; past that the
+//!    request is refused ([`ShedReason::TenantFull`]) regardless of global
+//!    state, so one chatty tenant cannot starve the rest.
+//! 5. Otherwise the request joins the global FIFO backlog.
+//!
+//! Every transition lands in the `fpdm.metrics.v1` ledger under the
+//! `service.*` namespace; `plinda::metrics::check_snapshot` enforces the
+//! conservation law `submitted = admitted + shed` and the bounds
+//! `queued ≤ admitted`, `completed ≤ admitted` on every snapshot.
+
+use plinda::metrics::{Counter, Gauge, MetricsRegistry};
+use std::collections::{HashMap, VecDeque};
+
+/// Admission-control knobs.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Executor slots: requests running concurrently.
+    pub run_slots: usize,
+    /// Maximum queued requests per tenant.
+    pub queue_cap: usize,
+    /// Global backlog depth at which shedding starts.
+    pub shed_hi: usize,
+    /// Global backlog depth at which shedding stops.
+    pub shed_lo: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            run_slots: 2,
+            queue_cap: 64,
+            shed_hi: 256,
+            shed_lo: 128,
+        }
+    }
+}
+
+/// What the controller decided for one offered request. `Run` hands the
+/// token straight back — the caller dispatches it; only `Queued` tokens
+/// stay inside the controller.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Verdict<T> {
+    /// Run now: a slot was free and the backlog empty.
+    Run(T),
+    /// Parked in the global FIFO; it will run when a slot frees.
+    Queued,
+    /// Refused.
+    Shed(ShedReason),
+}
+
+/// Why a request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The offering tenant already holds `queue_cap` queued requests.
+    TenantFull,
+    /// The service is in the shedding state (backlog crossed `shed_hi`
+    /// and has not yet drained to `shed_lo`).
+    Overloaded,
+}
+
+impl ShedReason {
+    /// Diagnostic label, used as the shed-response payload.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShedReason::TenantFull => "tenant queue full",
+            ShedReason::Overloaded => "service overloaded",
+        }
+    }
+}
+
+/// The admission controller. Not internally synchronised — the service
+/// wraps it in a mutex, the simulator owns it outright.
+pub struct Admission<T> {
+    cfg: AdmissionConfig,
+    reg: MetricsRegistry,
+    queue: VecDeque<(i64, T)>,
+    tenant_depth: HashMap<i64, usize>,
+    running: usize,
+    shedding: bool,
+    submitted: Counter,
+    admitted: Counter,
+    queued: Counter,
+    shed: Counter,
+    shed_tenant: Counter,
+    shed_overload: Counter,
+    completed: Counter,
+    depth: Gauge,
+}
+
+impl<T> Admission<T> {
+    /// A controller recording into `reg`.
+    pub fn new(cfg: AdmissionConfig, reg: &MetricsRegistry) -> Self {
+        assert!(cfg.run_slots >= 1, "need at least one executor slot");
+        assert!(
+            cfg.shed_lo < cfg.shed_hi,
+            "shed_lo must sit below shed_hi for hysteresis to exist"
+        );
+        Admission {
+            cfg,
+            reg: reg.clone(),
+            queue: VecDeque::new(),
+            tenant_depth: HashMap::new(),
+            running: 0,
+            shedding: false,
+            submitted: reg.counter("service.requests.submitted"),
+            admitted: reg.counter("service.requests.admitted"),
+            queued: reg.counter("service.requests.queued"),
+            shed: reg.counter("service.requests.shed"),
+            shed_tenant: reg.counter("service.requests.shed.tenant_full"),
+            shed_overload: reg.counter("service.requests.shed.overloaded"),
+            completed: reg.counter("service.requests.completed"),
+            depth: reg.gauge("service.queue.depth"),
+        }
+    }
+
+    /// Offer one request from `tenant`. On [`Verdict::Run`] the token comes
+    /// back and the caller owns dispatching it to an executor; on
+    /// [`Verdict::Queued`] the controller holds it until a
+    /// [`Self::complete`] call pops it.
+    pub fn offer(&mut self, tenant: i64, token: T) -> Verdict<T> {
+        self.submitted.inc();
+        let backlog = self.depth.get();
+        if backlog >= self.cfg.shed_hi as i64 {
+            self.shedding = true;
+        } else if backlog <= self.cfg.shed_lo as i64 {
+            self.shedding = false;
+        }
+        if self.running < self.cfg.run_slots && self.queue.is_empty() {
+            self.running += 1;
+            self.admitted.inc();
+            return Verdict::Run(token);
+        }
+        if self.shedding {
+            self.shed.inc();
+            self.shed_overload.inc();
+            return Verdict::Shed(ShedReason::Overloaded);
+        }
+        let td = self.tenant_depth.entry(tenant).or_insert(0);
+        if *td >= self.cfg.queue_cap {
+            self.shed.inc();
+            self.shed_tenant.inc();
+            return Verdict::Shed(ShedReason::TenantFull);
+        }
+        *td += 1;
+        let td = *td;
+        self.queue.push_back((tenant, token));
+        self.admitted.inc();
+        self.queued.inc();
+        self.depth.add(1);
+        self.tenant_gauge(tenant).set(td as i64);
+        Verdict::Queued
+    }
+
+    /// Record one running request finishing; pops and returns the next
+    /// queued request (now counted as running) if any.
+    pub fn complete(&mut self) -> Option<(i64, T)> {
+        assert!(self.running > 0, "complete() without a running request");
+        self.completed.inc();
+        self.running -= 1;
+        let (tenant, token) = self.queue.pop_front()?;
+        self.depth.add(-1);
+        let td = self
+            .tenant_depth
+            .get_mut(&tenant)
+            .expect("queued tenant has a depth entry");
+        *td -= 1;
+        let td = *td;
+        self.tenant_gauge(tenant).set(td as i64);
+        self.running += 1;
+        Some((tenant, token))
+    }
+
+    /// Requests currently running.
+    pub fn running(&self) -> usize {
+        self.running
+    }
+
+    /// Requests currently queued.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is running or queued.
+    pub fn idle(&self) -> bool {
+        self.running == 0 && self.queue.is_empty()
+    }
+
+    /// True while the controller is in the shedding state.
+    pub fn shedding(&self) -> bool {
+        self.shedding
+    }
+
+    fn tenant_gauge(&self, tenant: i64) -> Gauge {
+        self.reg
+            .gauge(&format!("service.tenant.{tenant}.queue.depth"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plinda::metrics::check_snapshot;
+
+    fn ctl(run_slots: usize, queue_cap: usize, shed_hi: usize, shed_lo: usize) -> Admission<u64> {
+        let reg = MetricsRegistry::new();
+        Admission::new(
+            AdmissionConfig {
+                run_slots,
+                queue_cap,
+                shed_hi,
+                shed_lo,
+            },
+            &reg,
+        )
+    }
+
+    #[test]
+    fn runs_until_slots_fill_then_queues() {
+        let mut a = ctl(2, 8, 100, 50);
+        assert_eq!(a.offer(1, 0), Verdict::Run(0));
+        assert_eq!(a.offer(1, 1), Verdict::Run(1));
+        assert_eq!(a.offer(1, 2), Verdict::Queued);
+        assert_eq!(a.backlog(), 1);
+        // Finishing one run promotes the queued request.
+        assert_eq!(a.complete(), Some((1, 2)));
+        assert_eq!(a.backlog(), 0);
+        assert_eq!(a.running(), 2);
+    }
+
+    #[test]
+    fn tenant_cap_sheds_only_the_full_tenant() {
+        let mut a = ctl(1, 2, 100, 50);
+        assert_eq!(a.offer(7, 0), Verdict::Run(0));
+        assert_eq!(a.offer(7, 1), Verdict::Queued);
+        assert_eq!(a.offer(7, 2), Verdict::Queued);
+        assert_eq!(a.offer(7, 3), Verdict::Shed(ShedReason::TenantFull));
+        // A different tenant still queues.
+        assert_eq!(a.offer(8, 4), Verdict::Queued);
+    }
+
+    #[test]
+    fn hysteresis_sheds_at_hi_until_drained_to_lo() {
+        let mut a = ctl(1, 100, 4, 1);
+        assert_eq!(a.offer(1, 0), Verdict::Run(0));
+        for i in 1..=4 {
+            assert_eq!(a.offer(1, i), Verdict::Queued);
+        }
+        // Backlog is 4 == shed_hi: the next offer flips to shedding.
+        assert_eq!(a.offer(1, 5), Verdict::Shed(ShedReason::Overloaded));
+        assert!(a.shedding());
+        // Draining to 2 (> shed_lo) keeps shedding on.
+        a.complete();
+        a.complete();
+        assert_eq!(a.offer(1, 6), Verdict::Shed(ShedReason::Overloaded));
+        // Draining to 1 == shed_lo clears it.
+        a.complete();
+        assert_eq!(a.offer(1, 7), Verdict::Queued);
+        assert!(!a.shedding());
+    }
+
+    #[test]
+    fn ledger_satisfies_the_service_invariants() {
+        let reg = MetricsRegistry::new();
+        let mut a: Admission<u64> = Admission::new(
+            AdmissionConfig {
+                run_slots: 2,
+                queue_cap: 3,
+                shed_hi: 4,
+                shed_lo: 1,
+            },
+            &reg,
+        );
+        for i in 0..40 {
+            a.offer(i % 5, i as u64);
+            if i % 3 == 0 && a.running() > 0 {
+                a.complete();
+            }
+        }
+        while a.running() > 0 {
+            a.complete();
+        }
+        assert!(a.idle());
+        let snap = reg.snapshot();
+        let problems = check_snapshot(&snap);
+        assert!(problems.is_empty(), "{problems:?}");
+        assert_eq!(
+            snap.counter("service.requests.submitted"),
+            snap.counter("service.requests.admitted") + snap.counter("service.requests.shed")
+        );
+        assert_eq!(
+            snap.counter("service.requests.shed"),
+            snap.counter("service.requests.shed.tenant_full")
+                + snap.counter("service.requests.shed.overloaded")
+        );
+        // The depth gauge drained and its watermark saw the worst backlog.
+        let depth = snap.gauge("service.queue.depth").unwrap();
+        assert_eq!(depth.value, 0);
+        assert!(depth.hi >= 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! `fpdm-serve` — the resident mining service.
+//!
+//! Boots a warm tuple space (in-process, or an embedded `fpdm-spaced`
+//! broker when `--broker PATH` is given so out-of-process clients can
+//! connect), registers a set of demo datasets, runs a short self-test
+//! burst so the banner shows real latencies, then serves until stdin
+//! reaches EOF. On shutdown it prints the final `fpdm.metrics.v1` ledger.
+//!
+//!     fpdm-serve [--broker PATH] [--executors N] [--job-workers N]
+//!                [--queue-cap N] [--shed-hi N] [--shed-lo N] [--shared-plane]
+
+use fpdm_service::{
+    AdmissionConfig, DatasetCatalog, JobPlane, MiningRequest, MiningService, RuleTag,
+    ServiceClient, ServiceConfig,
+};
+use plinda::net::{Broker, BrokerConfig};
+use plinda::space::TupleSpace;
+use seqmine::discover::DiscoveryParams;
+use std::io::Read;
+use std::sync::Arc;
+
+fn parse_arg<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn demo_catalog() -> DatasetCatalog {
+    let mut cat = DatasetCatalog::new();
+    cat.add_sequences(
+        "globins",
+        datagen::protein_family(
+            11,
+            40,
+            60,
+            10,
+            &[datagen::PlantedMotif {
+                pattern: b"HEMOGLB".to_vec(),
+                occurrence: 0.6,
+                mutations: 1,
+            }],
+        ),
+    );
+    cat.add_trees(
+        "rna",
+        datagen::rna_structures(7, 30, 12, &[(treemine::OrderedTree::parse("a(b,c)"), 0.5)]),
+    );
+    cat.add_events(
+        "alarms",
+        episodes::EventSequence::new(datagen::event_stream(3, 4000, 4, 0.2, &[(b"AB", 40)])),
+    );
+    cat.add_table("vote", datagen::benchmarks::benchmark("vote", 5));
+    cat.add_baskets(
+        "baskets",
+        assoc::TransactionDb::new(
+            (0..200)
+                .map(|i| (0..5).map(|j| ((i * 7 + j * 3) % 20) as u32).collect())
+                .collect(),
+        ),
+    );
+    cat
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let broker_path = args
+        .iter()
+        .position(|a| a == "--broker")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let cfg = ServiceConfig {
+        admission: AdmissionConfig {
+            run_slots: parse_arg(&args, "--executors", 2),
+            queue_cap: parse_arg(&args, "--queue-cap", 64),
+            shed_hi: parse_arg(&args, "--shed-hi", 256),
+            shed_lo: parse_arg(&args, "--shed-lo", 128),
+        },
+        executors: parse_arg(&args, "--executors", 2),
+        job_workers: parse_arg(&args, "--job-workers", 2),
+        plane: if args.iter().any(|a| a == "--shared-plane") {
+            JobPlane::Shared
+        } else {
+            JobPlane::Private
+        },
+        gate_batch: 16,
+    };
+
+    // The warm space: a broker-backed client when serving cross-process,
+    // an in-process space otherwise.
+    let broker = broker_path.as_ref().map(|path| {
+        let _ = std::fs::remove_file(path);
+        Broker::start(BrokerConfig::new(path)).expect("start embedded broker")
+    });
+    let space = match &broker {
+        Some(b) => Arc::new(TupleSpace::connect_unix(b.socket()).expect("connect to broker")),
+        None => Arc::new(TupleSpace::new()),
+    };
+
+    let catalog = Arc::new(demo_catalog());
+    println!("fpdm-serve: datasets {:?}", catalog.names());
+    if let Some(path) = &broker_path {
+        println!("fpdm-serve: brokered space at {path}");
+    }
+
+    let service = MiningService::start(cfg, Arc::clone(&catalog), Arc::clone(&space));
+
+    // Self-test burst: one request per domain, through the public client.
+    let client = ServiceClient::new(Arc::clone(&space), 1);
+    let burst = [
+        MiningRequest::Seqmine {
+            dataset: "globins".into(),
+            params: DiscoveryParams::new(4, 8, 10, 1),
+        },
+        MiningRequest::Classify {
+            dataset: "vote".into(),
+            rule: RuleTag::Cart,
+            min_split: 2,
+            max_depth: 64,
+        },
+        MiningRequest::Apriori {
+            dataset: "baskets".into(),
+            min_support: 20,
+        },
+    ];
+    for req in &burst {
+        let t0 = std::time::Instant::now();
+        let resp = client.request(7, req);
+        println!(
+            "fpdm-serve: {} -> {:?} ({} bytes, {:.1} ms)",
+            req.kind(),
+            resp.status,
+            resp.payload.len(),
+            t0.elapsed().as_secs_f64() * 1e3,
+        );
+    }
+
+    println!("fpdm-serve: serving (EOF on stdin stops the service)");
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+
+    let snap = service.shutdown();
+    println!("{}", snap.to_json());
+    if let Some(b) = broker {
+        b.shutdown();
+    }
+}

@@ -1,0 +1,31 @@
+//! Mining as a service: a resident front end over the PLinda runtime.
+//!
+//! The dissertation's economic framing — mine with cycles that would
+//! otherwise be wasted — extends naturally from *batch* jobs to a
+//! *service*: keep the tuple space warm, keep the datasets (and their
+//! presorted indexes) resident, and let many tenants submit small
+//! interactive jobs whose setup cost has already been paid. This crate is
+//! that front end:
+//!
+//! * [`request`] — the typed request/response wire protocol (the ABI).
+//! * [`catalog`] — resident datasets and once-per-dataset shared indexes.
+//! * [`admission`] — clock-free, watermark-driven admission control with
+//!   per-tenant queue caps and hysteretic global shedding.
+//! * [`serve`] — the service itself ([`MiningService`]) and its typed
+//!   client ([`ServiceClient`]), speaking `plinda::channel` sessions over
+//!   any space backend.
+//!
+//! The `fpdm-serve` binary wraps [`MiningService`] with demo datasets and
+//! an optional embedded `fpdm-spaced` broker; `fpdm-loadgen` (its own
+//! crate) replays deterministic million-request traces against the
+//! [`admission`] controller in virtual time.
+
+pub mod admission;
+pub mod catalog;
+pub mod request;
+pub mod serve;
+
+pub use admission::{Admission, AdmissionConfig, ShedReason, Verdict};
+pub use catalog::DatasetCatalog;
+pub use request::{MiningRequest, MiningResponse, RuleTag, Status};
+pub use serve::{JobPlane, MiningService, ServiceClient, ServiceConfig};

@@ -26,7 +26,7 @@ use std::sync::Arc;
 pub type TreeCode = Vec<(u8, u8)>;
 
 /// Parameters of a tree-motif discovery run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeDiscoveryParams {
     /// Minimum motif size `Size` (nodes) for the report.
     pub min_size: usize,

@@ -86,6 +86,15 @@ pub trait SpaceBackend: Send + Sync {
         cancel: Option<&AtomicBool>,
     ) -> Result<Option<Tuple>, PlindaError>;
 
+    /// Threads currently parked in a blocking wait *inside this backend*.
+    /// Readiness introspection for tests and services (e.g. "the consumer
+    /// is parked, now produce"), not part of the Linda model. A socket
+    /// client reports 0 — its waiters park broker-side, where
+    /// [`crate::Broker::waiting`] observes them.
+    fn waiting(&self) -> usize {
+        0
+    }
+
     /// Deferred `out`: visibility may lag until the backend's next flush
     /// barrier — any response-bearing operation on the same connection, or
     /// an explicit [`SpaceBackend::flush`]. Within one connection program

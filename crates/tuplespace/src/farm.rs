@@ -188,7 +188,12 @@ pub struct FarmReport {
     /// Tuples still visible in the farm's space after every worker
     /// exited. A well-behaved program drains its channels: anything here
     /// is a leak unless the caller deliberately left it (e.g. a broadcast
-    /// it has yet to withdraw).
+    /// it has yet to withdraw). On a farm-private space (no
+    /// [`FarmConfig::with_space`]) this is the whole space; on a shared
+    /// space it is scoped to tuples whose leading field names one of this
+    /// farm's channels (`"<name>."` prefix), so concurrent farms — e.g.
+    /// multi-tenant service jobs over one warm backend — do not see each
+    /// other's in-flight tuples as leaks.
     pub leaked: Vec<Tuple>,
     /// Snapshot of the farm's metrics registry, taken after the worker
     /// statistics were folded in. `None` unless the farm was configured
@@ -579,7 +584,19 @@ impl<T: Payload + 'static, R: Payload + 'static> TaskFarm<T, R> {
                 }
             })
             .collect();
-        let leaked = self.space.snapshot();
+        // A farm handed a shared space owns only its own channel
+        // namespace; everything else in the snapshot belongs to
+        // neighbours (other tenants' farms, service session channels).
+        let leaked = if self.cfg.space.is_some() {
+            let prefix = format!("{}.", self.name);
+            self.space
+                .snapshot()
+                .into_iter()
+                .filter(|t| matches!(t.0.first(), Some(Value::Str(s)) if s.starts_with(&prefix)))
+                .collect()
+        } else {
+            self.space.snapshot()
+        };
         let metrics = self.cfg.metrics.as_ref().map(|reg| {
             for (i, s) in worker_stats.iter().enumerate() {
                 let base = format!("farm.{}.worker.{i}", self.name);

@@ -837,6 +837,14 @@ pub mod json {
 ///    size exactly once), and `net.deferred.acked ≤ net.deferred.outs`
 ///    (a deferred out is acknowledged at most once; unacked tuples are
 ///    either still parked or discarded with a dead connection).
+/// 6. **Service admission ledger**: every submitted request is decided
+///    exactly once (`service.requests.submitted` equals
+///    `service.requests.admitted + service.requests.shed`), only
+///    admitted requests queue or complete
+///    (`queued ≤ admitted`, `completed ≤ admitted`), and the
+///    `service.*.depth` backlog gauges never went negative (watermark
+///    `hi ≥ value ≥ 0` — the watermarks drive admission's backpressure,
+///    so a corrupt gauge is a corrupt policy input).
 pub fn check_snapshot(snap: &MetricsSnapshot) -> Vec<String> {
     let mut bad = Vec::new();
 
@@ -929,6 +937,37 @@ pub fn check_snapshot(snap: &MetricsSnapshot) -> Vec<String> {
         bad.push(format!(
             "batch ledger: net.deferred.acked {deferred_acked} > net.deferred.outs {deferred_out}"
         ));
+    }
+
+    if snap.counters.keys().any(|k| k.starts_with("service.")) {
+        let submitted = snap.counter("service.requests.submitted");
+        let admitted = snap.counter("service.requests.admitted");
+        let shed = snap.counter("service.requests.shed");
+        let queued = snap.counter("service.requests.queued");
+        let completed = snap.counter("service.requests.completed");
+        if submitted != admitted + shed {
+            bad.push(format!(
+                "service ledger: submitted {submitted} != admitted {admitted} + shed {shed}"
+            ));
+        }
+        if queued > admitted {
+            bad.push(format!(
+                "service ledger: queued {queued} > admitted {admitted}"
+            ));
+        }
+        if completed > admitted {
+            bad.push(format!(
+                "service ledger: completed {completed} > admitted {admitted}"
+            ));
+        }
+    }
+    for (k, g) in snap.gauges.iter() {
+        if k.starts_with("service.") && k.ends_with(".depth") && (g.value < 0 || g.hi < g.value) {
+            bad.push(format!(
+                "service ledger: {k} depth gauge corrupt (value {}, hi {})",
+                g.value, g.hi
+            ));
+        }
     }
 
     bad

@@ -651,6 +651,14 @@ impl Broker {
         Arc::clone(&self.shared.space)
     }
 
+    /// Client blocking waits currently parked broker-side (`in`/`rd`/
+    /// `in_batch` with no match yet). Readiness introspection for tests:
+    /// poll this instead of sleeping a guessed interval before producing
+    /// the tuple a consumer is expected to be waiting for.
+    pub fn waiting(&self) -> usize {
+        self.shared.sync.lock().waiters.len()
+    }
+
     /// Stop serving: close the listener, join every thread, remove the
     /// socket file. Idempotent.
     pub fn shutdown(&self) {

@@ -64,6 +64,8 @@ pub(crate) struct LocalBackend {
     registry: Mutex<HashMap<Sig, Arc<Partition>>>,
     /// Total visible tuples (kept in sync under partition locks).
     len: AtomicUsize,
+    /// Threads currently parked in [`LocalBackend::wait_on_partition`].
+    waiting: AtomicUsize,
     /// Continuations of committed transactions, keyed by logical pid.
     conts: ContinuationStore,
     /// Shared with the facade: recorded under partition locks so trace
@@ -78,6 +80,7 @@ impl LocalBackend {
         LocalBackend {
             registry: Mutex::new(HashMap::new()),
             len: AtomicUsize::new(0),
+            waiting: AtomicUsize::new(0),
             conts: ContinuationStore::new(),
             rec,
             met,
@@ -230,6 +233,9 @@ impl LocalBackend {
                     });
                     self.met
                         .with(|reg| reg.counter("space.ops.cancelled").inc());
+                    if parked {
+                        self.waiting.fetch_sub(1, Ordering::SeqCst);
+                    }
                     return None;
                 }
             }
@@ -262,10 +268,14 @@ impl LocalBackend {
                     "space.ops.read"
                 };
                 self.note_part(&part, &sig, tuples.len(), global, got.len() as u64);
+                if parked {
+                    self.waiting.fetch_sub(1, Ordering::SeqCst);
+                }
                 return Some(got);
             }
             if !parked {
                 parked = true;
+                self.waiting.fetch_add(1, Ordering::SeqCst);
                 self.rec.record(|| TraceEvent::Block {
                     actor: trace::current_actor(),
                     op: if withdraw { OpKind::In } else { OpKind::Rd },
@@ -287,6 +297,10 @@ impl LocalBackend {
 impl SpaceBackend for LocalBackend {
     fn kind(&self) -> &'static str {
         "local"
+    }
+
+    fn waiting(&self) -> usize {
+        self.waiting.load(Ordering::SeqCst)
     }
 
     fn out(&self, t: Tuple) -> Result<(), PlindaError> {
@@ -601,6 +615,14 @@ impl TupleSpace {
     /// `"unix-socket"`).
     pub fn backend_kind(&self) -> &'static str {
         self.backend.kind()
+    }
+
+    /// Threads currently parked in a blocking wait against this space's
+    /// backend (in-process only; a socket-connected space reports 0 —
+    /// its waiters park broker-side, see [`crate::Broker::waiting`]).
+    /// Readiness introspection for tests and services, not a Linda op.
+    pub fn waiting(&self) -> usize {
+        self.backend.waiting()
     }
 
     fn fail(e: PlindaError) -> ! {

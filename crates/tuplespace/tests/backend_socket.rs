@@ -57,14 +57,23 @@ fn two_connections_share_one_space_and_blocking_in_wakes() {
     let a = Arc::new(TupleSpace::connect_unix(broker.socket()).unwrap());
     let b = TupleSpace::connect_unix(broker.socket()).unwrap();
 
-    // Consumer blocks on a connection that has nothing yet.
+    // Consumer blocks on a connection that has nothing yet. Wait until
+    // the broker has actually registered the waiter (bounded poll — a
+    // fixed sleep here is a flake on a loaded machine).
     let consumer = {
         let a = Arc::clone(&a);
         std::thread::spawn(move || {
             a.in_blocking(Template::new(vec![field::val("msg"), field::int()]))
         })
     };
-    std::thread::sleep(Duration::from_millis(30));
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while broker.waiting() == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "consumer never blocked on the broker"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
     b.out(tup!["msg", 42i64]);
     assert_eq!(consumer.join().unwrap().int(1), 42);
 }
@@ -207,8 +216,13 @@ fn malformed_frame_drops_that_connection_only() {
     frame.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01]);
     raw.write_all(&frame).unwrap();
     raw.flush().unwrap();
-    // Give the broker a moment to process (and drop) the bad connection.
-    std::thread::sleep(Duration::from_millis(50));
+    // The broker answers a malformed frame by dropping the connection, so
+    // read-until-EOF is the deterministic "it has been processed" signal
+    // (a fixed sleep here raced the broker's reader thread).
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut sink = Vec::new();
+    std::io::Read::read_to_end(&mut raw, &mut sink)
+        .expect("broker should close the offending connection");
 
     let space = TupleSpace::connect_unix(broker.socket()).unwrap();
     space.out(tup!["alive", 1i64]);

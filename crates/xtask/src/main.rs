@@ -1,8 +1,9 @@
-//! Workspace task runner. Two tasks:
+//! Workspace task runner. Three tasks:
 //!
 //! ```text
 //! cargo run -p xtask -- analyze [ROOT] [--json PATH]
 //! cargo run --release -p xtask -- metrics-smoke
+//! cargo run -p xtask -- changes-check [PATH]
 //! ```
 //!
 //! `analyze` runs the whole-workspace static analysis (`fpdm-analyze`):
@@ -23,6 +24,11 @@
 //! envelope (~100 ns/event) over a space that never had a registry
 //! installed. Run it under `--release`; debug timings are dominated by
 //! unoptimised match code.
+//!
+//! `changes-check` audits `CHANGES.md`: every entry must be a
+//! `- PR <n>: ...` line and the PR numbers must be contiguous `1..=max`
+//! with no duplicates, so a session that forgets (or double-writes) its
+//! changelog line fails CI instead of leaving a silent gap.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -44,10 +50,12 @@ fn main() -> ExitCode {
             analyze(&args[1..], true)
         }
         Some("metrics-smoke") => metrics_smoke(),
+        Some("changes-check") => changes_check(args.get(1).map(String::as_str)),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- analyze [ROOT] [--json PATH]\n       \
-                 cargo run --release -p xtask -- metrics-smoke"
+                 cargo run --release -p xtask -- metrics-smoke\n       \
+                 cargo run -p xtask -- changes-check [PATH]"
             );
             ExitCode::from(2)
         }
@@ -282,6 +290,80 @@ fn metrics_smoke() -> ExitCode {
     if failed {
         ExitCode::FAILURE
     } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Audit CHANGES.md: every non-blank line is a `- PR <n>: ...` entry and
+/// the numbers form a contiguous, duplicate-free `1..=max`. Catches the
+/// failure mode this repo actually hit: a session whose changelog line
+/// went missing, leaving a silent gap in the PR history.
+fn changes_check(path: Option<&str>) -> ExitCode {
+    let path = path
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../CHANGES.md"));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("changes-check: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut numbers = Vec::new();
+    let mut failed = false;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = line
+            .strip_prefix("- PR ")
+            .and_then(|rest| rest.split_once(':'))
+            .and_then(|(n, desc)| Some((n.trim().parse::<u64>().ok()?, desc)));
+        match entry {
+            Some((n, desc)) if !desc.trim().is_empty() => numbers.push((lineno + 1, n)),
+            _ => {
+                eprintln!(
+                    "changes-check: line {} is not a '- PR <n>: <description>' entry",
+                    lineno + 1
+                );
+                failed = true;
+            }
+        }
+    }
+    if numbers.is_empty() {
+        eprintln!("changes-check: {} has no PR entries", path.display());
+        return ExitCode::FAILURE;
+    }
+    let max = numbers.iter().map(|&(_, n)| n).max().unwrap();
+    for want in 1..=max {
+        match numbers.iter().filter(|&&(_, n)| n == want).count() {
+            1 => {}
+            0 => {
+                eprintln!("changes-check: PR {want} is missing (entries reach PR {max})");
+                failed = true;
+            }
+            k => {
+                eprintln!("changes-check: PR {want} appears {k} times");
+                failed = true;
+            }
+        }
+    }
+    for pair in numbers.windows(2) {
+        if pair[1].1 <= pair[0].1 {
+            eprintln!(
+                "changes-check: line {}: PR {} listed after PR {} — entries must be in order",
+                pair[1].0, pair[1].1, pair[0].1
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "changes-check: {} ok — PRs 1..={max} contiguous, in order",
+            path.display()
+        );
         ExitCode::SUCCESS
     }
 }

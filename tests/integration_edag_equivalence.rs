@@ -69,6 +69,7 @@ proptest! {
                 metrics: None,
                 space: None,
                 prefetch: None,
+                job_tag: None,
             };
             let plet = parallel_ett(Arc::clone(&p), &cfg);
             prop_assert_eq!(&reference.good, &plet.good);

@@ -47,6 +47,7 @@ fn optimistic_survives_worker_kills() {
         metrics: None,
         space: None,
         prefetch: None,
+        job_tag: None,
     };
     let got = parallel_ett(Arc::clone(&p), &cfg);
     assert_eq!(reference.good, got.good);

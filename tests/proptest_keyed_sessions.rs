@@ -1,0 +1,130 @@
+//! Property tests for multi-tenant [`KeyedChan`] session isolation — the
+//! channel discipline the mining service's request/response plane relies
+//! on.
+//!
+//! Randomized interleaved sessions: 1–8 tenants submit tagged values
+//! through a shared request channel, 1–8 transactional echo workers
+//! answer on a response channel keyed by tenant, and a random kill
+//! schedule murders workers mid-session (their open transactions abort
+//! and the runtime re-spawns them, so no message is lost *or* duplicated).
+//! Tenants must receive exactly their own multiset of values — never a
+//! cross-delivery — and the space must drain to empty once every session
+//! closes. Both backends are exercised: the in-process space and an
+//! `fpdm-spaced` Unix-socket broker.
+
+use fpdm::plinda::channel::{Chan, KeyedChan};
+use fpdm::plinda::{Broker, BrokerConfig, FaultPlan, Runtime, TupleSpace};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Distinct socket path per broker, so concurrent cases never collide.
+static SOCKET_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Poison tenant id closing a worker's session loop.
+const POISON: i64 = i64::MIN;
+
+/// Tag a value with its owning tenant: cross-delivery of even one tuple
+/// changes the receiver's multiset detectably.
+fn tagged(tenant: i64, k: usize) -> i64 {
+    tenant * 1_000 + k as i64
+}
+
+fn space_for(socket: bool) -> (Arc<TupleSpace>, Option<Broker>) {
+    if socket {
+        let path = std::env::temp_dir().join(format!(
+            "fpdm-sess-{}-{}.sock",
+            std::process::id(),
+            SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let broker = Broker::start(BrokerConfig::new(path)).unwrap();
+        let space = Arc::new(TupleSpace::connect_unix(broker.socket()).unwrap());
+        (space, Some(broker))
+    } else {
+        (Arc::new(TupleSpace::new()), None)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn keyed_sessions_never_cross_deliver_and_always_drain(
+        tenants in 1usize..9,
+        workers in 1usize..9,
+        per_tenant in 1usize..6,
+        kills in prop::collection::vec((0u64..64, 0usize..8), 0..3),
+        socket in any::<bool>(),
+    ) {
+        let (space, _broker) = space_for(socket);
+        let rt = Runtime::with_space(Arc::clone(&space));
+
+        // Echo workers: transactional recv → keyed respond. A kill between
+        // the recv and the commit aborts the whole exchange, so the
+        // request tuple reappears for the re-spawned worker — sessions
+        // survive failures without loss or duplication.
+        let requests: Chan<(i64, i64)> = Chan::new("sess.req");
+        let responses: KeyedChan<i64> = KeyedChan::new("sess.resp");
+        let mut pids = Vec::new();
+        for _ in 0..workers {
+            let requests = requests.clone();
+            let responses = responses.clone();
+            pids.push(rt.spawn("echo", move |proc| loop {
+                proc.xstart()?;
+                let (tenant, value) = requests.recv_txn(proc)?;
+                if tenant == POISON {
+                    proc.xcommit(None)?;
+                    return Ok(());
+                }
+                responses.send_to_txn(proc, tenant, &value);
+                proc.xcommit(None)?;
+            }));
+        }
+        let mut plan = FaultPlan::new();
+        for &(ms, victim) in &kills {
+            plan = plan.kill_after(
+                Duration::from_millis(1 + ms % 8),
+                pids[victim % workers],
+            );
+        }
+        rt.inject(plan);
+
+        // Interleave submissions across tenants, then collect each
+        // tenant's session concurrently.
+        for k in 0..per_tenant {
+            for t in 0..tenants {
+                requests.send(&space, &(t as i64, tagged(t as i64, k)));
+            }
+        }
+        let collectors: Vec<_> = (0..tenants)
+            .map(|t| {
+                let space = Arc::clone(&space);
+                let responses = responses.clone();
+                std::thread::spawn(move || -> Vec<i64> {
+                    (0..per_tenant)
+                        .map(|_| responses.recv_for(&space, t as i64))
+                        .collect()
+                })
+            })
+            .collect();
+        for (t, handle) in collectors.into_iter().enumerate() {
+            let mut got = handle.join().unwrap();
+            got.sort_unstable();
+            let want: Vec<i64> = (0..per_tenant).map(|k| tagged(t as i64, k)).collect();
+            prop_assert_eq!(
+                got,
+                want,
+                "tenant {} received a foreign or incomplete session",
+                t
+            );
+        }
+
+        // Close every worker's session and confirm nothing is left behind.
+        for _ in 0..workers {
+            requests.send(&space, &(POISON, 0));
+        }
+        rt.join();
+        prop_assert_eq!(space.len(), 0, "space did not drain");
+    }
+}
